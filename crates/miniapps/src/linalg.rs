@@ -1,0 +1,299 @@
+//! Shared sparse linear algebra: CSR matrices, the HPCCG-style 27-point
+//! stencil, and sequential kernels used by the oracles.
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Row offsets (`nrows + 1` entries).
+    pub row_ptr: Vec<usize>,
+    /// Column indices.
+    pub cols: Vec<u32>,
+    /// Non-zero values.
+    pub vals: Vec<f64>,
+    /// Number of rows (== number of columns; all matrices here are square).
+    pub n: usize,
+}
+
+impl Csr {
+    /// Number of non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `y[row] = Σ A[row,c]·x[c]` for one row (the unit of worksharing).
+    #[inline]
+    #[must_use]
+    pub fn row_dot(&self, row: usize, x: &[f64]) -> f64 {
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        let mut acc = 0.0;
+        for k in lo..hi {
+            acc += self.vals[k] * x[self.cols[k] as usize];
+        }
+        acc
+    }
+
+    /// Sequential sparse matrix-vector product.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for (row, out) in y.iter_mut().enumerate() {
+            *out = self.row_dot(row, x);
+        }
+    }
+}
+
+/// Build the HPCCG matrix: 27-point stencil on an `nx × ny × nz` grid,
+/// diagonal `27`, off-diagonals `-1` (diagonally dominant, SPD).
+#[must_use]
+pub fn stencil27(nx: usize, ny: usize, nz: usize) -> Csr {
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| -> usize { (z * ny + y) * nx + x };
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut cols = Vec::with_capacity(n * 27);
+    let mut vals = Vec::with_capacity(n * 27);
+    row_ptr.push(0);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let (xx, yy, zz) =
+                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if xx < 0
+                                || yy < 0
+                                || zz < 0
+                                || xx >= nx as i64
+                                || yy >= ny as i64
+                                || zz >= nz as i64
+                            {
+                                continue;
+                            }
+                            let col = idx(xx as usize, yy as usize, zz as usize);
+                            cols.push(col as u32);
+                            vals.push(if dx == 0 && dy == 0 && dz == 0 {
+                                27.0
+                            } else {
+                                -1.0
+                            });
+                        }
+                    }
+                }
+                row_ptr.push(cols.len());
+            }
+        }
+    }
+    Csr {
+        row_ptr,
+        cols,
+        vals,
+        n,
+    }
+}
+
+/// Sequential dot product (left-to-right order — the oracle order).
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `w = alpha·x + beta·y`.
+pub fn waxpby(alpha: f64, x: &[f64], beta: f64, y: &[f64], w: &mut [f64]) {
+    for ((w, x), y) in w.iter_mut().zip(x).zip(y) {
+        *w = alpha * x + beta * y;
+    }
+}
+
+/// Euclidean norm.
+#[must_use]
+pub fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// Sequential conjugate gradient; returns (solution, final `r·r`, iters).
+/// Used as the oracle for the CG-based apps.
+#[must_use]
+pub fn cg_seq(a: &Csr, b: &[f64], max_iters: u64, tol: f64) -> (Vec<f64>, f64, u64) {
+    let n = a.n;
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rtr = dot(&r, &r);
+    let mut iters = 0;
+    while iters < max_iters && rtr.sqrt() > tol {
+        a.spmv(&p, &mut ap);
+        let alpha = rtr / dot(&p, &ap);
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rtr_new = dot(&r, &r);
+        let beta = rtr_new / rtr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rtr = rtr_new;
+        iters += 1;
+    }
+    (x, rtr, iters)
+}
+
+/// Threaded CG for `iters` iterations with gated reductions (used by
+/// miniFE; HPCCG has its own richer loop with a racy watch cell).
+/// Returns `(x, final r·r)`.
+#[must_use]
+pub fn cg_par(
+    rt: &ompr::Runtime,
+    a: &Csr,
+    b: &[f64],
+    iters: u64,
+    label: &str,
+) -> (Vec<f64>, f64) {
+    use ompr::{Reduction, SharedVec};
+    let n = a.n;
+    let x = SharedVec::new(n, 0.0);
+    let r = SharedVec::from_slice(b);
+    let p = SharedVec::from_slice(b);
+    let ap = SharedVec::new(n, 0.0);
+    let pap_red: Vec<Reduction> = (0..iters)
+        .map(|i| Reduction::sum_f64(&format!("{label}:pap:{i}")))
+        .collect();
+    let rtr_red: Vec<Reduction> = (0..iters)
+        .map(|i| Reduction::sum_f64(&format!("{label}:rtr:{i}")))
+        .collect();
+    let rtr0 = dot(b, b);
+
+    rt.parallel(|w| {
+        let mut rtr = rtr0;
+        for iter in 0..iters as usize {
+            let mut local_pap = 0.0;
+            w.for_static(0..n, |row| {
+                let mut acc = 0.0;
+                for k in a.row_ptr[row]..a.row_ptr[row + 1] {
+                    acc += a.vals[k] * p.get(a.cols[k] as usize);
+                }
+                ap.set(row, acc);
+                local_pap += p.get(row) * acc;
+            });
+            w.reduce(&pap_red[iter], local_pap);
+            w.barrier();
+            let alpha = rtr / pap_red[iter].load();
+            let mut local_rtr = 0.0;
+            w.for_static(0..n, |row| {
+                x.set(row, x.get(row) + alpha * p.get(row));
+                let nr = r.get(row) - alpha * ap.get(row);
+                r.set(row, nr);
+                local_rtr += nr * nr;
+            });
+            w.reduce(&rtr_red[iter], local_rtr);
+            w.barrier();
+            let rtr_new = rtr_red[iter].load();
+            let beta = rtr_new / rtr;
+            w.for_static(0..n, |row| p.set(row, r.get(row) + beta * p.get(row)));
+            rtr = rtr_new;
+            w.barrier();
+        }
+    });
+    let final_rtr = if iters > 0 {
+        rtr_red[(iters - 1) as usize].load()
+    } else {
+        rtr0
+    };
+    (x.to_vec(), final_rtr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cg_par_approximates_cg_seq() {
+        let a = stencil27(4, 4, 3);
+        let b = vec![1.0; a.n];
+        let (x_seq, rtr_seq, _) = cg_seq(&a, &b, 10, 0.0);
+        let rt = ompr::Runtime::new(reomp_core::Session::passthrough(3));
+        let (x_par, rtr_par) = cg_par(&rt, &a, &b, 10, "test");
+        // Thread partials combine in scheduling order, so x_par differs
+        // from the sequential bits; the solutions must still agree to well
+        // below discretization error.
+        let diff: f64 = x_seq
+            .iter()
+            .zip(&x_par)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-6, "max |Δx| = {diff}");
+        assert!((rtr_seq - rtr_par).abs() / rtr_seq.max(1e-30) < 1e-3);
+    }
+
+    #[test]
+    fn stencil_row_counts() {
+        let a = stencil27(3, 3, 3);
+        assert_eq!(a.n, 27);
+        // Center cell has all 27 neighbours, corner has 8.
+        let center = 13;
+        assert_eq!(a.row_ptr[center + 1] - a.row_ptr[center], 27);
+        assert_eq!(a.row_ptr[1] - a.row_ptr[0], 8);
+    }
+
+    #[test]
+    fn stencil_is_symmetric() {
+        let a = stencil27(4, 3, 2);
+        // A[i][j] == A[j][i] for a sample of pairs.
+        let get = |i: usize, j: usize| -> f64 {
+            let lo = a.row_ptr[i];
+            let hi = a.row_ptr[i + 1];
+            (lo..hi)
+                .find(|&k| a.cols[k] as usize == j)
+                .map_or(0.0, |k| a.vals[k])
+        };
+        for i in 0..a.n {
+            for j in (i..a.n).step_by(5) {
+                assert_eq!(get(i, j), get(j, i), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_identity_like_behaviour() {
+        // On the constant vector the row sums appear: 27 - (#neighbours).
+        let a = stencil27(3, 3, 3);
+        let x = vec![1.0; a.n];
+        let mut y = vec![0.0; a.n];
+        a.spmv(&x, &mut y);
+        let center = 13;
+        assert_eq!(y[center], 27.0 - 26.0);
+        // Corner: 8 entries, 7 neighbours.
+        assert_eq!(y[0], 27.0 - 7.0);
+    }
+
+    #[test]
+    fn dot_waxpby_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut w = vec![0.0; 2];
+        waxpby(2.0, &[1.0, 1.0], 3.0, &[1.0, 2.0], &mut w);
+        assert_eq!(w, vec![5.0, 8.0]);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn cg_solves_stencil_system() {
+        let a = stencil27(4, 4, 4);
+        let b = vec![1.0; a.n];
+        let (x, rtr, iters) = cg_seq(&a, &b, 200, 1e-10);
+        assert!(iters < 200, "converged in {iters}");
+        assert!(rtr.sqrt() <= 1e-10);
+        // Verify residual directly.
+        let mut ax = vec![0.0; a.n];
+        a.spmv(&x, &mut ax);
+        let res: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(ax, b)| (ax - b) * (ax - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-8, "residual {res}");
+    }
+}

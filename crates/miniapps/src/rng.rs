@@ -1,0 +1,125 @@
+//! Small deterministic RNG (splitmix64 + xoshiro-style mixing).
+//!
+//! Workload generation must be bit-reproducible across record and replay
+//! runs, so the apps use this self-contained generator seeded from their
+//! `Config` rather than an environment-dependent source.
+
+/// A deterministic 64-bit PRNG (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeded generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: seed ^ 0x5bf0_3635_16f4_9e17,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Approximately normal via the sum of 4 uniforms (cheap, bounded).
+    pub fn next_gaussian_ish(&mut self) -> f64 {
+        let sum: f64 = (0..4).map(|_| self.next_f64()).sum();
+        (sum - 2.0) * 1.732 // variance-normalized-ish, in (-3.47, 3.47)
+    }
+
+    /// Derive an independent stream (for per-thread/per-particle RNG).
+    #[must_use]
+    pub fn split(&self, stream: u64) -> Rng {
+        Rng::new(
+            self.state
+                .wrapping_mul(0xd129_0d3e_81cf_5310)
+                .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = Rng::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::new(9);
+        for n in [1usize, 2, 7, 100] {
+            for _ in 0..100 {
+                assert!(r.next_below(n) < n);
+            }
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn gaussian_ish_is_centered() {
+        let mut r = Rng::new(11);
+        let mean: f64 = (0..10_000).map(|_| r.next_gaussian_ish()).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let base = Rng::new(5);
+        let mut s1 = base.split(1);
+        let mut s2 = base.split(2);
+        let mut s1b = base.split(1);
+        assert_eq!(s1.next_u64(), s1b.next_u64());
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+}

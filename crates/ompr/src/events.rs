@@ -1,0 +1,144 @@
+//! Execution events for dynamic analysis (the hook the race detector uses).
+//!
+//! The paper's toolflow step (1) runs the application under ThreadSanitizer
+//! to discover racy sites (§III, Fig. 2). Our equivalent: the runtime emits
+//! a stream of synchronization and memory events; the `racedet` crate
+//! implements [`EventSink`] and runs a FastTrack-style happens-before
+//! analysis over them.
+
+use reomp_core::SiteId;
+
+/// Virtual thread ID of the team's forking (master) context.
+pub const MAIN_TID: u32 = u32::MAX;
+
+/// One dynamic event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// `parent` forked team member `child`.
+    Fork {
+        /// Forking thread (usually [`MAIN_TID`]).
+        parent: u32,
+        /// New team member.
+        child: u32,
+    },
+    /// `parent` joined team member `child` at region end.
+    Join {
+        /// Joining thread.
+        parent: u32,
+        /// Joined team member.
+        child: u32,
+    },
+    /// `tid` acquired the lock identified by `lock` (critical sections,
+    /// atomics — modelled as tiny lock-protected regions, like TSan does).
+    Acquire {
+        /// Acquiring thread.
+        tid: u32,
+        /// Lock identity (site hash).
+        lock: u64,
+    },
+    /// `tid` released `lock`.
+    Release {
+        /// Releasing thread.
+        tid: u32,
+        /// Lock identity (site hash).
+        lock: u64,
+    },
+    /// Unsynchronized read of the cell `addr` at source site `site`.
+    Read {
+        /// Reading thread.
+        tid: u32,
+        /// Distinct memory cell identity.
+        addr: u64,
+        /// Source site (what would be instrumented).
+        site: SiteId,
+    },
+    /// Unsynchronized write of the cell `addr` at source site `site`.
+    Write {
+        /// Writing thread.
+        tid: u32,
+        /// Distinct memory cell identity.
+        addr: u64,
+        /// Source site (what would be instrumented).
+        site: SiteId,
+    },
+    /// `tid` arrived at team barrier number `generation`.
+    BarrierArrive {
+        /// Arriving thread.
+        tid: u32,
+        /// Barrier generation (monotone per team).
+        generation: u64,
+    },
+    /// `tid` left team barrier number `generation`.
+    BarrierDepart {
+        /// Departing thread.
+        tid: u32,
+        /// Barrier generation.
+        generation: u64,
+    },
+}
+
+/// Consumer of runtime events. Implementations must be cheap and
+/// thread-safe; the runtime calls them inline.
+pub trait EventSink: Send + Sync {
+    /// Observe one event.
+    fn event(&self, e: Event);
+}
+
+/// A sink that discards everything (useful default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn event(&self, _e: Event) {}
+}
+
+/// A sink that records events into a vector (tests and tooling).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: parking_lot::Mutex<Vec<Event>>,
+}
+
+impl VecSink {
+    /// New empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain all recorded events.
+    #[must_use]
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock())
+    }
+}
+
+impl EventSink for VecSink {
+    fn event(&self, e: Event) {
+        self.events.lock().push(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let sink = VecSink::new();
+        sink.event(Event::Fork { parent: MAIN_TID, child: 0 });
+        sink.event(Event::Read {
+            tid: 0,
+            addr: 1,
+            site: SiteId(2),
+        });
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::Fork { .. }));
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn null_sink_is_inert() {
+        NullSink.event(Event::Join { parent: 0, child: 1 });
+    }
+}

@@ -1,0 +1,65 @@
+//! # ompr — an OpenMP-like threaded runtime with record-and-replay gates
+//!
+//! This crate is the workspace's stand-in for the LLVM OpenMP runtime
+//! (`libomp` and its `__kmpc_*` entry points): a fork-join thread-team
+//! runtime providing `parallel`, worksharing loops with static / dynamic /
+//! guided scheduling, named `critical` sections, `atomic` operations,
+//! `reduction`s, `single`/`master`, barriers — and, crucially, **benign
+//! data races** via [`RacyCell`]/[`RacyArray`].
+//!
+//! Where the paper's LLVM IR pass inserts `gate_in`/`gate_out` around
+//! `__kmpc_critical`, atomic instructions, and TSan-reported racy
+//! load/stores (§III, §V), this runtime calls the [`reomp_core`] gates
+//! directly inside each construct — the same dynamic events, instrumented
+//! at the same boundaries, without source rewriting (which is the awkward
+//! part in Rust).
+//!
+//! Every construct also emits [`events::Event`]s to an optional
+//! [`events::EventSink`], which is how the `racedet` crate observes the
+//! execution for happens-before race detection (the TSan step of the
+//! toolflow).
+//!
+//! ## Example: the paper's Fig. 8 synthetic benchmark template
+//!
+//! ```
+//! use ompr::{Runtime, Reduction};
+//! use reomp_core::{Session, Scheme};
+//!
+//! let session = Session::record(Scheme::De, 4);
+//! let rt = Runtime::new(session.clone());
+//!
+//! // #pragma omp parallel for reduction(+:sum)
+//! let red = Reduction::sum_f64("fig8:sum");
+//! rt.parallel(|w| {
+//!     let mut local = 0.0;
+//!     w.for_static(0..10_000, |_i| local += 1.0);
+//!     w.reduce(&red, local);
+//! });
+//! assert_eq!(red.load(), 10_000.0);
+//!
+//! let report = session.finish().unwrap();
+//! assert!(report.bundle.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod barrier;
+pub mod critical;
+pub mod events;
+pub mod racy;
+pub mod reduction;
+pub mod runtime;
+pub mod schedule;
+pub mod shared;
+pub mod worker;
+
+pub use atomic::AtomicF64;
+pub use critical::Critical;
+pub use events::{Event, EventSink};
+pub use racy::{RacyArray, RacyCell, RacyValue};
+pub use reduction::Reduction;
+pub use runtime::Runtime;
+pub use schedule::Schedule;
+pub use shared::SharedVec;
+pub use worker::Worker;

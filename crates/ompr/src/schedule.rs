@@ -1,0 +1,142 @@
+//! Worksharing-loop schedules (`schedule(static|dynamic|guided)`).
+//!
+//! Static schedules partition iterations deterministically from the thread
+//! ID alone. Dynamic and guided schedules hand out chunks in *arrival
+//! order*, which is a genuine source of non-determinism in OpenMP programs;
+//! [`crate::Worker::for_dynamic`] therefore gates each chunk claim so the
+//! assignment itself is recorded and replayed (an extension beyond the
+//! paper, which lists task/loop scheduling as future work).
+
+use std::ops::Range;
+
+/// Loop schedule selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous blocks, one per thread (`schedule(static)`).
+    Static,
+    /// Round-robin chunks of the given size (`schedule(static, n)`).
+    StaticChunk(usize),
+    /// First-come-first-served chunks of the given size
+    /// (`schedule(dynamic, n)`).
+    Dynamic(usize),
+    /// Exponentially decreasing chunks with the given minimum
+    /// (`schedule(guided, n)`).
+    Guided(usize),
+}
+
+/// The static block `[begin, end)` of `tid` among `nthreads` over `range`.
+///
+/// Matches the usual OpenMP static partition: the first `len % nthreads`
+/// threads get one extra iteration.
+#[must_use]
+pub fn static_block(range: &Range<usize>, tid: u32, nthreads: u32) -> Range<usize> {
+    let len = range.end.saturating_sub(range.start);
+    let n = nthreads as usize;
+    let t = tid as usize;
+    let base = len / n;
+    let extra = len % n;
+    let begin = range.start + t * base + t.min(extra);
+    let size = base + usize::from(t < extra);
+    begin..(begin + size)
+}
+
+/// Iterator over the `schedule(static, chunk)` indices of one thread.
+pub fn static_chunks(
+    range: Range<usize>,
+    chunk: usize,
+    tid: u32,
+    nthreads: u32,
+) -> impl Iterator<Item = usize> {
+    let chunk = chunk.max(1);
+    let stride = chunk * nthreads as usize;
+    let start = range.start + tid as usize * chunk;
+    let end = range.end;
+    (start..end)
+        .step_by(stride.max(1))
+        .flat_map(move |lo| lo..(lo + chunk).min(end))
+}
+
+/// Next guided chunk size given remaining iterations.
+#[must_use]
+pub fn guided_chunk(remaining: usize, nthreads: u32, min_chunk: usize) -> usize {
+    (remaining / (2 * nthreads as usize).max(1))
+        .max(min_chunk.max(1))
+        .min(remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn static_blocks_cover_range_exactly() {
+        for len in [0usize, 1, 7, 64, 100] {
+            for n in [1u32, 2, 3, 8] {
+                let range = 10..(10 + len);
+                let mut seen = HashSet::new();
+                for tid in 0..n {
+                    for i in static_block(&range, tid, n) {
+                        assert!(seen.insert(i), "len={len} n={n} duplicate {i}");
+                    }
+                }
+                assert_eq!(seen.len(), len, "len={len} n={n}");
+                assert!(seen.iter().all(|i| range.contains(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn static_blocks_balance_within_one() {
+        let range = 0..103;
+        let sizes: Vec<usize> = (0..4).map(|t| static_block(&range, t, 4).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn static_chunks_cover_range_exactly() {
+        for chunk in [1usize, 2, 5, 16] {
+            let range = 3..90;
+            let n = 3u32;
+            let mut seen = HashSet::new();
+            for tid in 0..n {
+                for i in static_chunks(range.clone(), chunk, tid, n) {
+                    assert!(seen.insert(i), "chunk={chunk} duplicate {i}");
+                }
+            }
+            assert_eq!(seen.len(), range.len(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn static_chunks_are_round_robin() {
+        // chunk 2, 2 threads over 0..8: t0 gets 0,1,4,5; t1 gets 2,3,6,7.
+        let t0: Vec<usize> = static_chunks(0..8, 2, 0, 2).collect();
+        let t1: Vec<usize> = static_chunks(0..8, 2, 1, 2).collect();
+        assert_eq!(t0, vec![0, 1, 4, 5]);
+        assert_eq!(t1, vec![2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn guided_chunks_shrink_and_respect_min() {
+        let mut remaining = 1000usize;
+        let mut last = usize::MAX;
+        while remaining > 0 {
+            let c = guided_chunk(remaining, 4, 8);
+            assert!(c >= 1);
+            assert!(c <= remaining);
+            assert!(c <= last || c == 8.min(remaining), "non-increasing until min");
+            last = c;
+            remaining -= c;
+        }
+        assert_eq!(guided_chunk(0, 4, 8), 0);
+        assert_eq!(guided_chunk(3, 4, 8), 3, "tail smaller than min");
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        assert_eq!(static_block(&(5..5), 0, 4).len(), 0);
+        assert_eq!(static_chunks(5..5, 4, 1, 2).count(), 0);
+    }
+}

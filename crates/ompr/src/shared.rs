@@ -1,0 +1,120 @@
+//! Phase-partitioned shared vectors.
+//!
+//! HPC kernels mutate large shared arrays from many threads with
+//! *disjoint* index ownership inside a phase and barriers between phases —
+//! deterministic by construction, so no gates are needed (unlike
+//! [`crate::RacyCell`]). Rust cannot express the dynamic disjointness with
+//! `&mut` slices handed through a shared closure, so [`SharedVec`] stores
+//! `f64` bits in relaxed atomics: data-race-free at the language level,
+//! with the same per-element cost as a volatile array.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared `f64` vector for barrier-phased disjoint writes.
+#[derive(Debug, Default)]
+pub struct SharedVec {
+    bits: Vec<AtomicU64>,
+}
+
+impl SharedVec {
+    /// A vector of `len` elements initialized to `init`.
+    #[must_use]
+    pub fn new(len: usize, init: f64) -> Self {
+        SharedVec {
+            bits: (0..len).map(|_| AtomicU64::new(init.to_bits())).collect(),
+        }
+    }
+
+    /// Copy construction from a slice.
+    #[must_use]
+    pub fn from_slice(values: &[f64]) -> Self {
+        SharedVec {
+            bits: values.iter().map(|v| AtomicU64::new(v.to_bits())).collect(),
+        }
+    }
+
+    /// Element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Read element `i`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.bits[i].load(Ordering::Relaxed))
+    }
+
+    /// Write element `i` (caller guarantees phase-disjoint ownership).
+    #[inline]
+    pub fn set(&self, i: usize, v: f64) {
+        self.bits[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// `self[i] += v` as a load+store (owner-only within a phase).
+    #[inline]
+    pub fn add(&self, i: usize, v: f64) {
+        self.set(i, self.get(i) + v);
+    }
+
+    /// Snapshot to an owned `Vec` (sequential epilogue).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Overwrite from a slice (sequential prologue between phases).
+    pub fn copy_from(&self, values: &[f64]) {
+        assert_eq!(values.len(), self.len());
+        for (i, v) in values.iter().enumerate() {
+            self.set(i, *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = SharedVec::new(3, 1.5);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.get(2), 1.5);
+        v.set(1, -2.0);
+        v.add(1, 0.5);
+        assert_eq!(v.to_vec(), vec![1.5, -1.5, 1.5]);
+    }
+
+    #[test]
+    fn from_slice_and_copy_from() {
+        let v = SharedVec::from_slice(&[1.0, 2.0]);
+        assert_eq!(v.to_vec(), vec![1.0, 2.0]);
+        v.copy_from(&[3.0, 4.0]);
+        assert_eq!(v.to_vec(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn disjoint_parallel_writes_are_exact() {
+        let v = SharedVec::new(1000, 0.0);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let v = &v;
+                s.spawn(move || {
+                    for i in (t * 250)..((t + 1) * 250) {
+                        v.set(i, i as f64);
+                    }
+                });
+            }
+        });
+        assert!((0..1000).all(|i| v.get(i) == i as f64));
+    }
+}

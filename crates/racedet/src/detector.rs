@@ -1,0 +1,191 @@
+//! The [`Detector`]: an [`ompr::EventSink`] running FastTrack online.
+
+use crate::fasttrack::{Access, FastTrack};
+use crate::report::RaceReport;
+use ompr::events::{Event, EventSink};
+use parking_lot::Mutex;
+
+/// Online race detector. Attach to a runtime with
+/// [`ompr::Runtime::with_sink`] and run the application once in
+/// passthrough mode (toolflow step (1)); then collect the
+/// [`RaceReport`] with [`Detector::report`].
+///
+/// Events are analysed under a single mutex, which serializes them into a
+/// linearization consistent with the runtime's real synchronization — the
+/// same vantage point a TSan runtime has.
+#[derive(Debug)]
+pub struct Detector {
+    state: Mutex<FastTrack>,
+    events: std::sync::atomic::AtomicU64,
+}
+
+impl Detector {
+    /// Detector for a team of `nthreads`.
+    #[must_use]
+    pub fn new(nthreads: u32) -> Self {
+        Detector {
+            state: Mutex::new(FastTrack::new(nthreads)),
+            events: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot the report (races found so far).
+    #[must_use]
+    pub fn report(&self) -> RaceReport {
+        RaceReport {
+            races: self.state.lock().races().to_vec(),
+            events_analysed: self.events.load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+}
+
+impl EventSink for Detector {
+    fn event(&self, e: Event) {
+        self.events
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut ft = self.state.lock();
+        match e {
+            Event::Fork { parent, child } => ft.fork(parent, child),
+            Event::Join { parent, child } => ft.join(parent, child),
+            Event::Acquire { tid, lock } => ft.acquire(tid, lock),
+            Event::Release { tid, lock } => ft.release(tid, lock),
+            Event::Read { tid, addr, site } => ft.access(tid, addr, site, Access::Read),
+            Event::Write { tid, addr, site } => ft.access(tid, addr, site, Access::Write),
+            Event::BarrierArrive { tid, generation } => ft.barrier_arrive(tid, generation),
+            Event::BarrierDepart { tid, generation } => ft.barrier_depart(tid, generation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompr::{Critical, RacyCell, Runtime};
+    use reomp_core::Session;
+    use std::sync::Arc;
+
+    fn detect(nthreads: u32, body: impl Fn(&ompr::Worker) + Sync) -> RaceReport {
+        let detector = Arc::new(Detector::new(nthreads));
+        let session = Session::passthrough(nthreads);
+        let rt = Runtime::new(session).with_sink(detector.clone());
+        rt.parallel(body);
+        detector.report()
+    }
+
+    #[test]
+    fn detects_racy_cell_write_write() {
+        let cell = RacyCell::new("det:ww", 0u64);
+        let report = detect(4, |w| {
+            w.racy_store(&cell, u64::from(w.tid()));
+        });
+        assert!(report.racy_sites().contains(&cell.site()), "{report}");
+    }
+
+    #[test]
+    fn detects_load_store_race() {
+        let cell = RacyCell::new("det:rw", 0u64);
+        let report = detect(2, |w| {
+            if w.tid() == 0 {
+                for _ in 0..100 {
+                    let _ = w.racy_load(&cell);
+                }
+            } else {
+                for i in 0..100 {
+                    w.racy_store(&cell, i);
+                }
+            }
+        });
+        assert!(!report.is_clean());
+        assert!(report.racy_sites().contains(&cell.site()));
+    }
+
+    #[test]
+    fn critical_sections_are_race_free() {
+        let cs = Critical::new("det:cs");
+        let cell = RacyCell::new("det:guarded", 0u64);
+        let report = detect(4, |w| {
+            for _ in 0..20 {
+                w.critical(&cs, || {
+                    cell.raw_store(cell.raw_load() + 1);
+                });
+            }
+        });
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(cell.raw_load(), 80, "critical preserved the updates");
+    }
+
+    #[test]
+    fn atomic_regions_are_race_free() {
+        let sum = ompr::AtomicF64::new(0.0);
+        let site = reomp_core::SiteId::from_label("det:atomic");
+        let report = detect(4, |w| {
+            for _ in 0..20 {
+                w.atomic_add_f64(site, &sum, 1.0);
+            }
+        });
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn barrier_separated_phases_are_race_free() {
+        let cell = RacyCell::new("det:phase", 0u64);
+        let report = detect(3, |w| {
+            if w.tid() == 0 {
+                cell.raw_store(1);
+                // Emit the write event explicitly through the gate path.
+            }
+            w.barrier();
+            let _ = cell.raw_load();
+        });
+        // raw_ accesses bypass events; this checks the barrier machinery
+        // produces no spurious races.
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn racy_phases_without_barrier_detected_but_with_barrier_clean() {
+        // Same program twice: with and without a barrier between the
+        // producer's store and the consumers' loads.
+        let with_barrier = {
+            let cell = RacyCell::new("det:wb", 0u64);
+            detect(2, |w| {
+                if w.tid() == 0 {
+                    w.racy_store(&cell, 7);
+                }
+                w.barrier();
+                if w.tid() == 1 {
+                    let _ = w.racy_load(&cell);
+                }
+            })
+        };
+        assert!(with_barrier.is_clean(), "{with_barrier}");
+
+        let without_barrier = {
+            let cell = RacyCell::new("det:nb", 0u64);
+            detect(2, |w| {
+                if w.tid() == 0 {
+                    w.racy_store(&cell, 7);
+                }
+                if w.tid() == 1 {
+                    let _ = w.racy_load(&cell);
+                }
+            })
+        };
+        // The two accesses are unsynchronized; FastTrack must flag them
+        // (whichever order they occurred in).
+        assert!(!without_barrier.is_clean(), "{without_barrier}");
+    }
+
+    #[test]
+    fn plan_feeds_gate_plan() {
+        let cell = RacyCell::new("det:plan", 0u64);
+        let cs = Critical::new("det:plan-cs");
+        let report = detect(2, |w| {
+            w.racy_store(&cell, 1);
+            w.critical(&cs, || {});
+        });
+        let plan = crate::instrumentation_plan(&report, [cs.site()]);
+        assert!(plan.contains(&cell.site()));
+        assert!(plan.contains(&cs.site()));
+    }
+}

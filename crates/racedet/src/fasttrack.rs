@@ -1,0 +1,389 @@
+//! The FastTrack happens-before analysis (Flanagan & Freund, PLDI'09).
+//!
+//! Per-thread vector clocks `C_t`, per-lock clocks `L_m`, per-barrier
+//! clocks, and per-variable *last access* state that adaptively switches
+//! between a compressed epoch (single last reader/writer) and a full read
+//! vector when reads are shared — exactly the representation ThreadSanitizer
+//! v2 uses, which is the tool the paper invokes in toolflow step (1).
+
+use crate::report::{AccessSide, RaceInfo};
+use crate::vc::{Epoch, VectorClock};
+use reomp_core::SiteId;
+use std::collections::HashMap;
+
+/// The kind of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// A read.
+    Read,
+    /// A write.
+    Write,
+}
+
+/// Last-reads state of one variable.
+#[derive(Debug, Clone)]
+enum ReadState {
+    /// All reads so far are ordered: keep only the last (epoch + site).
+    Exclusive(Epoch, SiteId),
+    /// Concurrent readers exist: full vector of read clocks, plus the site
+    /// of each thread's last read (for reporting).
+    Shared(VectorClock, HashMap<u32, SiteId>),
+}
+
+/// Per-variable FastTrack state.
+#[derive(Debug, Clone)]
+struct VarState {
+    write: Epoch,
+    write_site: Option<SiteId>,
+    read: ReadState,
+}
+
+impl VarState {
+    fn new() -> Self {
+        VarState {
+            write: Epoch::BOTTOM,
+            write_site: None,
+            read: ReadState::Exclusive(Epoch::BOTTOM, SiteId(0)),
+        }
+    }
+}
+
+/// The analysis state machine. Not thread-safe by itself; the
+/// [`crate::Detector`] wraps it in a mutex and feeds it events in
+/// observation order.
+#[derive(Debug)]
+pub struct FastTrack {
+    threads: HashMap<u32, VectorClock>,
+    locks: HashMap<u64, VectorClock>,
+    barriers: HashMap<u64, VectorClock>,
+    vars: HashMap<u64, VarState>,
+    races: Vec<RaceInfo>,
+    nthreads: u32,
+}
+
+impl FastTrack {
+    /// Analysis for a team of `nthreads`.
+    #[must_use]
+    pub fn new(nthreads: u32) -> Self {
+        FastTrack {
+            threads: HashMap::new(),
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            vars: HashMap::new(),
+            races: Vec::new(),
+            nthreads,
+        }
+    }
+
+    fn thread_mut(&mut self, tid: u32) -> &mut VectorClock {
+        let n = self.nthreads;
+        self.threads.entry(tid).or_insert_with(|| {
+            let mut vc = VectorClock::new(n);
+            // Each thread starts with its own component at 1, so fresh
+            // epochs are distinguishable from BOTTOM.
+            vc.tick(tid);
+            vc
+        })
+    }
+
+    /// `parent` forks `child`: the child inherits the parent's knowledge.
+    pub fn fork(&mut self, parent: u32, child: u32) {
+        let parent_vc = self.thread_mut(parent).clone();
+        let child_vc = self.thread_mut(child);
+        child_vc.join(&parent_vc);
+        self.thread_mut(parent).tick(parent);
+    }
+
+    /// `parent` joins `child`: the parent learns everything the child did.
+    pub fn join(&mut self, parent: u32, child: u32) {
+        let child_vc = {
+            let vc = self.thread_mut(child);
+            vc.tick(child);
+            vc.clone()
+        };
+        self.thread_mut(parent).join(&child_vc);
+    }
+
+    /// Lock acquire: `C_t ⊔= L_m`.
+    pub fn acquire(&mut self, tid: u32, lock: u64) {
+        if let Some(l) = self.locks.get(&lock) {
+            let l = l.clone();
+            self.thread_mut(tid).join(&l);
+        } else {
+            // Ensure the thread state exists either way.
+            let _ = self.thread_mut(tid);
+        }
+    }
+
+    /// Lock release: `L_m := C_t; C_t.tick()`.
+    pub fn release(&mut self, tid: u32, lock: u64) {
+        let vc = self.thread_mut(tid).clone();
+        self.locks.insert(lock, vc);
+        self.thread_mut(tid).tick(tid);
+    }
+
+    /// Barrier arrival: publish this thread's knowledge into the episode.
+    pub fn barrier_arrive(&mut self, tid: u32, generation: u64) {
+        let vc = self.thread_mut(tid).clone();
+        self.barriers
+            .entry(generation)
+            .or_insert_with(|| VectorClock::new(self.nthreads))
+            .join(&vc);
+        self.thread_mut(tid).tick(tid);
+    }
+
+    /// Barrier departure: absorb every arriver's knowledge.
+    pub fn barrier_depart(&mut self, tid: u32, generation: u64) {
+        if let Some(b) = self.barriers.get(&generation) {
+            let b = b.clone();
+            self.thread_mut(tid).join(&b);
+        }
+    }
+
+    /// A read or write of variable `addr` at source `site` by `tid`.
+    pub fn access(&mut self, tid: u32, addr: u64, site: SiteId, access: Access) {
+        let vc = self.thread_mut(tid).clone();
+        let epoch = Epoch {
+            tid,
+            clock: vc.get(tid),
+        };
+        let state = self.vars.entry(addr).or_insert_with(VarState::new);
+        let mut found: Vec<RaceInfo> = Vec::new();
+
+        match access {
+            Access::Read => {
+                // write-read race?
+                if !state.write.le(&vc) {
+                    found.push(RaceInfo {
+                        addr,
+                        first_site: state.write_site.unwrap_or(SiteId(0)),
+                        first_side: AccessSide::Write,
+                        first_tid: state.write.tid,
+                        second_site: site,
+                        second_side: AccessSide::Read,
+                        second_tid: tid,
+                    });
+                }
+                match &mut state.read {
+                    ReadState::Exclusive(last, last_site) => {
+                        if last.is_bottom() || last.tid == tid || last.le(&vc) {
+                            *last = epoch;
+                            *last_site = site;
+                        } else {
+                            // Concurrent readers: inflate to a read vector.
+                            let mut rv = VectorClock::new(self.nthreads);
+                            rv.set(last.tid, last.clock);
+                            rv.set(tid, epoch.clock);
+                            let mut sites = HashMap::new();
+                            sites.insert(last.tid, *last_site);
+                            sites.insert(tid, site);
+                            state.read = ReadState::Shared(rv, sites);
+                        }
+                    }
+                    ReadState::Shared(rv, sites) => {
+                        rv.set(tid, epoch.clock);
+                        sites.insert(tid, site);
+                    }
+                }
+            }
+            Access::Write => {
+                // write-write race?
+                if !state.write.le(&vc) {
+                    found.push(RaceInfo {
+                        addr,
+                        first_site: state.write_site.unwrap_or(SiteId(0)),
+                        first_side: AccessSide::Write,
+                        first_tid: state.write.tid,
+                        second_site: site,
+                        second_side: AccessSide::Write,
+                        second_tid: tid,
+                    });
+                }
+                // read-write race?
+                match &state.read {
+                    ReadState::Exclusive(last, last_site) => {
+                        if !last.is_bottom() && !last.le(&vc) {
+                            found.push(RaceInfo {
+                                addr,
+                                first_site: *last_site,
+                                first_side: AccessSide::Read,
+                                first_tid: last.tid,
+                                second_site: site,
+                                second_side: AccessSide::Write,
+                                second_tid: tid,
+                            });
+                        }
+                    }
+                    ReadState::Shared(rv, sites) => {
+                        if !rv.le(&vc) {
+                            // Report against one concurrent reader (TSan
+                            // reports a pair too).
+                            let offender = sites
+                                .iter()
+                                .find(|(t, _)| rv.get(**t) > vc.get(**t))
+                                .map(|(t, s)| (*t, *s));
+                            if let Some((t, s)) = offender {
+                                found.push(RaceInfo {
+                                    addr,
+                                    first_site: s,
+                                    first_side: AccessSide::Read,
+                                    first_tid: t,
+                                    second_site: site,
+                                    second_side: AccessSide::Write,
+                                    second_tid: tid,
+                                });
+                            }
+                        }
+                    }
+                }
+                state.write = epoch;
+                state.write_site = Some(site);
+                // FastTrack resets the read state on a same-thread write
+                // only conceptually; keeping it is sound (may re-report).
+            }
+        }
+        self.races.extend(found);
+    }
+
+    /// All races found so far.
+    #[must_use]
+    pub fn races(&self) -> &[RaceInfo] {
+        &self.races
+    }
+
+    /// Drain the collected races.
+    pub fn take_races(&mut self) -> Vec<RaceInfo> {
+        std::mem::take(&mut self.races)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: u64 = 100;
+    const SA: SiteId = SiteId(0xa);
+    const SB: SiteId = SiteId(0xb);
+    const LOCK: u64 = 7;
+
+    fn forked(n: u32) -> FastTrack {
+        let mut ft = FastTrack::new(n);
+        for t in 0..n {
+            ft.fork(ompr::events::MAIN_TID, t);
+        }
+        ft
+    }
+
+    #[test]
+    fn unsynchronized_write_write_races() {
+        let mut ft = forked(2);
+        ft.access(0, X, SA, Access::Write);
+        ft.access(1, X, SB, Access::Write);
+        assert_eq!(ft.races().len(), 1);
+        let r = &ft.races()[0];
+        assert_eq!(r.first_site, SA);
+        assert_eq!(r.second_site, SB);
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let mut ft = forked(3);
+        ft.access(0, X, SA, Access::Read);
+        ft.access(1, X, SA, Access::Read);
+        ft.access(2, X, SA, Access::Read);
+        assert!(ft.races().is_empty());
+    }
+
+    #[test]
+    fn write_then_concurrent_read_races() {
+        let mut ft = forked(2);
+        ft.access(0, X, SA, Access::Write);
+        ft.access(1, X, SB, Access::Read);
+        assert_eq!(ft.races().len(), 1);
+        assert_eq!(ft.races()[0].second_side, AccessSide::Read);
+    }
+
+    #[test]
+    fn shared_read_then_write_races() {
+        let mut ft = forked(3);
+        ft.access(0, X, SA, Access::Read);
+        ft.access(1, X, SA, Access::Read); // inflates to read vector
+        ft.access(2, X, SB, Access::Write);
+        assert!(
+            ft.races()
+                .iter()
+                .any(|r| r.first_side == AccessSide::Read
+                    && r.second_side == AccessSide::Write),
+            "{:?}",
+            ft.races()
+        );
+    }
+
+    #[test]
+    fn lock_discipline_prevents_races() {
+        let mut ft = forked(2);
+        ft.acquire(0, LOCK);
+        ft.access(0, X, SA, Access::Write);
+        ft.release(0, LOCK);
+        ft.acquire(1, LOCK);
+        ft.access(1, X, SB, Access::Write);
+        ft.release(1, LOCK);
+        assert!(ft.races().is_empty(), "{:?}", ft.races());
+    }
+
+    #[test]
+    fn lock_must_be_the_same_to_synchronize() {
+        let mut ft = forked(2);
+        ft.acquire(0, LOCK);
+        ft.access(0, X, SA, Access::Write);
+        ft.release(0, LOCK);
+        ft.acquire(1, LOCK + 1); // different lock!
+        ft.access(1, X, SB, Access::Write);
+        ft.release(1, LOCK + 1);
+        assert_eq!(ft.races().len(), 1);
+    }
+
+    #[test]
+    fn fork_join_orders_accesses() {
+        let mut ft = FastTrack::new(2);
+        let main = ompr::events::MAIN_TID;
+        ft.fork(main, 0);
+        ft.access(0, X, SA, Access::Write);
+        ft.join(main, 0);
+        // Second region: thread 1 forked after joining thread 0.
+        ft.fork(main, 1);
+        ft.access(1, X, SB, Access::Write);
+        assert!(ft.races().is_empty(), "{:?}", ft.races());
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let mut ft = forked(2);
+        ft.access(0, X, SA, Access::Write);
+        ft.barrier_arrive(0, 0);
+        ft.barrier_arrive(1, 0);
+        ft.barrier_depart(0, 0);
+        ft.barrier_depart(1, 0);
+        ft.access(1, X, SB, Access::Write);
+        assert!(ft.races().is_empty(), "{:?}", ft.races());
+    }
+
+    #[test]
+    fn missing_barrier_races_across_phases() {
+        let mut ft = forked(2);
+        ft.access(0, X, SA, Access::Write);
+        // No barrier here.
+        ft.access(1, X, SB, Access::Write);
+        assert_eq!(ft.races().len(), 1);
+    }
+
+    #[test]
+    fn same_thread_sequences_never_race() {
+        let mut ft = forked(1);
+        for _ in 0..10 {
+            ft.access(0, X, SA, Access::Write);
+            ft.access(0, X, SA, Access::Read);
+        }
+        assert!(ft.races().is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Vector clocks over team threads (plus the forking master context).
+
+use ompr::events::MAIN_TID;
+use std::fmt;
+
+/// A vector clock with one component per team thread and one for the
+/// master/forking context.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VectorClock {
+    slots: Vec<u64>,
+}
+
+/// Map a thread ID to its clock slot (master context gets slot 0).
+#[inline]
+#[must_use]
+pub fn slot_of(tid: u32) -> usize {
+    if tid == MAIN_TID {
+        0
+    } else {
+        tid as usize + 1
+    }
+}
+
+impl VectorClock {
+    /// Zero clock for a team of `nthreads` (capacity includes the master).
+    #[must_use]
+    pub fn new(nthreads: u32) -> Self {
+        VectorClock {
+            slots: vec![0; nthreads as usize + 1],
+        }
+    }
+
+    /// Component for thread `tid`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, tid: u32) -> u64 {
+        self.slots.get(slot_of(tid)).copied().unwrap_or(0)
+    }
+
+    /// Set the component for thread `tid`.
+    pub fn set(&mut self, tid: u32, value: u64) {
+        let slot = slot_of(tid);
+        if slot >= self.slots.len() {
+            self.slots.resize(slot + 1, 0);
+        }
+        self.slots[slot] = value;
+    }
+
+    /// Increment this thread's own component (a release step).
+    pub fn tick(&mut self, tid: u32) {
+        let v = self.get(tid);
+        self.set(tid, v + 1);
+    }
+
+    /// Pointwise maximum: `self ⊔= other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether `self ⪯ other` pointwise (`self` happens-before-or-equals).
+    #[must_use]
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.slots.iter().enumerate().all(|(i, &v)| {
+            v <= other.slots.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A FastTrack *epoch*: one (thread, clock) pair — the compressed
+/// representation of "last access" when a single thread dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// Owning thread.
+    pub tid: u32,
+    /// That thread's clock at the access.
+    pub clock: u64,
+}
+
+impl Epoch {
+    /// The bottom epoch (before any access).
+    pub const BOTTOM: Epoch = Epoch { tid: 0, clock: 0 };
+
+    /// Whether the access at this epoch happens-before the thread state
+    /// `vc` (`e ⪯ vc` in FastTrack notation).
+    #[inline]
+    #[must_use]
+    pub fn le(self, vc: &VectorClock) -> bool {
+        self.clock <= vc.get(self.tid)
+    }
+
+    /// Whether this is the bottom epoch.
+    #[inline]
+    #[must_use]
+    pub fn is_bottom(self) -> bool {
+        self.clock == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut vc = VectorClock::new(2);
+        assert_eq!(vc.get(1), 0);
+        vc.tick(1);
+        vc.tick(1);
+        assert_eq!(vc.get(1), 2);
+        assert_eq!(vc.get(0), 0);
+    }
+
+    #[test]
+    fn main_tid_uses_slot_zero() {
+        let mut vc = VectorClock::new(2);
+        vc.tick(MAIN_TID);
+        assert_eq!(vc.get(MAIN_TID), 1);
+        assert_eq!(vc.get(0), 0, "team thread 0 is a different slot");
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.set(0, 5);
+        b.set(0, 3);
+        b.set(1, 7);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 7);
+    }
+
+    #[test]
+    fn le_is_partial_order() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        assert!(a.le(&b) && b.le(&a), "zero clocks are equal");
+        a.set(0, 1);
+        b.set(1, 1);
+        assert!(!a.le(&b), "concurrent");
+        assert!(!b.le(&a), "concurrent");
+        b.join(&a);
+        assert!(a.le(&b));
+    }
+
+    #[test]
+    fn join_grows_capacity() {
+        let mut a = VectorClock::new(1);
+        let mut b = VectorClock::new(4);
+        b.set(3, 9);
+        a.join(&b);
+        assert_eq!(a.get(3), 9);
+    }
+
+    #[test]
+    fn epoch_le_checks_only_owner_component() {
+        let mut vc = VectorClock::new(2);
+        vc.set(1, 4);
+        assert!(Epoch { tid: 1, clock: 4 }.le(&vc));
+        assert!(Epoch { tid: 1, clock: 3 }.le(&vc));
+        assert!(!Epoch { tid: 1, clock: 5 }.le(&vc));
+        assert!(Epoch::BOTTOM.le(&vc));
+        assert!(Epoch::BOTTOM.is_bottom());
+    }
+}

@@ -1,0 +1,15 @@
+//! Fig. 9 of the paper: `omp_reduction` under all scheme/mode combinations.
+
+use reomp_bench::synth;
+use reomp_bench::{bench_scale, bench_threads, print_figure_header, print_figure_row, sweep_modes};
+
+fn main() {
+    let n = synth::default_iters("omp_reduction") * bench_scale();
+    print_figure_header("Fig. 9", "omp_reduction execution time vs threads (paper: overhead negligible for all schemes)");
+    for t in bench_threads() {
+        let times = sweep_modes(t, |session| {
+            let _ = synth::omp_reduction(session, n);
+        });
+        print_figure_row(t, &times);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fig. 10 of the paper: `omp_critical` under all scheme/mode combinations.
+
+use reomp_bench::synth;
+use reomp_bench::{bench_scale, bench_threads, print_figure_header, print_figure_row, sweep_modes};
+
+fn main() {
+    let n = synth::default_iters("omp_critical") * bench_scale();
+    print_figure_header("Fig. 10", "omp_critical execution time vs threads (paper: ST replay slowest; DC~DE)");
+    for t in bench_threads() {
+        let times = sweep_modes(t, |session| {
+            let _ = synth::omp_critical(session, n);
+        });
+        print_figure_row(t, &times);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fig. 12 of the paper: `data_race` under all scheme/mode combinations.
+
+use reomp_bench::synth;
+use reomp_bench::{bench_scale, bench_threads, print_figure_header, print_figure_row, sweep_modes};
+
+fn main() {
+    let n = synth::default_iters("data_race") * bench_scale();
+    print_figure_header("Fig. 12", "data_race execution time vs threads (paper: largest overheads; DE replay fastest)");
+    for t in bench_threads() {
+        let times = sweep_modes(t, |session| {
+            let _ = synth::data_race(session, n);
+        });
+        print_figure_row(t, &times);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fig. 15 of the paper: miniFE execution time vs threads, all scheme/mode combinations.
+
+use miniapps::App;
+use ompr::Runtime;
+use reomp_bench::{bench_scale, bench_threads, print_figure_header, print_figure_row, sweep_modes};
+
+fn main() {
+    let scale = bench_scale();
+    print_figure_header("Fig. 15", "miniFE execution time vs threads");
+    for t in bench_threads() {
+        let times = sweep_modes(t, |session| {
+            let rt = Runtime::new(std::sync::Arc::clone(session));
+            let _ = App::MiniFe.run_scaled(&rt, scale);
+        });
+        print_figure_row(t, &times);
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 19 of the paper: MPI+OpenMP HPCCG with ReMPI+ReOMP — execution
+//! time versus the total worker count, for `w/o`, `DE record`, `DE replay`.
+//! See `fig18_hybrid_hacc.rs` for the sweep conventions.
+
+use miniapps::hpccg;
+use reomp_bench::{bench_scale, time_min};
+use reomp_core::Scheme;
+
+fn rank_thread_pairs() -> Vec<(u32, u32)> {
+    if let Ok(list) = std::env::var("REOMP_BENCH_RANKS") {
+        let parsed: Vec<(u32, u32)> = list
+            .split(',')
+            .filter_map(|s| {
+                let (r, t) = s.trim().split_once('x')?;
+                Some((r.parse().ok()?, t.parse().ok()?))
+            })
+            .collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    vec![(1, 2), (2, 2), (2, 4), (4, 2), (4, 4)]
+}
+
+fn main() {
+    let scale = bench_scale();
+    println!("\n=== Fig. 19: OpenMP+MPI HPCCG with ReMPI+ReOMP (DE) ===");
+    println!(
+        "{:>6} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "ranks", "threads", "total", "w/o (s)", "DE rec (s)", "DE rep (s)"
+    );
+    for (ranks, threads) in rank_thread_pairs() {
+        let cfg = hpccg::HybridConfig {
+            base: hpccg::Config::scaled(scale),
+            ranks,
+            threads,
+            scheme: Scheme::De,
+        };
+        let t_off = time_min(|| {
+            let _ = hpccg::run_hybrid_passthrough(&cfg);
+        });
+        let t0 = std::time::Instant::now();
+        let (out_rec, traces) = hpccg::run_hybrid_record(&cfg);
+        let t_rec = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let out_rep = hpccg::run_hybrid_replay(&cfg, traces);
+        let t_rep = t0.elapsed();
+        assert_eq!(out_rep, out_rec, "hybrid replay must reproduce the run");
+        println!(
+            "{:>6} {:>8} {:>8} {:>12.6} {:>12.6} {:>12.6}",
+            ranks,
+            threads,
+            ranks * threads,
+            t_off.as_secs_f64(),
+            t_rec.as_secs_f64(),
+            t_rep.as_secs_f64()
+        );
+    }
+    println!("\nExpected shape: record/replay overhead small and stable as ranks grow.");
+}

@@ -1,0 +1,69 @@
+//! Fig. 20 of the paper: the number of occurrences of each epoch size in
+//! the five applications' DE traces, plus the §VI-B epochs>1 percentages
+//! (paper at 112 threads: AMG 10.6 %, QuickSilver 4 %, miniFE 27.5 %,
+//! HACC 85 %, HPCCG 57 %).
+//!
+//! Epoch grouping follows the paper-literal per-address Condition 1
+//! (`EpochPolicy::PerAddress`); the conservative contiguous policy is
+//! reported alongside as the ablation.
+
+use miniapps::App;
+use ompr::Runtime;
+use reomp_bench::{bench_scale, bench_threads, config_with_policy};
+use reomp_core::{EpochHistogram, EpochPolicy, Scheme, Session};
+
+fn histogram(app: App, threads: u32, scale: usize, policy: EpochPolicy) -> EpochHistogram {
+    let session = Session::record_with(Scheme::De, threads, config_with_policy(policy));
+    let rt = Runtime::new(session.clone());
+    let _ = app.run_scaled(&rt, scale);
+    session
+        .finish()
+        .expect("record finish")
+        .epoch_histogram()
+        .expect("record mode has a bundle")
+}
+
+fn main() {
+    let threads = bench_threads().into_iter().max().unwrap_or(4);
+    let scale = bench_scale();
+    println!("\n=== Fig. 20: occurrences of each epoch size (DE record, {threads} threads) ===");
+
+    for app in App::ALL {
+        let hist = histogram(app, threads, scale, EpochPolicy::PerAddress);
+        println!("\n--- {} (per-address policy, paper-literal) ---", app.name());
+        print!("  sizes:");
+        for (size, n) in hist.counts.iter().take(12) {
+            print!(" {size}:{n}");
+        }
+        if hist.counts.len() > 12 {
+            print!(" …(max size {})", hist.max_size());
+        }
+        println!();
+        println!(
+            "  epochs>1: {:.1}% of epochs, {:.1}% of accesses (paper @112T: {})",
+            hist.frac_gt1() * 100.0,
+            hist.frac_accesses_gt1() * 100.0,
+            paper_pct(app)
+        );
+        let contiguous = histogram(app, threads, scale, EpochPolicy::Contiguous);
+        println!(
+            "  contiguous-policy ablation: {:.1}% of epochs, {:.1}% of accesses",
+            contiguous.frac_gt1() * 100.0,
+            contiguous.frac_accesses_gt1() * 100.0,
+        );
+    }
+    println!(
+        "\nExpected shape: HACC ≫ HPCCG > miniFE > AMG > QuickSilver in sharing;\n\
+         QuickSilver near zero (atomic tallies cannot share epochs)."
+    );
+}
+
+fn paper_pct(app: App) -> &'static str {
+    match app {
+        App::Amg => "10.6%",
+        App::QuickSilver => "4%",
+        App::MiniFe => "27.5%",
+        App::Hacc => "85%",
+        App::Hpccg => "57%",
+    }
+}

@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks of the building blocks: single-gate record
+//! cost per scheme, epoch-tracker throughput, trace codec, and turnstile
+//! operations. These quantify the constant factors behind the figure-level
+//! results.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use reomp_core::codec;
+use reomp_core::epoch::{EpochPolicy, EpochTracker};
+use reomp_core::{AccessKind, Scheme, Session, SiteId};
+use std::hint::black_box;
+
+fn bench_gate_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_record_single_thread");
+    let site = SiteId::from_label("micro:gate");
+    for scheme in Scheme::ALL {
+        group.bench_function(scheme.name(), |b| {
+            b.iter_batched(
+                || Session::record(scheme, 1),
+                |session| {
+                    let ctx = session.register_thread(0);
+                    for _ in 0..100 {
+                        ctx.gate(site, AccessKind::Store, || black_box(()));
+                    }
+                    drop(ctx);
+                    session.finish().unwrap()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_tracker_observe");
+    for policy in [EpochPolicy::Contiguous, EpochPolicy::PerAddress] {
+        group.bench_function(policy.name(), |b| {
+            b.iter_batched(
+                || EpochTracker::new(policy, 64),
+                |mut tracker| {
+                    for clock in 0..1_000u64 {
+                        let addr = clock % 7;
+                        let kind = if clock % 3 == 0 {
+                            AccessKind::Store
+                        } else {
+                            AccessKind::Load
+                        };
+                        black_box(tracker.observe(
+                            (clock % 4) as u32,
+                            SiteId(addr + 1),
+                            addr,
+                            kind,
+                            clock,
+                        ));
+                    }
+                    tracker.flush()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let values: Vec<u64> = (0..10_000u64).map(|i| i * 3 / 2).collect();
+    let trace = reomp_core::trace::ThreadTrace {
+        values,
+        sites: None,
+        kinds: None,
+    };
+    c.bench_function("codec_encode_10k_values", |b| {
+        b.iter(|| black_box(codec::encode_thread_trace(&trace, Scheme::Dc, 0)));
+    });
+    let bytes = codec::encode_thread_trace(&trace, Scheme::Dc, 0);
+    c.bench_function("codec_decode_10k_values", |b| {
+        b.iter(|| black_box(codec::decode_thread_trace(&bytes).unwrap()));
+    });
+}
+
+fn bench_turnstile(c: &mut Criterion) {
+    c.bench_function("turnstile_uncontended_advance", |b| {
+        let t = reomp_core::clock::Turnstile::new();
+        let stats = reomp_core::stats::Stats::new();
+        b.iter(|| black_box(t.advance(&stats)));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gate_record, bench_epoch_tracker, bench_codec, bench_turnstile
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Table VI of the paper: which operations are serialized (S) versus
+//! parallelized/overlapped (P/O) in ST, DC, and DE recording — verified
+//! empirically from session statistics rather than asserted.
+//!
+//! ```text
+//!                                        ST   DC   DE
+//! Getting thread ID or clock             S    S    S
+//! I/O for record-and-replay              S    P/O  P/O
+//! Consecutive load and store instrs      S    S    P/O
+//! ```
+
+use reomp_bench::synth::data_race;
+use reomp_core::{EpochHistogram, Scheme, Session};
+
+fn main() {
+    println!("\n=== Table VI: serialized (S) vs parallel/overlapped (P/O) operations ===");
+    println!(
+        "{:<44} {:>5} {:>5} {:>5}",
+        "operation", "ST", "DC", "DE"
+    );
+
+    let n = 400;
+    let threads = 4;
+    let mut row_lock = Vec::new(); // lock acquisitions == gates → serialized
+    let mut row_files = Vec::new(); // 1 shared stream vs per-thread streams
+    let mut row_shared = Vec::new(); // any epoch with >1 member?
+
+    for scheme in Scheme::ALL {
+        let session = Session::record(scheme, threads);
+        let _ = data_race(&session, n);
+        let report = session.finish().expect("finish");
+        let stats = report.stats;
+        row_lock.push(stats.lock_acquires >= stats.gates);
+        let bundle = report.bundle.expect("bundle");
+        row_files.push(bundle.st.is_some());
+        let hist = EpochHistogram::from_bundle(&bundle);
+        row_shared.push(hist.epochs_gt1() > 0);
+    }
+
+    let s_po = |serialized: bool| if serialized { "S" } else { "P/O" };
+    println!(
+        "{:<44} {:>5} {:>5} {:>5}",
+        "Getting thread ID or clock",
+        s_po(row_lock[0]),
+        s_po(row_lock[1]),
+        s_po(row_lock[2])
+    );
+    println!(
+        "{:<44} {:>5} {:>5} {:>5}",
+        "I/O for record-and-replay (shared stream?)",
+        s_po(row_files[0]),
+        s_po(row_files[1]),
+        s_po(row_files[2])
+    );
+    println!(
+        "{:<44} {:>5} {:>5} {:>5}",
+        "Consecutive load/store instructions",
+        s_po(!row_shared[0]),
+        s_po(!row_shared[1]),
+        s_po(!row_shared[2])
+    );
+    println!(
+        "\nMeasured: gate-lock acquisitions equal gate count in every scheme (row 1 = S);\n\
+         ST writes one shared stream while DC/DE write per-thread streams (row 2);\n\
+         only DE traces contain epochs with more than one member (row 3)."
+    );
+}

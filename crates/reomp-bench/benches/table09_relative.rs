@@ -1,0 +1,35 @@
+//! Table IX of the paper: relative execution times of ST/DC/DE record and
+//! replay versus the run without ReOMP, at the maximum thread count.
+//!
+//! Paper values at 112 threads for reference:
+//! ```text
+//!                 ST rec  ST rep  DC rec  DC rep  DE rec  DE rep
+//! omp_reduction     1.23    1.37    1.20    1.03    1.37    1.05
+//! omp_critical      1.49    3.55    1.41    1.95    1.34    1.93
+//! omp_atomic       30.54   66.34   20.15   40.56   21.51   35.40
+//! data_race        82.46  241.82   65.86   98.31   59.57   73.05
+//! ```
+
+use reomp_bench::synth::{default_iters, SYNTH_BENCHES};
+use reomp_bench::{bench_scale, bench_threads, print_relative_row, sweep_modes, MODE_COLUMNS};
+
+fn main() {
+    let t = bench_threads().into_iter().max().unwrap_or(4);
+    println!("\n=== Table IX: relative execution times vs `w/o ReOMP` at {t} threads ===");
+    print!("{:>14}", "benchmark");
+    for col in &MODE_COLUMNS[1..] {
+        print!(" {col:>10}");
+    }
+    println!();
+    for (name, bench) in SYNTH_BENCHES {
+        let n = default_iters(name) * bench_scale();
+        let times = sweep_modes(t, |session| {
+            let _ = bench(session, n);
+        });
+        print_relative_row(name, &times);
+    }
+    println!(
+        "\nExpected shape: reduction ≈ 1 everywhere; critical/atomic/data_race pay large\n\
+         record+replay overheads; ST replay worst; DE replay fastest on data_race."
+    );
+}

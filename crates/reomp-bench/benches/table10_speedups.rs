@@ -1,0 +1,47 @@
+//! Table X of the paper: factors of performance improvement of DC and DE
+//! recording over ST recording at the maximum thread count, for the five
+//! applications.
+//!
+//! Paper values at 112 threads for reference:
+//! ```text
+//!               DC rec  DE rec  DC rep  DE rep
+//! AMG             0.97    0.95    3.32    4.49
+//! QuickSilver     1.05    1.02    1.93    2.06
+//! miniFE          1.11    1.15    2.87    3.58
+//! HACC            1.20    1.29    4.01    5.61
+//! HPCCG           0.97    0.90    1.91    3.37
+//! ```
+
+use miniapps::App;
+use ompr::Runtime;
+use reomp_bench::{bench_scale, bench_threads, sweep_modes};
+
+fn main() {
+    let t = bench_threads().into_iter().max().unwrap_or(4);
+    let scale = bench_scale();
+    println!("\n=== Table X: DC/DE improvement factors over ST at {t} threads ===");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>10}",
+        "app", "DC record", "DE record", "DC replay", "DE replay"
+    );
+    for app in App::ALL {
+        let times = sweep_modes(t, |session| {
+            let rt = Runtime::new(std::sync::Arc::clone(session));
+            let _ = app.run_scaled(&rt, scale);
+        });
+        // times: [off, st_rec, st_rep, dc_rec, dc_rep, de_rec, de_rep]
+        let f = |num: usize, den: usize| times[num].as_secs_f64() / times[den].as_secs_f64().max(1e-12);
+        println!(
+            "{:>14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            app.name(),
+            f(1, 3), // ST record / DC record
+            f(1, 5), // ST record / DE record
+            f(2, 4), // ST replay / DC replay
+            f(2, 6), // ST replay / DE replay
+        );
+    }
+    println!(
+        "\nExpected shape: record factors ≈ 1 (all schemes serialize recording);\n\
+         replay factors > 1 with DE ≥ DC, largest for HACC, smallest for QuickSilver."
+    );
+}

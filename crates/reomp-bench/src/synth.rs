@@ -1,0 +1,146 @@
+//! The synthetic benchmarks of Fig. 8 (paper §VI-A, Table VIII).
+//!
+//! The template is
+//!
+//! ```c
+//! #pragma omp parallel for private(i) <X>
+//! for (i = 0; i < N; i++) { <Y> sum += 1; }
+//! ```
+//!
+//! instantiated four ways: `omp_reduction` (`<X> = reduction(+:sum)`),
+//! `omp_critical`, `omp_atomic`, and `data_race` (bare racy update). The
+//! racy `sum += 1` is modelled as it compiles — a gated load followed by a
+//! gated store.
+
+use ompr::{Critical, RacyCell, Reduction, Runtime};
+use reomp_core::{Session, SiteId};
+use std::sync::Arc;
+
+/// `omp_reduction`: thread-local partials, one gated combine per thread.
+/// Returns the final sum.
+pub fn omp_reduction(session: &Arc<Session>, n: usize) -> f64 {
+    let rt = Runtime::new(Arc::clone(session));
+    let red = Reduction::sum_f64("fig8:reduction:sum");
+    rt.parallel(|w| {
+        let mut local = 0.0f64;
+        w.for_static(0..n, |_i| local += 1.0);
+        w.reduce(&red, local);
+    });
+    red.load()
+}
+
+/// `omp_critical`: every increment inside a named critical section.
+pub fn omp_critical(session: &Arc<Session>, n: usize) -> f64 {
+    let rt = Runtime::new(Arc::clone(session));
+    let cs = Critical::new("fig8:critical");
+    let sum = RacyCell::new("fig8:critical:sum", 0.0f64);
+    rt.parallel(|w| {
+        w.for_static(0..n, |_i| {
+            w.critical(&cs, || sum.raw_store(sum.raw_load() + 1.0));
+        });
+    });
+    sum.raw_load()
+}
+
+/// `omp_atomic`: every increment is a gated atomic RMW.
+pub fn omp_atomic(session: &Arc<Session>, n: usize) -> f64 {
+    let rt = Runtime::new(Arc::clone(session));
+    let sum = ompr::AtomicF64::new(0.0);
+    let site = SiteId::from_label("fig8:atomic:sum");
+    rt.parallel(|w| {
+        w.for_static(0..n, |_i| {
+            w.atomic_add_f64(site, &sum, 1.0);
+        });
+    });
+    sum.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// `data_race`: bare `sum += 1` — a gated load plus a gated store, updates
+/// may be lost (that is the point: the interleaving is what gets recorded).
+pub fn data_race(session: &Arc<Session>, n: usize) -> f64 {
+    let rt = Runtime::new(Arc::clone(session));
+    let sum = RacyCell::new("fig8:race:sum", 0.0f64);
+    rt.parallel(|w| {
+        w.for_static(0..n, |_i| {
+            w.racy_update(&sum, |v| v + 1.0);
+        });
+    });
+    sum.raw_load()
+}
+
+/// A synthetic benchmark entry point.
+pub type SynthFn = fn(&Arc<Session>, usize) -> f64;
+
+/// The four benchmarks with their paper names.
+pub const SYNTH_BENCHES: [(&str, SynthFn); 4] = [
+    ("omp_reduction", omp_reduction),
+    ("omp_critical", omp_critical),
+    ("omp_atomic", omp_atomic),
+    ("data_race", data_race),
+];
+
+/// Default per-figure iteration count at scale 1.
+#[must_use]
+pub fn default_iters(bench: &str) -> usize {
+    // The gated constructs cost ~µs each under record/replay; keep the
+    // loop sizes proportionate so each sweep cell stays sub-second.
+    match bench {
+        "omp_reduction" => 400_000, // gates: one per thread
+        "omp_critical" => 8_000,
+        "omp_atomic" => 8_000,
+        "data_race" => 6_000,
+        _ => 4_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reomp_core::Scheme;
+
+    #[test]
+    fn reduction_sums_exactly() {
+        let session = Session::passthrough(4);
+        assert_eq!(omp_reduction(&session, 1000), 1000.0);
+        session.finish().unwrap();
+    }
+
+    #[test]
+    fn critical_and_atomic_lose_nothing() {
+        let session = Session::passthrough(4);
+        assert_eq!(omp_critical(&session, 400), 400.0);
+        session.finish().unwrap();
+        let session = Session::passthrough(4);
+        assert_eq!(omp_atomic(&session, 400), 400.0);
+        session.finish().unwrap();
+    }
+
+    #[test]
+    fn data_race_may_lose_but_replays_exactly() {
+        let session = Session::record(Scheme::De, 4);
+        let recorded = data_race(&session, 200);
+        assert!(recorded <= 800.0);
+        let bundle = session.finish().unwrap().bundle.unwrap();
+        let session = Session::replay(bundle).unwrap();
+        let replayed = data_race(&session, 200);
+        assert_eq!(session.finish().unwrap().failure, None);
+        assert_eq!(replayed, recorded);
+    }
+
+    #[test]
+    fn all_benches_run_under_every_scheme() {
+        for (name, bench) in SYNTH_BENCHES {
+            for scheme in Scheme::ALL {
+                let session = Session::record(scheme, 2);
+                let v = bench(&session, 64);
+                assert!(v > 0.0, "{name} under {scheme:?}");
+                let bundle = session.finish().unwrap().bundle.unwrap();
+                let session = Session::replay(bundle).unwrap();
+                let r = bench(&session, 64);
+                let report = session.finish().unwrap();
+                assert_eq!(report.failure, None, "{name} under {scheme:?}");
+                assert_eq!(r, v, "{name} under {scheme:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Post-hoc trace analysis: summaries, global interleavings, ASCII
+//! timelines, and trace *diffing*.
+//!
+//! Record-and-replay earns its keep during debugging, and debugging needs
+//! to *look at* traces: which thread did what when, and — when a replay
+//! diverges or two recordings differ — where exactly the first difference
+//! sits. The `reomp-inspect` binary in the workspace root wraps this
+//! module for the command line.
+
+use crate::session::Scheme;
+use crate::site::{AccessKind, SiteId};
+use crate::trace::TraceBundle;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One access in a reconstructed global order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// Recorded value (clock for DC, epoch for DE, sequence index for ST).
+    pub value: u64,
+    /// Executing thread.
+    pub thread: u32,
+    /// Site, when the trace carries validation columns.
+    pub site: Option<SiteId>,
+    /// Kind, when the trace carries validation columns.
+    pub kind: Option<AccessKind>,
+}
+
+/// Reconstruct the global access order of a bundle.
+///
+/// * ST: the shared stream *is* the order.
+/// * DC: clocks are a total order.
+/// * DE: epochs are a partial order; entries sharing a value were
+///   concurrent in replay (ties are broken by thread ID for determinism).
+#[must_use]
+pub fn timeline(bundle: &TraceBundle) -> Vec<TimelineEntry> {
+    let mut out = Vec::with_capacity(bundle.total_records() as usize);
+    if let Some(st) = &bundle.st {
+        for (i, &tid) in st.tids.iter().enumerate() {
+            out.push(TimelineEntry {
+                value: i as u64,
+                thread: tid,
+                site: st.sites.as_ref().map(|s| SiteId(s[i])),
+                kind: st
+                    .kinds
+                    .as_ref()
+                    .and_then(|k| AccessKind::from_code(k[i])),
+            });
+        }
+        return out;
+    }
+    for (tid, t) in bundle.threads.iter().enumerate() {
+        for i in 0..t.len() {
+            out.push(TimelineEntry {
+                value: t.values[i],
+                thread: tid as u32,
+                site: t.site_at(i),
+                kind: t.kind_at(i),
+            });
+        }
+    }
+    out.sort_by_key(|e| (e.value, e.thread));
+    out
+}
+
+/// Aggregate facts about one bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Recording scheme.
+    pub scheme: Scheme,
+    /// Thread count.
+    pub nthreads: u32,
+    /// Records per thread (ST: per-thread share of the shared stream).
+    pub per_thread: Vec<u64>,
+    /// Access counts per kind (only when the trace carries kinds).
+    pub kinds: BTreeMap<&'static str, u64>,
+    /// Distinct sites touched (only when the trace carries sites).
+    pub distinct_sites: Option<u64>,
+}
+
+impl TraceSummary {
+    /// Total records.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.per_thread.iter().sum()
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scheme {} · {} threads · {} records",
+            self.scheme.name(),
+            self.nthreads,
+            self.total()
+        )?;
+        for (tid, n) in self.per_thread.iter().enumerate() {
+            writeln!(f, "  thread {tid}: {n} records")?;
+        }
+        if let Some(sites) = self.distinct_sites {
+            writeln!(f, "  distinct sites: {sites}")?;
+        }
+        for (kind, n) in &self.kinds {
+            writeln!(f, "  {kind}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summarize a bundle.
+#[must_use]
+pub fn summarize(bundle: &TraceBundle) -> TraceSummary {
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut sites = std::collections::HashSet::new();
+    let mut per_thread = vec![0u64; bundle.nthreads as usize];
+    for e in timeline(bundle) {
+        per_thread[e.thread as usize] += 1;
+        if let Some(kind) = e.kind {
+            *kinds.entry(kind.name()).or_insert(0) += 1;
+        }
+        if let Some(site) = e.site {
+            sites.insert(site);
+        }
+    }
+    TraceSummary {
+        scheme: bundle.scheme,
+        nthreads: bundle.nthreads,
+        per_thread,
+        distinct_sites: bundle.has_validation().then_some(sites.len() as u64),
+        kinds,
+    }
+}
+
+/// Render the first `max_events` accesses as per-thread lanes:
+///
+/// ```text
+/// value    T0 T1 T2
+///     0    L  .  .
+///     1    .  S  .
+/// ```
+#[must_use]
+pub fn ascii_timeline(bundle: &TraceBundle, max_events: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let events = timeline(bundle);
+    let _ = write!(out, "{:>8} ", "value");
+    for tid in 0..bundle.nthreads {
+        let _ = write!(out, " T{tid:<2}");
+    }
+    out.push('\n');
+    for e in events.iter().take(max_events) {
+        let _ = write!(out, "{:>8} ", e.value);
+        for tid in 0..bundle.nthreads {
+            if tid == e.thread {
+                let mark = match e.kind {
+                    Some(AccessKind::Load) => 'L',
+                    Some(AccessKind::Store) => 'S',
+                    Some(AccessKind::AtomicRmw) => 'A',
+                    Some(AccessKind::Critical) => 'C',
+                    Some(AccessKind::Reduction) => 'R',
+                    Some(AccessKind::Ordered) => 'O',
+                    Some(AccessKind::MpiOp) => 'M',
+                    None => '*',
+                };
+                let _ = write!(out, " {mark}  ");
+            } else {
+                let _ = write!(out, " .  ");
+            }
+        }
+        out.push('\n');
+    }
+    if events.len() > max_events {
+        let _ = writeln!(out, "… {} more", events.len() - max_events);
+    }
+    out
+}
+
+/// The first place two traces differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDiff {
+    /// Structurally incomparable (scheme or thread count differ).
+    Shape {
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// Identical.
+    Equal,
+    /// First differing access on some thread.
+    FirstDivergence {
+        /// Thread whose streams differ.
+        thread: u32,
+        /// Index of the first differing access in that thread's stream.
+        index: u64,
+        /// `(value, site, kind)` in the left trace, if present.
+        left: Option<(u64, Option<SiteId>, Option<AccessKind>)>,
+        /// Same for the right trace.
+        right: Option<(u64, Option<SiteId>, Option<AccessKind>)>,
+    },
+}
+
+impl fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDiff::Shape { what } => write!(f, "traces are incomparable: {what}"),
+            TraceDiff::Equal => write!(f, "traces are identical"),
+            TraceDiff::FirstDivergence {
+                thread,
+                index,
+                left,
+                right,
+            } => {
+                write!(
+                    f,
+                    "first divergence on thread {thread} at access #{index}: "
+                )?;
+                let side = |s: &Option<(u64, Option<SiteId>, Option<AccessKind>)>| match s {
+                    None => "<stream ends>".to_string(),
+                    Some((v, site, kind)) => {
+                        let mut txt = format!("value {v}");
+                        if let Some(k) = kind {
+                            txt.push_str(&format!(" {k}"));
+                        }
+                        if let Some(site) = site {
+                            txt.push_str(&format!(" at {site}"));
+                        }
+                        txt
+                    }
+                };
+                write!(f, "{} vs {}", side(left), side(right))
+            }
+        }
+    }
+}
+
+/// Locate the first difference between two traces of the same program —
+/// e.g. two recordings of a flaky run, to see where schedules departed.
+#[must_use]
+pub fn diff(a: &TraceBundle, b: &TraceBundle) -> TraceDiff {
+    if a.scheme != b.scheme {
+        return TraceDiff::Shape {
+            what: format!("schemes {} vs {}", a.scheme.name(), b.scheme.name()),
+        };
+    }
+    if a.nthreads != b.nthreads {
+        return TraceDiff::Shape {
+            what: format!("{} vs {} threads", a.nthreads, b.nthreads),
+        };
+    }
+    // ST: compare the shared streams as thread 0-attributed events.
+    if let (Some(sa), Some(sb)) = (&a.st, &b.st) {
+        let n = sa.len().max(sb.len());
+        for i in 0..n {
+            let la = sa.tids.get(i).map(|&t| {
+                (
+                    u64::from(t),
+                    sa.sites.as_ref().map(|s| SiteId(s[i])),
+                    sa.kinds.as_ref().and_then(|k| AccessKind::from_code(k[i])),
+                )
+            });
+            let rb = sb.tids.get(i).map(|&t| {
+                (
+                    u64::from(t),
+                    sb.sites.as_ref().map(|s| SiteId(s[i])),
+                    sb.kinds.as_ref().and_then(|k| AccessKind::from_code(k[i])),
+                )
+            });
+            if la != rb {
+                return TraceDiff::FirstDivergence {
+                    thread: 0,
+                    index: i as u64,
+                    left: la,
+                    right: rb,
+                };
+            }
+        }
+        return TraceDiff::Equal;
+    }
+    for tid in 0..a.nthreads as usize {
+        let (ta, tb) = (&a.threads[tid], &b.threads[tid]);
+        let n = ta.len().max(tb.len());
+        for i in 0..n {
+            let la = ta
+                .values
+                .get(i)
+                .map(|&v| (v, ta.site_at(i), ta.kind_at(i)));
+            let rb = tb
+                .values
+                .get(i)
+                .map(|&v| (v, tb.site_at(i), tb.kind_at(i)));
+            if la != rb {
+                return TraceDiff::FirstDivergence {
+                    thread: tid as u32,
+                    index: i as u64,
+                    left: la,
+                    right: rb,
+                };
+            }
+        }
+    }
+    TraceDiff::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{StTrace, ThreadTrace};
+
+    fn dc_bundle() -> TraceBundle {
+        TraceBundle {
+            scheme: Scheme::Dc,
+            nthreads: 2,
+            threads: vec![
+                ThreadTrace {
+                    values: vec![0, 3],
+                    sites: Some(vec![7, 8]),
+                    kinds: Some(vec![0, 1]),
+                },
+                ThreadTrace {
+                    values: vec![1, 2],
+                    sites: Some(vec![7, 7]),
+                    kinds: Some(vec![0, 0]),
+                },
+            ],
+            st: None,
+        }
+    }
+
+    #[test]
+    fn timeline_orders_dc_by_clock() {
+        let tl = timeline(&dc_bundle());
+        let threads: Vec<u32> = tl.iter().map(|e| e.thread).collect();
+        assert_eq!(threads, vec![0, 1, 1, 0]);
+        assert_eq!(tl[0].kind, Some(AccessKind::Load));
+        assert_eq!(tl[3].kind, Some(AccessKind::Store));
+    }
+
+    #[test]
+    fn timeline_uses_st_stream_order() {
+        let b = TraceBundle {
+            scheme: Scheme::St,
+            nthreads: 2,
+            threads: vec![ThreadTrace::default(), ThreadTrace::default()],
+            st: Some(StTrace {
+                tids: vec![1, 0, 1],
+                sites: None,
+                kinds: None,
+            }),
+        };
+        let tl = timeline(&b);
+        assert_eq!(
+            tl.iter().map(|e| e.thread).collect::<Vec<_>>(),
+            vec![1, 0, 1]
+        );
+        assert_eq!(tl[2].value, 2);
+    }
+
+    #[test]
+    fn summary_counts_threads_kinds_sites() {
+        let s = summarize(&dc_bundle());
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.per_thread, vec![2, 2]);
+        assert_eq!(s.kinds.get("load"), Some(&3));
+        assert_eq!(s.kinds.get("store"), Some(&1));
+        assert_eq!(s.distinct_sites, Some(2));
+        assert!(s.to_string().contains("thread 1: 2 records"));
+    }
+
+    #[test]
+    fn ascii_timeline_renders_lanes() {
+        let art = ascii_timeline(&dc_bundle(), 10);
+        assert!(art.contains("T0"), "{art}");
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5, "{art}");
+        assert!(lines[1].contains('L'));
+        assert!(lines[4].contains('S'));
+    }
+
+    #[test]
+    fn ascii_timeline_truncates() {
+        let art = ascii_timeline(&dc_bundle(), 2);
+        assert!(art.contains("… 2 more"), "{art}");
+    }
+
+    #[test]
+    fn diff_equal_and_shape() {
+        assert_eq!(diff(&dc_bundle(), &dc_bundle()), TraceDiff::Equal);
+        let mut other = dc_bundle();
+        other.scheme = Scheme::De;
+        assert!(matches!(
+            diff(&dc_bundle(), &other),
+            TraceDiff::Shape { .. }
+        ));
+    }
+
+    #[test]
+    fn diff_finds_first_divergence() {
+        let a = dc_bundle();
+        let mut b = dc_bundle();
+        b.threads[1].values[1] = 5;
+        match diff(&a, &b) {
+            TraceDiff::FirstDivergence {
+                thread,
+                index,
+                left,
+                right,
+            } => {
+                assert_eq!(thread, 1);
+                assert_eq!(index, 1);
+                assert_eq!(left.unwrap().0, 2);
+                assert_eq!(right.unwrap().0, 5);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        // Length mismatch: one side ends.
+        let mut c = dc_bundle();
+        c.threads[0].values.pop();
+        c.threads[0].sites.as_mut().unwrap().pop();
+        c.threads[0].kinds.as_mut().unwrap().pop();
+        match diff(&a, &c) {
+            TraceDiff::FirstDivergence { thread, index, right, .. } => {
+                assert_eq!((thread, index), (0, 1));
+                assert_eq!(right, None);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        let text = diff(&a, &b).to_string();
+        assert!(text.contains("thread 1"), "{text}");
+    }
+}

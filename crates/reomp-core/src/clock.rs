@@ -1,0 +1,265 @@
+//! The global logical clock (record side) and the `next_clock` turnstile
+//! (replay side) of DC/DE recording (paper Fig. 5).
+
+use crate::error::ReplayError;
+use crate::site::SiteId;
+use crate::stats::Stats;
+use crate::sync::{SpinConfig, SpinWait};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The record-side `global_clock` of Fig. 5 line 22.
+///
+/// The clock is only ever advanced while the gate lock is held, so a plain
+/// `fetch_add` with relaxed ordering would suffice; `AcqRel` is used so the
+/// value is also safely readable by diagnostics outside the lock.
+#[derive(Debug, Default)]
+pub struct GlobalClock {
+    value: AtomicU64,
+}
+
+impl GlobalClock {
+    /// A clock starting at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        GlobalClock {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// `clock = global_clock++` — returns the pre-increment value.
+    #[inline]
+    pub fn tick(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Current value (number of clock assignments so far).
+    #[inline]
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+}
+
+/// The replay-side `next_clock` counter of Fig. 5 lines 30–34.
+///
+/// * DC replay: a thread whose next recorded clock is `c` waits until the
+///   turnstile equals `c` exactly ([`Turnstile::wait_exact`]).
+/// * DE replay: a thread whose next recorded epoch is `e` waits until the
+///   turnstile is **at least** `e` ([`Turnstile::wait_at_least`]) — all
+///   accesses sharing an epoch are admitted together, which is precisely the
+///   concurrency DE recording buys (§IV-D).
+///
+/// Every gate-out advances the turnstile by one, so its value always equals
+/// the number of *completed* gated accesses. Under the contiguous-run epoch
+/// policy the admission rule is safe; see `epoch.rs` for the argument.
+#[derive(Debug, Default)]
+pub struct Turnstile {
+    next: AtomicU64,
+    aborted: AtomicBool,
+}
+
+impl Turnstile {
+    /// A turnstile starting at zero completed accesses.
+    #[must_use]
+    pub const fn new() -> Self {
+        Turnstile {
+            next: AtomicU64::new(0),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Current number of completed accesses.
+    #[inline]
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        self.next.load(Ordering::Acquire)
+    }
+
+    /// Mark the whole replay as failed, releasing all waiters with
+    /// [`ReplayError::Aborted`]. Idempotent.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    /// Whether [`Turnstile::abort`] has been called.
+    #[must_use]
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// DC wait: block until the turnstile equals `clock`.
+    ///
+    /// Returns the number of spin iterations (a proxy for the wait cost
+    /// reported in §VI-A).
+    pub fn wait_exact(
+        &self,
+        clock: u64,
+        thread: u32,
+        site: SiteId,
+        cfg: &SpinConfig,
+        stats: &Stats,
+    ) -> Result<u64, ReplayError> {
+        self.wait_impl(clock, thread, site, cfg, stats, |cur| cur == clock)
+    }
+
+    /// DE wait: block until the turnstile is at least `epoch`.
+    pub fn wait_at_least(
+        &self,
+        epoch: u64,
+        thread: u32,
+        site: SiteId,
+        cfg: &SpinConfig,
+        stats: &Stats,
+    ) -> Result<u64, ReplayError> {
+        self.wait_impl(epoch, thread, site, cfg, stats, |cur| cur >= epoch)
+    }
+
+    fn wait_impl(
+        &self,
+        target: u64,
+        thread: u32,
+        site: SiteId,
+        cfg: &SpinConfig,
+        stats: &Stats,
+        admitted: impl Fn(u64) -> bool,
+    ) -> Result<u64, ReplayError> {
+        if admitted(self.next.load(Ordering::Acquire)) {
+            return Ok(0);
+        }
+        stats.bump_waits();
+        let mut spin = SpinWait::new(cfg);
+        loop {
+            if self.is_aborted() {
+                return Err(ReplayError::Aborted);
+            }
+            let cur = self.next.load(Ordering::Acquire);
+            if admitted(cur) {
+                stats.add_spin_iters(spin.iterations());
+                return Ok(spin.iterations());
+            }
+            spin.step(thread, site, target, || self.next.load(Ordering::Acquire))?;
+        }
+    }
+
+    /// `next_clock++` at gate-out (Fig. 5 line 34). Counts one inter-thread
+    /// communication: the new value is what wakes the next waiter (DC-1 in
+    /// Fig. 7).
+    #[inline]
+    pub fn advance(&self, stats: &Stats) -> u64 {
+        stats.bump_comms(1);
+        self.next.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn clock_ticks_sequentially() {
+        let c = GlobalClock::new();
+        assert_eq!(c.tick(), 0);
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn turnstile_exact_admits_in_order() {
+        let t = Arc::new(Turnstile::new());
+        let stats = Arc::new(Stats::new());
+        let cfg = SpinConfig::default();
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+        std::thread::scope(|s| {
+            // Three waiters with clocks 2, 1, 0 — they must complete 0,1,2.
+            for clock in [2u64, 1, 0] {
+                let t = Arc::clone(&t);
+                let stats = Arc::clone(&stats);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    t.wait_exact(clock, clock as u32, SiteId(1), &cfg, &stats)
+                        .unwrap();
+                    order.lock().push(clock);
+                    t.advance(&stats);
+                });
+            }
+        });
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+        assert_eq!(t.current(), 3);
+    }
+
+    #[test]
+    fn turnstile_at_least_admits_epoch_group_concurrently() {
+        let t = Arc::new(Turnstile::new());
+        let stats = Arc::new(Stats::new());
+        let cfg = SpinConfig::default();
+        // Epochs 0,0,0 then 3: first three admitted immediately in any order.
+        let concurrent = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for tid in 0..3u32 {
+                let t = Arc::clone(&t);
+                let stats = Arc::clone(&stats);
+                let concurrent = Arc::clone(&concurrent);
+                let peak = Arc::clone(&peak);
+                s.spawn(move || {
+                    t.wait_at_least(0, tid, SiteId(1), &cfg, &stats).unwrap();
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    // Linger long enough for overlap to be observable.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                    t.advance(&stats);
+                });
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "same-epoch accesses should overlap (peak {})",
+            peak.load(Ordering::SeqCst)
+        );
+        // The epoch-3 access is admitted only after all three completed.
+        t.wait_at_least(3, 9, SiteId(1), &cfg, &stats).unwrap();
+    }
+
+    #[test]
+    fn abort_releases_waiters() {
+        let t = Arc::new(Turnstile::new());
+        let stats = Arc::new(Stats::new());
+        let cfg = SpinConfig {
+            spin_hints: 4,
+            timeout: None,
+        };
+        std::thread::scope(|s| {
+            let t2 = Arc::clone(&t);
+            let stats2 = Arc::clone(&stats);
+            let waiter = s.spawn(move || t2.wait_exact(100, 0, SiteId(1), &cfg, &stats2));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            t.abort();
+            match waiter.join().unwrap() {
+                Err(ReplayError::Aborted) => {}
+                other => panic!("expected abort, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn timeout_reports_observed_value() {
+        let t = Turnstile::new();
+        let stats = Stats::new();
+        let cfg = SpinConfig {
+            spin_hints: 4,
+            timeout: Some(std::time::Duration::from_millis(15)),
+        };
+        match t.wait_exact(5, 2, SiteId(9), &cfg, &stats) {
+            Err(ReplayError::Timeout {
+                observed, thread, ..
+            }) => {
+                assert_eq!(observed, 0);
+                assert_eq!(thread, 2);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Binary record-file format.
+//!
+//! Record files must be cheap to write on the record hot path and compact
+//! enough that trace I/O does not dominate (§II-B: the scalability of any
+//! record-and-replay tool is ultimately bounded by its file-system usage).
+//!
+//! * Clock/epoch streams are **zigzag-delta varint** encoded: per-thread
+//!   clock sequences are strictly increasing and DE epoch sequences are
+//!   non-decreasing under the contiguous policy, so deltas are small
+//!   non-negative integers that typically fit one byte.
+//! * Thread-ID streams (ST) are plain varints.
+//! * Site hashes are fixed 8-byte little-endian words (they are uniform
+//!   hashes; varint would expand them).
+//! * Kind codes are raw bytes.
+//!
+//! File layout (`encode_thread_trace`):
+//!
+//! ```text
+//! magic "RTRC" | version u8 | scheme u8 | flags u8 | tid u32le |
+//! count varint | values (zigzag-delta varints) |
+//! [sites: count × u64le]   (flags bit 0)
+//! [kinds: count × u8]      (flags bit 1)
+//! ```
+//!
+//! The ST stream uses magic `RTST` and a tid varint stream instead of the
+//! value stream.
+
+use crate::error::TraceError;
+use crate::session::Scheme;
+use crate::trace::{StTrace, ThreadTrace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC_THREAD: &[u8; 4] = b"RTRC";
+const MAGIC_ST: &[u8; 4] = b"RTST";
+const VERSION: u8 = 1;
+const FLAG_SITES: u8 = 1;
+const FLAG_KINDS: u8 = 2;
+
+/// Append `v` as an LEB128 unsigned varint.
+pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
+    while v >= 0x80 {
+        buf.put_u8((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.put_u8(v as u8);
+}
+
+/// Read one LEB128 unsigned varint.
+pub fn get_uvarint(buf: &mut Bytes) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(TraceError::Corrupt("varint truncated".into()));
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(TraceError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Corrupt("varint too long".into()));
+        }
+    }
+}
+
+/// Zigzag-encode a signed delta.
+#[inline]
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+#[must_use]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encode a u64 stream as zigzag deltas (count is **not** written here).
+pub fn put_delta_stream(buf: &mut BytesMut, values: &[u64]) {
+    let mut prev = 0i64;
+    for &v in values {
+        let cur = v as i64;
+        put_uvarint(buf, zigzag(cur.wrapping_sub(prev)));
+        prev = cur;
+    }
+}
+
+/// Decode `count` zigzag-delta values.
+pub fn get_delta_stream(buf: &mut Bytes, count: usize) -> Result<Vec<u64>, TraceError> {
+    let mut out = Vec::with_capacity(count);
+    let mut prev = 0i64;
+    for _ in 0..count {
+        let d = unzigzag(get_uvarint(buf)?);
+        prev = prev.wrapping_add(d);
+        out.push(prev as u64);
+    }
+    Ok(out)
+}
+
+fn flags_of(sites: bool, kinds: bool) -> u8 {
+    (if sites { FLAG_SITES } else { 0 }) | (if kinds { FLAG_KINDS } else { 0 })
+}
+
+fn put_columns(
+    buf: &mut BytesMut,
+    count: usize,
+    sites: Option<&Vec<u64>>,
+    kinds: Option<&Vec<u8>>,
+) {
+    if let Some(sites) = sites {
+        debug_assert_eq!(sites.len(), count);
+        for &s in sites {
+            buf.put_u64_le(s);
+        }
+    }
+    if let Some(kinds) = kinds {
+        debug_assert_eq!(kinds.len(), count);
+        buf.put_slice(kinds);
+    }
+}
+
+type Columns = (Option<Vec<u64>>, Option<Vec<u8>>);
+
+fn get_columns(buf: &mut Bytes, count: usize, flags: u8) -> Result<Columns, TraceError> {
+    let sites = if flags & FLAG_SITES != 0 {
+        if buf.remaining() < count * 8 {
+            return Err(TraceError::Corrupt("site column truncated".into()));
+        }
+        Some((0..count).map(|_| buf.get_u64_le()).collect())
+    } else {
+        None
+    };
+    let kinds = if flags & FLAG_KINDS != 0 {
+        if buf.remaining() < count {
+            return Err(TraceError::Corrupt("kind column truncated".into()));
+        }
+        let mut k = vec![0u8; count];
+        buf.copy_to_slice(&mut k);
+        Some(k)
+    } else {
+        None
+    };
+    Ok((sites, kinds))
+}
+
+/// Serialize one per-thread trace.
+#[must_use]
+pub fn encode_thread_trace(trace: &ThreadTrace, scheme: Scheme, tid: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.values.len() * 2);
+    buf.put_slice(MAGIC_THREAD);
+    buf.put_u8(VERSION);
+    buf.put_u8(scheme.code());
+    buf.put_u8(flags_of(trace.sites.is_some(), trace.kinds.is_some()));
+    buf.put_u32_le(tid);
+    put_uvarint(&mut buf, trace.values.len() as u64);
+    put_delta_stream(&mut buf, &trace.values);
+    put_columns(
+        &mut buf,
+        trace.values.len(),
+        trace.sites.as_ref(),
+        trace.kinds.as_ref(),
+    );
+    buf.freeze()
+}
+
+/// Deserialize one per-thread trace; returns the trace, its scheme, and tid.
+pub fn decode_thread_trace(bytes: &[u8]) -> Result<(ThreadTrace, Scheme, u32), TraceError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    check_header(&mut buf, MAGIC_THREAD)?;
+    let scheme = Scheme::from_code(buf.get_u8())
+        .ok_or_else(|| TraceError::Corrupt("bad scheme code".into()))?;
+    let flags = buf.get_u8();
+    if buf.remaining() < 4 {
+        return Err(TraceError::Corrupt("header truncated".into()));
+    }
+    let tid = buf.get_u32_le();
+    let count = get_uvarint(&mut buf)? as usize;
+    let values = get_delta_stream(&mut buf, count)?;
+    let (sites, kinds) = get_columns(&mut buf, count, flags)?;
+    Ok((
+        ThreadTrace {
+            values,
+            sites,
+            kinds,
+        },
+        scheme,
+        tid,
+    ))
+}
+
+/// Serialize the shared ST trace.
+#[must_use]
+pub fn encode_st_trace(trace: &StTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.tids.len() * 2);
+    buf.put_slice(MAGIC_ST);
+    buf.put_u8(VERSION);
+    buf.put_u8(Scheme::St.code());
+    buf.put_u8(flags_of(trace.sites.is_some(), trace.kinds.is_some()));
+    buf.put_u32_le(0);
+    put_uvarint(&mut buf, trace.tids.len() as u64);
+    for &t in &trace.tids {
+        put_uvarint(&mut buf, u64::from(t));
+    }
+    put_columns(
+        &mut buf,
+        trace.tids.len(),
+        trace.sites.as_ref(),
+        trace.kinds.as_ref(),
+    );
+    buf.freeze()
+}
+
+/// Deserialize the shared ST trace.
+pub fn decode_st_trace(bytes: &[u8]) -> Result<StTrace, TraceError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    check_header(&mut buf, MAGIC_ST)?;
+    let _scheme = buf.get_u8();
+    let flags = buf.get_u8();
+    if buf.remaining() < 4 {
+        return Err(TraceError::Corrupt("header truncated".into()));
+    }
+    let _tid = buf.get_u32_le();
+    let count = get_uvarint(&mut buf)? as usize;
+    let mut tids = Vec::with_capacity(count);
+    for _ in 0..count {
+        let t = get_uvarint(&mut buf)?;
+        let t = u32::try_from(t)
+            .map_err(|_| TraceError::Corrupt(format!("tid {t} out of range")))?;
+        tids.push(t);
+    }
+    let (sites, kinds) = get_columns(&mut buf, count, flags)?;
+    Ok(StTrace { tids, sites, kinds })
+}
+
+fn check_header(buf: &mut Bytes, magic: &[u8; 4]) -> Result<(), TraceError> {
+    if buf.remaining() < 6 {
+        return Err(TraceError::Corrupt("file shorter than header".into()));
+    }
+    let mut found = [0u8; 4];
+    buf.copy_to_slice(&mut found);
+    if &found != magic {
+        return Err(TraceError::BadMagic { found });
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        let mut buf = BytesMut::new();
+        let cases = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        for &v in &cases {
+            buf.clear();
+            put_uvarint(&mut buf, v);
+            let mut b = buf.clone().freeze();
+            assert_eq!(get_uvarint(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut b = Bytes::from_static(&[0x80]);
+        assert!(get_uvarint(&mut b).is_err());
+        // 11 continuation bytes overflow u64.
+        let mut b = Bytes::from_static(&[0xff; 11]);
+        assert!(get_uvarint(&mut b).is_err());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-3i64, -1, 0, 1, 2, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn delta_stream_roundtrip_including_decreasing() {
+        let values = vec![5u64, 5, 9, 2, 100, 0, u32::MAX as u64];
+        let mut buf = BytesMut::new();
+        put_delta_stream(&mut buf, &values);
+        let mut b = buf.freeze();
+        assert_eq!(get_delta_stream(&mut b, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn monotone_clock_stream_is_compact() {
+        // Per-thread DC clock streams increase with small strides: each
+        // delta should cost ~1 byte.
+        let values: Vec<u64> = (0..1000u64).map(|i| i * 3).collect();
+        let mut buf = BytesMut::new();
+        put_delta_stream(&mut buf, &values);
+        assert!(
+            buf.len() <= values.len() + 8,
+            "expected ~1 B/record, got {} B for {} records",
+            buf.len(),
+            values.len()
+        );
+    }
+
+    #[test]
+    fn thread_trace_roundtrip_with_columns() {
+        let t = ThreadTrace {
+            values: vec![0, 4, 4, 9],
+            sites: Some(vec![0xdead, 0xbeef, 0xbeef, 0x1]),
+            kinds: Some(vec![0, 1, 1, 3]),
+        };
+        let bytes = encode_thread_trace(&t, Scheme::De, 7);
+        let (back, scheme, tid) = decode_thread_trace(&bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(scheme, Scheme::De);
+        assert_eq!(tid, 7);
+    }
+
+    #[test]
+    fn thread_trace_roundtrip_bare() {
+        let t = ThreadTrace {
+            values: vec![3, 1, 2],
+            sites: None,
+            kinds: None,
+        };
+        let bytes = encode_thread_trace(&t, Scheme::Dc, 0);
+        let (back, _, _) = decode_thread_trace(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn st_trace_roundtrip() {
+        let t = StTrace {
+            tids: vec![2, 0, 1, 1, 2],
+            sites: Some(vec![9, 9, 9, 9, 9]),
+            kinds: Some(vec![3, 3, 3, 3, 3]),
+        };
+        let bytes = encode_st_trace(&t);
+        assert_eq!(decode_st_trace(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let t = ThreadTrace::default();
+        let bytes = encode_thread_trace(&t, Scheme::Dc, 0);
+        let mut corrupted = bytes.to_vec();
+        corrupted[0] = b'X';
+        assert!(matches!(
+            decode_thread_trace(&corrupted),
+            Err(TraceError::BadMagic { .. })
+        ));
+        let mut wrong_version = bytes.to_vec();
+        wrong_version[4] = 99;
+        assert!(matches!(
+            decode_thread_trace(&wrong_version),
+            Err(TraceError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncated_columns_rejected() {
+        let t = ThreadTrace {
+            values: vec![1, 2, 3],
+            sites: Some(vec![1, 2, 3]),
+            kinds: None,
+        };
+        let bytes = encode_thread_trace(&t, Scheme::De, 1);
+        let cut = &bytes[..bytes.len() - 4];
+        assert!(decode_thread_trace(cut).is_err());
+    }
+
+    #[test]
+    fn st_rejects_oversized_tid() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTST");
+        buf.put_u8(1); // version
+        buf.put_u8(Scheme::St.code());
+        buf.put_u8(0); // flags
+        buf.put_u32_le(0);
+        put_uvarint(&mut buf, 1); // one record
+        put_uvarint(&mut buf, u64::from(u32::MAX) + 10); // tid out of range
+        assert!(decode_st_trace(&buf.freeze()).is_err());
+    }
+}

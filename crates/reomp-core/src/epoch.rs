@@ -1,0 +1,616 @@
+//! Epoch assignment for DE recording (paper §IV-D, Table V).
+//!
+//! # The rule
+//!
+//! Every gated access receives a global clock `c`. DE recording writes
+//! `epoch = c − X_C`, where `X_C` is the length of the *run* of immediately
+//! preceding accesses the new access may be freely reordered with under
+//! Condition 1:
+//!
+//! * **(i)** consecutive **loads** of the same site commute — a load's
+//!   epoch is the clock of the first load of its run;
+//! * **(ii)** consecutive **stores** of the same site commute *except the
+//!   last one before a non-store*, because the last store determines the
+//!   value subsequent loads must observe. Table V encodes this by setting
+//!   `X_C = 0` for the final store of a run (`x5` gets epoch 5, not 3).
+//!
+//! Whether a store is "final" depends on the **next** access, which has not
+//! happened yet when the store is recorded. We therefore finalize store
+//! epochs with *one-access deferral*: the store's record is held pending
+//! inside the tracker (all of this runs under the gate lock, so there is no
+//! race) and is emitted when the next access — or the session flush —
+//! reveals whether the run continued.
+//!
+//! # Run-boundary policies and replay safety
+//!
+//! [`EpochPolicy::Contiguous`] (default) ends a run whenever an access to a
+//! *different* site (or of a different kind) intervenes, even though
+//! Condition 1 is stated per-address. This buys a safety proof:
+//!
+//! > **Claim.** Under `Contiguous`, epoch values are non-decreasing in
+//! > clock order, and the DE replay rule — admit an access with epoch `e`
+//! > once `next_clock ≥ e`, increment `next_clock` at completion — ensures
+//! > an access with epoch `e` starts only after *all* accesses with clock
+//! > `< e` completed.
+//! >
+//! > *Proof sketch.* Runs partition the clock sequence into contiguous
+//! > blocks `[r, s]`. Loads in a block all carry epoch `r`; stores carry
+//! > `r` except the last, which carries its own clock `s`. Hence the epoch
+//! > sequence is non-decreasing, and any access with clock ≥ e has epoch
+//! > ≥ e′ where e′ is its block's start > previous block's end. When
+//! > `next_clock = e`, exactly `e` accesses completed, and only accesses
+//! > with epoch ≤ e — all of which have clock < e or are block-mates that
+//! > commute with the waiter by Condition 1 — can have been admitted. ∎
+//!
+//! [`EpochPolicy::PerAddress`] follows the paper's per-address wording
+//! literally: a run survives interleaved accesses to other sites. Epochs
+//! then are *not* monotone, and the final store of a run can be admitted
+//! while an earlier same-site store is still pending, which can mis-replay
+//! the final value (demonstrated by `tests/epoch_policy_hazard.rs` in the
+//! workspace root). It remains deadlock-free — every access has
+//! `epoch ≤ clock`, so the pending access with the smallest clock is always
+//! admissible — and yields strictly larger epochs, so it is offered as an
+//! opt-in relaxation and an ablation point.
+
+use crate::history::{AccessRecord, HistoryRing};
+use crate::site::{AccessKind, SiteId};
+use std::collections::HashMap;
+
+/// How run boundaries are determined when computing `X_C`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EpochPolicy {
+    /// Runs are maximal *globally consecutive* same-site same-kind access
+    /// sequences. Replay-safe (see module docs); the default.
+    #[default]
+    Contiguous,
+    /// Runs are per-address and survive interleaved accesses to *other*
+    /// addresses — the paper-literal reading of Condition 1. Larger
+    /// epochs, weaker replay-fidelity guarantee.
+    PerAddress,
+}
+
+impl EpochPolicy {
+    /// Parse from the `REOMP_EPOCH_POLICY` environment value.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<EpochPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "contiguous" => Some(EpochPolicy::Contiguous),
+            "per-address" | "peraddress" | "per_address" | "per-site" | "persite" => {
+                Some(EpochPolicy::PerAddress)
+            }
+            _ => None,
+        }
+    }
+
+    /// Stable name used in manifests.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EpochPolicy::Contiguous => "contiguous",
+            EpochPolicy::PerAddress => "per-address",
+        }
+    }
+}
+
+/// A fully determined trace record: the access at `clock` is to be written
+/// to thread `thread`'s record file with value `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finalized {
+    /// Owning thread (whose per-thread record file receives this entry).
+    pub thread: u32,
+    /// Global clock assigned to the access.
+    pub clock: u64,
+    /// Recorded epoch (`clock − X_C`).
+    pub epoch: u64,
+    /// Site of the access.
+    pub site: SiteId,
+    /// Kind of the access.
+    pub kind: AccessKind,
+}
+
+impl Finalized {
+    /// The `X_C` value implied by this record (Table V column 2).
+    #[must_use]
+    pub fn xc(&self) -> u64 {
+        self.clock - self.epoch
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    addr: u64,
+    kind: AccessKind,
+    start: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    thread: u32,
+    clock: u64,
+    site: SiteId,
+    run_start: u64,
+}
+
+/// Streaming epoch assigner. One per session; all calls happen under the
+/// session's gate lock, in clock order.
+#[derive(Debug)]
+pub struct EpochTracker {
+    policy: EpochPolicy,
+    ring: HistoryRing,
+    /// Contiguous-policy state: the single current run and pending store.
+    cur: Option<Run>,
+    pending: Option<Pending>,
+    /// PerAddress-policy state.
+    addr_runs: HashMap<u64, Run>,
+    addr_pending: HashMap<u64, Pending>,
+    deferred: u64,
+}
+
+/// Result of observing one access: zero, one, or two records become final.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Observed {
+    /// A previously pending store finalized by this access (may belong to a
+    /// different thread).
+    pub prior: Option<Finalized>,
+    /// The current access, if it finalized immediately (loads and all
+    /// non-eligible kinds do; stores go pending).
+    pub current: Option<Finalized>,
+}
+
+impl Observed {
+    /// Iterate over the finalized records in clock order.
+    pub fn iter(&self) -> impl Iterator<Item = Finalized> {
+        self.prior.into_iter().chain(self.current)
+    }
+}
+
+impl EpochTracker {
+    /// New tracker with the given policy and history-ring capacity.
+    #[must_use]
+    pub fn new(policy: EpochPolicy, ring_capacity: usize) -> Self {
+        EpochTracker {
+            policy,
+            ring: HistoryRing::new(ring_capacity),
+            cur: None,
+            pending: None,
+            addr_runs: HashMap::new(),
+            addr_pending: HashMap::new(),
+            deferred: 0,
+        }
+    }
+
+    /// Number of store records that were finalized by a *later* access.
+    #[must_use]
+    pub fn deferred_count(&self) -> u64 {
+        self.deferred
+    }
+
+    /// Read-only view of the access-history ring (diagnostics).
+    #[must_use]
+    pub fn history(&self) -> &HistoryRing {
+        &self.ring
+    }
+
+    /// Observe the access with the given (already assigned) clock and
+    /// compute finalized records. Must be called in strictly increasing
+    /// clock order. `addr` identifies the memory location (Condition 1 is
+    /// per-address); gates without a distinct address pass the site hash.
+    pub fn observe(
+        &mut self,
+        thread: u32,
+        site: SiteId,
+        addr: u64,
+        kind: AccessKind,
+        clock: u64,
+    ) -> Observed {
+        let out = match self.policy {
+            EpochPolicy::Contiguous => self.observe_contiguous(thread, site, addr, kind, clock),
+            EpochPolicy::PerAddress => {
+                self.observe_per_address(thread, site, addr, kind, clock)
+            }
+        };
+        self.ring.push(AccessRecord {
+            clock,
+            site,
+            kind,
+            thread,
+        });
+        out
+    }
+
+    fn observe_contiguous(
+        &mut self,
+        thread: u32,
+        site: SiteId,
+        addr: u64,
+        kind: AccessKind,
+        clock: u64,
+    ) -> Observed {
+        let joins = matches!(
+            self.cur,
+            Some(r) if r.addr == addr && r.kind == kind && kind.is_epoch_eligible()
+        );
+
+        // Finalize a pending store (the previous access of the current
+        // store-run). If the run continues (another same-site store), the
+        // pending store keeps the run epoch; otherwise condition (ii) is
+        // violated at the boundary and it is serialized at its own clock —
+        // Table V's "we set X_C to 0 when a store is followed by a load".
+        let prior = self.pending.take().map(|p| {
+            let epoch = if joins { p.run_start } else { p.clock };
+            if epoch != p.clock {
+                self.deferred += 1;
+            }
+            Finalized {
+                thread: p.thread,
+                clock: p.clock,
+                epoch,
+                site: p.site,
+                kind: AccessKind::Store,
+            }
+        });
+
+        let run_start = if joins {
+            self.cur.expect("joins implies current run").start
+        } else {
+            self.cur = kind
+                .is_epoch_eligible()
+                .then_some(Run { addr, kind, start: clock });
+            clock
+        };
+
+        let current = match kind {
+            AccessKind::Load => Some(Finalized {
+                thread,
+                clock,
+                epoch: run_start,
+                site,
+                kind,
+            }),
+            AccessKind::Store => {
+                self.pending = Some(Pending {
+                    thread,
+                    clock,
+                    site,
+                    run_start,
+                });
+                None
+            }
+            // Non-eligible kinds serialize: epoch == clock, and the run is
+            // already broken above (`cur` reset to None).
+            _ => Some(Finalized {
+                thread,
+                clock,
+                epoch: clock,
+                site,
+                kind,
+            }),
+        };
+
+        Observed { prior, current }
+    }
+
+    fn observe_per_address(
+        &mut self,
+        thread: u32,
+        site: SiteId,
+        addr: u64,
+        kind: AccessKind,
+        clock: u64,
+    ) -> Observed {
+        let joins = matches!(
+            self.addr_runs.get(&addr),
+            Some(r) if r.kind == kind && kind.is_epoch_eligible()
+        );
+
+        // Only a pending store *on this address* can be affected by this
+        // access; pending stores on other addresses stay pending.
+        let prior = self.addr_pending.remove(&addr).map(|p| {
+            let epoch = if joins { p.run_start } else { p.clock };
+            if epoch != p.clock {
+                self.deferred += 1;
+            }
+            Finalized {
+                thread: p.thread,
+                clock: p.clock,
+                epoch,
+                site: p.site,
+                kind: AccessKind::Store,
+            }
+        });
+
+        let run_start = if joins {
+            self.addr_runs.get(&addr).expect("joins implies run").start
+        } else {
+            if kind.is_epoch_eligible() {
+                self.addr_runs.insert(addr, Run { addr, kind, start: clock });
+            } else {
+                self.addr_runs.remove(&addr);
+            }
+            clock
+        };
+
+        let current = match kind {
+            AccessKind::Load => Some(Finalized {
+                thread,
+                clock,
+                epoch: run_start,
+                site,
+                kind,
+            }),
+            AccessKind::Store => {
+                self.addr_pending.insert(
+                    addr,
+                    Pending {
+                        thread,
+                        clock,
+                        site,
+                        run_start,
+                    },
+                );
+                None
+            }
+            _ => Some(Finalized {
+                thread,
+                clock,
+                epoch: clock,
+                site,
+                kind,
+            }),
+        };
+
+        Observed { prior, current }
+    }
+
+    /// Finalize all still-pending stores at end of recording. A trailing
+    /// store has no successor, so grouping it is never justified: it gets
+    /// its own clock (serialized), which is always safe.
+    pub fn flush(&mut self) -> Vec<Finalized> {
+        let mut out: Vec<Finalized> = Vec::new();
+        if let Some(p) = self.pending.take() {
+            out.push(Finalized {
+                thread: p.thread,
+                clock: p.clock,
+                epoch: p.clock,
+                site: p.site,
+                kind: AccessKind::Store,
+            });
+        }
+        out.extend(self.addr_pending.drain().map(|(_, p)| Finalized {
+            thread: p.thread,
+            clock: p.clock,
+            epoch: p.clock,
+            site: p.site,
+            kind: AccessKind::Store,
+        }));
+        self.cur = None;
+        self.addr_runs.clear();
+        out.sort_by_key(|f| f.clock);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: SiteId = SiteId(0xaaaa);
+    const Y: SiteId = SiteId(0xbbbb);
+
+    /// Drive a tracker over `(thread, site, kind)` accesses with clocks
+    /// 0,1,2,… and return finalized records sorted by clock. The site hash
+    /// doubles as the address, like plain `ThreadCtx::gate`.
+    fn run(policy: EpochPolicy, seq: &[(u32, SiteId, AccessKind)]) -> Vec<Finalized> {
+        let mut t = EpochTracker::new(policy, 64);
+        let mut out = Vec::new();
+        for (clock, &(thread, site, kind)) in seq.iter().enumerate() {
+            out.extend(t.observe(thread, site, site.raw(), kind, clock as u64).iter());
+        }
+        out.extend(t.flush());
+        out.sort_by_key(|f| f.clock);
+        out
+    }
+
+    #[test]
+    fn table_v_exact_reproduction() {
+        use AccessKind::{Load, Store};
+        // x0..x6 of Table V: L L L S S S L, threads T1 T2 T3 T1 T2 T3 T1.
+        let seq = [
+            (1, X, Load),
+            (2, X, Load),
+            (3, X, Load),
+            (1, X, Store),
+            (2, X, Store),
+            (3, X, Store),
+            (1, X, Load),
+        ];
+        let got = run(EpochPolicy::Contiguous, &seq);
+        let epochs: Vec<u64> = got.iter().map(|f| f.epoch).collect();
+        assert_eq!(epochs, vec![0, 0, 0, 3, 3, 5, 6], "Table V column (3)");
+        let xcs: Vec<u64> = got.iter().map(|f| f.xc()).collect();
+        assert_eq!(xcs, vec![0, 1, 2, 0, 1, 0, 0], "Table V column (2)");
+        // Same address, so PerSite agrees.
+        let got_pa = run(EpochPolicy::PerAddress, &seq);
+        assert_eq!(got, got_pa);
+    }
+
+    #[test]
+    fn every_access_is_finalized_exactly_once() {
+        use AccessKind::{Load, Store};
+        let seq: Vec<(u32, SiteId, AccessKind)> = (0..100)
+            .map(|i| {
+                let kind = if i % 3 == 0 { Store } else { Load };
+                let site = if i % 7 < 4 { X } else { Y };
+                (i as u32 % 4, site, kind)
+            })
+            .collect();
+        for policy in [EpochPolicy::Contiguous, EpochPolicy::PerAddress] {
+            let got = run(policy, &seq);
+            assert_eq!(got.len(), seq.len(), "{policy:?}");
+            let clocks: Vec<u64> = got.iter().map(|f| f.clock).collect();
+            assert_eq!(clocks, (0..100).collect::<Vec<u64>>(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn epoch_never_exceeds_clock() {
+        use AccessKind::{Load, Store};
+        let seq: Vec<(u32, SiteId, AccessKind)> = (0..200)
+            .map(|i| {
+                let kind = if (i / 5) % 2 == 0 { Load } else { Store };
+                (0, if i % 2 == 0 { X } else { Y }, kind)
+            })
+            .collect();
+        for policy in [EpochPolicy::Contiguous, EpochPolicy::PerAddress] {
+            for f in run(policy, &seq) {
+                assert!(f.epoch <= f.clock, "{policy:?}: {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_epochs_are_monotone() {
+        use AccessKind::{Load, Store};
+        // Adversarial interleaving across two sites.
+        let seq = [
+            (0, X, Load),
+            (1, Y, Store),
+            (2, X, Load),
+            (0, X, Store),
+            (1, X, Store),
+            (2, Y, Load),
+            (0, X, Store),
+            (1, X, Load),
+        ];
+        let got = run(EpochPolicy::Contiguous, &seq);
+        for w in got.windows(2) {
+            assert!(
+                w[0].epoch <= w[1].epoch,
+                "monotonicity violated: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn per_address_keeps_runs_alive_across_other_addresses() {
+        use AccessKind::Load;
+        // X-load, Y-load, X-load: PerAddress groups the two X loads (epoch 0),
+        // Contiguous does not (second X load starts a new run at clock 2).
+        let seq = [(0, X, Load), (1, Y, Load), (2, X, Load)];
+        let contiguous = run(EpochPolicy::Contiguous, &seq);
+        let per_addr = run(EpochPolicy::PerAddress, &seq);
+        assert_eq!(contiguous.iter().map(|f| f.epoch).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(per_addr.iter().map(|f| f.epoch).collect::<Vec<_>>(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn store_run_interrupted_by_other_address_is_serialized_under_contiguous() {
+        use AccessKind::{Load, Store};
+        let seq = [(0, X, Store), (1, Y, Load), (2, X, Store)];
+        let got = run(EpochPolicy::Contiguous, &seq);
+        // First X store is finalized at its own clock (run broken by Y).
+        assert_eq!(got[0].epoch, 0);
+        // Trailing X store flushed at its own clock.
+        assert_eq!(got[2].epoch, 2);
+    }
+
+    #[test]
+    fn trailing_store_flushes_at_own_clock() {
+        use AccessKind::Store;
+        let seq = [(0, X, Store), (1, X, Store), (2, X, Store)];
+        for policy in [EpochPolicy::Contiguous, EpochPolicy::PerAddress] {
+            let got = run(policy, &seq);
+            // First two share the run epoch; the last is flushed serialized.
+            assert_eq!(got.iter().map(|f| f.epoch).collect::<Vec<_>>(), vec![0, 0, 2]);
+        }
+    }
+
+    #[test]
+    fn ineligible_kinds_serialize_and_break_runs() {
+        use AccessKind::{Critical, Load};
+        let seq = [(0, X, Load), (1, X, Critical), (2, X, Load)];
+        let got = run(EpochPolicy::Contiguous, &seq);
+        assert_eq!(got.iter().map(|f| f.epoch).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let got = run(EpochPolicy::PerAddress, &seq);
+        assert_eq!(got.iter().map(|f| f.epoch).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pure_load_run_shares_one_epoch() {
+        use AccessKind::Load;
+        let seq: Vec<_> = (0..50u32).map(|t| (t, X, Load)).collect();
+        for policy in [EpochPolicy::Contiguous, EpochPolicy::PerAddress] {
+            let got = run(policy, &seq);
+            assert!(got.iter().all(|f| f.epoch == 0), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn deferred_counter_counts_grouped_stores() {
+        use AccessKind::Store;
+        let mut t = EpochTracker::new(EpochPolicy::Contiguous, 16);
+        t.observe(0, X, X.raw(), Store, 0);
+        t.observe(1, X, X.raw(), Store, 1); // finalizes store@0: epoch == clock for the first
+        t.observe(2, X, X.raw(), Store, 2); // finalizes store@1 with epoch 0 (deferred group)
+        t.flush();
+        // store@0: epoch 0 == clock 0, not counted; store@1: epoch 0 != 1.
+        assert_eq!(t.deferred_count(), 1);
+    }
+
+    #[test]
+    fn run_based_epochs_match_ring_xc_audit_for_single_site() {
+        use AccessKind::{Load, Store};
+        // For a single hot site and a long-enough ring, the run-based epoch
+        // must equal clock - lookup_xc for loads (the backward-looking X_C
+        // is exact for loads).
+        let mut t = EpochTracker::new(EpochPolicy::Contiguous, 128);
+        let mut audit = HistoryRing::new(128);
+        let mut finals: Vec<Finalized> = Vec::new();
+        let pattern = [Load, Load, Store, Store, Store, Load, Store, Load, Load];
+        let mut clock = 0u64;
+        for _ in 0..6 {
+            for &kind in &pattern {
+                if kind == Load {
+                    let xc = audit.lookup_xc(X, kind).expect("ring long enough");
+                    let obs = t.observe(0, X, X.raw(), kind, clock);
+                    let cur = obs.current.expect("loads finalize immediately");
+                    assert_eq!(cur.epoch, clock - xc, "load at clock {clock}");
+                    finals.extend(obs.iter());
+                } else {
+                    finals.extend(t.observe(0, X, X.raw(), kind, clock).iter());
+                }
+                audit.push(AccessRecord {
+                    clock,
+                    site: X,
+                    kind,
+                    thread: 0,
+                });
+                clock += 1;
+            }
+        }
+        finals.extend(t.flush());
+        assert_eq!(finals.len() as u64, clock);
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(
+            EpochPolicy::from_str_opt("contiguous"),
+            Some(EpochPolicy::Contiguous)
+        );
+        assert_eq!(
+            EpochPolicy::from_str_opt("per-address"),
+            Some(EpochPolicy::PerAddress)
+        );
+        assert_eq!(
+            EpochPolicy::from_str_opt("per-site"),
+            Some(EpochPolicy::PerAddress),
+            "legacy spelling accepted"
+        );
+        assert_eq!(EpochPolicy::from_str_opt("bogus"), None);
+        assert_eq!(EpochPolicy::Contiguous.name(), "contiguous");
+        assert_eq!(EpochPolicy::PerAddress.name(), "per-address");
+    }
+}

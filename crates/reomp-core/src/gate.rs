@@ -1,0 +1,665 @@
+//! The `gate_in`/`gate_out` engines for every scheme × mode pair.
+//!
+//! Each function body is annotated with the pseudo-code lines of the
+//! paper's Figure 4 (ST) and Figure 5 (DC/DE) it implements.
+//!
+//! Record-mode summary (all schemes serialize the region under lock `L`):
+//!
+//! ```text
+//! ST  (Fig. 4 l.1-8):  lock; <region>; append tid to shared log; unlock
+//! DC  (Fig. 5 l.20-24, X=0):   lock; <region>; clock=global_clock++;
+//!                              unlock; write clock to own file
+//! DE  (Fig. 5 l.20-24, X=X_C): lock; <region>; clock=global_clock++;
+//!                              epoch=clock-X_C (store epochs deferred one
+//!                              access); unlock; route finalized records to
+//!                              their owners' buffers
+//! ```
+//!
+//! Replay-mode summary:
+//!
+//! ```text
+//! ST  (Fig. 4 l.10-17): spin on next_tid; the thread that wins the baton
+//!                       reads the next record and publishes it; the
+//!                       matching thread runs the region and releases the
+//!                       baton (possibly acquired by another thread).
+//! DC  (Fig. 5 l.30-34): clock = own-file next; spin while clock != next_clock;
+//!                       <region>; next_clock++
+//! DE  (same, §IV-D):    epoch = own-file next; spin while next_clock < epoch;
+//!                       <region>; next_clock++   — same-epoch accesses overlap
+//! ```
+
+use crate::error::{Divergence, ReplayError};
+use crate::session::{RecEntry, Session, TID_EXHAUSTED, TID_NONE};
+use crate::site::{AccessKind, SiteId};
+use crate::sync::SpinWait;
+use crate::Scheme;
+use std::sync::atomic::Ordering;
+
+/// Record-mode `gate_in`: acquire the gate lock `L` (`set_lock(L)`,
+/// Fig. 4 line 1 / Fig. 5 line 20).
+pub(crate) fn record_in(session: &Session) {
+    let rec = session.rec.as_ref().expect("record mode");
+    rec.gate.lock();
+    session.stats.bump_lock();
+}
+
+/// Record-mode `gate_out`. `addr` is the memory location used for DE run
+/// grouping (Condition 1 is per-address).
+pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, kind: AccessKind) {
+    let rec = session.rec.as_ref().expect("record mode");
+    match session.scheme() {
+        Scheme::St => {
+            // Fig. 4 lines 6-8: record the thread ID to the single shared
+            // log *before* releasing the lock, so the logged order is the
+            // execution order.
+            // SAFETY: lock acquired in `record_in` on this thread.
+            let core = unsafe { rec.gate.get() };
+            core.st.as_mut().expect("st builder").push(tid, site, kind);
+            session.stats.bump_record_written();
+            // SAFETY: paired with the `record_in` lock.
+            unsafe { rec.gate.unlock() };
+        }
+        Scheme::Dc => {
+            // Fig. 5 lines 22-24 with X = 0.
+            // SAFETY: lock acquired in `record_in` on this thread.
+            let clock = {
+                let core = unsafe { rec.gate.get() };
+                let c = core.clock;
+                core.clock += 1;
+                c
+            };
+            // SAFETY: paired with the `record_in` lock.
+            unsafe { rec.gate.unlock() };
+            // Line 24 happens *after* unlock: the write to the thread's own
+            // record file overlaps other threads' region execution (§IV-C3).
+            rec.bufs[tid as usize].lock().push(RecEntry {
+                clock,
+                value: clock,
+                site: site.raw(),
+                kind: kind.code(),
+            });
+            session.stats.bump_record_written();
+        }
+        Scheme::De => {
+            // Fig. 5 lines 22-24 with X = X_C: assign the clock and let the
+            // epoch tracker decide which records become final. A store's
+            // epoch is deferred until the next access (Table V); the
+            // finalized record may therefore belong to *another* thread and
+            // is routed to that thread's buffer.
+            let observed = {
+                // SAFETY: lock acquired in `record_in` on this thread.
+                let core = unsafe { rec.gate.get() };
+                let clock = core.clock;
+                core.clock += 1;
+                core.tracker
+                    .as_mut()
+                    .expect("de tracker")
+                    .observe(tid, site, addr, kind, clock)
+            };
+            // SAFETY: paired with the `record_in` lock.
+            unsafe { rec.gate.unlock() };
+            for f in observed.iter() {
+                rec.bufs[f.thread as usize].lock().push(RecEntry {
+                    clock: f.clock,
+                    value: f.epoch,
+                    site: f.site.raw(),
+                    kind: f.kind.code(),
+                });
+                session.stats.bump_record_written();
+                if f.epoch != f.clock && f.kind == AccessKind::Store {
+                    session.stats.bump_deferred();
+                }
+            }
+        }
+    }
+}
+
+/// Replay-mode `gate_in`. Blocks until the recorded order admits this
+/// access; validates site/kind when the trace carries them.
+pub(crate) fn replay_in(
+    session: &Session,
+    tid: u32,
+    site: SiteId,
+    kind: AccessKind,
+) -> Result<(), ReplayError> {
+    match session.scheme() {
+        Scheme::St => replay_in_st(session, tid, site, kind),
+        Scheme::Dc | Scheme::De => replay_in_distributed(session, tid, site, kind),
+    }
+}
+
+/// Replay-mode `gate_out`.
+pub(crate) fn replay_out(session: &Session, _tid: u32) {
+    let rep = session.rep.as_ref().expect("replay mode");
+    match session.scheme() {
+        Scheme::St => {
+            // Fig. 4 line 17 (`unset_lock(L)`): invalidate `next_tid` so a
+            // stale match cannot re-admit this thread, then release the
+            // baton — one inter-thread communication (ST-3/ST-4 in Fig. 6).
+            rep.next_tid.store(TID_NONE, Ordering::Release);
+            session.stats.bump_comms(1);
+            rep.baton.release();
+        }
+        Scheme::Dc | Scheme::De => {
+            // Fig. 5 line 34: `next_clock++` — the single inter-thread
+            // communication of DC/DE replay (DC-1 in Fig. 7).
+            rep.turnstile.advance(&session.stats);
+        }
+    }
+}
+
+fn replay_in_st(
+    session: &Session,
+    tid: u32,
+    site: SiteId,
+    kind: AccessKind,
+) -> Result<(), ReplayError> {
+    let rep = session.rep.as_ref().expect("replay mode");
+    let st = rep.bundle.st.as_ref().expect("st trace");
+    let mut spin = SpinWait::new(&session.cfg.spin);
+
+    // Fig. 4 lines 10-15.
+    loop {
+        if rep.turnstile.is_aborted() {
+            return Err(ReplayError::Aborted);
+        }
+        let next = rep.next_tid.load(Ordering::Acquire);
+        if next == TID_EXHAUSTED {
+            return Err(ReplayError::TraceExhausted {
+                thread: tid,
+                available: st.len() as u64,
+            });
+        }
+        if next == tid {
+            // Line 11 exit: it is this thread's turn. Validate against the
+            // published record before entering the region.
+            if session.cfg.validate_sites && st.sites.is_some() {
+                session.stats.bump_validate();
+                let recorded_site = SiteId(rep.next_site.load(Ordering::Relaxed));
+                let recorded_kind =
+                    AccessKind::from_code(rep.next_kind.load(Ordering::Relaxed) as u8);
+                if recorded_site != site || recorded_kind != Some(kind) {
+                    let seq = rep.st_pos.load(Ordering::Relaxed).saturating_sub(1) as u64;
+                    return Err(Divergence {
+                        thread: tid,
+                        seq,
+                        recorded_site: Some(recorded_site),
+                        actual_site: site,
+                        recorded_kind,
+                        actual_kind: kind,
+                    }
+                    .into());
+                }
+            }
+            return Ok(());
+        }
+        // Lines 12-13: any thread may become the reader by winning the
+        // baton; it stays locked until the *replayed* thread's gate_out.
+        if rep.baton.try_acquire() {
+            session.stats.bump_lock();
+            let pos = rep.st_pos.load(Ordering::Relaxed);
+            if pos >= st.len() {
+                // More accesses are being attempted than were recorded.
+                rep.next_tid.store(TID_EXHAUSTED, Ordering::Release);
+                rep.baton.release();
+                return Err(ReplayError::TraceExhausted {
+                    thread: tid,
+                    available: st.len() as u64,
+                });
+            }
+            let next_tid = st.tids[pos];
+            if let Some(sites) = &st.sites {
+                rep.next_site.store(sites[pos], Ordering::Relaxed);
+            }
+            if let Some(kinds) = &st.kinds {
+                rep.next_kind.store(u32::from(kinds[pos]), Ordering::Relaxed);
+            }
+            rep.st_pos.store(pos + 1, Ordering::Relaxed);
+            // Publish last, with Release, so the matching thread sees the
+            // site/kind written above.
+            rep.next_tid.store(next_tid, Ordering::Release);
+            session.stats.bump_record_read();
+            if next_tid != tid {
+                // ST-2 in Fig. 6: `next_tid` must travel from the reader to
+                // the replayed thread — the second communication that DC
+                // replay does not pay (§IV-C2).
+                session.stats.bump_comms(1);
+            }
+            continue;
+        }
+        spin.step(tid, site, u64::from(tid), || {
+            u64::from(rep.next_tid.load(Ordering::Acquire))
+        })?;
+    }
+}
+
+fn replay_in_distributed(
+    session: &Session,
+    tid: u32,
+    site: SiteId,
+    kind: AccessKind,
+) -> Result<(), ReplayError> {
+    let rep = session.rep.as_ref().expect("replay mode");
+    let trace = &rep.bundle.threads[tid as usize];
+
+    // Fig. 5 line 31: read the next clock/epoch from the thread's own file.
+    let pos = rep.cursors[tid as usize].fetch_add(1, Ordering::Relaxed);
+    if pos >= trace.len() {
+        return Err(ReplayError::TraceExhausted {
+            thread: tid,
+            available: trace.len() as u64,
+        });
+    }
+    let value = trace.values[pos];
+    session.stats.bump_record_read();
+
+    // Validate before waiting: a divergence is certain regardless of the
+    // turnstile, and failing early avoids a guaranteed watchdog timeout.
+    if session.cfg.validate_sites {
+        if let (Some(recorded_site), recorded_kind) = (trace.site_at(pos), trace.kind_at(pos)) {
+            session.stats.bump_validate();
+            if recorded_site != site || recorded_kind != Some(kind) {
+                return Err(Divergence {
+                    thread: tid,
+                    seq: pos as u64,
+                    recorded_site: Some(recorded_site),
+                    actual_site: site,
+                    recorded_kind,
+                    actual_kind: kind,
+                }
+                .into());
+            }
+        }
+    }
+
+    // Fig. 5 line 32.
+    match session.scheme() {
+        Scheme::Dc => {
+            rep.turnstile
+                .wait_exact(value, tid, site, &session.cfg.spin, &session.stats)?;
+        }
+        Scheme::De => {
+            rep.turnstile
+                .wait_at_least(value, tid, site, &session.cfg.spin, &session.stats)?;
+        }
+        Scheme::St => unreachable!("st handled separately"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    //! Scheme-level record/replay tests exercising the full gate paths.
+    //! Cross-crate integration tests live in the workspace `tests/` tree.
+
+    use crate::error::ReplayError;
+    use crate::session::{Scheme, Session, SessionConfig};
+    use crate::site::{AccessKind, SiteId};
+    use crate::sync::SpinConfig;
+    use crate::trace::TraceBundle;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SITE: SiteId = SiteId(0x5157_e001);
+
+    /// A racy shared counter: each increment is a gated load followed by a
+    /// gated store, like a `sum += 1` data race compiled to instructions.
+    fn racy_workload(
+        session: &Arc<Session>,
+        nthreads: u32,
+        iters: usize,
+    ) -> (u64, Vec<u64>) {
+        let shared = AtomicU64::new(0);
+        let order = parking_lot::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for tid in 0..nthreads {
+                let ctx = session.register_thread(tid);
+                let shared = &shared;
+                let order = &order;
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        let v = ctx.gate(SITE, AccessKind::Load, || {
+                            shared.load(Ordering::Relaxed)
+                        });
+                        ctx.gate(SITE, AccessKind::Store, || {
+                            order.lock().push(u64::from(ctx.tid()));
+                            shared.store(v + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        (shared.load(Ordering::Relaxed), order.into_inner())
+    }
+
+    fn record_racy(scheme: Scheme, nthreads: u32, iters: usize) -> (u64, Vec<u64>, TraceBundle) {
+        let session = Session::record(scheme, nthreads);
+        let (sum, order) = racy_workload(&session, nthreads, iters);
+        let report = session.finish().unwrap();
+        assert_eq!(
+            report.stats.records_written,
+            u64::from(nthreads) * iters as u64 * 2
+        );
+        (sum, order, report.bundle.unwrap())
+    }
+
+    #[test]
+    fn record_replay_preserves_result_all_schemes() {
+        for scheme in Scheme::ALL {
+            let (sum, store_order, bundle) = record_racy(scheme, 4, 25);
+            assert_eq!(bundle.total_records(), 4 * 25 * 2);
+
+            let replay = Session::replay(bundle).unwrap();
+            let (replay_sum, replay_order) = racy_workload(&replay, 4, 25);
+            let report = replay.finish().unwrap();
+            assert_eq!(report.failure, None, "{scheme:?}");
+            assert_eq!(report.fully_consumed, Some(true), "{scheme:?}");
+            assert_eq!(
+                replay_sum, sum,
+                "{scheme:?}: replay must reproduce the racy final value"
+            );
+            // ST and DC reproduce the exact store interleaving. DE may
+            // permute *within* an epoch, but stores that change the final
+            // value are serialized, so the value check above is the
+            // contract; for ST/DC also check the order verbatim.
+            if scheme != Scheme::De {
+                assert_eq!(replay_order, store_order, "{scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_replay_reproduces_exact_global_order() {
+        let (_, _, bundle) = record_racy(Scheme::Dc, 3, 40);
+        // Check the bundle is a dense clock permutation (validated) and the
+        // global order interleaves all threads.
+        bundle.validate().unwrap();
+        let order = bundle.global_order();
+        assert_eq!(order.len(), 3 * 40 * 2);
+        assert_eq!(order.first().unwrap().0, 0);
+    }
+
+    #[test]
+    fn de_trace_contains_shared_epochs_for_load_runs() {
+        // Loads-only workload: every concurrent load run shares an epoch.
+        let session = Session::record(Scheme::De, 4);
+        std::thread::scope(|s| {
+            for tid in 0..4 {
+                let ctx = session.register_thread(tid);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        ctx.gate(SITE, AccessKind::Load, || ());
+                    }
+                });
+            }
+        });
+        let report = session.finish().unwrap();
+        let hist = report.epoch_histogram().unwrap();
+        assert!(
+            hist.max_size() > 1,
+            "pure load traffic must produce shared epochs, got {hist}"
+        );
+        // Everything is a load: a single run -> a single epoch of size 40.
+        assert_eq!(hist.total_accesses(), 40);
+        assert_eq!(hist.counts.get(&40), Some(&1), "{hist}");
+    }
+
+    #[test]
+    fn st_uses_single_stream_dc_uses_per_thread_files() {
+        let (_, _, st_bundle) = record_racy(Scheme::St, 2, 5);
+        assert!(st_bundle.st.is_some());
+        assert!(st_bundle.threads.iter().all(|t| t.is_empty()));
+
+        let (_, _, dc_bundle) = record_racy(Scheme::Dc, 2, 5);
+        assert!(dc_bundle.st.is_none());
+        assert!(dc_bundle.threads.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn replay_detects_site_divergence() {
+        for scheme in Scheme::ALL {
+            let (_, _, bundle) = record_racy(scheme, 2, 5);
+            let replay = Session::replay(bundle).unwrap();
+            let wrong = SiteId(0xbad);
+            let err = std::thread::scope(|s| {
+                let h0 = {
+                    let ctx = replay.register_thread(0);
+                    s.spawn(move || {
+                        let mut first_err = None;
+                        for _ in 0..5 {
+                            let r = ctx.try_gate(wrong, AccessKind::Load, || ());
+                            if let Err(e) = r {
+                                first_err = Some(e);
+                                break;
+                            }
+                            let _ = ctx.try_gate(SITE, AccessKind::Store, || ());
+                        }
+                        first_err
+                    })
+                };
+                let h1 = {
+                    let ctx = replay.register_thread(1);
+                    s.spawn(move || {
+                        let mut first_err = None;
+                        for _ in 0..5 {
+                            if let Err(e) = ctx.try_gate(SITE, AccessKind::Load, || ()) {
+                                first_err = Some(e);
+                                break;
+                            }
+                            if let Err(e) = ctx.try_gate(SITE, AccessKind::Store, || ()) {
+                                first_err = Some(e);
+                                break;
+                            }
+                        }
+                        first_err
+                    })
+                };
+                let e0 = h0.join().unwrap();
+                let e1 = h1.join().unwrap();
+                e0.or(e1)
+            });
+            let err = err.expect("some thread must observe a failure");
+            match err {
+                ReplayError::Divergence(d) => {
+                    assert_eq!(d.actual_site, wrong, "{scheme:?}");
+                }
+                ReplayError::Aborted => { /* the other thread diverged first */ }
+                other => panic!("{scheme:?}: unexpected error {other}"),
+            }
+            assert!(replay.failure().is_some(), "{scheme:?}");
+            let _ = replay.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn replay_detects_trace_exhaustion() {
+        for scheme in Scheme::ALL {
+            let (_, _, bundle) = record_racy(scheme, 2, 3);
+            let replay = Session::replay(bundle).unwrap();
+            // Thread 0 performs one extra gated access beyond its recording.
+            let errs = std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for tid in 0..2u32 {
+                    let ctx = replay.register_thread(tid);
+                    handles.push(s.spawn(move || {
+                        let extra = if ctx.tid() == 0 { 1 } else { 0 };
+                        let mut first_err = None;
+                        for _ in 0..(3 + extra) {
+                            for kind in [AccessKind::Load, AccessKind::Store] {
+                                if let Err(e) = ctx.try_gate(SITE, kind, || ()) {
+                                    first_err.get_or_insert(e);
+                                }
+                            }
+                        }
+                        first_err
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .filter_map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            });
+            assert!(
+                errs.iter().any(|e| matches!(
+                    e,
+                    ReplayError::TraceExhausted { .. } | ReplayError::Aborted
+                )),
+                "{scheme:?}: got {errs:?}"
+            );
+            let _ = replay.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn replay_watchdog_times_out_when_predecessor_never_arrives() {
+        // A DC trace where thread 0's second access (clock 2) follows an
+        // access of thread 1 (clock 1). Replay with thread 1 never gating:
+        // thread 0 must time out (not hang) waiting for clock 1.
+        let mk_thread = |values: Vec<u64>, kinds: Vec<u8>| crate::trace::ThreadTrace {
+            sites: Some(vec![SITE.raw(); values.len()]),
+            kinds: Some(kinds),
+            values,
+        };
+        let bundle = TraceBundle {
+            scheme: Scheme::Dc,
+            nthreads: 2,
+            threads: vec![
+                mk_thread(vec![0, 2], vec![AccessKind::Load.code(), AccessKind::Store.code()]),
+                mk_thread(vec![1, 3], vec![AccessKind::Load.code(), AccessKind::Store.code()]),
+            ],
+            st: None,
+        };
+        let cfg = SessionConfig {
+            spin: SpinConfig {
+                spin_hints: 8,
+                timeout: Some(Duration::from_millis(100)),
+            },
+            ..Default::default()
+        };
+        let replay = Session::replay_with(bundle, cfg).unwrap();
+        let err = std::thread::scope(|s| {
+            let ctx0 = replay.register_thread(0);
+            let ctx1 = replay.register_thread(1);
+            let h = s.spawn(move || {
+                let mut first_err = None;
+                for kind in [AccessKind::Load, AccessKind::Store] {
+                    if let Err(e) = ctx0.try_gate(SITE, kind, || ()) {
+                        first_err.get_or_insert(e);
+                    }
+                }
+                first_err
+            });
+            drop(ctx1); // thread 1 exits without gating
+            h.join().unwrap()
+        });
+        match err {
+            Some(ReplayError::Timeout { .. }) => {}
+            other => panic!("expected watchdog timeout, got {other:?}"),
+        }
+        let report = replay.finish().unwrap();
+        assert_eq!(report.fully_consumed, Some(false));
+        assert!(report.failure.unwrap().contains("watchdog"));
+    }
+
+    #[test]
+    fn critical_kind_serializes_under_de() {
+        // Critical sections must not share epochs even under DE.
+        let session = Session::record(Scheme::De, 3);
+        std::thread::scope(|s| {
+            for tid in 0..3 {
+                let ctx = session.register_thread(tid);
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        ctx.gate(SITE, AccessKind::Critical, || ());
+                    }
+                });
+            }
+        });
+        let report = session.finish().unwrap();
+        let hist = report.epoch_histogram().unwrap();
+        assert_eq!(hist.max_size(), 1, "criticals serialize: {hist}");
+        assert_eq!(hist.total_accesses(), 15);
+    }
+
+    #[test]
+    fn de_record_stats_count_deferred_stores() {
+        let session = Session::record(Scheme::De, 2);
+        std::thread::scope(|s| {
+            for tid in 0..2 {
+                let ctx = session.register_thread(tid);
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        ctx.gate(SITE, AccessKind::Store, || ());
+                    }
+                });
+            }
+        });
+        let report = session.finish().unwrap();
+        assert!(
+            report.stats.deferred_finalizations > 0,
+            "store runs must produce deferred finalizations"
+        );
+    }
+
+    #[test]
+    fn st_replay_comms_exceed_dc_replay_comms() {
+        // §IV-C2: ST replay needs up to 2 inter-thread comms per region
+        // (next_tid hand-off + lock release), DC/DE exactly 1. A recorded
+        // run on few cores can have long same-thread runs where reader ==
+        // replayed thread (the paper's 1-comm special case), so replay a
+        // *synthetic round-robin* ST trace where the reader is almost never
+        // the replayed thread.
+        let nthreads = 4u32;
+        let iters = 30usize;
+
+        // DC: comms per gate is exactly 1 by construction.
+        let (sum, _, dc_bundle) = record_racy(Scheme::Dc, nthreads, iters);
+        let replay = Session::replay(dc_bundle).unwrap();
+        let (rsum, _) = racy_workload(&replay, nthreads, iters);
+        assert_eq!(rsum, sum);
+        let report = replay.finish().unwrap();
+        assert_eq!(report.failure, None);
+        let dc = report.stats.comms_per_gate();
+        assert!((dc - 1.0).abs() < 1e-9, "DC replay is 1 comm/gate, got {dc}");
+
+        // ST: round-robin recorded order L0 L1 L2 L3 S0 S1 S2 S3 ...
+        let mut tids = Vec::new();
+        let mut kinds = Vec::new();
+        for _ in 0..iters {
+            for kind in [AccessKind::Load, AccessKind::Store] {
+                for t in 0..nthreads {
+                    tids.push(t);
+                    kinds.push(kind.code());
+                }
+            }
+        }
+        let n = tids.len();
+        let st_bundle = TraceBundle {
+            scheme: Scheme::St,
+            nthreads,
+            threads: vec![Default::default(); nthreads as usize],
+            st: Some(crate::trace::StTrace {
+                tids,
+                sites: Some(vec![SITE.raw(); n]),
+                kinds: Some(kinds),
+            }),
+        };
+        let replay = Session::replay(st_bundle).unwrap();
+        let (_, order) = racy_workload(&replay, nthreads, iters);
+        let report = replay.finish().unwrap();
+        assert_eq!(report.failure, None);
+        assert_eq!(report.fully_consumed, Some(true));
+        // The enforced store order is the round-robin one.
+        let expect: Vec<u64> = (0..iters)
+            .flat_map(|_| 0..u64::from(nthreads))
+            .collect();
+        assert_eq!(order, expect);
+        let st = report.stats.comms_per_gate();
+        assert!(
+            st > dc,
+            "ST replay ({st}) must communicate more than DC ({dc})"
+        );
+        assert!(st <= 2.0 + 1e-9, "at most 2 comms/gate, got {st}");
+    }
+}

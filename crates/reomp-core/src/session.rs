@@ -1,0 +1,720 @@
+//! Session orchestration: one [`Session`] per record or replay run.
+//!
+//! A session owns the shared gate state (the paper's `global_clock`,
+//! `next_clock`, `next_tid`, lock `L`, and trace buffers) plus statistics.
+//! Runtime threads obtain a [`ThreadCtx`] via [`Session::register_thread`]
+//! and wrap each shared-memory access region in [`ThreadCtx::gate`].
+//!
+//! Like the paper's `libreomp.so` (§V), the mode can be chosen with
+//! environment variables: `REOMP_MODE` (`off`/`record`/`replay`),
+//! `REOMP_SCHEME` (`st`/`dc`/`de`), `REOMP_EPOCH_POLICY`, and `REOMP_DIR`
+//! for the record-file directory.
+
+use crate::clock::Turnstile;
+use crate::epoch::{EpochPolicy, EpochTracker};
+use crate::error::{FinishError, ReplayError, TraceError};
+use crate::gate;
+use crate::site::{AccessKind, SiteId};
+use crate::stats::{EpochHistogram, Stats, StatsSnapshot};
+use crate::store::{DirStore, IoReport, TraceStore};
+use crate::sync::{BatonLock, RawLocked, SpinConfig};
+use crate::trace::{StTrace, ThreadTrace, TraceBundle};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Recording scheme (paper §IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Serialized thread-ID recording — the traditional baseline (§IV-A).
+    St,
+    /// Distributed clock recording (§IV-B).
+    Dc,
+    /// Distributed epoch recording (§IV-D).
+    De,
+}
+
+impl Scheme {
+    /// Stable one-byte code used in trace headers.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Scheme::St => 0,
+            Scheme::Dc => 1,
+            Scheme::De => 2,
+        }
+    }
+
+    /// Inverse of [`Scheme::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Scheme> {
+        Some(match code {
+            0 => Scheme::St,
+            1 => Scheme::Dc,
+            2 => Scheme::De,
+            _ => return None,
+        })
+    }
+
+    /// Lower-case name (`st`, `dc`, `de`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::St => "st",
+            Scheme::Dc => "dc",
+            Scheme::De => "de",
+        }
+    }
+
+    /// Parse a name as produced by [`Scheme::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Scheme> {
+        match s.to_ascii_lowercase().as_str() {
+            "st" => Some(Scheme::St),
+            "dc" => Some(Scheme::Dc),
+            "de" => Some(Scheme::De),
+            _ => None,
+        }
+    }
+
+    /// All schemes, baseline first.
+    pub const ALL: [Scheme; 3] = [Scheme::St, Scheme::Dc, Scheme::De];
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a session does at each gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Gates are no-ops (execution `w/o ReOMP` in the figures).
+    Passthrough,
+    /// Gates record the access order.
+    Record,
+    /// Gates enforce a previously recorded order.
+    Replay,
+}
+
+/// Tuning knobs for a session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// DE run-boundary policy (see [`EpochPolicy`]).
+    pub epoch_policy: EpochPolicy,
+    /// Capacity of the DE access-history ring buffer (diagnostics/audit).
+    pub ring_capacity: usize,
+    /// Replay spin-wait/watchdog policy.
+    pub spin: SpinConfig,
+    /// Record per-access sites and kinds so replay can detect divergence.
+    pub validate_sites: bool,
+    /// If set, only these sites are gated; everything else bypasses the
+    /// recorder (the instrumentation plan produced by the race-detection
+    /// step of the toolflow, Fig. 2 step (1)).
+    pub gate_plan: Option<HashSet<SiteId>>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            epoch_policy: EpochPolicy::default(),
+            ring_capacity: 64,
+            spin: SpinConfig::default(),
+            validate_sites: true,
+            gate_plan: None,
+        }
+    }
+}
+
+/// One finalized-but-unsorted record produced during a record run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RecEntry {
+    pub clock: u64,
+    pub value: u64,
+    pub site: u64,
+    pub kind: u8,
+}
+
+/// State guarded by the gate lock `L` during record runs.
+pub(crate) struct RecCore {
+    /// The paper's `global_clock` (Fig. 5 line 22). Kept as a plain field
+    /// because it is only touched under the gate lock.
+    pub clock: u64,
+    /// DE epoch tracker (None for ST/DC).
+    pub tracker: Option<EpochTracker>,
+    /// ST shared log builder (None for DC/DE).
+    pub st: Option<StBuilder>,
+}
+
+/// Builder for the single shared ST record stream.
+pub(crate) struct StBuilder {
+    pub tids: Vec<u32>,
+    pub sites: Vec<u64>,
+    pub kinds: Vec<u8>,
+    pub validate: bool,
+}
+
+impl StBuilder {
+    pub(crate) fn push(&mut self, tid: u32, site: SiteId, kind: AccessKind) {
+        self.tids.push(tid);
+        if self.validate {
+            self.sites.push(site.raw());
+            self.kinds.push(kind.code());
+        }
+    }
+}
+
+pub(crate) struct RecordState {
+    /// Gate lock + state; locked at `gate_in`, unlocked at `gate_out`.
+    pub gate: RawLocked<RecCore>,
+    /// Per-thread record buffers (Fig. 3-(b): one record file per thread).
+    pub bufs: Vec<Mutex<Vec<RecEntry>>>,
+}
+
+/// Sentinel `next_tid` values for ST replay.
+pub(crate) const TID_NONE: u32 = u32::MAX;
+pub(crate) const TID_EXHAUSTED: u32 = u32::MAX - 1;
+
+pub(crate) struct ReplayState {
+    pub bundle: TraceBundle,
+    /// The `next_clock` turnstile (DC/DE) — also used as the global abort
+    /// flag for ST replay.
+    pub turnstile: Turnstile,
+    /// Per-thread read positions into the per-thread traces.
+    pub cursors: Vec<AtomicUsize>,
+    /// ST: the baton lock `L` of Fig. 4.
+    pub baton: BatonLock,
+    /// ST: shared read position into the single record stream.
+    pub st_pos: AtomicUsize,
+    /// ST: the published `next_tid` (Fig. 4 line 13).
+    pub next_tid: AtomicU32,
+    /// ST: site hash published with `next_tid` for replay validation.
+    pub next_site: AtomicU64,
+    /// ST: kind code published with `next_tid`.
+    pub next_kind: AtomicU32,
+}
+
+/// A record or replay run.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Session {
+    pub(crate) cfg: SessionConfig,
+    mode: Mode,
+    scheme: Scheme,
+    nthreads: u32,
+    pub(crate) stats: Stats,
+    pub(crate) rec: Option<RecordState>,
+    pub(crate) rep: Option<ReplayState>,
+    active: AtomicU32,
+    finished: AtomicBool,
+    failure: Mutex<Option<String>>,
+}
+
+impl Session {
+    /// A session whose gates do nothing (baseline `w/o ReOMP`).
+    #[must_use]
+    pub fn passthrough(nthreads: u32) -> Arc<Session> {
+        Arc::new(Session::build(Mode::Passthrough, Scheme::De, nthreads, SessionConfig::default(), None))
+    }
+
+    /// Start a record run with default configuration.
+    #[must_use]
+    pub fn record(scheme: Scheme, nthreads: u32) -> Arc<Session> {
+        Session::record_with(scheme, nthreads, SessionConfig::default())
+    }
+
+    /// Start a record run with explicit configuration.
+    #[must_use]
+    pub fn record_with(scheme: Scheme, nthreads: u32, cfg: SessionConfig) -> Arc<Session> {
+        Arc::new(Session::build(Mode::Record, scheme, nthreads, cfg, None))
+    }
+
+    /// Start a replay run of `bundle` with default configuration.
+    pub fn replay(bundle: TraceBundle) -> Result<Arc<Session>, TraceError> {
+        Session::replay_with(bundle, SessionConfig::default())
+    }
+
+    /// Start a replay run with explicit configuration.
+    pub fn replay_with(
+        bundle: TraceBundle,
+        cfg: SessionConfig,
+    ) -> Result<Arc<Session>, TraceError> {
+        bundle.validate()?;
+        let scheme = bundle.scheme;
+        let nthreads = bundle.nthreads;
+        Ok(Arc::new(Session::build(
+            Mode::Replay,
+            scheme,
+            nthreads,
+            cfg,
+            Some(bundle),
+        )))
+    }
+
+    /// Build a session from the `REOMP_MODE`/`REOMP_SCHEME`/`REOMP_DIR`
+    /// environment, loading the trace from the directory store for replay.
+    /// Unset or `off` mode yields a passthrough session.
+    pub fn from_env(nthreads: u32) -> Result<Arc<Session>, TraceError> {
+        let mode = std::env::var("REOMP_MODE").unwrap_or_else(|_| "off".into());
+        let scheme = std::env::var("REOMP_SCHEME")
+            .ok()
+            .and_then(|s| Scheme::parse(&s))
+            .unwrap_or(Scheme::De);
+        let mut cfg = SessionConfig::default();
+        if let Ok(p) = std::env::var("REOMP_EPOCH_POLICY") {
+            if let Some(policy) = EpochPolicy::from_str_opt(&p) {
+                cfg.epoch_policy = policy;
+            }
+        }
+        match mode.to_ascii_lowercase().as_str() {
+            "record" => Ok(Session::record_with(scheme, nthreads, cfg)),
+            "replay" => {
+                let (bundle, _) = Session::env_store().load()?;
+                Session::replay_with(bundle, cfg)
+            }
+            _ => Ok(Session::passthrough(nthreads)),
+        }
+    }
+
+    /// The directory store selected by `REOMP_DIR` (default:
+    /// `<tmp>/reomp-trace`, which lives on tmpfs on Linux like the paper's
+    /// record-file placement).
+    #[must_use]
+    pub fn env_store() -> DirStore {
+        let dir = std::env::var_os("REOMP_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("reomp-trace"));
+        DirStore::new(dir)
+    }
+
+    fn build(
+        mode: Mode,
+        scheme: Scheme,
+        nthreads: u32,
+        cfg: SessionConfig,
+        bundle: Option<TraceBundle>,
+    ) -> Session {
+        assert!(nthreads > 0, "a session needs at least one thread");
+        let rec = (mode == Mode::Record).then(|| RecordState {
+            gate: RawLocked::new(RecCore {
+                clock: 0,
+                tracker: (scheme == Scheme::De)
+                    .then(|| EpochTracker::new(cfg.epoch_policy, cfg.ring_capacity)),
+                st: (scheme == Scheme::St).then(|| StBuilder {
+                    tids: Vec::new(),
+                    sites: Vec::new(),
+                    kinds: Vec::new(),
+                    validate: cfg.validate_sites,
+                }),
+            }),
+            bufs: (0..nthreads).map(|_| Mutex::new(Vec::new())).collect(),
+        });
+        let rep = bundle.map(|bundle| ReplayState {
+            cursors: (0..nthreads).map(|_| AtomicUsize::new(0)).collect(),
+            turnstile: Turnstile::new(),
+            baton: BatonLock::new(),
+            st_pos: AtomicUsize::new(0),
+            next_tid: AtomicU32::new(TID_NONE),
+            next_site: AtomicU64::new(0),
+            next_kind: AtomicU32::new(0),
+            bundle,
+        });
+        Session {
+            cfg,
+            mode,
+            scheme,
+            nthreads,
+            stats: Stats::new(),
+            rec,
+            rep,
+            active: AtomicU32::new(0),
+            finished: AtomicBool::new(false),
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// Session mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Recording scheme.
+    #[must_use]
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Number of threads the session was created for.
+    #[must_use]
+    pub fn nthreads(&self) -> u32 {
+        self.nthreads
+    }
+
+    /// Live statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Register the calling thread as `tid` (0-based, `< nthreads`).
+    ///
+    /// The returned context is the handle through which the thread passes
+    /// gates. A `tid` may be re-registered in a later parallel region after
+    /// the previous context was dropped; cursors and clocks persist across
+    /// regions.
+    #[must_use]
+    pub fn register_thread(self: &Arc<Self>, tid: u32) -> ThreadCtx {
+        assert!(tid < self.nthreads, "tid {tid} >= nthreads {}", self.nthreads);
+        assert!(
+            !self.finished.load(Ordering::SeqCst),
+            "session already finished"
+        );
+        self.active.fetch_add(1, Ordering::SeqCst);
+        ThreadCtx {
+            session: Arc::clone(self),
+            tid,
+        }
+    }
+
+    /// Record the first failure and release all replay waiters.
+    pub(crate) fn fail(&self, err: &ReplayError) {
+        let mut slot = self.failure.lock();
+        if slot.is_none() {
+            *slot = Some(err.to_string());
+        }
+        if let Some(rep) = &self.rep {
+            rep.turnstile.abort();
+        }
+    }
+
+    /// The first replay failure observed, if any.
+    #[must_use]
+    pub fn failure(&self) -> Option<String> {
+        self.failure.lock().clone()
+    }
+
+    /// Finish the run: flush pending DE stores, assemble the trace bundle
+    /// (record mode), and produce the final report. All [`ThreadCtx`]s must
+    /// have been dropped.
+    pub fn finish(&self) -> Result<SessionReport, FinishError> {
+        let active = self.active.load(Ordering::SeqCst);
+        if active != 0 {
+            return Err(FinishError::ThreadsActive(active));
+        }
+        if self.finished.swap(true, Ordering::SeqCst) {
+            return Err(FinishError::AlreadyFinished);
+        }
+
+        let mut bundle = None;
+        let mut fully_consumed = None;
+        match self.mode {
+            Mode::Passthrough => {}
+            Mode::Record => {
+                let rec = self.rec.as_ref().expect("record state");
+                // Flush the DE tracker's pending stores (trailing stores
+                // get their own clock — always safe).
+                rec.gate.with(|core| {
+                    if let Some(tracker) = &mut core.tracker {
+                        for f in tracker.flush() {
+                            rec.bufs[f.thread as usize].lock().push(RecEntry {
+                                clock: f.clock,
+                                value: f.epoch,
+                                site: f.site.raw(),
+                                kind: f.kind.code(),
+                            });
+                            self.stats.bump_record_written();
+                        }
+                    }
+                });
+                bundle = Some(self.assemble_bundle());
+            }
+            Mode::Replay => {
+                let rep = self.rep.as_ref().expect("replay state");
+                let consumed = match &rep.bundle.st {
+                    Some(st) => rep.st_pos.load(Ordering::SeqCst) == st.len(),
+                    None => rep
+                        .cursors
+                        .iter()
+                        .zip(&rep.bundle.threads)
+                        .all(|(c, t)| c.load(Ordering::SeqCst) >= t.len()),
+                };
+                fully_consumed = Some(consumed);
+            }
+        }
+
+        Ok(SessionReport {
+            scheme: self.scheme,
+            mode: self.mode,
+            stats: self.stats.snapshot(),
+            bundle,
+            fully_consumed,
+            failure: self.failure.lock().clone(),
+        })
+    }
+
+    fn assemble_bundle(&self) -> TraceBundle {
+        let rec = self.rec.as_ref().expect("record state");
+        let validate = self.cfg.validate_sites;
+
+        let st = rec.gate.with(|core| {
+            core.st.take().map(|b| StTrace {
+                tids: b.tids,
+                sites: validate.then_some(b.sites),
+                kinds: validate.then_some(b.kinds),
+            })
+        });
+
+        let threads: Vec<ThreadTrace> = rec
+            .bufs
+            .iter()
+            .map(|buf| {
+                let mut entries = std::mem::take(&mut *buf.lock());
+                // DE deferral may append a record finalized by a later
+                // access after the owner's own later records; restore the
+                // thread's program order by clock.
+                entries.sort_unstable_by_key(|e| e.clock);
+                ThreadTrace {
+                    values: entries.iter().map(|e| e.value).collect(),
+                    sites: validate.then(|| entries.iter().map(|e| e.site).collect()),
+                    kinds: validate.then(|| entries.iter().map(|e| e.kind).collect()),
+                }
+            })
+            .collect();
+
+        let bundle = TraceBundle {
+            scheme: self.scheme,
+            nthreads: self.nthreads,
+            threads,
+            st,
+        };
+        debug_assert!(bundle.validate().is_ok(), "assembled bundle is consistent");
+        bundle
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("mode", &self.mode)
+            .field("scheme", &self.scheme)
+            .field("nthreads", &self.nthreads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-thread gate handle (the instrumented thread's view of `libreomp`).
+#[derive(Debug)]
+pub struct ThreadCtx {
+    session: Arc<Session>,
+    tid: u32,
+}
+
+impl ThreadCtx {
+    /// This thread's 0-based ID.
+    #[must_use]
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// The owning session.
+    #[must_use]
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// Execute `f` as a shared-memory access region bracketed by
+    /// `gate_in`/`gate_out` (Fig. 1). Panics on replay failure; see
+    /// [`ThreadCtx::try_gate`] for the fallible form. The site hash doubles
+    /// as the memory address for DE run grouping; use
+    /// [`ThreadCtx::gate_at`] when one instruction touches many locations.
+    #[inline]
+    pub fn gate<R>(&self, site: SiteId, kind: AccessKind, f: impl FnOnce() -> R) -> R {
+        self.gate_at(site, site.raw(), kind, f)
+    }
+
+    /// [`ThreadCtx::gate`] with an explicit memory address: Condition 1
+    /// (§IV-D) groups runs per *address*, while the *site* identifies the
+    /// instrumented instruction for replay validation.
+    #[inline]
+    pub fn gate_at<R>(
+        &self,
+        site: SiteId,
+        addr: u64,
+        kind: AccessKind,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        match self.try_gate_at(site, addr, kind, f) {
+            Ok(r) => r,
+            Err(e) => panic!("reomp gate failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`ThreadCtx::gate`].
+    pub fn try_gate<R>(
+        &self,
+        site: SiteId,
+        kind: AccessKind,
+        f: impl FnOnce() -> R,
+    ) -> Result<R, ReplayError> {
+        self.try_gate_at(site, site.raw(), kind, f)
+    }
+
+    /// Fallible gate with an explicit address: returns the replay error
+    /// instead of panicking. The session is marked failed and all other
+    /// waiters are released either way.
+    pub fn try_gate_at<R>(
+        &self,
+        site: SiteId,
+        addr: u64,
+        kind: AccessKind,
+        f: impl FnOnce() -> R,
+    ) -> Result<R, ReplayError> {
+        let session = &*self.session;
+        // Instrumentation-plan bypass: ungated sites run untouched.
+        if let Some(plan) = &session.cfg.gate_plan {
+            if !plan.contains(&site) {
+                return Ok(f());
+            }
+        }
+        session.stats.bump_gate(kind);
+        match session.mode {
+            Mode::Passthrough => Ok(f()),
+            Mode::Record => {
+                gate::record_in(session);
+                let out = f();
+                gate::record_out(session, self.tid, site, addr, kind);
+                Ok(out)
+            }
+            Mode::Replay => {
+                if let Err(e) = gate::replay_in(session, self.tid, site, kind) {
+                    session.fail(&e);
+                    return Err(e);
+                }
+                let out = f();
+                gate::replay_out(session, self.tid);
+                Ok(out)
+            }
+        }
+    }
+}
+
+impl Drop for ThreadCtx {
+    fn drop(&mut self) {
+        self.session.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Outcome of a finished session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Scheme of the run.
+    pub scheme: Scheme,
+    /// Mode of the run.
+    pub mode: Mode,
+    /// Final statistics.
+    pub stats: StatsSnapshot,
+    /// The recorded trace (record mode only).
+    pub bundle: Option<TraceBundle>,
+    /// Replay mode: whether every recorded access was consumed.
+    pub fully_consumed: Option<bool>,
+    /// First replay failure, if any.
+    pub failure: Option<String>,
+}
+
+impl SessionReport {
+    /// Epoch-size histogram of the recorded trace (Fig. 20 analysis).
+    #[must_use]
+    pub fn epoch_histogram(&self) -> Option<EpochHistogram> {
+        self.bundle.as_ref().map(EpochHistogram::from_bundle)
+    }
+
+    /// Persist the recorded bundle to a store.
+    pub fn save_to(&self, store: &dyn TraceStore) -> Result<IoReport, TraceError> {
+        let bundle = self
+            .bundle
+            .as_ref()
+            .ok_or_else(|| TraceError::Corrupt("report has no bundle (not a record run)".into()))?;
+        store.save(bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_roundtrip_and_parse() {
+        for s in Scheme::ALL {
+            assert_eq!(Scheme::from_code(s.code()), Some(s));
+            assert_eq!(Scheme::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scheme::parse("DE"), Some(Scheme::De));
+        assert_eq!(Scheme::parse("nope"), None);
+        assert_eq!(Scheme::from_code(77), None);
+    }
+
+    #[test]
+    fn passthrough_gates_run_the_closure() {
+        let s = Session::passthrough(1);
+        let ctx = s.register_thread(0);
+        let v = ctx.gate(SiteId(1), AccessKind::Load, || 41) + 1;
+        assert_eq!(v, 42);
+        drop(ctx);
+        let report = s.finish().unwrap();
+        assert_eq!(report.stats.gates, 1);
+        assert!(report.bundle.is_none());
+    }
+
+    #[test]
+    fn finish_requires_contexts_dropped() {
+        let s = Session::record(Scheme::Dc, 1);
+        let ctx = s.register_thread(0);
+        assert!(matches!(s.finish(), Err(FinishError::ThreadsActive(1))));
+        drop(ctx);
+        assert!(s.finish().is_ok());
+        assert!(matches!(s.finish(), Err(FinishError::AlreadyFinished)));
+    }
+
+    #[test]
+    #[should_panic(expected = "tid 3 >= nthreads 2")]
+    fn register_rejects_out_of_range_tid() {
+        let s = Session::record(Scheme::Dc, 2);
+        let _ = s.register_thread(3);
+    }
+
+    #[test]
+    fn gate_plan_bypasses_unplanned_sites() {
+        let gated = SiteId::from_label("gated");
+        let free = SiteId::from_label("free");
+        let cfg = SessionConfig {
+            gate_plan: Some([gated].into_iter().collect()),
+            ..Default::default()
+        };
+        let s = Session::record_with(Scheme::Dc, 1, cfg);
+        let ctx = s.register_thread(0);
+        ctx.gate(gated, AccessKind::Load, || ());
+        ctx.gate(free, AccessKind::Load, || ());
+        drop(ctx);
+        let report = s.finish().unwrap();
+        assert_eq!(report.stats.gates, 1, "only the planned site is gated");
+        assert_eq!(report.bundle.unwrap().total_records(), 1);
+    }
+
+    #[test]
+    fn from_env_defaults_to_passthrough() {
+        // REOMP_MODE is not set in the test environment.
+        let s = Session::from_env(2).unwrap();
+        assert_eq!(s.mode(), Mode::Passthrough);
+    }
+
+    #[test]
+    fn report_save_requires_bundle() {
+        let s = Session::passthrough(1);
+        let report = s.finish().unwrap();
+        let store = crate::store::MemStore::new();
+        assert!(report.save_to(&store).is_err());
+    }
+}

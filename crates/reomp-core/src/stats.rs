@@ -1,0 +1,412 @@
+//! Runtime counters and post-hoc trace analysis.
+//!
+//! The counters quantify exactly the overhead sources the paper analyses in
+//! §IV-C and Table VI: gate-lock acquisitions (serialized clock/thread-ID
+//! assignment), inter-thread communications in replay (2 per region for ST,
+//! 1 for DC/DE), waits and spin iterations, and trace I/O volume.
+//! [`EpochHistogram`] reproduces the Fig. 20 analysis (number of occurrences
+//! of each epoch size and the fraction of epochs with size > 1).
+
+use crate::site::AccessKind;
+use crate::trace::TraceBundle;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters shared by all gates of a session. All methods are cheap
+/// relaxed atomics; snapshot with [`Stats::snapshot`].
+#[derive(Debug, Default)]
+pub struct Stats {
+    gates: AtomicU64,
+    gates_by_kind: [AtomicU64; 7],
+    lock_acquires: AtomicU64,
+    comms: AtomicU64,
+    waits: AtomicU64,
+    spin_iters: AtomicU64,
+    records_written: AtomicU64,
+    records_read: AtomicU64,
+    deferred_finalizations: AtomicU64,
+    io_bytes_written: AtomicU64,
+    io_bytes_read: AtomicU64,
+    io_files: AtomicU64,
+    validate_checks: AtomicU64,
+}
+
+impl Stats {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Count one gate passage of the given kind.
+    #[inline]
+    pub fn bump_gate(&self, kind: AccessKind) {
+        self.gates.fetch_add(1, Ordering::Relaxed);
+        self.gates_by_kind[kind.code() as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one acquisition of the serializing gate lock.
+    #[inline]
+    pub fn bump_lock(&self) {
+        self.lock_acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` inter-thread communication events (§IV-C2).
+    #[inline]
+    pub fn bump_comms(&self, n: u64) {
+        self.comms.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one replay wait (a gate that did not pass immediately).
+    #[inline]
+    pub fn bump_waits(&self) {
+        self.waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add spin-loop iterations burned while waiting.
+    #[inline]
+    pub fn add_spin_iters(&self, n: u64) {
+        self.spin_iters.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one trace record produced (record mode).
+    #[inline]
+    pub fn bump_record_written(&self) {
+        self.records_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one trace record consumed (replay mode).
+    #[inline]
+    pub fn bump_record_read(&self) {
+        self.records_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one store record whose epoch was finalized by a later access
+    /// (the deferred-store rule of Table V).
+    #[inline]
+    pub fn bump_deferred(&self) {
+        self.deferred_finalizations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account bytes written to a record file.
+    #[inline]
+    pub fn add_io_written(&self, bytes: u64) {
+        self.io_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Account bytes read from a record file.
+    #[inline]
+    pub fn add_io_read(&self, bytes: u64) {
+        self.io_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Count one record file touched.
+    #[inline]
+    pub fn bump_io_files(&self) {
+        self.io_files.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one replay-validation comparison.
+    #[inline]
+    pub fn bump_validate(&self) {
+        self.validate_checks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy all counters into an immutable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut by_kind = [0u64; 7];
+        for (dst, src) in by_kind.iter_mut().zip(&self.gates_by_kind) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        StatsSnapshot {
+            gates: self.gates.load(Ordering::Relaxed),
+            gates_by_kind: by_kind,
+            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
+            comms: self.comms.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            spin_iters: self.spin_iters.load(Ordering::Relaxed),
+            records_written: self.records_written.load(Ordering::Relaxed),
+            records_read: self.records_read.load(Ordering::Relaxed),
+            deferred_finalizations: self.deferred_finalizations.load(Ordering::Relaxed),
+            io_bytes_written: self.io_bytes_written.load(Ordering::Relaxed),
+            io_bytes_read: self.io_bytes_read.load(Ordering::Relaxed),
+            io_files: self.io_files.load(Ordering::Relaxed),
+            validate_checks: self.validate_checks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a session's [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Total gate passages.
+    pub gates: u64,
+    /// Gate passages per [`AccessKind`] (indexed by `AccessKind::code()`).
+    pub gates_by_kind: [u64; 7],
+    /// Gate-lock acquisitions (serialization events).
+    pub lock_acquires: u64,
+    /// Inter-thread communication events during replay (§IV-C2).
+    pub comms: u64,
+    /// Gates that had to wait in replay.
+    pub waits: u64,
+    /// Total spin iterations across all waits.
+    pub spin_iters: u64,
+    /// Trace records produced.
+    pub records_written: u64,
+    /// Trace records consumed.
+    pub records_read: u64,
+    /// Stores whose epoch was deferred to the next access (DE).
+    pub deferred_finalizations: u64,
+    /// Bytes written to record files.
+    pub io_bytes_written: u64,
+    /// Bytes read from record files.
+    pub io_bytes_read: u64,
+    /// Record files touched.
+    pub io_files: u64,
+    /// Replay-validation comparisons performed.
+    pub validate_checks: u64,
+}
+
+impl StatsSnapshot {
+    /// Gate count for one kind.
+    #[must_use]
+    pub fn gates_of(&self, kind: AccessKind) -> u64 {
+        self.gates_by_kind[kind.code() as usize]
+    }
+
+    /// Mean inter-thread communications per gated access — the paper's
+    /// headline difference between ST (≈2) and DC/DE (1) replay (§IV-C2).
+    #[must_use]
+    pub fn comms_per_gate(&self) -> f64 {
+        if self.gates == 0 {
+            0.0
+        } else {
+            self.comms as f64 / self.gates as f64
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "gates:              {}", self.gates)?;
+        for kind in AccessKind::ALL {
+            let n = self.gates_of(kind);
+            if n > 0 {
+                writeln!(f, "  {:<12} {}", format!("{kind}:"), n)?;
+            }
+        }
+        writeln!(f, "lock acquires:      {}", self.lock_acquires)?;
+        writeln!(
+            f,
+            "comms:              {} ({:.2}/gate)",
+            self.comms,
+            self.comms_per_gate()
+        )?;
+        writeln!(f, "waits:              {}", self.waits)?;
+        writeln!(f, "spin iterations:    {}", self.spin_iters)?;
+        writeln!(f, "records written:    {}", self.records_written)?;
+        writeln!(f, "records read:       {}", self.records_read)?;
+        writeln!(f, "deferred stores:    {}", self.deferred_finalizations)?;
+        writeln!(
+            f,
+            "trace I/O:          {} B out, {} B in, {} files",
+            self.io_bytes_written, self.io_bytes_read, self.io_files
+        )?;
+        write!(f, "validate checks:    {}", self.validate_checks)
+    }
+}
+
+/// Distribution of *epoch sizes* in a DE trace — the analysis of Fig. 20.
+///
+/// The epoch size is the number of load/store accesses recorded with the
+/// same epoch value. DC traces are the degenerate case where every epoch
+/// has size 1 (§VI-B: *"we can view DC records as a special case where each
+/// epoch is strictly limited to containing only one load or store
+/// instruction"*).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochHistogram {
+    /// `size -> number of epochs with that size`, sorted by size.
+    pub counts: BTreeMap<u64, u64>,
+}
+
+impl EpochHistogram {
+    /// Build the histogram from a recorded bundle by grouping all recorded
+    /// values (clocks or epochs) across threads.
+    #[must_use]
+    pub fn from_bundle(bundle: &TraceBundle) -> EpochHistogram {
+        let mut population: BTreeMap<u64, u64> = BTreeMap::new();
+        for thread in &bundle.threads {
+            for &v in &thread.values {
+                *population.entry(v).or_insert(0) += 1;
+            }
+        }
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for size in population.values() {
+            *counts.entry(*size).or_insert(0) += 1;
+        }
+        EpochHistogram { counts }
+    }
+
+    /// Total number of epochs.
+    #[must_use]
+    pub fn total_epochs(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of epochs whose size exceeds 1 — the instructions that DE can
+    /// execute concurrently in replay.
+    #[must_use]
+    pub fn epochs_gt1(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(size, _)| **size > 1)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Fraction of epochs with size > 1 (the per-application percentages of
+    /// §VI-B: 10.6% AMG, 4% QuickSilver, 27.5% miniFE, 85% HACC, 57% HPCCG).
+    #[must_use]
+    pub fn frac_gt1(&self) -> f64 {
+        let total = self.total_epochs();
+        if total == 0 {
+            0.0
+        } else {
+            self.epochs_gt1() as f64 / total as f64
+        }
+    }
+
+    /// Number of *accesses* that live in epochs of size > 1 — the share of
+    /// the replay that DE can execute concurrently (what drives Table X's
+    /// replay speedups).
+    #[must_use]
+    pub fn accesses_in_gt1(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(size, _)| **size > 1)
+            .map(|(size, n)| size * n)
+            .sum()
+    }
+
+    /// Fraction of accesses in shared epochs (access-weighted counterpart
+    /// of [`EpochHistogram::frac_gt1`]).
+    #[must_use]
+    pub fn frac_accesses_gt1(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.accesses_in_gt1() as f64 / total as f64
+        }
+    }
+
+    /// Largest epoch size observed.
+    #[must_use]
+    pub fn max_size(&self) -> u64 {
+        self.counts.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Total accesses covered (Σ size·count).
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.counts.iter().map(|(size, n)| size * n).sum()
+    }
+}
+
+impl fmt::Display for EpochHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "epoch size | occurrences")?;
+        for (size, n) in &self.counts {
+            writeln!(f, "{size:>10} | {n}")?;
+        }
+        write!(
+            f,
+            "epochs>1: {}/{} ({:.1}%)",
+            self.epochs_gt1(),
+            self.total_epochs(),
+            self.frac_gt1() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Scheme;
+    use crate::trace::{ThreadTrace, TraceBundle};
+
+    fn bundle_with_values(per_thread: Vec<Vec<u64>>) -> TraceBundle {
+        TraceBundle {
+            scheme: Scheme::De,
+            nthreads: per_thread.len() as u32,
+            threads: per_thread
+                .into_iter()
+                .map(|values| ThreadTrace {
+                    values,
+                    sites: None,
+                    kinds: None,
+                })
+                .collect(),
+            st: None,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = Stats::new();
+        s.bump_gate(AccessKind::Load);
+        s.bump_gate(AccessKind::Load);
+        s.bump_gate(AccessKind::Critical);
+        s.bump_comms(3);
+        s.bump_lock();
+        s.add_io_written(128);
+        let snap = s.snapshot();
+        assert_eq!(snap.gates, 3);
+        assert_eq!(snap.gates_of(AccessKind::Load), 2);
+        assert_eq!(snap.gates_of(AccessKind::Critical), 1);
+        assert_eq!(snap.comms, 3);
+        assert_eq!(snap.lock_acquires, 1);
+        assert_eq!(snap.io_bytes_written, 128);
+        assert!((snap.comms_per_gate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn histogram_matches_table_v_example() {
+        // Table V epochs: {0,0,0}, {3,3}, {5}, {6} spread over 3 threads.
+        let b = bundle_with_values(vec![vec![0, 3, 6], vec![0, 3], vec![0, 5]]);
+        let h = EpochHistogram::from_bundle(&b);
+        // sizes: epoch0 -> 3, epoch3 -> 2, epoch5 -> 1, epoch6 -> 1
+        assert_eq!(h.counts.get(&3), Some(&1));
+        assert_eq!(h.counts.get(&2), Some(&1));
+        assert_eq!(h.counts.get(&1), Some(&2));
+        assert_eq!(h.total_epochs(), 4);
+        assert_eq!(h.epochs_gt1(), 2);
+        assert_eq!(h.total_accesses(), 7);
+        assert_eq!(h.max_size(), 3);
+        assert!((h.frac_gt1() - 0.5).abs() < 1e-12);
+        assert_eq!(h.accesses_in_gt1(), 5);
+        assert!((h.frac_accesses_gt1() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_trace_histogram_is_all_ones() {
+        // Distinct clocks everywhere -> every epoch size is 1.
+        let b = bundle_with_values(vec![vec![0, 2, 4], vec![1, 3, 5]]);
+        let h = EpochHistogram::from_bundle(&b);
+        assert_eq!(h.counts.len(), 1);
+        assert_eq!(h.counts.get(&1), Some(&6));
+        assert_eq!(h.frac_gt1(), 0.0);
+    }
+
+    #[test]
+    fn display_is_well_formed() {
+        let s = Stats::new().snapshot();
+        let text = s.to_string();
+        assert!(text.contains("gates"));
+        let b = bundle_with_values(vec![vec![0, 0]]);
+        let h = EpochHistogram::from_bundle(&b);
+        assert!(h.to_string().contains("epochs>1"));
+    }
+}

@@ -1,0 +1,481 @@
+//! Record-file storage.
+//!
+//! DC/DE recording owes much of its advantage to the record-file *layout*:
+//! one file per thread, written and read independently (§IV-C1), versus
+//! ST's single shared file. [`DirStore`] reproduces that layout on a
+//! directory (the paper uses tmpfs; `std::env::temp_dir()` is tmpfs on the
+//! evaluation platform) and performs per-thread file I/O in parallel.
+//! [`MemStore`] is an in-memory stand-in for tests and microbenches.
+
+use crate::codec;
+use crate::error::TraceError;
+use crate::session::Scheme;
+use crate::trace::{StTrace, ThreadTrace, TraceBundle};
+use parking_lot::Mutex;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Bytes/files touched by one save or load, for the session's I/O stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoReport {
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Number of record files involved.
+    pub files: u64,
+}
+
+/// Abstract trace persistence.
+pub trait TraceStore: Send + Sync {
+    /// Persist a bundle, replacing any previous contents.
+    fn save(&self, bundle: &TraceBundle) -> Result<IoReport, TraceError>;
+    /// Load the stored bundle.
+    fn load(&self) -> Result<(TraceBundle, IoReport), TraceError>;
+}
+
+/// In-memory store (still goes through the binary codec, so it exercises
+/// the same encode/decode path as [`DirStore`]).
+#[derive(Debug, Default)]
+pub struct MemStore {
+    files: Mutex<Option<EncodedBundle>>,
+}
+
+#[derive(Debug, Clone)]
+struct EncodedBundle {
+    scheme: Scheme,
+    nthreads: u32,
+    threads: Vec<Vec<u8>>,
+    st: Option<Vec<u8>>,
+}
+
+impl MemStore {
+    /// New empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl TraceStore for MemStore {
+    fn save(&self, bundle: &TraceBundle) -> Result<IoReport, TraceError> {
+        let mut report = IoReport::default();
+        let threads: Vec<Vec<u8>> = bundle
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| {
+                let b = codec::encode_thread_trace(t, bundle.scheme, tid as u32).to_vec();
+                report.bytes += b.len() as u64;
+                report.files += 1;
+                b
+            })
+            .collect();
+        let st = bundle.st.as_ref().map(|st| {
+            let b = codec::encode_st_trace(st).to_vec();
+            report.bytes += b.len() as u64;
+            report.files += 1;
+            b
+        });
+        *self.files.lock() = Some(EncodedBundle {
+            scheme: bundle.scheme,
+            nthreads: bundle.nthreads,
+            threads,
+            st,
+        });
+        Ok(report)
+    }
+
+    fn load(&self) -> Result<(TraceBundle, IoReport), TraceError> {
+        let encoded = self.files.lock().clone().ok_or(TraceError::Empty)?;
+        let mut report = IoReport::default();
+        let mut threads = Vec::with_capacity(encoded.threads.len());
+        for (expect_tid, bytes) in encoded.threads.iter().enumerate() {
+            report.bytes += bytes.len() as u64;
+            report.files += 1;
+            let (trace, scheme, tid) = codec::decode_thread_trace(bytes)?;
+            if scheme != encoded.scheme || tid != expect_tid as u32 {
+                return Err(TraceError::Corrupt("trace header mismatch".into()));
+            }
+            threads.push(trace);
+        }
+        let st = match &encoded.st {
+            Some(bytes) => {
+                report.bytes += bytes.len() as u64;
+                report.files += 1;
+                Some(codec::decode_st_trace(bytes)?)
+            }
+            None => None,
+        };
+        let bundle = TraceBundle {
+            scheme: encoded.scheme,
+            nthreads: encoded.nthreads,
+            threads,
+            st,
+        };
+        bundle.validate()?;
+        Ok((bundle, report))
+    }
+}
+
+/// One-record-file-per-thread directory store (the paper's layout).
+///
+/// Layout: `manifest.txt`, `thread_<tid>.rtrc`, and `st.rtrc` for ST
+/// bundles. Per-thread files are written/read by concurrent worker threads
+/// when `parallel_io` is enabled (default), mirroring the parallel-I/O
+/// property §IV-C1 credits to DC/DE recording.
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+    parallel_io: bool,
+}
+
+impl DirStore {
+    /// Store rooted at `dir` (created on first save), parallel I/O enabled.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DirStore {
+            dir: dir.into(),
+            parallel_io: true,
+        }
+    }
+
+    /// Toggle parallel per-thread file I/O (serial I/O is the ablation
+    /// baseline corresponding to ST's single-file bottleneck).
+    #[must_use]
+    pub fn with_parallel_io(mut self, parallel: bool) -> Self {
+        self.parallel_io = parallel;
+        self
+    }
+
+    /// Root directory of the store.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn thread_path(&self, tid: u32) -> PathBuf {
+        self.dir.join(format!("thread_{tid}.rtrc"))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.txt")
+    }
+
+    fn write_file(path: &Path, bytes: &[u8]) -> Result<u64, TraceError> {
+        let file = fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(bytes)?;
+        w.flush()?;
+        Ok(bytes.len() as u64)
+    }
+
+    fn read_file(path: &Path) -> Result<Vec<u8>, TraceError> {
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn save_manifest(&self, bundle: &TraceBundle) -> Result<u64, TraceError> {
+        let text = format!(
+            "reomp-trace v1\nscheme {}\nthreads {}\nrecords {}\n",
+            bundle.scheme.name(),
+            bundle.nthreads,
+            bundle.total_records(),
+        );
+        Self::write_file(&self.manifest_path(), text.as_bytes())
+    }
+
+    fn load_manifest(&self) -> Result<(Scheme, u32), TraceError> {
+        let bytes = Self::read_file(&self.manifest_path()).map_err(|e| match e {
+            TraceError::Io(ref io) if io.kind() == std::io::ErrorKind::NotFound => {
+                TraceError::Empty
+            }
+            other => other,
+        })?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| TraceError::Corrupt("manifest is not UTF-8".into()))?;
+        let mut scheme = None;
+        let mut threads = None;
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 {
+                if line != "reomp-trace v1" {
+                    return Err(TraceError::Corrupt(format!("manifest header: {line:?}")));
+                }
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("scheme"), Some(s)) => {
+                    scheme = Scheme::parse(s);
+                    if scheme.is_none() {
+                        return Err(TraceError::Corrupt(format!("bad scheme {s:?}")));
+                    }
+                }
+                (Some("threads"), Some(n)) => {
+                    threads = n.parse::<u32>().ok();
+                    if threads.is_none() {
+                        return Err(TraceError::Corrupt(format!("bad thread count {n:?}")));
+                    }
+                }
+                (Some("records"), Some(_)) | (None, _) => {}
+                (Some(k), _) => {
+                    return Err(TraceError::Corrupt(format!("unknown manifest key {k:?}")))
+                }
+            }
+        }
+        match (scheme, threads) {
+            (Some(s), Some(t)) => Ok((s, t)),
+            _ => Err(TraceError::Corrupt("manifest missing scheme/threads".into())),
+        }
+    }
+}
+
+impl TraceStore for DirStore {
+    fn save(&self, bundle: &TraceBundle) -> Result<IoReport, TraceError> {
+        fs::create_dir_all(&self.dir)?;
+        let mut report = IoReport::default();
+        report.bytes += self.save_manifest(bundle)?;
+        report.files += 1;
+
+        if self.parallel_io {
+            // One writer per thread trace — the per-thread parallel I/O the
+            // paper credits to DC/DE (§IV-C1).
+            let results: Vec<Result<u64, TraceError>> = std::thread::scope(|s| {
+                let handles: Vec<_> = bundle
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(tid, t)| {
+                        let path = self.thread_path(tid as u32);
+                        s.spawn(move || {
+                            let bytes =
+                                codec::encode_thread_trace(t, bundle.scheme, tid as u32);
+                            Self::write_file(&path, &bytes)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("trace writer panicked"))
+                    .collect()
+            });
+            for r in results {
+                report.bytes += r?;
+                report.files += 1;
+            }
+        } else {
+            for (tid, t) in bundle.threads.iter().enumerate() {
+                let bytes = codec::encode_thread_trace(t, bundle.scheme, tid as u32);
+                report.bytes += Self::write_file(&self.thread_path(tid as u32), &bytes)?;
+                report.files += 1;
+            }
+        }
+
+        if let Some(st) = &bundle.st {
+            let bytes = codec::encode_st_trace(st);
+            report.bytes += Self::write_file(&self.dir.join("st.rtrc"), &bytes)?;
+            report.files += 1;
+        }
+        Ok(report)
+    }
+
+    fn load(&self) -> Result<(TraceBundle, IoReport), TraceError> {
+        let (scheme, nthreads) = self.load_manifest()?;
+        let mut report = IoReport {
+            bytes: 0,
+            files: 1,
+        };
+
+        let load_one = |tid: u32| -> Result<(ThreadTrace, u64), TraceError> {
+            let bytes = Self::read_file(&self.thread_path(tid))?;
+            let n = bytes.len() as u64;
+            let (trace, file_scheme, file_tid) = codec::decode_thread_trace(&bytes)?;
+            if file_scheme != scheme || file_tid != tid {
+                return Err(TraceError::Corrupt(format!(
+                    "thread file {tid}: header says scheme {} tid {file_tid}",
+                    file_scheme.name()
+                )));
+            }
+            Ok((trace, n))
+        };
+
+        let mut threads = Vec::with_capacity(nthreads as usize);
+        if self.parallel_io {
+            let results: Vec<Result<(ThreadTrace, u64), TraceError>> =
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..nthreads)
+                        .map(|tid| s.spawn(move || load_one(tid)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("trace reader panicked"))
+                        .collect()
+                });
+            for r in results {
+                let (t, n) = r?;
+                report.bytes += n;
+                report.files += 1;
+                threads.push(t);
+            }
+        } else {
+            for tid in 0..nthreads {
+                let (t, n) = load_one(tid)?;
+                report.bytes += n;
+                report.files += 1;
+                threads.push(t);
+            }
+        }
+
+        let st = if scheme == Scheme::St {
+            let bytes = Self::read_file(&self.dir.join("st.rtrc"))?;
+            report.bytes += bytes.len() as u64;
+            report.files += 1;
+            Some(decode_st(&bytes)?)
+        } else {
+            None
+        };
+
+        let bundle = TraceBundle {
+            scheme,
+            nthreads,
+            threads,
+            st,
+        };
+        bundle.validate()?;
+        Ok((bundle, report))
+    }
+}
+
+fn decode_st(bytes: &[u8]) -> Result<StTrace, TraceError> {
+    codec::decode_st_trace(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bundle(scheme: Scheme) -> TraceBundle {
+        let threads = vec![
+            ThreadTrace {
+                values: vec![0, 2, 5],
+                sites: Some(vec![10, 11, 10]),
+                kinds: Some(vec![0, 1, 0]),
+            },
+            ThreadTrace {
+                values: vec![1, 3, 4],
+                sites: Some(vec![10, 10, 11]),
+                kinds: Some(vec![0, 0, 1]),
+            },
+        ];
+        let st = (scheme == Scheme::St).then(|| StTrace {
+            tids: vec![0, 1, 0, 1, 1, 0],
+            sites: Some(vec![10; 6]),
+            kinds: Some(vec![3; 6]),
+        });
+        let threads = if scheme == Scheme::St {
+            vec![ThreadTrace::default(), ThreadTrace::default()]
+        } else {
+            threads
+        };
+        TraceBundle {
+            scheme,
+            nthreads: 2,
+            threads,
+            st,
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "reomp-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memstore_roundtrip_all_schemes() {
+        for scheme in [Scheme::St, Scheme::Dc, Scheme::De] {
+            let store = MemStore::new();
+            let bundle = sample_bundle(scheme);
+            let saved = store.save(&bundle).unwrap();
+            assert!(saved.bytes > 0);
+            let (back, loaded) = store.load().unwrap();
+            assert_eq!(back, bundle, "{scheme:?}");
+            assert_eq!(loaded.bytes, saved.bytes);
+        }
+    }
+
+    #[test]
+    fn memstore_empty_load_fails() {
+        assert!(matches!(MemStore::new().load(), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn dirstore_roundtrip_parallel_and_serial() {
+        for parallel in [true, false] {
+            for scheme in [Scheme::St, Scheme::Dc, Scheme::De] {
+                let dir = tempdir(&format!("rt-{parallel}-{}", scheme.name()));
+                let store = DirStore::new(&dir).with_parallel_io(parallel);
+                let bundle = sample_bundle(scheme);
+                store.save(&bundle).unwrap();
+                let (back, _) = store.load().unwrap();
+                assert_eq!(back, bundle);
+                // Per-thread layout on disk.
+                assert!(dir.join("thread_0.rtrc").exists());
+                assert!(dir.join("thread_1.rtrc").exists());
+                assert_eq!(dir.join("st.rtrc").exists(), scheme == Scheme::St);
+                fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn dirstore_missing_dir_is_empty() {
+        let store = DirStore::new(tempdir("missing"));
+        assert!(matches!(store.load(), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn dirstore_detects_header_mismatch() {
+        let dir = tempdir("swap");
+        let store = DirStore::new(&dir);
+        store.save(&sample_bundle(Scheme::Dc)).unwrap();
+        // Swap the two thread files: tids in headers no longer match names.
+        let a = dir.join("thread_0.rtrc");
+        let b = dir.join("thread_1.rtrc");
+        let tmp = dir.join("tmp");
+        fs::rename(&a, &tmp).unwrap();
+        fs::rename(&b, &a).unwrap();
+        fs::rename(&tmp, &b).unwrap();
+        assert!(store.load().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dirstore_rejects_corrupt_manifest() {
+        let dir = tempdir("manifest");
+        let store = DirStore::new(&dir);
+        store.save(&sample_bundle(Scheme::De)).unwrap();
+        fs::write(dir.join("manifest.txt"), "something else\n").unwrap();
+        assert!(store.load().is_err());
+        fs::write(dir.join("manifest.txt"), "reomp-trace v1\nscheme xx\nthreads 2\n").unwrap();
+        assert!(store.load().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_overwrites_previous_contents() {
+        let dir = tempdir("overwrite");
+        let store = DirStore::new(&dir);
+        store.save(&sample_bundle(Scheme::Dc)).unwrap();
+        let second = sample_bundle(Scheme::De);
+        store.save(&second).unwrap();
+        let (back, _) = store.load().unwrap();
+        assert_eq!(back.scheme, Scheme::De);
+        assert_eq!(back, second);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

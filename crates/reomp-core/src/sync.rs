@@ -1,0 +1,344 @@
+//! Low-level synchronization primitives used by the gate engines.
+//!
+//! Two pieces here are deliberately *not* ordinary mutexes:
+//!
+//! * [`BatonLock`] — the lock `L` of the paper's ST replay (Fig. 4). It is
+//!   acquired by whichever thread reads the next record from the shared
+//!   trace (`test_lock`, line 12) but released by the thread that was
+//!   *replayed* (`unset_lock`, line 17), which is in general a different
+//!   thread. Standard mutexes forbid cross-thread release, so this is a
+//!   plain test-and-test-and-set flag with acquire/release ordering — the
+//!   hand-off is exactly the extra inter-thread communication the paper
+//!   charges to ST replay (§IV-C2, events ST-3/ST-4 in Fig. 6).
+//! * `RawLocked` (crate-private) — a mutex whose critical section *spans* `gate_in` →
+//!   `gate_out`, i.e. lock and unlock happen in different function calls
+//!   with arbitrary user code in between (the `set_lock(L)` … `unset_lock(L)`
+//!   bracket of Figs. 4/5 record modes). It wraps `parking_lot::RawMutex`
+//!   plus an `UnsafeCell` for the guarded state.
+
+use crate::error::ReplayError;
+use crate::site::SiteId;
+use parking_lot::lock_api::RawMutex as _;
+use parking_lot::RawMutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A test-and-test-and-set lock that may be released by a thread other than
+/// the one that acquired it.
+///
+/// This models the paper's ST-replay lock hand-off: the *reader* thread
+/// acquires the lock to fetch the next thread ID from the record file, and
+/// the *replayed* thread releases it after executing the shared-memory
+/// access region.
+#[derive(Debug, Default)]
+pub struct BatonLock {
+    locked: AtomicBool,
+}
+
+impl BatonLock {
+    /// New, unlocked baton.
+    #[must_use]
+    pub const fn new() -> Self {
+        BatonLock {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// Try to take the baton; returns `true` on success. Never blocks —
+    /// this is the paper's `test_lock(L)`.
+    #[inline]
+    pub fn try_acquire(&self) -> bool {
+        // Test-and-test-and-set: avoid hammering the cache line with RMWs.
+        !self.locked.load(Ordering::Relaxed)
+            && self
+                .locked
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// Release the baton. May be called by any thread; callers must ensure
+    /// the baton is actually held (checked in debug builds).
+    #[inline]
+    pub fn release(&self) {
+        debug_assert!(self.locked.load(Ordering::Relaxed), "releasing free baton");
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Whether the baton is currently held.
+    #[inline]
+    #[must_use]
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+}
+
+/// Spin-wait policy for replay gates.
+///
+/// Replay waits (`while (tid != next_tid)` / `while (clock != next_clock)`)
+/// are busy loops in the paper. On machines with fewer cores than replayed
+/// threads a pure busy loop livelocks, so waits spin briefly with
+/// [`std::hint::spin_loop`] and then yield to the scheduler. A watchdog
+/// timeout converts a stuck wait into a structured [`ReplayError::Timeout`]
+/// instead of a hang.
+#[derive(Debug, Clone, Copy)]
+pub struct SpinConfig {
+    /// Number of `spin_loop` hints between yields.
+    pub spin_hints: u32,
+    /// Maximum total wait before declaring the replay stuck. `None`
+    /// disables the watchdog.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for SpinConfig {
+    fn default() -> Self {
+        SpinConfig {
+            spin_hints: 64,
+            timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// An in-progress spin wait; tracks iterations and enforces the watchdog.
+#[derive(Debug)]
+pub struct SpinWait<'a> {
+    cfg: &'a SpinConfig,
+    iters: u64,
+    started: Option<Instant>,
+}
+
+impl<'a> SpinWait<'a> {
+    /// Begin a wait governed by `cfg`.
+    #[must_use]
+    pub fn new(cfg: &'a SpinConfig) -> Self {
+        SpinWait {
+            cfg,
+            iters: 0,
+            started: None,
+        }
+    }
+
+    /// Total loop iterations performed so far.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    /// One wait step. Returns an error once the watchdog expires;
+    /// `thread`, `site`, `waiting_for` and `observed` feed the diagnostic.
+    #[inline]
+    pub fn step(
+        &mut self,
+        thread: u32,
+        site: SiteId,
+        waiting_for: u64,
+        observed: impl Fn() -> u64,
+    ) -> Result<(), ReplayError> {
+        self.iters += 1;
+        if self.iters.is_multiple_of(u64::from(self.cfg.spin_hints.max(1))) {
+            std::thread::yield_now();
+            if let Some(limit) = self.cfg.timeout {
+                let started = *self.started.get_or_insert_with(Instant::now);
+                if started.elapsed() > limit {
+                    return Err(ReplayError::Timeout {
+                        thread,
+                        site,
+                        waiting_for,
+                        observed: observed(),
+                    });
+                }
+            }
+        } else {
+            std::hint::spin_loop();
+        }
+        Ok(())
+    }
+}
+
+/// State guarded by a raw mutex whose lock/unlock calls are split across
+/// `gate_in`/`gate_out`.
+///
+/// # Safety contract
+///
+/// [`RawLocked::lock`] must be paired with exactly one [`RawLocked::unlock`]
+/// on the same thread, and [`RawLocked::get`] may only be called between
+/// them. The gate engines uphold this: `gate_in` locks, `gate_out` accesses
+/// the state and unlocks.
+pub(crate) struct RawLocked<T> {
+    raw: RawMutex,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: access to `cell` is serialized through `raw`.
+unsafe impl<T: Send> Sync for RawLocked<T> {}
+unsafe impl<T: Send> Send for RawLocked<T> {}
+
+impl<T> RawLocked<T> {
+    pub(crate) fn new(value: T) -> Self {
+        RawLocked {
+            raw: RawMutex::INIT,
+            cell: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the lock (blocking). This is `set_lock(L)` of Figs. 4/5.
+    pub(crate) fn lock(&self) {
+        self.raw.lock();
+    }
+
+    /// Release the lock. This is `unset_lock(L)`.
+    ///
+    /// # Safety
+    /// The calling thread must currently hold the lock via [`Self::lock`].
+    pub(crate) unsafe fn unlock(&self) {
+        // SAFETY: forwarded contract — caller holds the lock.
+        unsafe { self.raw.unlock() }
+    }
+
+    /// Access the guarded state.
+    ///
+    /// # Safety
+    /// The calling thread must currently hold the lock.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get(&self) -> &mut T {
+        // SAFETY: exclusive access is guaranteed by the held lock.
+        unsafe { &mut *self.cell.get() }
+    }
+
+    /// Run `f` under the lock (convenience for non-split critical sections).
+    pub(crate) fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.lock();
+        // SAFETY: lock is held for the duration of `f`.
+        let out = f(unsafe { self.get() });
+        // SAFETY: we locked above on this thread.
+        unsafe { self.unlock() };
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn baton_basic_acquire_release() {
+        let b = BatonLock::new();
+        assert!(!b.is_locked());
+        assert!(b.try_acquire());
+        assert!(b.is_locked());
+        assert!(!b.try_acquire(), "baton is not reentrant");
+        b.release();
+        assert!(!b.is_locked());
+        assert!(b.try_acquire());
+        b.release();
+    }
+
+    #[test]
+    fn baton_cross_thread_release() {
+        let b = Arc::new(BatonLock::new());
+        assert!(b.try_acquire());
+        let b2 = Arc::clone(&b);
+        std::thread::spawn(move || b2.release())
+            .join()
+            .unwrap();
+        assert!(!b.is_locked());
+    }
+
+    #[test]
+    fn baton_mutual_exclusion_under_contention() {
+        let b = Arc::new(BatonLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = Arc::clone(&b);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    while !b.try_acquire() {
+                        std::hint::spin_loop();
+                    }
+                    // Non-atomic-looking increment under the lock.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    b.release();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 5_000);
+    }
+
+    #[test]
+    fn spin_wait_times_out_with_diagnostics() {
+        let cfg = SpinConfig {
+            spin_hints: 4,
+            timeout: Some(Duration::from_millis(20)),
+        };
+        let mut w = SpinWait::new(&cfg);
+        let site = SiteId(0xbeef);
+        let err = loop {
+            match w.step(7, site, 99, || 3) {
+                Ok(()) => continue,
+                Err(e) => break e,
+            }
+        };
+        match err {
+            ReplayError::Timeout {
+                thread,
+                waiting_for,
+                observed,
+                ..
+            } => {
+                assert_eq!(thread, 7);
+                assert_eq!(waiting_for, 99);
+                assert_eq!(observed, 3);
+            }
+            other => panic!("expected timeout, got {other}"),
+        }
+        assert!(w.iterations() > 0);
+    }
+
+    #[test]
+    fn spin_wait_no_timeout_when_disabled() {
+        let cfg = SpinConfig {
+            spin_hints: 2,
+            timeout: None,
+        };
+        let mut w = SpinWait::new(&cfg);
+        for _ in 0..10_000 {
+            w.step(0, SiteId(1), 0, || 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn raw_locked_with_serializes() {
+        let l = Arc::new(RawLocked::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    l.with(|v| *v += 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.with(|v| *v), 40_000);
+    }
+
+    #[test]
+    fn raw_locked_split_lock_unlock() {
+        let l = RawLocked::new(String::from("a"));
+        l.lock();
+        // SAFETY: locked above.
+        unsafe { l.get().push('b') };
+        unsafe { l.unlock() };
+        assert_eq!(l.with(|s| s.clone()), "ab");
+    }
+}

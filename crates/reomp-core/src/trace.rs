@@ -1,0 +1,304 @@
+//! In-memory trace representations (the contents of record files).
+//!
+//! * DC/DE produce one [`ThreadTrace`] per thread (Fig. 3-(b)): the
+//!   sequence of clock/epoch values at which that thread passed gates, in
+//!   the thread's program order.
+//! * ST produces a single shared [`StTrace`] (Fig. 3-(a)): the global
+//!   sequence of thread IDs in gate-passage order.
+//!
+//! Traces optionally carry the [`SiteId`] and [`AccessKind`] of every
+//! access ("validated" traces) so replay divergence can be detected.
+
+use crate::error::TraceError;
+use crate::session::Scheme;
+use crate::site::{AccessKind, SiteId};
+
+/// Per-thread record stream (DC/DE).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadTrace {
+    /// Clock (DC) or epoch (DE) of each gate passage, in program order.
+    pub values: Vec<u64>,
+    /// Raw site hash per access, when recorded with validation.
+    pub sites: Option<Vec<u64>>,
+    /// Kind code per access, when recorded with validation.
+    pub kinds: Option<Vec<u8>>,
+}
+
+impl ThreadTrace {
+    /// Number of recorded accesses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no accesses were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Site of access `i`, if validation data is present.
+    #[must_use]
+    pub fn site_at(&self, i: usize) -> Option<SiteId> {
+        self.sites.as_ref().and_then(|s| s.get(i)).map(|&raw| SiteId(raw))
+    }
+
+    /// Kind of access `i`, if validation data is present.
+    #[must_use]
+    pub fn kind_at(&self, i: usize) -> Option<AccessKind> {
+        self.kinds
+            .as_ref()
+            .and_then(|k| k.get(i))
+            .and_then(|&code| AccessKind::from_code(code))
+    }
+
+    fn check(&self, who: &str) -> Result<(), TraceError> {
+        if let Some(sites) = &self.sites {
+            if sites.len() != self.values.len() {
+                return Err(TraceError::Corrupt(format!(
+                    "{who}: {} sites for {} values",
+                    sites.len(),
+                    self.values.len()
+                )));
+            }
+        }
+        if let Some(kinds) = &self.kinds {
+            if kinds.len() != self.values.len() {
+                return Err(TraceError::Corrupt(format!(
+                    "{who}: {} kinds for {} values",
+                    kinds.len(),
+                    self.values.len()
+                )));
+            }
+            if let Some(bad) = kinds.iter().find(|&&c| AccessKind::from_code(c).is_none()) {
+                return Err(TraceError::Corrupt(format!("{who}: bad kind code {bad}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The single shared record stream of ST recording.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StTrace {
+    /// Thread IDs in the order threads passed gates.
+    pub tids: Vec<u32>,
+    /// Raw site hash per access, when recorded with validation.
+    pub sites: Option<Vec<u64>>,
+    /// Kind code per access, when recorded with validation.
+    pub kinds: Option<Vec<u8>>,
+}
+
+impl StTrace {
+    /// Number of recorded accesses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// Whether no accesses were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    fn check(&self, nthreads: u32) -> Result<(), TraceError> {
+        if let Some(bad) = self.tids.iter().find(|&&t| t >= nthreads) {
+            return Err(TraceError::Corrupt(format!(
+                "st trace references thread {bad} but only {nthreads} threads recorded"
+            )));
+        }
+        if let Some(sites) = &self.sites {
+            if sites.len() != self.tids.len() {
+                return Err(TraceError::Corrupt("st trace site column length".into()));
+            }
+        }
+        if let Some(kinds) = &self.kinds {
+            if kinds.len() != self.tids.len() {
+                return Err(TraceError::Corrupt("st trace kind column length".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete recording: everything needed to replay one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceBundle {
+    /// Recording scheme that produced (and must replay) this bundle.
+    pub scheme: Scheme,
+    /// Number of threads in the recorded run.
+    pub nthreads: u32,
+    /// Per-thread streams (empty traces for ST, which uses `st`).
+    pub threads: Vec<ThreadTrace>,
+    /// The shared ST stream (present iff `scheme == Scheme::St`).
+    pub st: Option<StTrace>,
+}
+
+impl TraceBundle {
+    /// Structural consistency check; run after decoding and before replay.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if self.nthreads == 0 {
+            return Err(TraceError::Corrupt("zero threads".into()));
+        }
+        if self.threads.len() != self.nthreads as usize {
+            return Err(TraceError::Corrupt(format!(
+                "{} thread traces for {} threads",
+                self.threads.len(),
+                self.nthreads
+            )));
+        }
+        match (self.scheme, &self.st) {
+            (Scheme::St, None) => {
+                return Err(TraceError::Corrupt("ST bundle without st stream".into()))
+            }
+            (Scheme::St, Some(st)) => st.check(self.nthreads)?,
+            (_, Some(_)) => {
+                return Err(TraceError::Corrupt("non-ST bundle with st stream".into()))
+            }
+            (_, None) => {}
+        }
+        for (i, t) in self.threads.iter().enumerate() {
+            t.check(&format!("thread {i}"))?;
+        }
+        if self.scheme == Scheme::Dc {
+            // DC clocks across all threads must be a permutation of 0..n.
+            let mut clocks: Vec<u64> = self
+                .threads
+                .iter()
+                .flat_map(|t| t.values.iter().copied())
+                .collect();
+            clocks.sort_unstable();
+            for (expect, got) in clocks.iter().enumerate() {
+                if *got != expect as u64 {
+                    return Err(TraceError::Corrupt(format!(
+                        "DC clocks are not a permutation of 0..{} (found {got} at rank {expect})",
+                        clocks.len()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total recorded accesses across all streams.
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        match &self.st {
+            Some(st) => st.len() as u64,
+            None => self.threads.iter().map(|t| t.len() as u64).sum(),
+        }
+    }
+
+    /// Whether the bundle carries per-access validation columns.
+    #[must_use]
+    pub fn has_validation(&self) -> bool {
+        match &self.st {
+            Some(st) => st.sites.is_some(),
+            None => self.threads.iter().all(|t| t.sites.is_some()),
+        }
+    }
+
+    /// Reconstruct the global access order as `(clock, thread)` pairs
+    /// (DC/DE bundles only; DE orders ties by epoch then arbitrarily).
+    /// Used by analysis tooling and tests.
+    #[must_use]
+    pub fn global_order(&self) -> Vec<(u64, u32)> {
+        let mut out: Vec<(u64, u32)> = Vec::with_capacity(self.total_records() as usize);
+        for (tid, t) in self.threads.iter().enumerate() {
+            for &v in &t.values {
+                out.push((v, tid as u32));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc_bundle() -> TraceBundle {
+        TraceBundle {
+            scheme: Scheme::Dc,
+            nthreads: 2,
+            threads: vec![
+                ThreadTrace {
+                    values: vec![0, 3],
+                    sites: Some(vec![1, 1]),
+                    kinds: Some(vec![0, 1]),
+                },
+                ThreadTrace {
+                    values: vec![1, 2],
+                    sites: Some(vec![1, 1]),
+                    kinds: Some(vec![0, 0]),
+                },
+            ],
+            st: None,
+        }
+    }
+
+    #[test]
+    fn valid_dc_bundle_passes() {
+        dc_bundle().validate().unwrap();
+        assert_eq!(dc_bundle().total_records(), 4);
+        assert!(dc_bundle().has_validation());
+    }
+
+    #[test]
+    fn dc_clock_permutation_enforced() {
+        let mut b = dc_bundle();
+        b.threads[0].values = vec![0, 5];
+        b.threads[0].sites = Some(vec![1, 1]);
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn st_bundle_requires_stream_and_valid_tids() {
+        let b = TraceBundle {
+            scheme: Scheme::St,
+            nthreads: 2,
+            threads: vec![ThreadTrace::default(), ThreadTrace::default()],
+            st: None,
+        };
+        assert!(b.validate().is_err());
+
+        let b = TraceBundle {
+            scheme: Scheme::St,
+            nthreads: 2,
+            threads: vec![ThreadTrace::default(), ThreadTrace::default()],
+            st: Some(StTrace {
+                tids: vec![0, 1, 5],
+                sites: None,
+                kinds: None,
+            }),
+        };
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn column_length_mismatch_detected() {
+        let mut b = dc_bundle();
+        b.threads[1].sites = Some(vec![1]);
+        assert!(b.validate().is_err());
+        let mut b = dc_bundle();
+        b.threads[1].kinds = Some(vec![0, 200]);
+        assert!(b.validate().is_err(), "bad kind code");
+    }
+
+    #[test]
+    fn global_order_sorts_clocks() {
+        let order = dc_bundle().global_order();
+        assert_eq!(order, vec![(0, 0), (1, 1), (2, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn accessors() {
+        let b = dc_bundle();
+        assert_eq!(b.threads[0].site_at(0), Some(SiteId(1)));
+        assert_eq!(b.threads[0].kind_at(1), Some(AccessKind::Store));
+        assert_eq!(b.threads[0].kind_at(99), None);
+        assert!(!b.threads[0].is_empty());
+    }
+}

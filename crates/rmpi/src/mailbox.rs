@@ -1,0 +1,160 @@
+//! Per-rank mailboxes: tagged FIFO queues with condition-variable wakeups.
+//!
+//! Matching follows MPI semantics: messages from one sender with one tag
+//! are *non-overtaking* (FIFO per (src, tag) pair), but messages from
+//! different senders race — a wildcard receive takes whichever matching
+//! message arrived first, which is the non-determinism ReMPI records.
+
+use crate::message::{Envelope, MpiError, ANY_SOURCE, ANY_TAG};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// A rank's incoming message queue.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    arrived: Condvar,
+}
+
+fn matches(env: &Envelope, src: u32, tag: u32) -> bool {
+    (src == ANY_SOURCE || env.src == src) && (tag == ANY_TAG || env.tag == tag)
+}
+
+impl Mailbox {
+    /// New empty mailbox.
+    #[must_use]
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Deposit a message (called by the sender's thread).
+    pub fn push(&self, env: Envelope) {
+        self.queue.lock().push_back(env);
+        self.arrived.notify_all();
+    }
+
+    /// Number of queued messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Non-blocking probe: would a `(src, tag)` receive match right now?
+    /// Returns the envelope's `(src, tag)` without removing it
+    /// (`MPI_Iprobe`).
+    #[must_use]
+    pub fn probe(&self, src: u32, tag: u32) -> Option<(u32, u32)> {
+        let q = self.queue.lock();
+        q.iter().find(|e| matches(e, src, tag)).map(|e| (e.src, e.tag))
+    }
+
+    /// Blocking receive of the first message matching `(src, tag)`, in
+    /// arrival order. `rank` is only for diagnostics.
+    pub fn recv(
+        &self,
+        rank: u32,
+        src: u32,
+        tag: u32,
+        timeout: Duration,
+    ) -> Result<Envelope, MpiError> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| matches(e, src, tag)) {
+                return Ok(q.remove(pos).expect("position valid under lock"));
+            }
+            if self.arrived.wait_for(&mut q, timeout).timed_out() {
+                return Err(MpiError::RecvTimeout { rank, src, tag });
+            }
+        }
+    }
+
+    /// Non-blocking receive (`MPI_Test`-style): take a matching message if
+    /// one is already queued.
+    #[must_use]
+    pub fn try_recv(&self, src: u32, tag: u32) -> Option<Envelope> {
+        let mut q = self.queue.lock();
+        let pos = q.iter().position(|e| matches(e, src, tag))?;
+        q.remove(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: u32, tag: u32, byte: u8) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            payload: vec![byte],
+        }
+    }
+
+    const T: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn fifo_per_source_and_tag() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 5, 10));
+        mb.push(env(1, 5, 11));
+        assert_eq!(mb.recv(0, 1, 5, T).unwrap().payload, vec![10]);
+        assert_eq!(mb.recv(0, 1, 5, T).unwrap().payload, vec![11]);
+    }
+
+    #[test]
+    fn tag_filtering_skips_non_matching() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 5, 10));
+        mb.push(env(1, 6, 11));
+        assert_eq!(mb.recv(0, 1, 6, T).unwrap().payload, vec![11]);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_takes_arrival_order() {
+        let mb = Mailbox::new();
+        mb.push(env(2, 5, 20));
+        mb.push(env(1, 5, 10));
+        let first = mb.recv(0, ANY_SOURCE, 5, T).unwrap();
+        assert_eq!(first.src, 2, "arrival order");
+        let second = mb.recv(0, ANY_SOURCE, ANY_TAG, T).unwrap();
+        assert_eq!(second.src, 1);
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.probe(ANY_SOURCE, ANY_TAG), None);
+        mb.push(env(3, 7, 1));
+        assert_eq!(mb.probe(ANY_SOURCE, 7), Some((3, 7)));
+        assert_eq!(mb.len(), 1);
+        assert!(mb.try_recv(3, 7).is_some());
+        assert!(mb.try_recv(3, 7).is_none());
+    }
+
+    #[test]
+    fn recv_times_out() {
+        let mb = Mailbox::new();
+        match mb.recv(4, 1, 2, Duration::from_millis(30)) {
+            Err(MpiError::RecvTimeout { rank: 4, .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_push() {
+        let mb = std::sync::Arc::new(Mailbox::new());
+        let mb2 = std::sync::Arc::clone(&mb);
+        let h = std::thread::spawn(move || mb2.recv(0, 9, 1, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(env(9, 1, 42));
+        assert_eq!(h.join().unwrap().unwrap().payload, vec![42]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Message envelopes, wildcard constants, typed payload helpers.
+
+use std::fmt;
+
+/// Wildcard source (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: u32 = u32::MAX;
+/// Wildcard tag (`MPI_ANY_TAG`).
+pub const ANY_TAG: u32 = u32::MAX;
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: u32,
+    /// Message tag.
+    pub tag: u32,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Interpret the payload as little-endian `f64`s.
+    #[must_use]
+    pub fn as_f64s(&self) -> Vec<f64> {
+        self.payload
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect()
+    }
+
+    /// Interpret the payload as little-endian `u64`s.
+    #[must_use]
+    pub fn as_u64s(&self) -> Vec<u64> {
+        self.payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect()
+    }
+}
+
+/// Encode `f64`s as a little-endian payload.
+#[must_use]
+pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encode `u64`s as a little-endian payload.
+#[must_use]
+pub fn u64s_to_bytes(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Errors from the message-passing runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination or source rank does not exist.
+    InvalidRank(u32),
+    /// A receive waited longer than the configured timeout.
+    RecvTimeout {
+        /// The receiving rank.
+        rank: u32,
+        /// Requested source (possibly [`ANY_SOURCE`]).
+        src: u32,
+        /// Requested tag (possibly [`ANY_TAG`]).
+        tag: u32,
+    },
+    /// Replay: the wildcard-receive trace has fewer records than the run
+    /// performs.
+    ReplayExhausted {
+        /// The receiving rank.
+        rank: u32,
+    },
+    /// The world was shut down while waiting.
+    Shutdown,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            MpiError::RecvTimeout { rank, src, tag } => {
+                write!(f, "rank {rank}: receive (src ")?;
+                if *src == ANY_SOURCE {
+                    write!(f, "ANY")?;
+                } else {
+                    write!(f, "{src}")?;
+                }
+                write!(f, ", tag ")?;
+                if *tag == ANY_TAG {
+                    write!(f, "ANY")?;
+                } else {
+                    write!(f, "{tag}")?;
+                }
+                write!(f, ") timed out")
+            }
+            MpiError::ReplayExhausted { rank } => {
+                write!(f, "rank {rank}: wildcard-receive trace exhausted")
+            }
+            MpiError::Shutdown => write!(f, "world shut down"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_payload_roundtrip() {
+        let vals = [1.5, -2.25, f64::MAX, 0.0];
+        let env = Envelope {
+            src: 1,
+            tag: 2,
+            payload: f64s_to_bytes(&vals),
+        };
+        assert_eq!(env.as_f64s(), vals);
+    }
+
+    #[test]
+    fn u64_payload_roundtrip() {
+        let vals = [0u64, 1, u64::MAX];
+        let env = Envelope {
+            src: 0,
+            tag: 0,
+            payload: u64s_to_bytes(&vals),
+        };
+        assert_eq!(env.as_u64s(), vals);
+    }
+
+    #[test]
+    fn error_messages_name_wildcards() {
+        let e = MpiError::RecvTimeout {
+            rank: 3,
+            src: ANY_SOURCE,
+            tag: 9,
+        };
+        let text = e.to_string();
+        assert!(text.contains("ANY"), "{text}");
+        assert!(text.contains("tag 9"), "{text}");
+    }
+}

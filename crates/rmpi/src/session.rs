@@ -1,0 +1,303 @@
+//! The ReMPI-equivalent session: per-rank wildcard-receive order recording.
+
+use crate::compress::{decode_events, encode_events};
+use crate::message::MpiError;
+use parking_lot::Mutex;
+use reomp_core::TraceError;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// What a recorded wildcard receive matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvEvent {
+    /// Matched source rank.
+    pub src: u32,
+    /// Matched tag.
+    pub tag: u32,
+}
+
+/// A complete per-rank receive-order trace (ReMPI record files).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MpiTrace {
+    /// One stream per rank, in that rank's receive order.
+    pub per_rank: Vec<Vec<RecvEvent>>,
+    /// Per rank: the request indices chosen by successive `waitany` calls
+    /// (the `MPI_Waitany` completion order the paper's §VI-C gates).
+    pub waitany_per_rank: Vec<Vec<u32>>,
+}
+
+impl MpiTrace {
+    /// Number of ranks.
+    #[must_use]
+    pub fn nranks(&self) -> u32 {
+        self.per_rank.len() as u32
+    }
+
+    /// Total wildcard receives recorded.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Persist as one compressed file per rank plus a manifest, mirroring
+    /// ReMPI's per-process record files.
+    pub fn save_dir(&self, dir: &Path) -> Result<u64, TraceError> {
+        std::fs::create_dir_all(dir)?;
+        let mut bytes = 0u64;
+        let manifest = format!("rmpi-trace v1\nranks {}\n", self.per_rank.len());
+        std::fs::write(dir.join("manifest.txt"), &manifest)?;
+        bytes += manifest.len() as u64;
+        for (rank, events) in self.per_rank.iter().enumerate() {
+            let encoded = encode_events(events);
+            bytes += encoded.len() as u64;
+            std::fs::write(dir.join(format!("rank_{rank}.rmpi")), encoded)?;
+            let wa: Vec<RecvEvent> = self
+                .waitany_per_rank
+                .get(rank)
+                .map(|v| v.iter().map(|&i| RecvEvent { src: i, tag: 0 }).collect())
+                .unwrap_or_default();
+            let encoded = encode_events(&wa);
+            bytes += encoded.len() as u64;
+            std::fs::write(dir.join(format!("rank_{rank}.waitany.rmpi")), encoded)?;
+        }
+        Ok(bytes)
+    }
+
+    /// Load a trace previously written by [`MpiTrace::save_dir`].
+    pub fn load_dir(dir: &Path) -> Result<MpiTrace, TraceError> {
+        let manifest = std::fs::read_to_string(dir.join("manifest.txt"))
+            .map_err(TraceError::Io)?;
+        let mut lines = manifest.lines();
+        if lines.next() != Some("rmpi-trace v1") {
+            return Err(TraceError::Corrupt("bad rmpi manifest header".into()));
+        }
+        let ranks: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("ranks "))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| TraceError::Corrupt("bad rank count".into()))?;
+        let mut per_rank = Vec::with_capacity(ranks);
+        let mut waitany_per_rank = Vec::with_capacity(ranks);
+        for rank in 0..ranks {
+            let bytes = std::fs::read(dir.join(format!("rank_{rank}.rmpi")))?;
+            per_rank.push(decode_events(&bytes)?);
+            let wa_path = dir.join(format!("rank_{rank}.waitany.rmpi"));
+            let wa = if wa_path.exists() {
+                decode_events(&std::fs::read(wa_path)?)?
+                    .into_iter()
+                    .map(|e| e.src)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            waitany_per_rank.push(wa);
+        }
+        Ok(MpiTrace {
+            per_rank,
+            waitany_per_rank,
+        })
+    }
+}
+
+/// Session mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiMode {
+    /// No recording; wildcard receives are free-running.
+    Passthrough,
+    /// Log every wildcard receive's matched `(src, tag)`.
+    Record,
+    /// Force every wildcard receive to match the recorded `(src, tag)`.
+    Replay,
+}
+
+/// Shared record/replay state for one [`crate::World`] run.
+#[derive(Debug)]
+pub struct MpiSession {
+    mode: MpiMode,
+    nranks: u32,
+    logs: Vec<Mutex<Vec<RecvEvent>>>,
+    waitany_logs: Vec<Mutex<Vec<u32>>>,
+    cursors: Vec<AtomicUsize>,
+    waitany_cursors: Vec<AtomicUsize>,
+    trace: Option<MpiTrace>,
+}
+
+impl MpiSession {
+    /// Free-running session.
+    #[must_use]
+    pub fn passthrough(nranks: u32) -> Self {
+        Self::build(MpiMode::Passthrough, nranks, None)
+    }
+
+    /// Recording session.
+    #[must_use]
+    pub fn record(nranks: u32) -> Self {
+        Self::build(MpiMode::Record, nranks, None)
+    }
+
+    /// Replay session over a recorded trace.
+    #[must_use]
+    pub fn replay(trace: MpiTrace) -> Self {
+        let nranks = trace.nranks();
+        Self::build(MpiMode::Replay, nranks, Some(trace))
+    }
+
+    fn build(mode: MpiMode, nranks: u32, trace: Option<MpiTrace>) -> Self {
+        MpiSession {
+            mode,
+            nranks,
+            logs: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
+            waitany_logs: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
+            cursors: (0..nranks).map(|_| AtomicUsize::new(0)).collect(),
+            waitany_cursors: (0..nranks).map(|_| AtomicUsize::new(0)).collect(),
+            trace,
+        }
+    }
+
+    /// Session mode.
+    #[must_use]
+    pub fn mode(&self) -> MpiMode {
+        self.mode
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn nranks(&self) -> u32 {
+        self.nranks
+    }
+
+    /// Record one matched wildcard receive (record mode only).
+    pub fn log_recv(&self, rank: u32, src: u32, tag: u32) {
+        if self.mode == MpiMode::Record {
+            self.logs[rank as usize].lock().push(RecvEvent { src, tag });
+        }
+    }
+
+    /// Replay mode: the `(src, tag)` the next wildcard receive of `rank`
+    /// must match.
+    pub fn next_recv(&self, rank: u32) -> Result<Option<RecvEvent>, MpiError> {
+        if self.mode != MpiMode::Replay {
+            return Ok(None);
+        }
+        let trace = self.trace.as_ref().expect("replay has trace");
+        let pos = self.cursors[rank as usize].fetch_add(1, Ordering::Relaxed);
+        trace.per_rank[rank as usize]
+            .get(pos)
+            .copied()
+            .map(Some)
+            .ok_or(MpiError::ReplayExhausted { rank })
+    }
+
+    /// Record one `waitany` completion choice (record mode only).
+    pub fn log_waitany(&self, rank: u32, index: u32) {
+        if self.mode == MpiMode::Record {
+            self.waitany_logs[rank as usize].lock().push(index);
+        }
+    }
+
+    /// Replay mode: the request index the next `waitany` of `rank` must
+    /// complete.
+    pub fn next_waitany(&self, rank: u32) -> Result<Option<u32>, MpiError> {
+        if self.mode != MpiMode::Replay {
+            return Ok(None);
+        }
+        let trace = self.trace.as_ref().expect("replay has trace");
+        let pos = self.waitany_cursors[rank as usize].fetch_add(1, Ordering::Relaxed);
+        trace
+            .waitany_per_rank
+            .get(rank as usize)
+            .and_then(|v| v.get(pos))
+            .copied()
+            .map(Some)
+            .ok_or(MpiError::ReplayExhausted { rank })
+    }
+
+    /// Extract the recorded trace (record mode).
+    #[must_use]
+    pub fn finish(&self) -> MpiTrace {
+        MpiTrace {
+            per_rank: self
+                .logs
+                .iter()
+                .map(|l| std::mem::take(&mut *l.lock()))
+                .collect(),
+            waitany_per_rank: self
+                .waitany_logs
+                .iter()
+                .map(|l| std::mem::take(&mut *l.lock()))
+                .collect(),
+        }
+    }
+
+    /// Replay mode: whether every rank consumed its full stream.
+    #[must_use]
+    pub fn fully_consumed(&self) -> Option<bool> {
+        let trace = self.trace.as_ref()?;
+        Some(
+            self.cursors
+                .iter()
+                .zip(&trace.per_rank)
+                .all(|(c, r)| c.load(Ordering::Relaxed) >= r.len()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_log_and_finish() {
+        let s = MpiSession::record(2);
+        s.log_recv(0, 1, 7);
+        s.log_recv(0, 1, 8);
+        s.log_recv(1, 0, 7);
+        let trace = s.finish();
+        assert_eq!(trace.nranks(), 2);
+        assert_eq!(trace.total_events(), 3);
+        assert_eq!(trace.per_rank[0][1], RecvEvent { src: 1, tag: 8 });
+    }
+
+    #[test]
+    fn passthrough_logs_nothing() {
+        let s = MpiSession::passthrough(1);
+        s.log_recv(0, 0, 0);
+        assert_eq!(s.finish().total_events(), 0);
+        assert_eq!(s.next_recv(0).unwrap(), None);
+    }
+
+    #[test]
+    fn replay_serves_events_in_order_then_exhausts() {
+        let trace = MpiTrace {
+            per_rank: vec![vec![RecvEvent { src: 2, tag: 5 }, RecvEvent { src: 1, tag: 5 }]],
+            waitany_per_rank: vec![vec![]],
+        };
+        let s = MpiSession::replay(trace);
+        assert_eq!(s.fully_consumed(), Some(false));
+        assert_eq!(s.next_recv(0).unwrap(), Some(RecvEvent { src: 2, tag: 5 }));
+        assert_eq!(s.next_recv(0).unwrap(), Some(RecvEvent { src: 1, tag: 5 }));
+        assert_eq!(s.fully_consumed(), Some(true));
+        assert!(matches!(
+            s.next_recv(0),
+            Err(MpiError::ReplayExhausted { rank: 0 })
+        ));
+    }
+
+    #[test]
+    fn trace_dir_roundtrip() {
+        let trace = MpiTrace {
+            per_rank: vec![
+                (0..100).map(|i| RecvEvent { src: i % 3, tag: 1 }).collect(),
+                vec![],
+                vec![RecvEvent { src: 0, tag: 9 }],
+            ],
+            waitany_per_rank: vec![vec![0, 1, 0], vec![], vec![2]],
+        };
+        let dir = std::env::temp_dir().join(format!("rmpi-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        trace.save_dir(&dir).unwrap();
+        let back = MpiTrace::load_dir(&dir).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,124 @@
+//! The full four-step ReOMP toolflow of Fig. 2:
+//!
+//! 1. **Race detection** — run once in passthrough mode with the FastTrack
+//!    detector attached (the paper's ThreadSanitizer step) to find the
+//!    racy sites;
+//! 2. **Instrumentation plan** — racy sites + statically known construct
+//!    sites become the gate plan (the paper's LLVM-pass step);
+//! 3. **Record** — run with gates enabled only on planned sites;
+//! 4. **Replay** — reproduce the run from the record files on disk.
+//!
+//! ```bash
+//! cargo run --example toolflow
+//! ```
+
+use reomp::{core::SessionConfig, ompr, racedet, DirStore, Scheme, Session, TraceStore};
+use std::sync::Arc;
+
+/// The application under test: a racy flag + counter, plus a properly
+/// locked region (which the detector must *not* flag).
+struct TestApp {
+    counter: ompr::RacyCell<u64>,
+    flag: ompr::RacyCell<bool>,
+    safe: ompr::Critical,
+    safe_total: std::sync::atomic::AtomicU64,
+}
+
+impl TestApp {
+    fn new() -> Self {
+        TestApp {
+            counter: ompr::RacyCell::new("toolflow:counter", 0),
+            flag: ompr::RacyCell::new("toolflow:flag", false),
+            safe: ompr::Critical::new("toolflow:safe"),
+            safe_total: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn run(&self, session: &Arc<Session>, sink: Option<Arc<racedet::Detector>>) -> (u64, u64) {
+        let mut rt = ompr::Runtime::new(Arc::clone(session));
+        if let Some(sink) = sink {
+            rt = rt.with_sink(sink);
+        }
+        rt.parallel(|w| {
+            for i in 0..200u64 {
+                w.racy_update(&self.counter, |v| v + 1);
+                if i % 50 == 0 {
+                    w.racy_store(&self.flag, true);
+                }
+                let _ = w.racy_load(&self.flag);
+                w.critical(&self.safe, || {
+                    self.safe_total
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        (
+            self.counter.raw_load(),
+            self.safe_total.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+}
+
+fn main() {
+    let threads = 4;
+
+    // Step 1: race detection (Fig. 2 step (1)).
+    println!("step 1: race detection run");
+    let detector = Arc::new(racedet::Detector::new(threads));
+    let app = TestApp::new();
+    let session = Session::passthrough(threads);
+    let _ = app.run(&session, Some(Arc::clone(&detector)));
+    session.finish().expect("finish");
+    let report = detector.report();
+    println!("{report}");
+    assert!(report.racy_sites().contains(&app.counter.site()));
+    assert!(report.racy_sites().contains(&app.flag.site()));
+    assert!(
+        !report.racy_sites().contains(&app.safe.site()),
+        "the locked region must not be flagged"
+    );
+
+    // Step 2: instrumentation plan = racy sites + construct sites (§III).
+    let plan = racedet::instrumentation_plan(&report, [app.safe.site()]);
+    println!(
+        "step 2: instrumentation plan has {} sites (2 racy + 1 critical)",
+        plan.len()
+    );
+
+    // Step 3: record with only the planned sites gated.
+    let cfg = SessionConfig {
+        gate_plan: Some(plan.clone()),
+        ..SessionConfig::default()
+    };
+    let app = TestApp::new();
+    let session = Session::record_with(Scheme::De, threads, cfg.clone());
+    let (counter, safe_total) = app.run(&session, None);
+    let record_report = session.finish().expect("finish");
+    println!(
+        "step 3: recorded (counter={counter}, safe_total={safe_total}, {} records)",
+        record_report.stats.records_written
+    );
+
+    // Persist to the paper-style one-file-per-thread directory store.
+    let dir = std::env::temp_dir().join("reomp-toolflow-example");
+    let store = DirStore::new(&dir);
+    let io = record_report.save_to(&store).expect("save");
+    println!("        trace on disk: {} files, {} bytes in {}", io.files, io.bytes, dir.display());
+
+    // Step 4: replay from disk.
+    let (bundle, _) = store.load().expect("load");
+    let app = TestApp::new();
+    let session = Session::replay_with(bundle, cfg).expect("valid bundle");
+    let (replayed_counter, replayed_safe) = app.run(&session, None);
+    let report = session.finish().expect("finish");
+    assert_eq!(report.failure, None);
+    assert_eq!(replayed_counter, counter, "racy counter must replay");
+    assert_eq!(replayed_safe, safe_total);
+    println!("step 4: replayed  (counter={replayed_counter}) — identical. ok.");
+
+    if std::env::var_os("REOMP_KEEP_TRACE").is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    } else {
+        println!("trace kept at {} (inspect with `reomp-inspect`)", dir.display());
+    }
+}

@@ -1,0 +1,75 @@
+//! `reomp-inspect` — command-line trace inspector.
+//!
+//! ```text
+//! reomp-inspect <trace-dir>                 summary + epoch histogram
+//! reomp-inspect <trace-dir> --timeline [N]  first N accesses as lanes
+//! reomp-inspect <trace-dir> --diff <dir2>   first divergence between runs
+//! ```
+//!
+//! `<trace-dir>` is a directory written by `DirStore` (one record file per
+//! thread plus `manifest.txt`), e.g. the `REOMP_DIR` of a record run.
+
+use reomp::core::analysis;
+use reomp::{DirStore, EpochHistogram, TraceStore};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: reomp-inspect <trace-dir> [--timeline [N]] [--diff <trace-dir2>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(dir) = args.first() else {
+        return usage();
+    };
+
+    let store = DirStore::new(dir);
+    let (bundle, io) = match store.load() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("reomp-inspect: cannot load {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match args.get(1).map(String::as_str) {
+        None => {
+            println!("{}", analysis::summarize(&bundle));
+            println!("trace files: {} ({} bytes)", io.files, io.bytes);
+            let hist = EpochHistogram::from_bundle(&bundle);
+            println!("{hist}");
+            ExitCode::SUCCESS
+        }
+        Some("--timeline") => {
+            let n = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(40usize);
+            print!("{}", analysis::ascii_timeline(&bundle, n));
+            ExitCode::SUCCESS
+        }
+        Some("--diff") => {
+            let Some(dir2) = args.get(2) else {
+                return usage();
+            };
+            let other = match DirStore::new(dir2).load() {
+                Ok((b, _)) => b,
+                Err(e) => {
+                    eprintln!("reomp-inspect: cannot load {dir2}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let d = analysis::diff(&bundle, &other);
+            println!("{d}");
+            if matches!(d, analysis::TraceDiff::Equal) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some(_) => usage(),
+    }
+}

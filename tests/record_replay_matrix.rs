@@ -1,0 +1,117 @@
+//! Integration: record→replay equivalence for every app × scheme, plus
+//! store roundtrips through the on-disk format.
+
+use reomp::miniapps::{amg, hacc, hpccg, minife, quicksilver, AppOutput};
+use reomp::{ompr::Runtime, DirStore, MemStore, Scheme, Session, TraceStore};
+use std::sync::Arc;
+
+fn run_app(name: &str, session: &Arc<Session>) -> AppOutput {
+    let rt = Runtime::new(Arc::clone(session));
+    match name {
+        "amg" => amg::run(&rt, &amg::Config::scaled(1)),
+        "quicksilver" => quicksilver::run(&rt, &quicksilver::Config::scaled(1)),
+        "minife" => minife::run(&rt, &minife::Config::scaled(1)),
+        "hacc" => hacc::run(&rt, &hacc::Config::scaled(1)),
+        "hpccg" => hpccg::run(&rt, &hpccg::Config::scaled(1)),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+const APPS: [&str; 5] = ["amg", "quicksilver", "minife", "hacc", "hpccg"];
+
+#[test]
+fn every_app_replays_bitwise_under_every_scheme() {
+    for app in APPS {
+        for scheme in Scheme::ALL {
+            let session = Session::record(scheme, 4);
+            let recorded = run_app(app, &session);
+            let report = session.finish().unwrap();
+            let bundle = report.bundle.unwrap();
+            assert!(bundle.total_records() > 0, "{app}/{scheme}");
+
+            let session = Session::replay(bundle).unwrap();
+            let replayed = run_app(app, &session);
+            let report = session.finish().unwrap();
+            assert_eq!(report.failure, None, "{app}/{scheme}");
+            assert_eq!(report.fully_consumed, Some(true), "{app}/{scheme}");
+            assert_eq!(replayed, recorded, "{app}/{scheme}");
+        }
+    }
+}
+
+#[test]
+fn traces_survive_memstore_roundtrip() {
+    for scheme in Scheme::ALL {
+        let session = Session::record(scheme, 3);
+        let recorded = run_app("hacc", &session);
+        let bundle = session.finish().unwrap().bundle.unwrap();
+
+        let store = MemStore::new();
+        store.save(&bundle).unwrap();
+        let (loaded, _) = store.load().unwrap();
+        assert_eq!(loaded, bundle, "{scheme}");
+
+        let session = Session::replay(loaded).unwrap();
+        let replayed = run_app("hacc", &session);
+        assert_eq!(session.finish().unwrap().failure, None, "{scheme}");
+        assert_eq!(replayed, recorded, "{scheme}");
+    }
+}
+
+#[test]
+fn traces_survive_dirstore_roundtrip_like_the_paper() {
+    // The paper's deployment: per-thread record files on tmpfs, written in
+    // a record run, read back in a separate replay run.
+    let dir = std::env::temp_dir().join(format!("reomp-it-dirstore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DirStore::new(&dir);
+
+    let session = Session::record(Scheme::De, 4);
+    let recorded = run_app("hpccg", &session);
+    let report = session.finish().unwrap();
+    let io = report.save_to(&store).unwrap();
+    assert!(io.bytes > 0);
+    assert_eq!(io.files, 4 + 1, "4 thread files + manifest");
+
+    let (bundle, _) = store.load().unwrap();
+    let session = Session::replay(bundle).unwrap();
+    let replayed = run_app("hpccg", &session);
+    assert_eq!(session.finish().unwrap().failure, None);
+    assert_eq!(replayed, recorded);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn replay_with_different_thread_count_fails_cleanly() {
+    let session = Session::record(Scheme::Dc, 3);
+    let _ = run_app("amg", &session);
+    let bundle = session.finish().unwrap().bundle.unwrap();
+
+    // Registering a tid beyond the recorded count must panic (contract),
+    // not silently mis-replay. Probe from a scoped thread so the panic is
+    // observed through the join handle.
+    let session = Session::replay(bundle).unwrap();
+    let panicked = std::thread::scope(|s| {
+        s.spawn(|| {
+            let _ = session.register_thread(3);
+        })
+        .join()
+        .is_err()
+    });
+    assert!(panicked, "tid out of range must be rejected");
+}
+
+#[test]
+fn scheme_env_roundtrip_matches_direct_construction() {
+    // from_env is exercised directly elsewhere; here check scheme parsing
+    // agreement with trace headers after a store roundtrip.
+    for scheme in Scheme::ALL {
+        let session = Session::record(scheme, 2);
+        let _ = run_app("minife", &session);
+        let bundle = session.finish().unwrap().bundle.unwrap();
+        assert_eq!(bundle.scheme, scheme);
+        let store = MemStore::new();
+        store.save(&bundle).unwrap();
+        assert_eq!(store.load().unwrap().0.scheme, scheme);
+    }
+}
