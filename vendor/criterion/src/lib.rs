@@ -1,0 +1,242 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the API subset this workspace uses:
+//! [`Criterion`] with `bench_function` / `benchmark_group`, [`Bencher`]
+//! with `iter` / `iter_batched`, [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no network access, so the workspace pins
+//! `criterion` to this path crate. Statistics are deliberately simple:
+//! each benchmark runs for roughly `measurement_time` after a short warm
+//! up and reports mean ns/iter to stdout — enough to compare schemes
+//! locally; no HTML reports, outlier analysis, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; all variants behave the same
+/// here (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the bench closure.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// (total measured time, iterations) accumulated by the last `iter*`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and estimate a single-shot duration.
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32);
+
+        let target = self.cfg.measurement_time.max(Duration::from_millis(1));
+        let iters = per_iter
+            .filter(|d| !d.is_zero())
+            .map_or(1_000, |d| (target.as_nanos() / d.as_nanos().max(1)) as u64)
+            .clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Time `routine` over inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let iters = (self.cfg.sample_size as u64).max(1);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default, Clone)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Number of samples for batched measurements.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Target time spent measuring each benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measuring.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher<'_>)) -> &mut Self {
+        run_one(&self.cfg, name, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(&self.criterion.cfg, &format!("{}/{name}", self.name), f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(cfg: &Config, name: &str, mut f: impl FnMut(&mut Bencher<'_>)) {
+    let mut b = Bencher { cfg, result: None };
+    f(&mut b);
+    match b.result {
+        Some((total, iters)) if iters > 0 => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            println!("{name:<50} {ns:>14.1} ns/iter ({iters} iters)");
+        }
+        _ => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(7)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut setups = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 7);
+    }
+}
