@@ -75,8 +75,7 @@ pub fn run_seq(cfg: &Config) -> AppOutput {
             for i in 0..n {
                 let left = if i > 0 { snapshot[i - 1] } else { 0.0 };
                 let right = if i + 1 < n { snapshot[i + 1] } else { 0.0 };
-                x[i] = (1.0 - cfg.omega) * snapshot[i]
-                    + cfg.omega * 0.5 * (b[i] + left + right);
+                x[i] = (1.0 - cfg.omega) * snapshot[i] + cfg.omega * 0.5 * (b[i] + left + right);
             }
         }
         // Restrict residual (full weighting), solve coarse by Jacobi,
@@ -85,7 +84,11 @@ pub fn run_seq(cfg: &Config) -> AppOutput {
         for (c, rcv) in rc.iter_mut().enumerate() {
             let f = 2 * c;
             let r0 = residual_at(&x, &b, f);
-            let r1 = if f + 1 < n { residual_at(&x, &b, f + 1) } else { 0.0 };
+            let r1 = if f + 1 < n {
+                residual_at(&x, &b, f + 1)
+            } else {
+                0.0
+            };
             *rcv = 0.5 * (r0 + r1);
         }
         let mut xc = vec![0.0f64; nc];
@@ -109,8 +112,7 @@ pub fn run_seq(cfg: &Config) -> AppOutput {
             for i in 0..n {
                 let left = if i > 0 { snapshot[i - 1] } else { 0.0 };
                 let right = if i + 1 < n { snapshot[i + 1] } else { 0.0 };
-                x[i] = (1.0 - cfg.omega) * snapshot[i]
-                    + cfg.omega * 0.5 * (b[i] + left + right);
+                x[i] = (1.0 - cfg.omega) * snapshot[i] + cfg.omega * 0.5 * (b[i] + left + right);
             }
         }
         last_norm = (0..n)
@@ -148,8 +150,16 @@ pub fn run(rt: &Runtime, cfg: &Config) -> AppOutput {
                 // one's own cell never races (only the owner writes it),
                 // so that load stays un-gated — instruction-granularity
                 // instrumentation, like ReOMP's TSan-driven plan.
-                let left = if i > 0 { w.racy_load_at(&x, i - 1) } else { 0.0 };
-                let right = if i + 1 < n { w.racy_load_at(&x, i + 1) } else { 0.0 };
+                let left = if i > 0 {
+                    w.racy_load_at(&x, i - 1)
+                } else {
+                    0.0
+                };
+                let right = if i + 1 < n {
+                    w.racy_load_at(&x, i + 1)
+                } else {
+                    0.0
+                };
                 let cur = x.raw_load(i);
                 let new = (1.0 - cfg.omega) * cur + cfg.omega * 0.5 * (b[i] + left + right);
                 w.racy_store_at(&x, i, new);
@@ -247,7 +257,10 @@ mod tests {
     #[test]
     fn sequential_oracle_reduces_residual() {
         let cfg = small();
-        let one = run_seq(&Config { cycles: 1, ..cfg.clone() });
+        let one = run_seq(&Config {
+            cycles: 1,
+            ..cfg.clone()
+        });
         let many = run_seq(&Config { cycles: 6, ..cfg });
         assert!(
             many.scalar < one.scalar,

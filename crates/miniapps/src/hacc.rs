@@ -61,8 +61,7 @@ impl Config {
         for _ in 0..self.nparticles {
             let p = if rng.next_f64() < self.clustering {
                 // Clustered around the centre (±2 cells).
-                (center + rng.next_gaussian_ish() * 0.6)
-                    .clamp(1.0, self.ncells as f64 - 2.0)
+                (center + rng.next_gaussian_ish() * 0.6).clamp(1.0, self.ncells as f64 - 2.0)
             } else {
                 1.0 + rng.next_f64() * (self.ncells as f64 - 3.0)
             };
@@ -132,8 +131,7 @@ pub fn run(rt: &Runtime, cfg: &Config) -> AppOutput {
     let (pos0, vel0) = cfg.init_particles();
     let pos = SharedVec::from_slice(&pos0);
     let vel = SharedVec::from_slice(&vel0);
-    let density: RacyArray<f64> =
-        RacyArray::new("hacc:density", cfg.ncells, cfg.site_groups, 0.0);
+    let density: RacyArray<f64> = RacyArray::new("hacc:density", cfg.ncells, cfg.site_groups, 0.0);
     let step_flag = ompr::RacyCell::new("hacc:step-flag", 0u64);
     let ke_red: Vec<Reduction> = (0..cfg.steps)
         .map(|s| Reduction::sum_f64(&format!("hacc:ke:{s}")))
@@ -392,11 +390,13 @@ fn rank_step_loop(rank: &mut RankCtx, rt: &Runtime, cfg: &HybridConfig) -> AppOu
         // append order is the recorded race.
         let mut expected = 0;
         if my > 0 {
-            rank.send_f64s(my as u32 - 1, TAG_MIGRATE, &left).expect("send");
+            rank.send_f64s(my as u32 - 1, TAG_MIGRATE, &left)
+                .expect("send");
             expected += 1;
         }
         if my < ranks - 1 {
-            rank.send_f64s(my as u32 + 1, TAG_MIGRATE, &right).expect("send");
+            rank.send_f64s(my as u32 + 1, TAG_MIGRATE, &right)
+                .expect("send");
             expected += 1;
         }
         for _ in 0..expected {
@@ -410,9 +410,7 @@ fn rank_step_loop(rank: &mut RankCtx, rt: &Runtime, cfg: &HybridConfig) -> AppOu
         vel = stay_v;
 
         // Global kinetic energy: arrival-order allreduce.
-        ke_total = rank
-            .allreduce_sum_f64(&[ke_red.load()])
-            .expect("allreduce")[0];
+        ke_total = rank.allreduce_sum_f64(&[ke_red.load()]).expect("allreduce")[0];
         rank.barrier();
     }
 

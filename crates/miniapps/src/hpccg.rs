@@ -13,8 +13,8 @@ use crate::linalg::{cg_seq, dot, stencil27, Csr};
 use crate::rng::Rng;
 use crate::{checksum_f64s, mix_checksums, AppOutput};
 use ompr::{RacyCell, Reduction, Runtime, SharedVec};
-use rmpi::{MpiSession, MpiTrace, RankCtx, World};
 use reomp_core::{Scheme, Session, SessionReport, TraceBundle};
+use rmpi::{MpiSession, MpiTrace, RankCtx, World};
 use std::sync::Arc;
 
 /// HPCCG configuration.
@@ -209,8 +209,7 @@ fn hybrid_impl(cfg: &HybridConfig, mode: HybridMode) -> (AppOutput, Option<Hybri
     let ranks = cfg.ranks;
     assert!(ranks > 0);
     let nz_total = cfg.base.nz.max(ranks as usize); // at least one plane per rank
-    let (mpi_session, omp_bundles_in): (Arc<MpiSession>, Option<Vec<TraceBundle>>) = match &mode
-    {
+    let (mpi_session, omp_bundles_in): (Arc<MpiSession>, Option<Vec<TraceBundle>>) = match &mode {
         HybridMode::Passthrough => (Arc::new(MpiSession::passthrough(ranks)), None),
         HybridMode::Record => (Arc::new(MpiSession::record(ranks)), None),
         HybridMode::Replay(traces) => (
@@ -281,7 +280,8 @@ fn rank_cg(rank: &mut RankCtx, rt: &Runtime, cfg: &HybridConfig, nz_total: usize
     let p = SharedVec::from_slice(&b);
     let ap = SharedVec::new(a.n, 0.0);
 
-    let mut rtr: f64 = rank.allreduce_sum_f64(&[dot(&b[row_lo..row_hi], &b[row_lo..row_hi])])
+    let mut rtr: f64 = rank
+        .allreduce_sum_f64(&[dot(&b[row_lo..row_hi], &b[row_lo..row_hi])])
         .expect("allreduce")[0];
 
     let rtr_red: Vec<Reduction> = (0..cfg.base.iters)

@@ -153,9 +153,6 @@ mod tests {
     #[test]
     fn app_names_match_paper() {
         let names: Vec<&str> = App::ALL.iter().map(|a| a.name()).collect();
-        assert_eq!(
-            names,
-            vec!["AMG", "QuickSilver", "miniFE", "HACC", "HPCCG"]
-        );
+        assert_eq!(names, vec!["AMG", "QuickSilver", "miniFE", "HACC", "HPCCG"]);
     }
 }

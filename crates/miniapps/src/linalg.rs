@@ -60,8 +60,7 @@ pub fn stencil27(nx: usize, ny: usize, nz: usize) -> Csr {
                 for dz in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dx in -1i64..=1 {
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if xx < 0
                                 || yy < 0
                                 || zz < 0
@@ -145,13 +144,7 @@ pub fn cg_seq(a: &Csr, b: &[f64], max_iters: u64, tol: f64) -> (Vec<f64>, f64, u
 /// miniFE; HPCCG has its own richer loop with a racy watch cell).
 /// Returns `(x, final r·r)`.
 #[must_use]
-pub fn cg_par(
-    rt: &ompr::Runtime,
-    a: &Csr,
-    b: &[f64],
-    iters: u64,
-    label: &str,
-) -> (Vec<f64>, f64) {
+pub fn cg_par(rt: &ompr::Runtime, a: &Csr, b: &[f64], iters: u64, label: &str) -> (Vec<f64>, f64) {
     use ompr::{Reduction, SharedVec};
     let n = a.n;
     let x = SharedVec::new(n, 0.0);

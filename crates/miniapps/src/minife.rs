@@ -152,8 +152,13 @@ pub fn run(rt: &Runtime, cfg: &Config) -> AppOutput {
     });
 
     let a = tridiag_to_csr(
-        &diag.iter().map(|d| d.load(std::sync::atomic::Ordering::Relaxed)).collect::<Vec<_>>(),
-        &off.iter().map(|o| o.load(std::sync::atomic::Ordering::Relaxed)).collect::<Vec<_>>(),
+        &diag
+            .iter()
+            .map(|d| d.load(std::sync::atomic::Ordering::Relaxed))
+            .collect::<Vec<_>>(),
+        &off.iter()
+            .map(|o| o.load(std::sync::atomic::Ordering::Relaxed))
+            .collect::<Vec<_>>(),
     );
     let b: Vec<f64> = bvec
         .iter()

@@ -97,11 +97,7 @@ mod tests {
                         b.wait(&mut sense);
                         // After the barrier, every thread must observe the
                         // full count for this phase.
-                        assert_eq!(
-                            count.load(Ordering::SeqCst),
-                            N as usize,
-                            "round {round}"
-                        );
+                        assert_eq!(count.load(Ordering::SeqCst), N as usize, "round {round}");
                         b.wait(&mut sense);
                     }
                 });

@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn vec_sink_collects_in_order() {
         let sink = VecSink::new();
-        sink.event(Event::Fork { parent: MAIN_TID, child: 0 });
+        sink.event(Event::Fork {
+            parent: MAIN_TID,
+            child: 0,
+        });
         sink.event(Event::Read {
             tid: 0,
             addr: 1,
@@ -139,6 +142,9 @@ mod tests {
 
     #[test]
     fn null_sink_is_inert() {
-        NullSink.event(Event::Join { parent: 0, child: 1 });
+        NullSink.event(Event::Join {
+            parent: 0,
+            child: 1,
+        });
     }
 }

@@ -173,7 +173,9 @@ impl<T: RacyValue> RacyArray<T> {
             .collect();
         let base_addr = NEXT_ADDR.fetch_add(len.max(1) as u64, Ordering::Relaxed);
         RacyArray {
-            cells: (0..len).map(|_| AtomicU64::new(initial.to_bits())).collect(),
+            cells: (0..len)
+                .map(|_| AtomicU64::new(initial.to_bits()))
+                .collect(),
             sites,
             base_addr,
             _marker: std::marker::PhantomData,

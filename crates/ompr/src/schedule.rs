@@ -126,7 +126,10 @@ mod tests {
             let c = guided_chunk(remaining, 4, 8);
             assert!(c >= 1);
             assert!(c <= remaining);
-            assert!(c <= last || c == 8.min(remaining), "non-increasing until min");
+            assert!(
+                c <= last || c == 8.min(remaining),
+                "non-increasing until min"
+            );
             last = c;
             remaining -= c;
         }

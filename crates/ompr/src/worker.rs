@@ -209,26 +209,28 @@ impl<'t> Worker<'t> {
     /// Gated racy load of a shared cell.
     #[must_use]
     pub fn racy_load<T: RacyValue>(&self, cell: &RacyCell<T>) -> T {
-        self.ctx.gate_at(cell.site(), cell.addr(), AccessKind::Load, || {
-            self.team.emit(Event::Read {
-                tid: self.tid,
-                addr: cell.addr(),
-                site: cell.site(),
-            });
-            cell.raw_load()
-        })
+        self.ctx
+            .gate_at(cell.site(), cell.addr(), AccessKind::Load, || {
+                self.team.emit(Event::Read {
+                    tid: self.tid,
+                    addr: cell.addr(),
+                    site: cell.site(),
+                });
+                cell.raw_load()
+            })
     }
 
     /// Gated racy store to a shared cell.
     pub fn racy_store<T: RacyValue>(&self, cell: &RacyCell<T>, v: T) {
-        self.ctx.gate_at(cell.site(), cell.addr(), AccessKind::Store, || {
-            self.team.emit(Event::Write {
-                tid: self.tid,
-                addr: cell.addr(),
-                site: cell.site(),
+        self.ctx
+            .gate_at(cell.site(), cell.addr(), AccessKind::Store, || {
+                self.team.emit(Event::Write {
+                    tid: self.tid,
+                    addr: cell.addr(),
+                    site: cell.site(),
+                });
+                cell.raw_store(v);
             });
-            cell.raw_store(v);
-        });
     }
 
     /// Racy read-modify-write (`sum += x` as it compiles: a gated load
@@ -241,26 +243,28 @@ impl<'t> Worker<'t> {
     /// Gated racy load of an array element.
     #[must_use]
     pub fn racy_load_at<T: RacyValue>(&self, arr: &RacyArray<T>, i: usize) -> T {
-        self.ctx.gate_at(arr.site_of(i), arr.addr_of(i), AccessKind::Load, || {
-            self.team.emit(Event::Read {
-                tid: self.tid,
-                addr: arr.addr_of(i),
-                site: arr.site_of(i),
-            });
-            arr.raw_load(i)
-        })
+        self.ctx
+            .gate_at(arr.site_of(i), arr.addr_of(i), AccessKind::Load, || {
+                self.team.emit(Event::Read {
+                    tid: self.tid,
+                    addr: arr.addr_of(i),
+                    site: arr.site_of(i),
+                });
+                arr.raw_load(i)
+            })
     }
 
     /// Gated racy store to an array element.
     pub fn racy_store_at<T: RacyValue>(&self, arr: &RacyArray<T>, i: usize, v: T) {
-        self.ctx.gate_at(arr.site_of(i), arr.addr_of(i), AccessKind::Store, || {
-            self.team.emit(Event::Write {
-                tid: self.tid,
-                addr: arr.addr_of(i),
-                site: arr.site_of(i),
+        self.ctx
+            .gate_at(arr.site_of(i), arr.addr_of(i), AccessKind::Store, || {
+                self.team.emit(Event::Write {
+                    tid: self.tid,
+                    addr: arr.addr_of(i),
+                    site: arr.site_of(i),
+                });
+                arr.raw_store(i, v);
             });
-            arr.raw_store(i, v);
-        });
     }
 
     /// Racy read-modify-write of an array element.
@@ -475,9 +479,9 @@ mod tests {
                     assignment[i].store(tid + 1, Ordering::SeqCst);
                 });
             });
-            assignment
-                .iter()
-                .fold(0u64, |acc, a| acc.wrapping_mul(7).wrapping_add(a.load(Ordering::SeqCst)))
+            assignment.iter().fold(0u64, |acc, a| {
+                acc.wrapping_mul(7).wrapping_add(a.load(Ordering::SeqCst))
+            })
         };
         for scheme in Scheme::ALL {
             let (rec, rep) = record_then_replay(scheme, 3, run);
@@ -498,9 +502,9 @@ mod tests {
                 });
             });
             assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
-            owner
-                .iter()
-                .fold(0u64, |acc, a| acc.wrapping_mul(7).wrapping_add(a.load(Ordering::SeqCst)))
+            owner.iter().fold(0u64, |acc, a| {
+                acc.wrapping_mul(7).wrapping_add(a.load(Ordering::SeqCst))
+            })
         };
         for scheme in [Scheme::Dc, Scheme::De] {
             let (rec, rep) = record_then_replay(scheme, 3, run);

@@ -312,8 +312,7 @@ mod tests {
         assert!(
             ft.races()
                 .iter()
-                .any(|r| r.first_side == AccessSide::Read
-                    && r.second_side == AccessSide::Write),
+                .any(|r| r.first_side == AccessSide::Read && r.second_side == AccessSide::Write),
             "{:?}",
             ft.races()
         );

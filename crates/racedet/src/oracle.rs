@@ -233,11 +233,7 @@ mod tests {
                 }
             }
         }
-        let ft_addrs: HashSet<u64> = ft
-            .races()
-            .iter()
-            .map(|r| r.addr)
-            .collect();
+        let ft_addrs: HashSet<u64> = ft.races().iter().map(|r| r.addr).collect();
         (ft_addrs, oracle.racy_addrs().clone())
     }
 

@@ -65,9 +65,10 @@ impl VectorClock {
     /// Whether `self ⪯ other` pointwise (`self` happens-before-or-equals).
     #[must_use]
     pub fn le(&self, other: &VectorClock) -> bool {
-        self.slots.iter().enumerate().all(|(i, &v)| {
-            v <= other.slots.get(i).copied().unwrap_or(0)
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.slots.get(i).copied().unwrap_or(0))
     }
 }
 

@@ -5,7 +5,10 @@ use reomp_bench::{bench_scale, bench_threads, print_figure_header, print_figure_
 
 fn main() {
     let n = synth::default_iters("omp_reduction") * bench_scale();
-    print_figure_header("Fig. 9", "omp_reduction execution time vs threads (paper: overhead negligible for all schemes)");
+    print_figure_header(
+        "Fig. 9",
+        "omp_reduction execution time vs threads (paper: overhead negligible for all schemes)",
+    );
     for t in bench_threads() {
         let times = sweep_modes(t, |session| {
             let _ = synth::omp_reduction(session, n);

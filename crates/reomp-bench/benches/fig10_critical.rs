@@ -5,7 +5,10 @@ use reomp_bench::{bench_scale, bench_threads, print_figure_header, print_figure_
 
 fn main() {
     let n = synth::default_iters("omp_critical") * bench_scale();
-    print_figure_header("Fig. 10", "omp_critical execution time vs threads (paper: ST replay slowest; DC~DE)");
+    print_figure_header(
+        "Fig. 10",
+        "omp_critical execution time vs threads (paper: ST replay slowest; DC~DE)",
+    );
     for t in bench_threads() {
         let times = sweep_modes(t, |session| {
             let _ = synth::omp_critical(session, n);

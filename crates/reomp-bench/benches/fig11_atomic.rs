@@ -5,7 +5,10 @@ use reomp_bench::{bench_scale, bench_threads, print_figure_header, print_figure_
 
 fn main() {
     let n = synth::default_iters("omp_atomic") * bench_scale();
-    print_figure_header("Fig. 11", "omp_atomic execution time vs threads (paper: DC/DE beat ST)");
+    print_figure_header(
+        "Fig. 11",
+        "omp_atomic execution time vs threads (paper: DC/DE beat ST)",
+    );
     for t in bench_threads() {
         let times = sweep_modes(t, |session| {
             let _ = synth::omp_atomic(session, n);

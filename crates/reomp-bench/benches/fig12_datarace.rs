@@ -5,7 +5,10 @@ use reomp_bench::{bench_scale, bench_threads, print_figure_header, print_figure_
 
 fn main() {
     let n = synth::default_iters("data_race") * bench_scale();
-    print_figure_header("Fig. 12", "data_race execution time vs threads (paper: largest overheads; DE replay fastest)");
+    print_figure_header(
+        "Fig. 12",
+        "data_race execution time vs threads (paper: largest overheads; DE replay fastest)",
+    );
     for t in bench_threads() {
         let times = sweep_modes(t, |session| {
             let _ = synth::data_race(session, n);

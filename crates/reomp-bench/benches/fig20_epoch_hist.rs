@@ -30,7 +30,10 @@ fn main() {
 
     for app in App::ALL {
         let hist = histogram(app, threads, scale, EpochPolicy::PerAddress);
-        println!("\n--- {} (per-address policy, paper-literal) ---", app.name());
+        println!(
+            "\n--- {} (per-address policy, paper-literal) ---",
+            app.name()
+        );
         print!("  sizes:");
         for (size, n) in hist.counts.iter().take(12) {
             print!(" {size}:{n}");

@@ -14,10 +14,7 @@ use reomp_core::{EpochHistogram, Scheme, Session};
 
 fn main() {
     println!("\n=== Table VI: serialized (S) vs parallel/overlapped (P/O) operations ===");
-    println!(
-        "{:<44} {:>5} {:>5} {:>5}",
-        "operation", "ST", "DC", "DE"
-    );
+    println!("{:<44} {:>5} {:>5} {:>5}", "operation", "ST", "DC", "DE");
 
     let n = 400;
     let threads = 4;

@@ -30,7 +30,8 @@ fn main() {
             let _ = app.run_scaled(&rt, scale);
         });
         // times: [off, st_rec, st_rep, dc_rec, dc_rep, de_rec, de_rep]
-        let f = |num: usize, den: usize| times[num].as_secs_f64() / times[den].as_secs_f64().max(1e-12);
+        let f =
+            |num: usize, den: usize| times[num].as_secs_f64() / times[den].as_secs_f64().max(1e-12);
         println!(
             "{:>14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             app.name(),

@@ -145,10 +145,7 @@ pub fn run_mode(
 
 /// Sweep all seven paper modes for one workload at one thread count.
 /// Returns times in `MODE_COLUMNS` order.
-pub fn sweep_modes(
-    nthreads: u32,
-    work: impl Fn(&std::sync::Arc<Session>),
-) -> [Duration; 7] {
+pub fn sweep_modes(nthreads: u32, work: impl Fn(&std::sync::Arc<Session>)) -> [Duration; 7] {
     let mut out = [Duration::ZERO; 7];
     let (t, _) = run_mode(None, nthreads, None, &work);
     out[0] = t;

@@ -41,10 +41,7 @@ pub fn timeline(bundle: &TraceBundle) -> Vec<TimelineEntry> {
                 value: i as u64,
                 thread: tid,
                 site: st.sites.as_ref().map(|s| SiteId(s[i])),
-                kind: st
-                    .kinds
-                    .as_ref()
-                    .and_then(|k| AccessKind::from_code(k[i])),
+                kind: st.kinds.as_ref().and_then(|k| AccessKind::from_code(k[i])),
             });
         }
         return out;
@@ -280,14 +277,8 @@ pub fn diff(a: &TraceBundle, b: &TraceBundle) -> TraceDiff {
         let (ta, tb) = (&a.threads[tid], &b.threads[tid]);
         let n = ta.len().max(tb.len());
         for i in 0..n {
-            let la = ta
-                .values
-                .get(i)
-                .map(|&v| (v, ta.site_at(i), ta.kind_at(i)));
-            let rb = tb
-                .values
-                .get(i)
-                .map(|&v| (v, tb.site_at(i), tb.kind_at(i)));
+            let la = ta.values.get(i).map(|&v| (v, ta.site_at(i), ta.kind_at(i)));
+            let rb = tb.values.get(i).map(|&v| (v, tb.site_at(i), tb.kind_at(i)));
             if la != rb {
                 return TraceDiff::FirstDivergence {
                     thread: tid as u32,
@@ -418,7 +409,12 @@ mod tests {
         c.threads[0].sites.as_mut().unwrap().pop();
         c.threads[0].kinds.as_mut().unwrap().pop();
         match diff(&a, &c) {
-            TraceDiff::FirstDivergence { thread, index, right, .. } => {
+            TraceDiff::FirstDivergence {
+                thread,
+                index,
+                right,
+                ..
+            } => {
                 assert_eq!((thread, index), (0, 1));
                 assert_eq!(right, None);
             }

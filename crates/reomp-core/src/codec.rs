@@ -231,8 +231,8 @@ pub fn decode_st_trace(bytes: &[u8]) -> Result<StTrace, TraceError> {
     let mut tids = Vec::with_capacity(count);
     for _ in 0..count {
         let t = get_uvarint(&mut buf)?;
-        let t = u32::try_from(t)
-            .map_err(|_| TraceError::Corrupt(format!("tid {t} out of range")))?;
+        let t =
+            u32::try_from(t).map_err(|_| TraceError::Corrupt(format!("tid {t} out of range")))?;
         tids.push(t);
     }
     let (sites, kinds) = get_columns(&mut buf, count, flags)?;

@@ -205,9 +205,7 @@ impl EpochTracker {
     ) -> Observed {
         let out = match self.policy {
             EpochPolicy::Contiguous => self.observe_contiguous(thread, site, addr, kind, clock),
-            EpochPolicy::PerAddress => {
-                self.observe_per_address(thread, site, addr, kind, clock)
-            }
+            EpochPolicy::PerAddress => self.observe_per_address(thread, site, addr, kind, clock),
         };
         self.ring.push(AccessRecord {
             clock,
@@ -253,9 +251,11 @@ impl EpochTracker {
         let run_start = if joins {
             self.cur.expect("joins implies current run").start
         } else {
-            self.cur = kind
-                .is_epoch_eligible()
-                .then_some(Run { addr, kind, start: clock });
+            self.cur = kind.is_epoch_eligible().then_some(Run {
+                addr,
+                kind,
+                start: clock,
+            });
             clock
         };
 
@@ -323,7 +323,14 @@ impl EpochTracker {
             self.addr_runs.get(&addr).expect("joins implies run").start
         } else {
             if kind.is_epoch_eligible() {
-                self.addr_runs.insert(addr, Run { addr, kind, start: clock });
+                self.addr_runs.insert(
+                    addr,
+                    Run {
+                        addr,
+                        kind,
+                        start: clock,
+                    },
+                );
             } else {
                 self.addr_runs.remove(&addr);
             }
@@ -404,7 +411,10 @@ mod tests {
         let mut t = EpochTracker::new(policy, 64);
         let mut out = Vec::new();
         for (clock, &(thread, site, kind)) in seq.iter().enumerate() {
-            out.extend(t.observe(thread, site, site.raw(), kind, clock as u64).iter());
+            out.extend(
+                t.observe(thread, site, site.raw(), kind, clock as u64)
+                    .iter(),
+            );
         }
         out.extend(t.flush());
         out.sort_by_key(|f| f.clock);
@@ -501,8 +511,14 @@ mod tests {
         let seq = [(0, X, Load), (1, Y, Load), (2, X, Load)];
         let contiguous = run(EpochPolicy::Contiguous, &seq);
         let per_addr = run(EpochPolicy::PerAddress, &seq);
-        assert_eq!(contiguous.iter().map(|f| f.epoch).collect::<Vec<_>>(), vec![0, 1, 2]);
-        assert_eq!(per_addr.iter().map(|f| f.epoch).collect::<Vec<_>>(), vec![0, 1, 0]);
+        assert_eq!(
+            contiguous.iter().map(|f| f.epoch).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            per_addr.iter().map(|f| f.epoch).collect::<Vec<_>>(),
+            vec![0, 1, 0]
+        );
     }
 
     #[test]
@@ -523,7 +539,10 @@ mod tests {
         for policy in [EpochPolicy::Contiguous, EpochPolicy::PerAddress] {
             let got = run(policy, &seq);
             // First two share the run epoch; the last is flushed serialized.
-            assert_eq!(got.iter().map(|f| f.epoch).collect::<Vec<_>>(), vec![0, 0, 2]);
+            assert_eq!(
+                got.iter().map(|f| f.epoch).collect::<Vec<_>>(),
+                vec![0, 0, 2]
+            );
         }
     }
 
@@ -532,9 +551,15 @@ mod tests {
         use AccessKind::{Critical, Load};
         let seq = [(0, X, Load), (1, X, Critical), (2, X, Load)];
         let got = run(EpochPolicy::Contiguous, &seq);
-        assert_eq!(got.iter().map(|f| f.epoch).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            got.iter().map(|f| f.epoch).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         let got = run(EpochPolicy::PerAddress, &seq);
-        assert_eq!(got.iter().map(|f| f.epoch).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            got.iter().map(|f| f.epoch).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

@@ -200,7 +200,10 @@ impl fmt::Display for FinishError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FinishError::ThreadsActive(n) => {
-                write!(f, "cannot finish session: {n} thread context(s) still registered")
+                write!(
+                    f,
+                    "cannot finish session: {n} thread context(s) still registered"
+                )
             }
             FinishError::AlreadyFinished => write!(f, "session already finished"),
         }

@@ -212,7 +212,8 @@ fn replay_in_st(
                 rep.next_site.store(sites[pos], Ordering::Relaxed);
             }
             if let Some(kinds) = &st.kinds {
-                rep.next_kind.store(u32::from(kinds[pos]), Ordering::Relaxed);
+                rep.next_kind
+                    .store(u32::from(kinds[pos]), Ordering::Relaxed);
             }
             rep.st_pos.store(pos + 1, Ordering::Relaxed);
             // Publish last, with Release, so the matching thread sees the
@@ -305,11 +306,7 @@ mod tests {
 
     /// A racy shared counter: each increment is a gated load followed by a
     /// gated store, like a `sum += 1` data race compiled to instructions.
-    fn racy_workload(
-        session: &Arc<Session>,
-        nthreads: u32,
-        iters: usize,
-    ) -> (u64, Vec<u64>) {
+    fn racy_workload(session: &Arc<Session>, nthreads: u32, iters: usize) -> (u64, Vec<u64>) {
         let shared = AtomicU64::new(0);
         let order = parking_lot::Mutex::new(Vec::new());
         std::thread::scope(|s| {
@@ -319,9 +316,7 @@ mod tests {
                 let order = &order;
                 s.spawn(move || {
                     for _ in 0..iters {
-                        let v = ctx.gate(SITE, AccessKind::Load, || {
-                            shared.load(Ordering::Relaxed)
-                        });
+                        let v = ctx.gate(SITE, AccessKind::Load, || shared.load(Ordering::Relaxed));
                         ctx.gate(SITE, AccessKind::Store, || {
                             order.lock().push(u64::from(ctx.tid()));
                             shared.store(v + 1, Ordering::Relaxed);
@@ -525,8 +520,14 @@ mod tests {
             scheme: Scheme::Dc,
             nthreads: 2,
             threads: vec![
-                mk_thread(vec![0, 2], vec![AccessKind::Load.code(), AccessKind::Store.code()]),
-                mk_thread(vec![1, 3], vec![AccessKind::Load.code(), AccessKind::Store.code()]),
+                mk_thread(
+                    vec![0, 2],
+                    vec![AccessKind::Load.code(), AccessKind::Store.code()],
+                ),
+                mk_thread(
+                    vec![1, 3],
+                    vec![AccessKind::Load.code(), AccessKind::Store.code()],
+                ),
             ],
             st: None,
         };
@@ -621,7 +622,10 @@ mod tests {
         let report = replay.finish().unwrap();
         assert_eq!(report.failure, None);
         let dc = report.stats.comms_per_gate();
-        assert!((dc - 1.0).abs() < 1e-9, "DC replay is 1 comm/gate, got {dc}");
+        assert!(
+            (dc - 1.0).abs() < 1e-9,
+            "DC replay is 1 comm/gate, got {dc}"
+        );
 
         // ST: round-robin recorded order L0 L1 L2 L3 S0 S1 S2 S3 ...
         let mut tids = Vec::new();
@@ -651,9 +655,7 @@ mod tests {
         assert_eq!(report.failure, None);
         assert_eq!(report.fully_consumed, Some(true));
         // The enforced store order is the round-robin one.
-        let expect: Vec<u64> = (0..iters)
-            .flat_map(|_| 0..u64::from(nthreads))
-            .collect();
+        let expect: Vec<u64> = (0..iters).flat_map(|_| 0..u64::from(nthreads)).collect();
         assert_eq!(order, expect);
         let st = report.stats.comms_per_gate();
         assert!(

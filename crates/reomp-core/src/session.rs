@@ -216,7 +216,13 @@ impl Session {
     /// A session whose gates do nothing (baseline `w/o ReOMP`).
     #[must_use]
     pub fn passthrough(nthreads: u32) -> Arc<Session> {
-        Arc::new(Session::build(Mode::Passthrough, Scheme::De, nthreads, SessionConfig::default(), None))
+        Arc::new(Session::build(
+            Mode::Passthrough,
+            Scheme::De,
+            nthreads,
+            SessionConfig::default(),
+            None,
+        ))
     }
 
     /// Start a record run with default configuration.
@@ -367,7 +373,11 @@ impl Session {
     /// regions.
     #[must_use]
     pub fn register_thread(self: &Arc<Self>, tid: u32) -> ThreadCtx {
-        assert!(tid < self.nthreads, "tid {tid} >= nthreads {}", self.nthreads);
+        assert!(
+            tid < self.nthreads,
+            "tid {tid} >= nthreads {}",
+            self.nthreads
+        );
         assert!(
             !self.finished.load(Ordering::SeqCst),
             "session already finished"

@@ -225,7 +225,9 @@ impl DirStore {
         }
         match (scheme, threads) {
             (Some(s), Some(t)) => Ok((s, t)),
-            _ => Err(TraceError::Corrupt("manifest missing scheme/threads".into())),
+            _ => Err(TraceError::Corrupt(
+                "manifest missing scheme/threads".into(),
+            )),
         }
     }
 }
@@ -248,8 +250,7 @@ impl TraceStore for DirStore {
                     .map(|(tid, t)| {
                         let path = self.thread_path(tid as u32);
                         s.spawn(move || {
-                            let bytes =
-                                codec::encode_thread_trace(t, bundle.scheme, tid as u32);
+                            let bytes = codec::encode_thread_trace(t, bundle.scheme, tid as u32);
                             Self::write_file(&path, &bytes)
                         })
                     })
@@ -281,10 +282,7 @@ impl TraceStore for DirStore {
 
     fn load(&self) -> Result<(TraceBundle, IoReport), TraceError> {
         let (scheme, nthreads) = self.load_manifest()?;
-        let mut report = IoReport {
-            bytes: 0,
-            files: 1,
-        };
+        let mut report = IoReport { bytes: 0, files: 1 };
 
         let load_one = |tid: u32| -> Result<(ThreadTrace, u64), TraceError> {
             let bytes = Self::read_file(&self.thread_path(tid))?;
@@ -301,16 +299,15 @@ impl TraceStore for DirStore {
 
         let mut threads = Vec::with_capacity(nthreads as usize);
         if self.parallel_io {
-            let results: Vec<Result<(ThreadTrace, u64), TraceError>> =
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = (0..nthreads)
-                        .map(|tid| s.spawn(move || load_one(tid)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("trace reader panicked"))
-                        .collect()
-                });
+            let results: Vec<Result<(ThreadTrace, u64), TraceError>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..nthreads)
+                    .map(|tid| s.spawn(move || load_one(tid)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("trace reader panicked"))
+                    .collect()
+            });
             for r in results {
                 let (t, n) = r?;
                 report.bytes += n;
@@ -461,7 +458,11 @@ mod tests {
         store.save(&sample_bundle(Scheme::De)).unwrap();
         fs::write(dir.join("manifest.txt"), "something else\n").unwrap();
         assert!(store.load().is_err());
-        fs::write(dir.join("manifest.txt"), "reomp-trace v1\nscheme xx\nthreads 2\n").unwrap();
+        fs::write(
+            dir.join("manifest.txt"),
+            "reomp-trace v1\nscheme xx\nthreads 2\n",
+        )
+        .unwrap();
         assert!(store.load().is_err());
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -135,7 +135,10 @@ impl<'a> SpinWait<'a> {
         observed: impl Fn() -> u64,
     ) -> Result<(), ReplayError> {
         self.iters += 1;
-        if self.iters.is_multiple_of(u64::from(self.cfg.spin_hints.max(1))) {
+        if self
+            .iters
+            .is_multiple_of(u64::from(self.cfg.spin_hints.max(1)))
+        {
             std::thread::yield_now();
             if let Some(limit) = self.cfg.timeout {
                 let started = *self.started.get_or_insert_with(Instant::now);
@@ -240,9 +243,7 @@ mod tests {
         let b = Arc::new(BatonLock::new());
         assert!(b.try_acquire());
         let b2 = Arc::clone(&b);
-        std::thread::spawn(move || b2.release())
-            .join()
-            .unwrap();
+        std::thread::spawn(move || b2.release()).join().unwrap();
         assert!(!b.is_locked());
     }
 

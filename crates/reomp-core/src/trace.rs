@@ -40,7 +40,10 @@ impl ThreadTrace {
     /// Site of access `i`, if validation data is present.
     #[must_use]
     pub fn site_at(&self, i: usize) -> Option<SiteId> {
-        self.sites.as_ref().and_then(|s| s.get(i)).map(|&raw| SiteId(raw))
+        self.sites
+            .as_ref()
+            .and_then(|s| s.get(i))
+            .map(|&raw| SiteId(raw))
     }
 
     /// Kind of access `i`, if validation data is present.
@@ -153,9 +156,7 @@ impl TraceBundle {
                 return Err(TraceError::Corrupt("ST bundle without st stream".into()))
             }
             (Scheme::St, Some(st)) => st.check(self.nthreads)?,
-            (_, Some(_)) => {
-                return Err(TraceError::Corrupt("non-ST bundle with st stream".into()))
-            }
+            (_, Some(_)) => return Err(TraceError::Corrupt("non-ST bundle with st stream".into())),
             (_, None) => {}
         }
         for (i, t) in self.threads.iter().enumerate() {

@@ -73,7 +73,9 @@ pub fn decode_events(bytes: &[u8]) -> Result<Vec<RecvEvent>, TraceError> {
         }
     }
     if buf.has_remaining() {
-        return Err(TraceError::Corrupt("trailing bytes after RLE stream".into()));
+        return Err(TraceError::Corrupt(
+            "trailing bytes after RLE stream".into(),
+        ));
     }
     Ok(out)
 }

@@ -52,7 +52,9 @@ impl Mailbox {
     #[must_use]
     pub fn probe(&self, src: u32, tag: u32) -> Option<(u32, u32)> {
         let q = self.queue.lock();
-        q.iter().find(|e| matches(e, src, tag)).map(|e| (e.src, e.tag))
+        q.iter()
+            .find(|e| matches(e, src, tag))
+            .map(|e| (e.src, e.tag))
     }
 
     /// Blocking receive of the first message matching `(src, tag)`, in

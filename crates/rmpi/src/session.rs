@@ -65,8 +65,7 @@ impl MpiTrace {
 
     /// Load a trace previously written by [`MpiTrace::save_dir`].
     pub fn load_dir(dir: &Path) -> Result<MpiTrace, TraceError> {
-        let manifest = std::fs::read_to_string(dir.join("manifest.txt"))
-            .map_err(TraceError::Io)?;
+        let manifest = std::fs::read_to_string(dir.join("manifest.txt")).map_err(TraceError::Io)?;
         let mut lines = manifest.lines();
         if lines.next() != Some("rmpi-trace v1") {
             return Err(TraceError::Corrupt("bad rmpi manifest header".into()));
@@ -269,7 +268,10 @@ mod tests {
     #[test]
     fn replay_serves_events_in_order_then_exhausts() {
         let trace = MpiTrace {
-            per_rank: vec![vec![RecvEvent { src: 2, tag: 5 }, RecvEvent { src: 1, tag: 5 }]],
+            per_rank: vec![vec![
+                RecvEvent { src: 2, tag: 5 },
+                RecvEvent { src: 1, tag: 5 },
+            ]],
             waitany_per_rank: vec![vec![]],
         };
         let s = MpiSession::replay(trace);

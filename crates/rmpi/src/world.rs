@@ -33,8 +33,7 @@ impl World {
             nranks,
             "session rank count must match the world"
         );
-        let mailboxes: Arc<Vec<Mailbox>> =
-            Arc::new((0..nranks).map(|_| Mailbox::new()).collect());
+        let mailboxes: Arc<Vec<Mailbox>> = Arc::new((0..nranks).map(|_| Mailbox::new()).collect());
         let barrier = Arc::new(Barrier::new(nranks as usize));
         let stats = Arc::new(WorldStats::default());
 
@@ -68,7 +67,10 @@ impl World {
                 }
             }
         });
-        results.into_iter().map(|r| r.expect("rank finished")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("rank finished"))
+            .collect()
     }
 }
 
@@ -185,12 +187,7 @@ impl RankCtx {
     /// §VI-C: when several runtime threads of one rank receive
     /// concurrently, passing each thread's [`ThreadCtx`] records which
     /// thread got which message.
-    pub fn recv(
-        &self,
-        src: u32,
-        tag: u32,
-        gate: Option<&ThreadCtx>,
-    ) -> Result<Envelope, MpiError> {
+    pub fn recv(&self, src: u32, tag: u32, gate: Option<&ThreadCtx>) -> Result<Envelope, MpiError> {
         match gate {
             Some(ctx) => {
                 let site = SiteId::from_label_indexed("rmpi:recv", u64::from(self.rank));
@@ -369,11 +366,7 @@ impl RankCtx {
     /// in **arrival order** (wildcard receives!), so floating-point results
     /// are run-to-run non-deterministic unless recorded — the §II-A
     /// numerical-reproducibility scenario.
-    pub fn reduce_sum_f64(
-        &self,
-        root: u32,
-        local: &[f64],
-    ) -> Result<Option<Vec<f64>>, MpiError> {
+    pub fn reduce_sum_f64(&self, root: u32, local: &[f64]) -> Result<Option<Vec<f64>>, MpiError> {
         if self.rank != root {
             self.send_f64s(root, TAG_REDUCE, local)?;
             return Ok(None);
@@ -503,7 +496,8 @@ mod tests {
     #[test]
     fn allreduce_gives_everyone_the_sum() {
         let out = World::run(3, passthrough(3), |rank| {
-            rank.allreduce_sum_f64(&[1.0, f64::from(rank.rank())]).unwrap()
+            rank.allreduce_sum_f64(&[1.0, f64::from(rank.rank())])
+                .unwrap()
         });
         for d in out {
             assert_eq!(d, vec![3.0, 3.0]);
@@ -540,9 +534,7 @@ mod tests {
                         .collect::<Vec<_>>()
                 } else {
                     // Stagger sends a little to vary arrival order.
-                    std::thread::sleep(Duration::from_micros(
-                        u64::from(rank.rank()) * 50,
-                    ));
+                    std::thread::sleep(Duration::from_micros(u64::from(rank.rank()) * 50));
                     rank.send(0, 5, &[rank.rank() as u8]).unwrap();
                     vec![]
                 }
@@ -683,10 +675,7 @@ mod nonblocking_tests {
         let run = |session: Arc<MpiSession>| {
             World::run(3, session, |rank| {
                 if rank.rank() == 0 {
-                    let mut reqs = vec![
-                        rank.irecv(1, 4).unwrap(),
-                        rank.irecv(2, 4).unwrap(),
-                    ];
+                    let mut reqs = vec![rank.irecv(1, 4).unwrap(), rank.irecv(2, 4).unwrap()];
                     let (first, env1) = rank.waitany(&mut reqs).unwrap();
                     let (second, env2) = rank.waitany(&mut reqs).unwrap();
                     assert_ne!(first, second);
@@ -695,9 +684,7 @@ mod nonblocking_tests {
                         (second as u32, env2.unwrap().src),
                     ]
                 } else {
-                    std::thread::sleep(Duration::from_micros(
-                        u64::from(rank.rank()) * 37,
-                    ));
+                    std::thread::sleep(Duration::from_micros(u64::from(rank.rank()) * 37));
                     rank.send(0, 4, &[rank.rank() as u8]).unwrap();
                     vec![]
                 }

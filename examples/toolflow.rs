@@ -103,7 +103,12 @@ fn main() {
     let dir = std::env::temp_dir().join("reomp-toolflow-example");
     let store = DirStore::new(&dir);
     let io = record_report.save_to(&store).expect("save");
-    println!("        trace on disk: {} files, {} bytes in {}", io.files, io.bytes, dir.display());
+    println!(
+        "        trace on disk: {} files, {} bytes in {}",
+        io.files,
+        io.bytes,
+        dir.display()
+    );
 
     // Step 4: replay from disk.
     let (bundle, _) = store.load().expect("load");
@@ -119,6 +124,9 @@ fn main() {
     if std::env::var_os("REOMP_KEEP_TRACE").is_none() {
         let _ = std::fs::remove_dir_all(&dir);
     } else {
-        println!("trace kept at {} (inspect with `reomp-inspect`)", dir.display());
+        println!(
+            "trace kept at {} (inspect with `reomp-inspect`)",
+            dir.display()
+        );
     }
 }

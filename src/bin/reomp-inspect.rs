@@ -14,9 +14,7 @@ use reomp::{DirStore, EpochHistogram, TraceStore};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: reomp-inspect <trace-dir> [--timeline [N]] [--diff <trace-dir2>]"
-    );
+    eprintln!("usage: reomp-inspect <trace-dir> [--timeline [N]] [--diff <trace-dir2>]");
     ExitCode::from(2)
 }
 
@@ -44,10 +42,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("--timeline") => {
-            let n = args
-                .get(2)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(40usize);
+            let n = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(40usize);
             print!("{}", analysis::ascii_timeline(&bundle, n));
             ExitCode::SUCCESS
         }

@@ -47,7 +47,9 @@ fn run_once(
         let report = session.finish().expect("finish");
         assert_eq!(report.failure, None, "thread-level replay failed");
         (
-            sigs.iter().map(|s| *s.lock().unwrap()).collect::<Vec<u64>>(),
+            sigs.iter()
+                .map(|s| *s.lock().unwrap())
+                .collect::<Vec<u64>>(),
             report.bundle,
         )
     });
