@@ -1,0 +1,138 @@
+//! Smoke tests for trace persistence hygiene and scheme enumeration:
+//!
+//! * a [`DirStore`] record→save→load→replay roundtrip must work from a
+//!   throwaway directory under the OS tempdir and must leave **no files in
+//!   the repository tree** (record files belong to the run, not the source);
+//! * [`Scheme::ALL`] must enumerate ST, DC, and DE exactly once each — the
+//!   matrix tests and every benchmark sweep iterate it and silently shrink
+//!   if a scheme goes missing.
+
+use reomp::{ompr, DirStore, Scheme, Session, TraceStore};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A unique, self-cleaning directory under the OS tempdir (no `tempfile`
+/// dependency in this workspace).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let unique = format!(
+            "reomp-smoke-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = std::env::temp_dir().join(unique);
+        std::fs::create_dir_all(&dir).expect("create tempdir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn record_small_run(scheme: Scheme) -> reomp::TraceBundle {
+    let session = Session::record(scheme, 2);
+    let cell = ompr::RacyCell::new("smoke:cell", 0u64);
+    let rt = ompr::Runtime::new(Arc::clone(&session));
+    rt.parallel(|w| {
+        for _ in 0..8 {
+            w.racy_update(&cell, |v| v + 1);
+        }
+    });
+    session
+        .finish()
+        .expect("finish record")
+        .bundle
+        .expect("record mode produces a bundle")
+}
+
+#[test]
+fn dirstore_roundtrip_stays_out_of_the_repo_tree() {
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .canonicalize()
+        .expect("canonicalize repo root");
+
+    for scheme in Scheme::ALL {
+        let tmp = TempDir::new(scheme.name());
+        let store_dir = tmp.0.join("trace");
+        let canonical_parent = tmp.0.canonicalize().expect("canonicalize tempdir");
+        assert!(
+            !canonical_parent.starts_with(&repo_root),
+            "tempdir {} must live outside the repository tree {}",
+            canonical_parent.display(),
+            repo_root.display()
+        );
+
+        let bundle = record_small_run(scheme);
+        let store = DirStore::new(&store_dir);
+        store.save(&bundle).expect("save bundle");
+
+        // The store must have written only under the tempdir...
+        assert!(store_dir.join("manifest.txt").is_file());
+        assert!(store_dir
+            .canonicalize()
+            .unwrap()
+            .starts_with(&canonical_parent));
+
+        // ...and the loaded bundle must drive a faithful replay.
+        let (loaded, _report) = store.load().expect("load bundle");
+        assert_eq!(loaded, bundle, "{scheme}: save/load must be lossless");
+
+        let session = Session::replay(loaded).expect("bundle valid");
+        let cell = ompr::RacyCell::new("smoke:cell", 0u64);
+        let rt = ompr::Runtime::new(Arc::clone(&session));
+        rt.parallel(|w| {
+            for _ in 0..8 {
+                w.racy_update(&cell, |v| v + 1);
+            }
+        });
+        let report = session.finish().expect("finish replay");
+        assert_eq!(report.failure, None, "{scheme}: replay diverged");
+    }
+}
+
+#[test]
+fn tempdir_cleanup_leaves_nothing_behind() {
+    let path = {
+        let tmp = TempDir::new("cleanup");
+        let store = DirStore::new(tmp.0.join("trace"));
+        store.save(&record_small_run(Scheme::De)).expect("save");
+        tmp.0.clone()
+    };
+    assert!(
+        !path.exists(),
+        "tempdir {} must be removed on drop",
+        path.display()
+    );
+}
+
+#[test]
+fn scheme_all_covers_st_dc_de_exactly_once() {
+    assert_eq!(Scheme::ALL.len(), 3, "exactly three schemes");
+    let names: Vec<&str> = Scheme::ALL.iter().map(|s| s.name()).collect();
+    assert_eq!(
+        names,
+        ["st", "dc", "de"],
+        "baseline first, then DC, then DE"
+    );
+
+    let unique: HashSet<Scheme> = Scheme::ALL.into_iter().collect();
+    assert_eq!(unique.len(), 3, "no scheme listed twice");
+    assert!(unique.contains(&Scheme::St));
+    assert!(unique.contains(&Scheme::Dc));
+    assert!(unique.contains(&Scheme::De));
+
+    // Codes and names roundtrip for every scheme (the codec and CLI rely
+    // on these being mutually consistent).
+    for scheme in Scheme::ALL {
+        assert_eq!(Scheme::from_code(scheme.code()), Some(scheme));
+        assert_eq!(Scheme::parse(scheme.name()), Some(scheme));
+    }
+}
