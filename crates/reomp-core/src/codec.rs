@@ -13,7 +13,7 @@
 //!   hashes; varint would expand them).
 //! * Kind codes are raw bytes.
 //!
-//! File layout (`encode_thread_trace`):
+//! One-shot file layout (`encode_thread_trace`):
 //!
 //! ```text
 //! magic "RTRC" | version u8 | scheme u8 | flags u8 | tid u32le |
@@ -24,6 +24,35 @@
 //!
 //! The ST stream uses magic `RTST` and a tid varint stream instead of the
 //! value stream.
+//!
+//! # Chunked (streaming) layout
+//!
+//! A record file whose header carries [`FLAG_CHUNKED`] (flags bit 2) is a
+//! concatenation of **self-delimiting chunks** after the same 11-byte
+//! header. Streaming recorders append one chunk per flush, so a trace never
+//! has to exist in memory as a whole:
+//!
+//! ```text
+//! header (flags | CHUNKED) | chunk* where each chunk is
+//!   magic "RTCK" | nbytes varint | count varint |
+//!   values (zigzag-delta varints, delta base restarts at 0) |
+//!   [sites: count × u64le] [kinds: count × u8]
+//! ```
+//!
+//! `nbytes` covers everything after itself up to the end of the chunk, so a
+//! reader can bound-check (and skip) a chunk without decoding it. The delta
+//! base restarts at zero in every chunk, making chunks independently
+//! decodable. Decoding a chunked file concatenates the chunks back into one
+//! [`ThreadTrace`]/[`StTrace`]; the result is indistinguishable from the
+//! one-shot encoding of the same records.
+//!
+//! # Corrupt-input hardening
+//!
+//! All decode paths are total: record counts and chunk lengths are bounded
+//! against the remaining buffer *before* any allocation (a corrupt varint
+//! cannot trigger an OOM-sized `Vec::with_capacity`), and truncated
+//! headers, value streams, or site/kind column tails yield
+//! [`TraceError::Corrupt`] instead of panicking.
 
 use crate::error::TraceError;
 use crate::session::Scheme;
@@ -32,9 +61,12 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC_THREAD: &[u8; 4] = b"RTRC";
 const MAGIC_ST: &[u8; 4] = b"RTST";
+const MAGIC_CHUNK: &[u8; 4] = b"RTCK";
 const VERSION: u8 = 1;
 const FLAG_SITES: u8 = 1;
 const FLAG_KINDS: u8 = 2;
+/// Header flag marking a chunked (streaming) record file.
+pub const FLAG_CHUNKED: u8 = 4;
 
 /// Append `v` as an LEB128 unsigned varint.
 pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
@@ -92,8 +124,16 @@ pub fn put_delta_stream(buf: &mut BytesMut, values: &[u64]) {
     }
 }
 
-/// Decode `count` zigzag-delta values.
+/// Decode `count` zigzag-delta values. `count` is bounded against the
+/// remaining buffer (every value costs at least one byte) before the output
+/// vector is allocated, so a corrupt count cannot OOM.
 pub fn get_delta_stream(buf: &mut Bytes, count: usize) -> Result<Vec<u64>, TraceError> {
+    if count > buf.remaining() {
+        return Err(TraceError::Corrupt(format!(
+            "value count {count} exceeds the {} remaining bytes",
+            buf.remaining()
+        )));
+    }
     let mut out = Vec::with_capacity(count);
     let mut prev = 0i64;
     for _ in 0..count {
@@ -130,7 +170,12 @@ type Columns = (Option<Vec<u64>>, Option<Vec<u8>>);
 
 fn get_columns(buf: &mut Bytes, count: usize, flags: u8) -> Result<Columns, TraceError> {
     let sites = if flags & FLAG_SITES != 0 {
-        if buf.remaining() < count * 8 {
+        // Checked multiply: a corrupt count must not wrap the bound on
+        // 32-bit targets and slip past the truncation check.
+        let need = count
+            .checked_mul(8)
+            .ok_or_else(|| TraceError::Corrupt("site column length overflows".into()))?;
+        if buf.remaining() < need {
             return Err(TraceError::Corrupt("site column truncated".into()));
         }
         Some((0..count).map(|_| buf.get_u64_le()).collect())
@@ -170,29 +215,223 @@ pub fn encode_thread_trace(trace: &ThreadTrace, scheme: Scheme, tid: u32) -> Byt
     buf.freeze()
 }
 
+/// A decoded per-thread record file, including how it was laid out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedThread {
+    /// The reassembled trace.
+    pub trace: ThreadTrace,
+    /// Scheme stamped in the file header.
+    pub scheme: Scheme,
+    /// Thread ID stamped in the file header.
+    pub tid: u32,
+    /// Number of chunks the file was stored as (0 for one-shot files).
+    pub chunks: u64,
+}
+
+/// A decoded ST record file, including how it was laid out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedSt {
+    /// The reassembled shared trace.
+    pub trace: StTrace,
+    /// Number of chunks the file was stored as (0 for one-shot files).
+    pub chunks: u64,
+}
+
 /// Deserialize one per-thread trace; returns the trace, its scheme, and tid.
 pub fn decode_thread_trace(bytes: &[u8]) -> Result<(ThreadTrace, Scheme, u32), TraceError> {
+    let d = decode_thread_records(bytes)?;
+    Ok((d.trace, d.scheme, d.tid))
+}
+
+/// Chunk-aware deserialization of a per-thread record file: accepts both
+/// the one-shot layout and a chunked stream, reassembling the latter into a
+/// single [`ThreadTrace`].
+pub fn decode_thread_records(bytes: &[u8]) -> Result<DecodedThread, TraceError> {
     let mut buf = Bytes::copy_from_slice(bytes);
     check_header(&mut buf, MAGIC_THREAD)?;
+    if buf.remaining() < 6 {
+        return Err(TraceError::Corrupt("header truncated".into()));
+    }
     let scheme = Scheme::from_code(buf.get_u8())
         .ok_or_else(|| TraceError::Corrupt("bad scheme code".into()))?;
     let flags = buf.get_u8();
-    if buf.remaining() < 4 {
-        return Err(TraceError::Corrupt("header truncated".into()));
-    }
     let tid = buf.get_u32_le();
-    let count = get_uvarint(&mut buf)? as usize;
-    let values = get_delta_stream(&mut buf, count)?;
-    let (sites, kinds) = get_columns(&mut buf, count, flags)?;
-    Ok((
-        ThreadTrace {
-            values,
-            sites,
-            kinds,
-        },
+    let (trace, chunks) = if flags & FLAG_CHUNKED != 0 {
+        let mut trace = empty_thread_trace(flags);
+        let mut chunks = 0u64;
+        while buf.has_remaining() {
+            let (values, sites, kinds) = get_chunk(&mut buf, flags, StreamKind::Deltas)?;
+            trace.values.extend(values);
+            if let (Some(dst), Some(src)) = (trace.sites.as_mut(), sites) {
+                dst.extend(src);
+            }
+            if let (Some(dst), Some(src)) = (trace.kinds.as_mut(), kinds) {
+                dst.extend(src);
+            }
+            chunks += 1;
+        }
+        (trace, chunks)
+    } else {
+        let count = get_uvarint(&mut buf)? as usize;
+        let values = get_delta_stream(&mut buf, count)?;
+        let (sites, kinds) = get_columns(&mut buf, count, flags)?;
+        (
+            ThreadTrace {
+                values,
+                sites,
+                kinds,
+            },
+            0,
+        )
+    };
+    Ok(DecodedThread {
+        trace,
         scheme,
         tid,
-    ))
+        chunks,
+    })
+}
+
+fn empty_thread_trace(flags: u8) -> ThreadTrace {
+    ThreadTrace {
+        values: Vec::new(),
+        sites: (flags & FLAG_SITES != 0).then(Vec::new),
+        kinds: (flags & FLAG_KINDS != 0).then(Vec::new),
+    }
+}
+
+/// Whether a chunk's value stream is zigzag-deltas (thread files) or plain
+/// tid varints (the ST stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamKind {
+    Deltas,
+    Tids,
+}
+
+/// One decoded chunk: values (or raw tids) plus optional columns.
+type DecodedChunk = (Vec<u64>, Option<Vec<u64>>, Option<Vec<u8>>);
+
+/// Read one self-delimiting chunk. Bounds `nbytes` against the remaining
+/// buffer and `count` against `nbytes` before allocating anything, and
+/// verifies the chunk consumed exactly the bytes it declared.
+fn get_chunk(buf: &mut Bytes, flags: u8, kind: StreamKind) -> Result<DecodedChunk, TraceError> {
+    if buf.remaining() < 4 {
+        return Err(TraceError::Corrupt("chunk frame truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC_CHUNK {
+        return Err(TraceError::Corrupt(format!(
+            "bad chunk magic {magic:?} (expected RTCK)"
+        )));
+    }
+    let nbytes = get_uvarint(buf)? as usize;
+    if nbytes > buf.remaining() {
+        return Err(TraceError::Corrupt(format!(
+            "chunk length {nbytes} exceeds the {} remaining bytes",
+            buf.remaining()
+        )));
+    }
+    let before = buf.remaining();
+    let count = get_uvarint(buf)? as usize;
+    if count > nbytes {
+        return Err(TraceError::Corrupt(format!(
+            "chunk record count {count} exceeds chunk length {nbytes}"
+        )));
+    }
+    let values = match kind {
+        StreamKind::Deltas => get_delta_stream(buf, count)?,
+        StreamKind::Tids => {
+            let mut tids = Vec::with_capacity(count.min(buf.remaining()));
+            for _ in 0..count {
+                tids.push(get_uvarint(buf)?);
+            }
+            tids
+        }
+    };
+    let (sites, kinds) = get_columns(buf, count, flags)?;
+    let consumed = before - buf.remaining();
+    if consumed != nbytes {
+        return Err(TraceError::Corrupt(format!(
+            "chunk declared {nbytes} bytes but decoding consumed {consumed}"
+        )));
+    }
+    Ok((values, sites, kinds))
+}
+
+/// Serialize the 11-byte header of a chunked per-thread stream. Written
+/// once when a streaming writer opens the file; chunks follow.
+#[must_use]
+pub fn encode_thread_stream_header(scheme: Scheme, tid: u32, sites: bool, kinds: bool) -> Bytes {
+    let mut buf = BytesMut::with_capacity(11);
+    buf.put_slice(MAGIC_THREAD);
+    buf.put_u8(VERSION);
+    buf.put_u8(scheme.code());
+    buf.put_u8(flags_of(sites, kinds) | FLAG_CHUNKED);
+    buf.put_u32_le(tid);
+    buf.freeze()
+}
+
+/// Serialize the 11-byte header of a chunked ST stream.
+#[must_use]
+pub fn encode_st_stream_header(sites: bool, kinds: bool) -> Bytes {
+    let mut buf = BytesMut::with_capacity(11);
+    buf.put_slice(MAGIC_ST);
+    buf.put_u8(VERSION);
+    buf.put_u8(Scheme::St.code());
+    buf.put_u8(flags_of(sites, kinds) | FLAG_CHUNKED);
+    buf.put_u32_le(0);
+    buf.freeze()
+}
+
+/// Serialize one self-delimiting chunk of per-thread records. The delta
+/// base restarts at zero, so the chunk decodes independently of its
+/// predecessors.
+#[must_use]
+pub fn encode_thread_chunk(values: &[u64], sites: Option<&[u64]>, kinds: Option<&[u8]>) -> Bytes {
+    let mut payload = BytesMut::with_capacity(8 + values.len() * 2);
+    put_uvarint(&mut payload, values.len() as u64);
+    put_delta_stream(&mut payload, values);
+    put_column_slices(&mut payload, values.len(), sites, kinds);
+    frame_chunk(&payload)
+}
+
+/// Serialize one self-delimiting chunk of the shared ST stream.
+#[must_use]
+pub fn encode_st_chunk(tids: &[u32], sites: Option<&[u64]>, kinds: Option<&[u8]>) -> Bytes {
+    let mut payload = BytesMut::with_capacity(8 + tids.len() * 2);
+    put_uvarint(&mut payload, tids.len() as u64);
+    for &t in tids {
+        put_uvarint(&mut payload, u64::from(t));
+    }
+    put_column_slices(&mut payload, tids.len(), sites, kinds);
+    frame_chunk(&payload)
+}
+
+fn put_column_slices(
+    buf: &mut BytesMut,
+    count: usize,
+    sites: Option<&[u64]>,
+    kinds: Option<&[u8]>,
+) {
+    if let Some(sites) = sites {
+        debug_assert_eq!(sites.len(), count);
+        for &s in sites {
+            buf.put_u64_le(s);
+        }
+    }
+    if let Some(kinds) = kinds {
+        debug_assert_eq!(kinds.len(), count);
+        buf.put_slice(kinds);
+    }
+}
+
+fn frame_chunk(payload: &BytesMut) -> Bytes {
+    let mut out = BytesMut::with_capacity(payload.len() + 14);
+    out.put_slice(MAGIC_CHUNK);
+    put_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.freeze()
 }
 
 /// Serialize the shared ST trace.
@@ -219,24 +458,64 @@ pub fn encode_st_trace(trace: &StTrace) -> Bytes {
 
 /// Deserialize the shared ST trace.
 pub fn decode_st_trace(bytes: &[u8]) -> Result<StTrace, TraceError> {
+    Ok(decode_st_records(bytes)?.trace)
+}
+
+/// Chunk-aware deserialization of the shared ST record file.
+pub fn decode_st_records(bytes: &[u8]) -> Result<DecodedSt, TraceError> {
     let mut buf = Bytes::copy_from_slice(bytes);
     check_header(&mut buf, MAGIC_ST)?;
-    let _scheme = buf.get_u8();
-    let flags = buf.get_u8();
-    if buf.remaining() < 4 {
+    if buf.remaining() < 6 {
         return Err(TraceError::Corrupt("header truncated".into()));
     }
+    let _scheme = buf.get_u8();
+    let flags = buf.get_u8();
     let _tid = buf.get_u32_le();
-    let count = get_uvarint(&mut buf)? as usize;
-    let mut tids = Vec::with_capacity(count);
-    for _ in 0..count {
-        let t = get_uvarint(&mut buf)?;
+    let mut trace = StTrace {
+        tids: Vec::new(),
+        sites: (flags & FLAG_SITES != 0).then(Vec::new),
+        kinds: (flags & FLAG_KINDS != 0).then(Vec::new),
+    };
+    let mut chunks = 0u64;
+    if flags & FLAG_CHUNKED != 0 {
+        while buf.has_remaining() {
+            let (tids, sites, kinds) = get_chunk(&mut buf, flags, StreamKind::Tids)?;
+            append_tids(&mut trace.tids, &tids)?;
+            if let (Some(dst), Some(src)) = (trace.sites.as_mut(), sites) {
+                dst.extend(src);
+            }
+            if let (Some(dst), Some(src)) = (trace.kinds.as_mut(), kinds) {
+                dst.extend(src);
+            }
+            chunks += 1;
+        }
+    } else {
+        let count = get_uvarint(&mut buf)? as usize;
+        if count > buf.remaining() {
+            return Err(TraceError::Corrupt(format!(
+                "tid count {count} exceeds the {} remaining bytes",
+                buf.remaining()
+            )));
+        }
+        trace.tids.reserve(count);
+        for _ in 0..count {
+            let t = get_uvarint(&mut buf)?;
+            append_tids(&mut trace.tids, &[t])?;
+        }
+        let (sites, kinds) = get_columns(&mut buf, count, flags)?;
+        trace.sites = sites;
+        trace.kinds = kinds;
+    }
+    Ok(DecodedSt { trace, chunks })
+}
+
+fn append_tids(dst: &mut Vec<u32>, raw: &[u64]) -> Result<(), TraceError> {
+    for &t in raw {
         let t =
             u32::try_from(t).map_err(|_| TraceError::Corrupt(format!("tid {t} out of range")))?;
-        tids.push(t);
+        dst.push(t);
     }
-    let (sites, kinds) = get_columns(&mut buf, count, flags)?;
-    Ok(StTrace { tids, sites, kinds })
+    Ok(())
 }
 
 fn check_header(buf: &mut Bytes, magic: &[u8; 4]) -> Result<(), TraceError> {
@@ -379,6 +658,168 @@ mod tests {
         let bytes = encode_thread_trace(&t, Scheme::De, 1);
         let cut = &bytes[..bytes.len() - 4];
         assert!(decode_thread_trace(cut).is_err());
+    }
+
+    #[test]
+    fn header_exactly_six_bytes_is_corrupt_not_panic() {
+        // Regression: a file cut right after magic+version used to panic in
+        // the flags/tid reads instead of returning Corrupt.
+        for len in 0..11 {
+            let t = ThreadTrace {
+                values: vec![1, 2],
+                sites: None,
+                kinds: None,
+            };
+            let bytes = encode_thread_trace(&t, Scheme::Dc, 3);
+            let cut = &bytes[..len.min(bytes.len())];
+            assert!(decode_thread_trace(cut).is_err(), "len {len}");
+            let st = encode_st_trace(&StTrace {
+                tids: vec![0, 1],
+                sites: None,
+                kinds: None,
+            });
+            let cut = &st[..len.min(st.len())];
+            assert!(decode_st_trace(cut).is_err(), "st len {len}");
+        }
+    }
+
+    #[test]
+    fn oversized_count_is_bounded_before_allocation() {
+        // A count far beyond the payload must fail fast, not allocate.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTRC");
+        buf.put_u8(1);
+        buf.put_u8(Scheme::Dc.code());
+        buf.put_u8(0);
+        buf.put_u32_le(0);
+        put_uvarint(&mut buf, u64::MAX / 2); // absurd record count
+        buf.put_u8(0); // one lonely payload byte
+        let err = decode_thread_trace(&buf.freeze()).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err}");
+
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTST");
+        buf.put_u8(1);
+        buf.put_u8(Scheme::St.code());
+        buf.put_u8(0);
+        buf.put_u32_le(0);
+        put_uvarint(&mut buf, u64::MAX / 2);
+        buf.put_u8(0);
+        let err = decode_st_trace(&buf.freeze()).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err}");
+    }
+
+    fn sample_columns(n: usize) -> (Vec<u64>, Vec<u64>, Vec<u8>) {
+        let values: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(3) % 97).collect();
+        let sites: Vec<u64> = (0..n as u64).map(|i| 0x1000 + i % 5).collect();
+        let kinds: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        (values, sites, kinds)
+    }
+
+    fn encode_in_chunks(
+        trace: &ThreadTrace,
+        scheme: Scheme,
+        tid: u32,
+        splits: &[usize],
+    ) -> Vec<u8> {
+        let mut out =
+            encode_thread_stream_header(scheme, tid, trace.sites.is_some(), trace.kinds.is_some())
+                .to_vec();
+        let mut at = 0usize;
+        for &len in splits {
+            let end = (at + len).min(trace.values.len());
+            if end == at {
+                continue;
+            }
+            out.extend_from_slice(&encode_thread_chunk(
+                &trace.values[at..end],
+                trace.sites.as_ref().map(|s| &s[at..end]),
+                trace.kinds.as_ref().map(|k| &k[at..end]),
+            ));
+            at = end;
+        }
+        assert_eq!(at, trace.values.len(), "splits must cover the trace");
+        out
+    }
+
+    #[test]
+    fn chunked_thread_stream_reassembles_to_one_shot() {
+        let (values, sites, kinds) = sample_columns(23);
+        let trace = ThreadTrace {
+            values,
+            sites: Some(sites),
+            kinds: Some(kinds),
+        };
+        let bytes = encode_in_chunks(&trace, Scheme::De, 5, &[7, 1, 10, 23]);
+        let d = decode_thread_records(&bytes).unwrap();
+        assert_eq!(d.trace, trace);
+        assert_eq!(d.scheme, Scheme::De);
+        assert_eq!(d.tid, 5);
+        assert_eq!(d.chunks, 4);
+
+        // The one-shot encoding of the same records decodes equal.
+        let one_shot = encode_thread_trace(&trace, Scheme::De, 5);
+        let d1 = decode_thread_records(&one_shot).unwrap();
+        assert_eq!(d1.trace, d.trace);
+        assert_eq!(d1.chunks, 0);
+    }
+
+    #[test]
+    fn chunked_stream_with_zero_chunks_is_an_empty_trace() {
+        let bytes = encode_thread_stream_header(Scheme::Dc, 2, true, true);
+        let d = decode_thread_records(&bytes).unwrap();
+        assert_eq!(d.trace.values, Vec::<u64>::new());
+        assert_eq!(d.trace.sites, Some(vec![]));
+        assert_eq!(d.trace.kinds, Some(vec![]));
+        assert_eq!(d.chunks, 0);
+    }
+
+    #[test]
+    fn chunked_st_stream_reassembles() {
+        let t = StTrace {
+            tids: vec![2, 0, 1, 1, 2, 0, 0],
+            sites: Some(vec![9; 7]),
+            kinds: Some(vec![3; 7]),
+        };
+        let mut bytes = encode_st_stream_header(true, true).to_vec();
+        for range in [0..3usize, 3..7] {
+            bytes.extend_from_slice(&encode_st_chunk(
+                &t.tids[range.clone()],
+                Some(&t.sites.as_ref().unwrap()[range.clone()]),
+                Some(&t.kinds.as_ref().unwrap()[range]),
+            ));
+        }
+        let d = decode_st_records(&bytes).unwrap();
+        assert_eq!(d.trace, t);
+        assert_eq!(d.chunks, 2);
+    }
+
+    #[test]
+    fn corrupt_chunks_rejected() {
+        let (values, sites, kinds) = sample_columns(9);
+        let trace = ThreadTrace {
+            values,
+            sites: Some(sites),
+            kinds: Some(kinds),
+        };
+        let good = encode_in_chunks(&trace, Scheme::Dc, 0, &[9]);
+
+        // Truncated mid-chunk.
+        for cut in 12..good.len() {
+            assert!(decode_thread_records(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Bad chunk magic.
+        let mut bad = good.clone();
+        bad[11] = b'X';
+        assert!(decode_thread_records(&bad).is_err());
+        // Declared length larger than the remaining bytes.
+        let mut bytes = encode_thread_stream_header(Scheme::Dc, 0, false, false).to_vec();
+        bytes.extend_from_slice(b"RTCK");
+        let mut len = BytesMut::new();
+        put_uvarint(&mut len, 1_000_000);
+        bytes.extend_from_slice(&len);
+        bytes.push(0);
+        assert!(decode_thread_records(&bytes).is_err());
     }
 
     #[test]

@@ -191,6 +191,20 @@ impl EpochTracker {
         &self.ring
     }
 
+    /// Smallest clock of any record still pending inside the tracker, or
+    /// `None` when every observed access has been finalized. Streaming
+    /// recorders use this as the flush watermark: records with clocks below
+    /// it are complete in their owners' buffers and safe to persist.
+    #[must_use]
+    pub fn min_pending_clock(&self) -> Option<u64> {
+        let contiguous = self.pending.map(|p| p.clock);
+        let per_addr = self.addr_pending.values().map(|p| p.clock).min();
+        match (contiguous, per_addr) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Observe the access with the given (already assigned) clock and
     /// compute finalized records. Must be called in strictly increasing
     /// clock order. `addr` identifies the memory location (Condition 1 is
@@ -617,6 +631,29 @@ mod tests {
         }
         finals.extend(t.flush());
         assert_eq!(finals.len() as u64, clock);
+    }
+
+    #[test]
+    fn min_pending_clock_tracks_outstanding_stores() {
+        use AccessKind::{Load, Store};
+        let mut t = EpochTracker::new(EpochPolicy::Contiguous, 16);
+        assert_eq!(t.min_pending_clock(), None);
+        t.observe(0, X, X.raw(), Load, 0);
+        assert_eq!(t.min_pending_clock(), None, "loads finalize immediately");
+        t.observe(0, X, X.raw(), Store, 1);
+        assert_eq!(t.min_pending_clock(), Some(1), "store goes pending");
+        t.observe(1, X, X.raw(), Store, 2);
+        assert_eq!(t.min_pending_clock(), Some(2), "previous store finalized");
+        t.flush();
+        assert_eq!(t.min_pending_clock(), None);
+
+        // PerAddress: pendings on several addresses, minimum wins.
+        let mut t = EpochTracker::new(EpochPolicy::PerAddress, 16);
+        t.observe(0, X, X.raw(), Store, 0);
+        t.observe(1, Y, Y.raw(), Store, 1);
+        assert_eq!(t.min_pending_clock(), Some(0));
+        t.observe(0, X, X.raw(), Load, 2); // finalizes the X store
+        assert_eq!(t.min_pending_clock(), Some(1));
     }
 
     #[test]

@@ -188,12 +188,15 @@ impl From<Divergence> for ReplayError {
 }
 
 /// Errors from [`crate::Session::finish`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug)]
 pub enum FinishError {
     /// `finish` was called while thread contexts are still alive.
     ThreadsActive(u32),
     /// `finish` was already called on this session.
     AlreadyFinished,
+    /// A streaming record run failed to flush or commit its trace; the
+    /// store was left without a loadable (possibly corrupt) bundle.
+    Stream(TraceError),
 }
 
 impl fmt::Display for FinishError {
@@ -206,11 +209,19 @@ impl fmt::Display for FinishError {
                 )
             }
             FinishError::AlreadyFinished => write!(f, "session already finished"),
+            FinishError::Stream(e) => write!(f, "streaming trace persistence failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for FinishError {}
+impl std::error::Error for FinishError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FinishError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

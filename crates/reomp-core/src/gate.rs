@@ -47,6 +47,7 @@ pub(crate) fn record_in(session: &Session) {
 /// grouping (Condition 1 is per-address).
 pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, kind: AccessKind) {
     let rec = session.rec.as_ref().expect("record mode");
+    let streaming = rec.stream.is_some();
     match session.scheme() {
         Scheme::St => {
             // Fig. 4 lines 6-8: record the thread ID to the single shared
@@ -54,10 +55,37 @@ pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, k
             // execution order.
             // SAFETY: lock acquired in `record_in` on this thread.
             let core = unsafe { rec.gate.get() };
-            core.st.as_mut().expect("st builder").push(tid, site, kind);
+            let builder = core.st.as_mut().expect("st builder");
+            builder.push(tid, site, kind);
             session.stats.bump_record_written();
+            // Streaming: steal a full shared log under the lock (the order
+            // is already captured); encode and write it after unlock.
+            let stolen = if streaming && builder.tids.len() >= session.cfg.flush_records.max(1) {
+                Some((
+                    std::mem::take(&mut builder.tids),
+                    std::mem::take(&mut builder.sites),
+                    std::mem::take(&mut builder.kinds),
+                ))
+            } else {
+                None
+            };
+            // Acquire the chunk-order lock *before* releasing the gate
+            // lock: steal order is execution order, and holding st_order
+            // across the append keeps two stolen batches from reaching the
+            // shared stream file out of order.
+            let order_guard = stolen.is_some().then(|| {
+                rec.stream
+                    .as_ref()
+                    .expect("streaming state")
+                    .st_order
+                    .lock()
+            });
             // SAFETY: paired with the `record_in` lock.
             unsafe { rec.gate.unlock() };
+            if let Some((tids, sites, kinds)) = stolen {
+                session.flush_st_records(&tids, &sites, &kinds);
+            }
+            drop(order_guard);
         }
         Scheme::Dc => {
             // Fig. 5 lines 22-24 with X = 0.
@@ -79,6 +107,11 @@ pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, k
                 kind: kind.code(),
             });
             session.stats.bump_record_written();
+            if streaming {
+                // Only this thread appends to its buffer, so everything in
+                // it is stable (the DC floor stays at u64::MAX).
+                session.maybe_flush_thread(tid);
+            }
         }
         Scheme::De => {
             // Fig. 5 lines 22-24 with X = X_C: assign the clock and let the
@@ -86,31 +119,77 @@ pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, k
             // epoch is deferred until the next access (Table V); the
             // finalized record may therefore belong to *another* thread and
             // is routed to that thread's buffer.
-            let observed = {
-                // SAFETY: lock acquired in `record_in` on this thread.
-                let core = unsafe { rec.gate.get() };
-                let clock = core.clock;
-                core.clock += 1;
-                core.tracker
-                    .as_mut()
-                    .expect("de tracker")
-                    .observe(tid, site, addr, kind, clock)
-            };
-            // SAFETY: paired with the `record_in` lock.
-            unsafe { rec.gate.unlock() };
-            for f in observed.iter() {
-                rec.bufs[f.thread as usize].lock().push(RecEntry {
-                    clock: f.clock,
-                    value: f.epoch,
-                    site: f.site.raw(),
-                    kind: f.kind.code(),
-                });
-                session.stats.bump_record_written();
-                if f.epoch != f.clock && f.kind == AccessKind::Store {
-                    session.stats.bump_deferred();
+            if streaming {
+                // Streaming needs a race-free flush watermark: route the
+                // finalized records and refresh the floor while still
+                // holding the gate lock, so a concurrent flusher that reads
+                // floor F is guaranteed every record with clock < F already
+                // sits in its owner's buffer.
+                let mut touched: Vec<u32> = Vec::with_capacity(2);
+                {
+                    // SAFETY: lock acquired in `record_in` on this thread.
+                    let core = unsafe { rec.gate.get() };
+                    let clock = core.clock;
+                    core.clock += 1;
+                    let tracker = core.tracker.as_mut().expect("de tracker");
+                    let observed = tracker.observe(tid, site, addr, kind, clock);
+                    // Push every finalized record (like the non-streaming
+                    // branch) — the flush targets are derived from the same
+                    // loop so a record can never be routed but not flushed.
+                    for f in observed.iter() {
+                        push_de_record(session, rec, &f);
+                        if !touched.contains(&f.thread) {
+                            touched.push(f.thread);
+                        }
+                    }
+                    let floor = tracker.min_pending_clock().unwrap_or(clock + 1);
+                    rec.stream
+                        .as_ref()
+                        .expect("streaming state")
+                        .floor
+                        .store(floor, std::sync::atomic::Ordering::Release);
+                }
+                // SAFETY: paired with the `record_in` lock.
+                unsafe { rec.gate.unlock() };
+                for t in touched {
+                    session.maybe_flush_thread(t);
+                }
+            } else {
+                let observed = {
+                    // SAFETY: lock acquired in `record_in` on this thread.
+                    let core = unsafe { rec.gate.get() };
+                    let clock = core.clock;
+                    core.clock += 1;
+                    core.tracker
+                        .as_mut()
+                        .expect("de tracker")
+                        .observe(tid, site, addr, kind, clock)
+                };
+                // SAFETY: paired with the `record_in` lock.
+                unsafe { rec.gate.unlock() };
+                for f in observed.iter() {
+                    push_de_record(session, rec, &f);
                 }
             }
         }
+    }
+}
+
+/// Route one finalized DE record to its owner's buffer and bump counters.
+fn push_de_record(
+    session: &Session,
+    rec: &crate::session::RecordState,
+    f: &crate::epoch::Finalized,
+) {
+    rec.bufs[f.thread as usize].lock().push(RecEntry {
+        clock: f.clock,
+        value: f.epoch,
+        site: f.site.raw(),
+        kind: f.kind.code(),
+    });
+    session.stats.bump_record_written();
+    if f.epoch != f.clock && f.kind == AccessKind::Store {
+        session.stats.bump_deferred();
     }
 }
 

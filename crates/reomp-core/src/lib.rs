@@ -87,8 +87,8 @@
 //! | [`history`] | the access-history ring buffer used to compute `X_C` (§IV-D) |
 //! | [`epoch`] | epoch assignment incl. the deferred-store rule of Table V |
 //! | [`trace`] | per-thread and shared trace representations (Fig. 3) |
-//! | [`codec`] | varint/delta binary encoding of record files |
-//! | [`store`] | record-file storage: in-memory and one-file-per-thread dir |
+//! | [`codec`] | varint/delta binary encoding of record files, incl. the streaming chunk frame |
+//! | [`store`] | record-file storage: in-memory and one-file-per-thread dir, one-shot and streaming |
 //! | [`gate`] | `gate_in`/`gate_out` engines for all scheme × mode pairs |
 //! | [`session`] | run orchestration, env-var mode switching (§V) |
 //! | [`stats`] | counters behind Table VI and the Fig. 20 epoch histogram |
@@ -116,5 +116,7 @@ pub use error::{Divergence, ReplayError, TraceError};
 pub use session::{Mode, Scheme, Session, SessionConfig, SessionReport, ThreadCtx};
 pub use site::{AccessKind, SiteId};
 pub use stats::{EpochHistogram, StatsSnapshot};
-pub use store::{DirStore, MemStore, TraceStore};
+pub use store::{
+    DirStore, IoReport, MemStore, RecordSink, StreamingTraceStore, TraceStore, TraceWriter,
+};
 pub use trace::TraceBundle;

@@ -7,8 +7,23 @@
 //!
 //! Like the paper's `libreomp.so` (§V), the mode can be chosen with
 //! environment variables: `REOMP_MODE` (`off`/`record`/`replay`),
-//! `REOMP_SCHEME` (`st`/`dc`/`de`), `REOMP_EPOCH_POLICY`, and `REOMP_DIR`
-//! for the record-file directory.
+//! `REOMP_SCHEME` (`st`/`dc`/`de`), `REOMP_EPOCH_POLICY`, `REOMP_DIR`
+//! for the record-file directory, `REOMP_STREAM` (`1` streams the trace
+//! to `REOMP_DIR` chunk-by-chunk as the run records), and
+//! `REOMP_FLUSH_RECORDS` (streaming flush threshold).
+//!
+//! # Streaming record runs
+//!
+//! [`Session::record_streaming`] attaches a [`RecordSink`] from a
+//! [`StreamingTraceStore`]: whenever a per-thread buffer reaches
+//! [`SessionConfig::flush_records`] entries, its stable prefix is encoded
+//! as a chunk and appended to that thread's record stream, so the session
+//! never holds more than a bounded window of the trace in memory. For DE,
+//! a record is *stable* once no pending deferred store with a smaller
+//! clock remains (the tracker's
+//! [`min_pending_clock`](EpochTracker::min_pending_clock) watermark);
+//! ST/DC records are stable as soon as they are buffered. `finish`
+//! flushes the residue and atomically commits the store (manifest last).
 
 use crate::clock::Turnstile;
 use crate::epoch::{EpochPolicy, EpochTracker};
@@ -16,10 +31,10 @@ use crate::error::{FinishError, ReplayError, TraceError};
 use crate::gate;
 use crate::site::{AccessKind, SiteId};
 use crate::stats::{EpochHistogram, Stats, StatsSnapshot};
-use crate::store::{DirStore, IoReport, TraceStore};
+use crate::store::{DirStore, IoReport, RecordSink, StreamingTraceStore, TraceStore};
 use crate::sync::{BatonLock, RawLocked, SpinConfig};
 use crate::trace::{StTrace, ThreadTrace, TraceBundle};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -114,6 +129,10 @@ pub struct SessionConfig {
     /// recorder (the instrumentation plan produced by the race-detection
     /// step of the toolflow, Fig. 2 step (1)).
     pub gate_plan: Option<HashSet<SiteId>>,
+    /// Streaming record runs: flush a per-thread buffer to its record
+    /// stream once it holds this many records (clamped to ≥ 1). Ignored
+    /// unless the session was created with [`Session::record_streaming`].
+    pub flush_records: usize,
 }
 
 impl Default for SessionConfig {
@@ -124,6 +143,7 @@ impl Default for SessionConfig {
             spin: SpinConfig::default(),
             validate_sites: true,
             gate_plan: None,
+            flush_records: 4096,
         }
     }
 }
@@ -171,6 +191,52 @@ pub(crate) struct RecordState {
     pub gate: RawLocked<RecCore>,
     /// Per-thread record buffers (Fig. 3-(b): one record file per thread).
     pub bufs: Vec<Mutex<Vec<RecEntry>>>,
+    /// Attached streaming sink, when the session records incrementally.
+    pub stream: Option<StreamState>,
+}
+
+/// Streaming-record state: the sink plus the flush watermark.
+pub(crate) struct StreamState {
+    /// The store's sink; read-locked for concurrent appends (each
+    /// stream serializes its own writes), write-locked only to take it
+    /// at commit time.
+    pub sink: RwLock<Option<Box<dyn RecordSink>>>,
+    /// Flush watermark: records with clocks strictly below this value are
+    /// complete in their owners' buffers and safe to persist. `u64::MAX`
+    /// for ST/DC (records are stable on arrival); maintained under the
+    /// gate lock for DE from the tracker's pending-store minimum.
+    pub floor: AtomicU64,
+    /// Chunk-order lock for the shared ST stream: acquired *before* the
+    /// gate lock is released when a batch is stolen, so two stolen batches
+    /// can never append to the file out of execution order.
+    pub st_order: Mutex<()>,
+    /// Set after the first append failure; flushing stops and `finish`
+    /// surfaces the error instead of committing a partial trace.
+    pub failed: AtomicBool,
+    /// The first append failure.
+    pub error: Mutex<Option<TraceError>>,
+}
+
+impl StreamState {
+    fn new(sink: Box<dyn RecordSink>, scheme: Scheme) -> StreamState {
+        StreamState {
+            sink: RwLock::new(Some(sink)),
+            // DE starts with nothing stable recorded; ST/DC buffers only
+            // ever hold stable records.
+            floor: AtomicU64::new(if scheme == Scheme::De { 0 } else { u64::MAX }),
+            st_order: Mutex::new(()),
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn record_failure(&self, e: TraceError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.failed.store(true, Ordering::SeqCst);
+    }
 }
 
 /// Sentinel `next_tid` values for ST replay.
@@ -222,6 +288,7 @@ impl Session {
             nthreads,
             SessionConfig::default(),
             None,
+            None,
         ))
     }
 
@@ -234,7 +301,47 @@ impl Session {
     /// Start a record run with explicit configuration.
     #[must_use]
     pub fn record_with(scheme: Scheme, nthreads: u32, cfg: SessionConfig) -> Arc<Session> {
-        Arc::new(Session::build(Mode::Record, scheme, nthreads, cfg, None))
+        Arc::new(Session::build(
+            Mode::Record,
+            scheme,
+            nthreads,
+            cfg,
+            None,
+            None,
+        ))
+    }
+
+    /// Start a record run that streams its trace into `store` as it runs
+    /// (default configuration; see [`SessionConfig::flush_records`]).
+    ///
+    /// The trace never has to fit in memory: full per-thread buffers are
+    /// appended to the store as self-delimiting chunks, and
+    /// [`Session::finish`] commits the store atomically. The finished
+    /// report carries the [`IoReport`] instead of an in-memory bundle.
+    pub fn record_streaming(
+        scheme: Scheme,
+        nthreads: u32,
+        store: &dyn StreamingTraceStore,
+    ) -> Result<Arc<Session>, TraceError> {
+        Session::record_streaming_with(scheme, nthreads, SessionConfig::default(), store)
+    }
+
+    /// [`Session::record_streaming`] with explicit configuration.
+    pub fn record_streaming_with(
+        scheme: Scheme,
+        nthreads: u32,
+        cfg: SessionConfig,
+        store: &dyn StreamingTraceStore,
+    ) -> Result<Arc<Session>, TraceError> {
+        let sink = store.begin_record(scheme, nthreads, cfg.validate_sites)?;
+        Ok(Arc::new(Session::build(
+            Mode::Record,
+            scheme,
+            nthreads,
+            cfg,
+            None,
+            Some(sink),
+        )))
     }
 
     /// Start a replay run of `bundle` with default configuration.
@@ -256,6 +363,7 @@ impl Session {
             nthreads,
             cfg,
             Some(bundle),
+            None,
         )))
     }
 
@@ -274,7 +382,20 @@ impl Session {
                 cfg.epoch_policy = policy;
             }
         }
+        if let Some(n) = std::env::var("REOMP_FLUSH_RECORDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            cfg.flush_records = n;
+        }
+        let stream = std::env::var("REOMP_STREAM")
+            .map(|s| matches!(s.to_ascii_lowercase().as_str(), "1" | "true" | "on"))
+            .unwrap_or(false);
         match mode.to_ascii_lowercase().as_str() {
+            "record" if stream => {
+                Session::record_streaming_with(scheme, nthreads, cfg, &Session::env_store())
+            }
             "record" => Ok(Session::record_with(scheme, nthreads, cfg)),
             "replay" => {
                 let (bundle, _) = Session::env_store().load()?;
@@ -301,6 +422,7 @@ impl Session {
         nthreads: u32,
         cfg: SessionConfig,
         bundle: Option<TraceBundle>,
+        sink: Option<Box<dyn RecordSink>>,
     ) -> Session {
         assert!(nthreads > 0, "a session needs at least one thread");
         let rec = (mode == Mode::Record).then(|| RecordState {
@@ -316,6 +438,7 @@ impl Session {
                 }),
             }),
             bufs: (0..nthreads).map(|_| Mutex::new(Vec::new())).collect(),
+            stream: sink.map(|s| StreamState::new(s, scheme)),
         });
         let rep = bundle.map(|bundle| ReplayState {
             cursors: (0..nthreads).map(|_| AtomicUsize::new(0)).collect(),
@@ -419,6 +542,7 @@ impl Session {
         }
 
         let mut bundle = None;
+        let mut io = None;
         let mut fully_consumed = None;
         match self.mode {
             Mode::Passthrough => {}
@@ -439,7 +563,11 @@ impl Session {
                         }
                     }
                 });
-                bundle = Some(self.assemble_bundle());
+                if rec.stream.is_some() {
+                    io = Some(self.commit_streaming().map_err(FinishError::Stream)?);
+                } else {
+                    bundle = Some(self.assemble_bundle());
+                }
             }
             Mode::Replay => {
                 let rep = self.rep.as_ref().expect("replay state");
@@ -460,9 +588,138 @@ impl Session {
             mode: self.mode,
             stats: self.stats.snapshot(),
             bundle,
+            io,
             fully_consumed,
             failure: self.failure.lock().clone(),
         })
+    }
+
+    /// Flush all residual records of a streaming record run and commit the
+    /// sink (manifest written last by the store).
+    fn commit_streaming(&self) -> Result<IoReport, TraceError> {
+        let rec = self.rec.as_ref().expect("record state");
+        let stream = rec.stream.as_ref().expect("streaming state");
+        // Surface a mid-run flush failure instead of committing a trace
+        // with holes in it.
+        if let Some(e) = stream.error.lock().take() {
+            return Err(e);
+        }
+        // ST: steal whatever the shared builder still holds.
+        if self.scheme == Scheme::St {
+            let stolen = rec.gate.with(|core| {
+                core.st.as_mut().map(|b| {
+                    (
+                        std::mem::take(&mut b.tids),
+                        std::mem::take(&mut b.sites),
+                        std::mem::take(&mut b.kinds),
+                    )
+                })
+            });
+            if let Some((tids, sites, kinds)) = stolen {
+                if !tids.is_empty() {
+                    self.append_st_chunk(&tids, &sites, &kinds)?;
+                }
+            }
+        }
+        // Per-thread residues. Recording is over, so everything is stable;
+        // sorting restores program (clock) order after DE deferrals.
+        for tid in 0..self.nthreads {
+            let mut entries = std::mem::take(&mut *rec.bufs[tid as usize].lock());
+            if entries.is_empty() {
+                continue;
+            }
+            entries.sort_unstable_by_key(|e| e.clock);
+            self.append_thread_chunk(tid, &entries)?;
+        }
+        let sink = stream
+            .sink
+            .write()
+            .take()
+            .ok_or_else(|| TraceError::Corrupt("streaming sink already committed".into()))?;
+        sink.commit(self.stats.snapshot().records_written)
+    }
+
+    /// Encode `entries` as one chunk and append it to thread `tid`'s
+    /// stream, updating the flush counters.
+    fn append_thread_chunk(&self, tid: u32, entries: &[RecEntry]) -> Result<(), TraceError> {
+        let rec = self.rec.as_ref().expect("record state");
+        let stream = rec.stream.as_ref().expect("streaming state");
+        let validate = self.cfg.validate_sites;
+        let values: Vec<u64> = entries.iter().map(|e| e.value).collect();
+        let sites: Option<Vec<u64>> = validate.then(|| entries.iter().map(|e| e.site).collect());
+        let kinds: Option<Vec<u8>> = validate.then(|| entries.iter().map(|e| e.kind).collect());
+        let guard = stream.sink.read();
+        let sink = guard
+            .as_ref()
+            .ok_or_else(|| TraceError::Corrupt("streaming sink already committed".into()))?;
+        let bytes = sink.append_thread_chunk(tid, &values, sites.as_deref(), kinds.as_deref())?;
+        self.stats.add_io_written(bytes);
+        self.stats.bump_chunk_flush();
+        Ok(())
+    }
+
+    /// Append one chunk of the shared ST stream.
+    fn append_st_chunk(&self, tids: &[u32], sites: &[u64], kinds: &[u8]) -> Result<(), TraceError> {
+        let rec = self.rec.as_ref().expect("record state");
+        let stream = rec.stream.as_ref().expect("streaming state");
+        let validate = self.cfg.validate_sites;
+        let guard = stream.sink.read();
+        let sink = guard
+            .as_ref()
+            .ok_or_else(|| TraceError::Corrupt("streaming sink already committed".into()))?;
+        let bytes =
+            sink.append_st_chunk(tids, validate.then_some(sites), validate.then_some(kinds))?;
+        self.stats.add_io_written(bytes);
+        self.stats.bump_chunk_flush();
+        Ok(())
+    }
+
+    /// Hot-path flush check: if thread `tid`'s buffer reached the flush
+    /// threshold, persist its stable prefix (clocks below the watermark)
+    /// as one chunk. Failures are latched and surfaced at `finish`.
+    pub(crate) fn maybe_flush_thread(&self, tid: u32) {
+        let Some(rec) = self.rec.as_ref() else { return };
+        let Some(stream) = rec.stream.as_ref() else {
+            return;
+        };
+        if stream.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let threshold = self.cfg.flush_records.max(1);
+        let floor = stream.floor.load(Ordering::Acquire);
+        let mut buf = rec.bufs[tid as usize].lock();
+        if buf.len() < threshold {
+            return;
+        }
+        // Cheap pre-check before sorting: while a DE deferred store pins
+        // the watermark, an over-threshold buffer would otherwise be
+        // re-sorted on every gate just to flush nothing.
+        if !buf.iter().any(|e| e.clock < floor) {
+            return;
+        }
+        buf.sort_unstable_by_key(|e| e.clock);
+        let cut = buf.partition_point(|e| e.clock < floor);
+        let stable: Vec<RecEntry> = buf.drain(..cut).collect();
+        // Append while still holding the buffer lock: in DE, *any* thread
+        // may flush this buffer (deferred records are routed across
+        // threads), and two drained batches must reach the file in the
+        // order they were drained.
+        let result = self.append_thread_chunk(tid, &stable);
+        drop(buf);
+        if let Err(e) = result {
+            stream.record_failure(e);
+        }
+    }
+
+    /// Hot-path ST flush: append a stolen prefix of the shared stream.
+    pub(crate) fn flush_st_records(&self, tids: &[u32], sites: &[u64], kinds: &[u8]) {
+        let Some(rec) = self.rec.as_ref() else { return };
+        let Some(stream) = rec.stream.as_ref() else {
+            return;
+        };
+        if let Err(e) = self.append_st_chunk(tids, sites, kinds) {
+            stream.record_failure(e);
+        }
     }
 
     fn assemble_bundle(&self) -> TraceBundle {
@@ -626,8 +883,11 @@ pub struct SessionReport {
     pub mode: Mode,
     /// Final statistics.
     pub stats: StatsSnapshot,
-    /// The recorded trace (record mode only).
+    /// The recorded trace (record mode only; `None` for streaming record
+    /// runs, whose trace lives in the store).
     pub bundle: Option<TraceBundle>,
+    /// I/O totals of the committed trace (streaming record runs only).
+    pub io: Option<IoReport>,
     /// Replay mode: whether every recorded access was consumed.
     pub fully_consumed: Option<bool>,
     /// First replay failure, if any.
@@ -718,6 +978,64 @@ mod tests {
         // REOMP_MODE is not set in the test environment.
         let s = Session::from_env(2).unwrap();
         assert_eq!(s.mode(), Mode::Passthrough);
+    }
+
+    #[test]
+    fn streaming_record_matches_one_shot_bundle() {
+        use crate::store::{MemStore, TraceStore};
+        // Drive both thread contexts from this test thread so the gate
+        // order — and therefore the recorded trace — is deterministic.
+        let run = |session: &Arc<Session>| {
+            let c0 = session.register_thread(0);
+            let c1 = session.register_thread(1);
+            for i in 0..10u64 {
+                let site = SiteId(100 + (i % 3));
+                c0.gate(site, AccessKind::Load, || ());
+                c1.gate(site, AccessKind::Store, || ());
+                c1.gate(site, AccessKind::Load, || ());
+            }
+        };
+        for scheme in Scheme::ALL {
+            let s = Session::record(scheme, 2);
+            run(&s);
+            let bundle = s.finish().unwrap().bundle.unwrap();
+
+            let store = MemStore::new();
+            let cfg = SessionConfig {
+                flush_records: 4,
+                ..Default::default()
+            };
+            let s = Session::record_streaming_with(scheme, 2, cfg, &store).unwrap();
+            run(&s);
+            let report = s.finish().unwrap();
+            assert!(report.bundle.is_none(), "streaming keeps no bundle");
+            let io = report.io.expect("streaming report carries io totals");
+            assert!(io.chunks > 0, "{scheme:?}");
+            assert!(report.stats.chunk_flushes > 0, "{scheme:?}");
+            let (loaded, _) = store.load().unwrap();
+            assert_eq!(loaded, bundle, "{scheme:?}: streamed ≡ one-shot");
+        }
+    }
+
+    #[test]
+    fn streaming_record_without_validation() {
+        use crate::store::{MemStore, TraceStore};
+        let store = MemStore::new();
+        let cfg = SessionConfig {
+            validate_sites: false,
+            flush_records: 2,
+            ..Default::default()
+        };
+        let s = Session::record_streaming_with(Scheme::Dc, 1, cfg, &store).unwrap();
+        let ctx = s.register_thread(0);
+        for _ in 0..7 {
+            ctx.gate(SiteId(9), AccessKind::Load, || ());
+        }
+        drop(ctx);
+        s.finish().unwrap();
+        let (loaded, _) = store.load().unwrap();
+        assert_eq!(loaded.threads[0].values.len(), 7);
+        assert_eq!(loaded.threads[0].sites, None);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub struct Stats {
     records_written: AtomicU64,
     records_read: AtomicU64,
     deferred_finalizations: AtomicU64,
+    chunk_flushes: AtomicU64,
     io_bytes_written: AtomicU64,
     io_bytes_read: AtomicU64,
     io_files: AtomicU64,
@@ -89,6 +90,12 @@ impl Stats {
         self.deferred_finalizations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one streaming chunk flushed to a record stream.
+    #[inline]
+    pub fn bump_chunk_flush(&self) {
+        self.chunk_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Account bytes written to a record file.
     #[inline]
     pub fn add_io_written(&self, bytes: u64) {
@@ -130,6 +137,7 @@ impl Stats {
             records_written: self.records_written.load(Ordering::Relaxed),
             records_read: self.records_read.load(Ordering::Relaxed),
             deferred_finalizations: self.deferred_finalizations.load(Ordering::Relaxed),
+            chunk_flushes: self.chunk_flushes.load(Ordering::Relaxed),
             io_bytes_written: self.io_bytes_written.load(Ordering::Relaxed),
             io_bytes_read: self.io_bytes_read.load(Ordering::Relaxed),
             io_files: self.io_files.load(Ordering::Relaxed),
@@ -159,6 +167,8 @@ pub struct StatsSnapshot {
     pub records_read: u64,
     /// Stores whose epoch was deferred to the next access (DE).
     pub deferred_finalizations: u64,
+    /// Streaming chunks flushed to record streams during the run.
+    pub chunk_flushes: u64,
     /// Bytes written to record files.
     pub io_bytes_written: u64,
     /// Bytes read from record files.
@@ -209,6 +219,7 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "records written:    {}", self.records_written)?;
         writeln!(f, "records read:       {}", self.records_read)?;
         writeln!(f, "deferred stores:    {}", self.deferred_finalizations)?;
+        writeln!(f, "chunk flushes:      {}", self.chunk_flushes)?;
         writeln!(
             f,
             "trace I/O:          {} B out, {} B in, {} files",

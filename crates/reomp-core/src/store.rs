@@ -6,6 +6,38 @@
 //! directory (the paper uses tmpfs; `std::env::temp_dir()` is tmpfs on the
 //! evaluation platform) and performs per-thread file I/O in parallel.
 //! [`MemStore`] is an in-memory stand-in for tests and microbenches.
+//!
+//! # Crash-safe persistence
+//!
+//! [`DirStore::save`] is atomic at the file level: every record file and
+//! the manifest are written to a `*.tmp` sibling, fsynced, and `rename`d
+//! into place (with a best-effort directory fsync after the manifest), and
+//! the manifest — the one file [`DirStore::load`] keys on — is removed
+//! first and re-written **last**. A crash at any point mid-save therefore
+//! leaves either the directory unloadable ([`TraceError::Empty`]) or a
+//! fully consistent bundle; it can never pair a new manifest with old
+//! record files. On load, the manifest's record count is cross-checked
+//! against the decoded files, so even a chunked file that lost its tail at
+//! an exact chunk boundary is rejected as corrupt rather than silently
+//! shortened. Saving also scrubs *stale* files from earlier runs
+//! (per-thread files beyond the new thread count, an `st.rtrc` when the
+//! new bundle has no ST stream, leftover temp files), so a directory
+//! reused across schemes or thread counts cannot mix runs.
+//!
+//! # Streaming (chunked) recording
+//!
+//! The paper warns that record-and-replay scalability is ultimately
+//! bounded by file-system usage (§II-B); rr and iReplayer both stream
+//! records incrementally for this reason. [`StreamingTraceStore`] is the
+//! incremental counterpart of [`TraceStore`]: [`begin_record`] opens one
+//! chunked stream per thread (see the [`crate::codec`] chunk frame), the
+//! returned [`RecordSink`] appends encoded chunks as the session records
+//! — so a trace can grow past RAM — and [`RecordSink::commit`] publishes
+//! the directory atomically (manifest last, like `save`). A recording
+//! that is dropped without `commit` leaves only temp files and no
+//! manifest: the directory stays unloadable rather than corrupt.
+//!
+//! [`begin_record`]: StreamingTraceStore::begin_record
 
 use crate::codec;
 use crate::error::TraceError;
@@ -15,6 +47,8 @@ use parking_lot::Mutex;
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Bytes/files touched by one save or load, for the session's I/O stats.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,6 +57,8 @@ pub struct IoReport {
     pub bytes: u64,
     /// Number of record files involved.
     pub files: u64,
+    /// Number of stream chunks written or read (0 for one-shot layouts).
+    pub chunks: u64,
 }
 
 /// Abstract trace persistence.
@@ -33,11 +69,195 @@ pub trait TraceStore: Send + Sync {
     fn load(&self) -> Result<(TraceBundle, IoReport), TraceError>;
 }
 
+/// Incremental trace persistence: streams per-thread chunks during a
+/// record run instead of buffering the whole trace and saving once.
+pub trait StreamingTraceStore: TraceStore {
+    /// Start a streaming recording, replacing any stored trace. Returns a
+    /// sink with one chunked stream per thread (plus the shared ST stream
+    /// for [`Scheme::St`]). The recording becomes loadable only after
+    /// [`RecordSink::commit`]; dropping the sink aborts it.
+    ///
+    /// `validated` declares whether chunks will carry site/kind columns;
+    /// every appended chunk must match it.
+    fn begin_record(
+        &self,
+        scheme: Scheme,
+        nthreads: u32,
+        validated: bool,
+    ) -> Result<Box<dyn RecordSink>, TraceError>;
+
+    /// Stream an already-assembled bundle through the chunked writer path
+    /// in slices of `records_per_chunk` records. Produces the same loaded
+    /// bundle as [`TraceStore::save`] while bounding the encoder's working
+    /// set to one chunk.
+    fn save_chunked(
+        &self,
+        bundle: &TraceBundle,
+        records_per_chunk: usize,
+    ) -> Result<IoReport, TraceError> {
+        bundle.validate()?;
+        let sink = self.begin_record(bundle.scheme, bundle.nthreads, bundle.has_validation())?;
+        for (tid, trace) in bundle.threads.iter().enumerate() {
+            stream_thread_trace(&*sink, tid as u32, trace, records_per_chunk)?;
+        }
+        if let Some(st) = &bundle.st {
+            stream_st_trace(&*sink, st, records_per_chunk)?;
+        }
+        sink.commit(bundle.total_records())
+    }
+}
+
+/// Append one thread trace to a sink in `records_per_chunk`-sized chunks.
+fn stream_thread_trace(
+    sink: &dyn RecordSink,
+    tid: u32,
+    trace: &ThreadTrace,
+    records_per_chunk: usize,
+) -> Result<u64, TraceError> {
+    let step = records_per_chunk.max(1);
+    let mut bytes = 0;
+    let mut at = 0;
+    while at < trace.values.len() {
+        let end = (at + step).min(trace.values.len());
+        bytes += sink.append_thread_chunk(
+            tid,
+            &trace.values[at..end],
+            trace.sites.as_ref().map(|s| &s[at..end]),
+            trace.kinds.as_ref().map(|k| &k[at..end]),
+        )?;
+        at = end;
+    }
+    Ok(bytes)
+}
+
+/// Append the shared ST trace to a sink in chunks.
+fn stream_st_trace(
+    sink: &dyn RecordSink,
+    st: &StTrace,
+    records_per_chunk: usize,
+) -> Result<u64, TraceError> {
+    let step = records_per_chunk.max(1);
+    let mut bytes = 0;
+    let mut at = 0;
+    while at < st.tids.len() {
+        let end = (at + step).min(st.tids.len());
+        bytes += sink.append_st_chunk(
+            &st.tids[at..end],
+            st.sites.as_ref().map(|s| &s[at..end]),
+            st.kinds.as_ref().map(|k| &k[at..end]),
+        )?;
+        at = end;
+    }
+    Ok(bytes)
+}
+
+/// Handle for one in-progress streaming recording. All methods are
+/// callable concurrently; each stream serializes its own appends.
+pub trait RecordSink: Send + Sync {
+    /// Append one chunk of records to thread `tid`'s stream. Returns the
+    /// encoded bytes appended.
+    fn append_thread_chunk(
+        &self,
+        tid: u32,
+        values: &[u64],
+        sites: Option<&[u64]>,
+        kinds: Option<&[u8]>,
+    ) -> Result<u64, TraceError>;
+
+    /// Append one chunk to the shared ST stream (ST recordings only).
+    fn append_st_chunk(
+        &self,
+        tids: &[u32],
+        sites: Option<&[u64]>,
+        kinds: Option<&[u8]>,
+    ) -> Result<u64, TraceError>;
+
+    /// Finalize the recording: flush every stream and atomically publish
+    /// it (the manifest is written last). Until commit returns, the store
+    /// has no loadable trace.
+    fn commit(self: Box<Self>, total_records: u64) -> Result<IoReport, TraceError>;
+}
+
+impl<'s> dyn RecordSink + 's {
+    /// A borrowing writer handle for thread `tid`'s stream — the
+    /// per-thread view a recording thread holds onto.
+    #[must_use]
+    pub fn thread_writer(&self, tid: u32) -> TraceWriter<'_> {
+        TraceWriter {
+            sink: self,
+            tid: Some(tid),
+        }
+    }
+
+    /// A borrowing writer handle for the shared ST stream.
+    #[must_use]
+    pub fn st_writer(&self) -> TraceWriter<'_> {
+        TraceWriter {
+            sink: self,
+            tid: None,
+        }
+    }
+}
+
+/// Per-stream writer handle over a [`RecordSink`]: a thread's own record
+/// file, or the shared ST stream (where values are thread IDs).
+#[derive(Clone, Copy)]
+pub struct TraceWriter<'s> {
+    sink: &'s dyn RecordSink,
+    /// `None` addresses the shared ST stream.
+    tid: Option<u32>,
+}
+
+impl TraceWriter<'_> {
+    /// Append one chunk of records. For the ST stream the values are
+    /// thread IDs and must fit `u32`.
+    pub fn append(
+        &self,
+        values: &[u64],
+        sites: Option<&[u64]>,
+        kinds: Option<&[u8]>,
+    ) -> Result<u64, TraceError> {
+        match self.tid {
+            Some(tid) => self.sink.append_thread_chunk(tid, values, sites, kinds),
+            None => {
+                let mut tids = Vec::with_capacity(values.len());
+                for &v in values {
+                    tids.push(u32::try_from(v).map_err(|_| {
+                        TraceError::Corrupt(format!("st stream tid {v} out of range"))
+                    })?);
+                }
+                self.sink.append_st_chunk(&tids, sites, kinds)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceWriter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("tid", &self.tid)
+            .finish()
+    }
+}
+
+fn check_columns(
+    validated: bool,
+    sites: Option<&[u64]>,
+    kinds: Option<&[u8]>,
+) -> Result<(), TraceError> {
+    if sites.is_some() != validated || kinds.is_some() != validated {
+        return Err(TraceError::Corrupt(
+            "chunk columns do not match the recording's validation mode".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// In-memory store (still goes through the binary codec, so it exercises
 /// the same encode/decode path as [`DirStore`]).
 #[derive(Debug, Default)]
 pub struct MemStore {
-    files: Mutex<Option<EncodedBundle>>,
+    files: Arc<Mutex<Option<EncodedBundle>>>,
 }
 
 #[derive(Debug, Clone)]
@@ -92,17 +312,20 @@ impl TraceStore for MemStore {
         for (expect_tid, bytes) in encoded.threads.iter().enumerate() {
             report.bytes += bytes.len() as u64;
             report.files += 1;
-            let (trace, scheme, tid) = codec::decode_thread_trace(bytes)?;
-            if scheme != encoded.scheme || tid != expect_tid as u32 {
+            let decoded = codec::decode_thread_records(bytes)?;
+            if decoded.scheme != encoded.scheme || decoded.tid != expect_tid as u32 {
                 return Err(TraceError::Corrupt("trace header mismatch".into()));
             }
-            threads.push(trace);
+            report.chunks += decoded.chunks;
+            threads.push(decoded.trace);
         }
         let st = match &encoded.st {
             Some(bytes) => {
                 report.bytes += bytes.len() as u64;
                 report.files += 1;
-                Some(codec::decode_st_trace(bytes)?)
+                let decoded = codec::decode_st_records(bytes)?;
+                report.chunks += decoded.chunks;
+                Some(decoded.trace)
             }
             None => None,
         };
@@ -117,16 +340,213 @@ impl TraceStore for MemStore {
     }
 }
 
+impl StreamingTraceStore for MemStore {
+    fn begin_record(
+        &self,
+        scheme: Scheme,
+        nthreads: u32,
+        validated: bool,
+    ) -> Result<Box<dyn RecordSink>, TraceError> {
+        if nthreads == 0 {
+            return Err(TraceError::Corrupt("zero threads".into()));
+        }
+        // Match DirStore semantics: beginning a recording replaces any
+        // stored trace immediately, so an aborted recording reads as Empty
+        // instead of resurrecting the previous bundle.
+        *self.files.lock() = None;
+        let streams = (0..nthreads)
+            .map(|tid| {
+                Mutex::new(
+                    codec::encode_thread_stream_header(scheme, tid, validated, validated).to_vec(),
+                )
+            })
+            .collect();
+        let st = (scheme == Scheme::St)
+            .then(|| Mutex::new(codec::encode_st_stream_header(validated, validated).to_vec()));
+        Ok(Box::new(MemRecordSink {
+            files: Arc::clone(&self.files),
+            scheme,
+            nthreads,
+            validated,
+            streams,
+            st,
+            chunks: AtomicU64::new(0),
+        }))
+    }
+}
+
+struct MemRecordSink {
+    files: Arc<Mutex<Option<EncodedBundle>>>,
+    scheme: Scheme,
+    nthreads: u32,
+    validated: bool,
+    streams: Vec<Mutex<Vec<u8>>>,
+    st: Option<Mutex<Vec<u8>>>,
+    /// Chunks appended so far (mirrors StreamFile's counter; commit must
+    /// not have to re-decode everything it just encoded).
+    chunks: AtomicU64,
+}
+
+impl RecordSink for MemRecordSink {
+    fn append_thread_chunk(
+        &self,
+        tid: u32,
+        values: &[u64],
+        sites: Option<&[u64]>,
+        kinds: Option<&[u8]>,
+    ) -> Result<u64, TraceError> {
+        check_columns(self.validated, sites, kinds)?;
+        let stream = self
+            .streams
+            .get(tid as usize)
+            .ok_or_else(|| TraceError::Corrupt(format!("no stream for thread {tid}")))?;
+        let chunk = codec::encode_thread_chunk(values, sites, kinds);
+        stream.lock().extend_from_slice(&chunk);
+        self.chunks.fetch_add(1, Ordering::Relaxed);
+        Ok(chunk.len() as u64)
+    }
+
+    fn append_st_chunk(
+        &self,
+        tids: &[u32],
+        sites: Option<&[u64]>,
+        kinds: Option<&[u8]>,
+    ) -> Result<u64, TraceError> {
+        check_columns(self.validated, sites, kinds)?;
+        let stream = self
+            .st
+            .as_ref()
+            .ok_or_else(|| TraceError::Corrupt("recording has no st stream".into()))?;
+        let chunk = codec::encode_st_chunk(tids, sites, kinds);
+        stream.lock().extend_from_slice(&chunk);
+        self.chunks.fetch_add(1, Ordering::Relaxed);
+        Ok(chunk.len() as u64)
+    }
+
+    fn commit(self: Box<Self>, _total_records: u64) -> Result<IoReport, TraceError> {
+        let mut report = IoReport::default();
+        let threads: Vec<Vec<u8>> = self
+            .streams
+            .into_iter()
+            .map(|s| {
+                let b = s.into_inner();
+                report.bytes += b.len() as u64;
+                report.files += 1;
+                b
+            })
+            .collect();
+        let st = self.st.map(|s| {
+            let b = s.into_inner();
+            report.bytes += b.len() as u64;
+            report.files += 1;
+            b
+        });
+        report.chunks = self.chunks.load(Ordering::Relaxed);
+        *self.files.lock() = Some(EncodedBundle {
+            scheme: self.scheme,
+            nthreads: self.nthreads,
+            threads,
+            st,
+        });
+        Ok(report)
+    }
+}
+
 /// One-record-file-per-thread directory store (the paper's layout).
 ///
 /// Layout: `manifest.txt`, `thread_<tid>.rtrc`, and `st.rtrc` for ST
 /// bundles. Per-thread files are written/read by concurrent worker threads
 /// when `parallel_io` is enabled (default), mirroring the parallel-I/O
-/// property §IV-C1 credits to DC/DE recording.
+/// property §IV-C1 credits to DC/DE recording. See the module docs for the
+/// crash-safety protocol (`*.tmp` + rename, manifest last).
 #[derive(Debug)]
 pub struct DirStore {
     dir: PathBuf,
     parallel_io: bool,
+}
+
+fn thread_file(dir: &Path, tid: u32) -> PathBuf {
+    dir.join(format!("thread_{tid}.rtrc"))
+}
+
+fn st_file(dir: &Path) -> PathBuf {
+    dir.join("st.rtrc")
+}
+
+fn manifest_file(dir: &Path) -> PathBuf {
+    dir.join("manifest.txt")
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+fn remove_if_present(path: &Path) -> Result<(), TraceError> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Write `bytes` to a `*.tmp` sibling, fsync it, and rename it into
+/// place, so `path` only ever holds a complete, durable file.
+fn write_file_atomic(path: &Path, bytes: &[u8]) -> Result<u64, TraceError> {
+    let tmp = tmp_sibling(path);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Fsync the directory so completed renames survive a power loss.
+/// Best-effort: some platforms cannot open a directory for syncing.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, TraceError> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+/// Remove everything a completed save must not leave behind: the manifest
+/// first (concurrent readers now see [`TraceError::Empty`] instead of a
+/// half-replaced directory), then per-thread files at or beyond
+/// `keep_threads`, `st.rtrc` unless `keep_st`, and leftover `*.tmp` files
+/// from an interrupted earlier save.
+fn scrub_before_save(dir: &Path, keep_threads: u32, keep_st: bool) -> Result<(), TraceError> {
+    remove_if_present(&manifest_file(dir))?;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = if name.ends_with(".tmp") {
+            true
+        } else if name == "st.rtrc" {
+            !keep_st
+        } else if let Some(tid) = name
+            .strip_prefix("thread_")
+            .and_then(|s| s.strip_suffix(".rtrc"))
+            .and_then(|s| s.parse::<u32>().ok())
+        {
+            tid >= keep_threads
+        } else {
+            false
+        };
+        if stale {
+            remove_if_present(&entry.path())?;
+        }
+    }
+    Ok(())
 }
 
 impl DirStore {
@@ -154,39 +574,28 @@ impl DirStore {
     }
 
     fn thread_path(&self, tid: u32) -> PathBuf {
-        self.dir.join(format!("thread_{tid}.rtrc"))
+        thread_file(&self.dir, tid)
     }
 
     fn manifest_path(&self) -> PathBuf {
-        self.dir.join("manifest.txt")
+        manifest_file(&self.dir)
     }
 
-    fn write_file(path: &Path, bytes: &[u8]) -> Result<u64, TraceError> {
-        let file = fs::File::create(path)?;
-        let mut w = std::io::BufWriter::new(file);
-        w.write_all(bytes)?;
-        w.flush()?;
-        Ok(bytes.len() as u64)
-    }
-
-    fn read_file(path: &Path) -> Result<Vec<u8>, TraceError> {
-        let mut bytes = Vec::new();
-        fs::File::open(path)?.read_to_end(&mut bytes)?;
-        Ok(bytes)
-    }
-
-    fn save_manifest(&self, bundle: &TraceBundle) -> Result<u64, TraceError> {
+    fn save_manifest(
+        &self,
+        scheme: Scheme,
+        nthreads: u32,
+        records: u64,
+    ) -> Result<u64, TraceError> {
         let text = format!(
-            "reomp-trace v1\nscheme {}\nthreads {}\nrecords {}\n",
-            bundle.scheme.name(),
-            bundle.nthreads,
-            bundle.total_records(),
+            "reomp-trace v1\nscheme {}\nthreads {nthreads}\nrecords {records}\n",
+            scheme.name(),
         );
-        Self::write_file(&self.manifest_path(), text.as_bytes())
+        write_file_atomic(&self.manifest_path(), text.as_bytes())
     }
 
-    fn load_manifest(&self) -> Result<(Scheme, u32), TraceError> {
-        let bytes = Self::read_file(&self.manifest_path()).map_err(|e| match e {
+    fn load_manifest(&self) -> Result<(Scheme, u32, Option<u64>), TraceError> {
+        let bytes = read_file(&self.manifest_path()).map_err(|e| match e {
             TraceError::Io(ref io) if io.kind() == std::io::ErrorKind::NotFound => {
                 TraceError::Empty
             }
@@ -196,6 +605,7 @@ impl DirStore {
             .map_err(|_| TraceError::Corrupt("manifest is not UTF-8".into()))?;
         let mut scheme = None;
         let mut threads = None;
+        let mut records = None;
         for (i, line) in text.lines().enumerate() {
             if i == 0 {
                 if line != "reomp-trace v1" {
@@ -217,14 +627,20 @@ impl DirStore {
                         return Err(TraceError::Corrupt(format!("bad thread count {n:?}")));
                     }
                 }
-                (Some("records"), Some(_)) | (None, _) => {}
+                (Some("records"), Some(n)) => {
+                    records = n.parse::<u64>().ok();
+                    if records.is_none() {
+                        return Err(TraceError::Corrupt(format!("bad record count {n:?}")));
+                    }
+                }
+                (Some("records"), None) | (None, _) => {}
                 (Some(k), _) => {
                     return Err(TraceError::Corrupt(format!("unknown manifest key {k:?}")))
                 }
             }
         }
         match (scheme, threads) {
-            (Some(s), Some(t)) => Ok((s, t)),
+            (Some(s), Some(t)) => Ok((s, t, records)),
             _ => Err(TraceError::Corrupt(
                 "manifest missing scheme/threads".into(),
             )),
@@ -235,13 +651,14 @@ impl DirStore {
 impl TraceStore for DirStore {
     fn save(&self, bundle: &TraceBundle) -> Result<IoReport, TraceError> {
         fs::create_dir_all(&self.dir)?;
+        // Invalidate the directory before touching record files; rebuild,
+        // then publish the manifest last (see module docs).
+        scrub_before_save(&self.dir, bundle.threads.len() as u32, bundle.st.is_some())?;
         let mut report = IoReport::default();
-        report.bytes += self.save_manifest(bundle)?;
-        report.files += 1;
 
         if self.parallel_io {
             // One writer per thread trace — the per-thread parallel I/O the
-            // paper credits to DC/DE (§IV-C1).
+            // paper credits to DC/DE recording (§IV-C1).
             let results: Vec<Result<u64, TraceError>> = std::thread::scope(|s| {
                 let handles: Vec<_> = bundle
                     .threads
@@ -251,7 +668,7 @@ impl TraceStore for DirStore {
                         let path = self.thread_path(tid as u32);
                         s.spawn(move || {
                             let bytes = codec::encode_thread_trace(t, bundle.scheme, tid as u32);
-                            Self::write_file(&path, &bytes)
+                            write_file_atomic(&path, &bytes)
                         })
                     })
                     .collect();
@@ -267,67 +684,82 @@ impl TraceStore for DirStore {
         } else {
             for (tid, t) in bundle.threads.iter().enumerate() {
                 let bytes = codec::encode_thread_trace(t, bundle.scheme, tid as u32);
-                report.bytes += Self::write_file(&self.thread_path(tid as u32), &bytes)?;
+                report.bytes += write_file_atomic(&self.thread_path(tid as u32), &bytes)?;
                 report.files += 1;
             }
         }
 
         if let Some(st) = &bundle.st {
             let bytes = codec::encode_st_trace(st);
-            report.bytes += Self::write_file(&self.dir.join("st.rtrc"), &bytes)?;
+            report.bytes += write_file_atomic(&st_file(&self.dir), &bytes)?;
             report.files += 1;
         }
+
+        report.bytes +=
+            self.save_manifest(bundle.scheme, bundle.nthreads, bundle.total_records())?;
+        report.files += 1;
+        sync_dir(&self.dir);
         Ok(report)
     }
 
     fn load(&self) -> Result<(TraceBundle, IoReport), TraceError> {
-        let (scheme, nthreads) = self.load_manifest()?;
-        let mut report = IoReport { bytes: 0, files: 1 };
+        let (scheme, nthreads, records) = self.load_manifest()?;
+        let mut report = IoReport {
+            bytes: 0,
+            files: 1,
+            chunks: 0,
+        };
 
-        let load_one = |tid: u32| -> Result<(ThreadTrace, u64), TraceError> {
-            let bytes = Self::read_file(&self.thread_path(tid))?;
+        let load_one = |tid: u32| -> Result<(ThreadTrace, u64, u64), TraceError> {
+            let bytes = read_file(&self.thread_path(tid))?;
             let n = bytes.len() as u64;
-            let (trace, file_scheme, file_tid) = codec::decode_thread_trace(&bytes)?;
-            if file_scheme != scheme || file_tid != tid {
+            let decoded = codec::decode_thread_records(&bytes)?;
+            if decoded.scheme != scheme || decoded.tid != tid {
                 return Err(TraceError::Corrupt(format!(
-                    "thread file {tid}: header says scheme {} tid {file_tid}",
-                    file_scheme.name()
+                    "thread file {tid}: header says scheme {} tid {}",
+                    decoded.scheme.name(),
+                    decoded.tid
                 )));
             }
-            Ok((trace, n))
+            Ok((decoded.trace, n, decoded.chunks))
         };
 
         let mut threads = Vec::with_capacity(nthreads as usize);
         if self.parallel_io {
-            let results: Vec<Result<(ThreadTrace, u64), TraceError>> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..nthreads)
-                    .map(|tid| s.spawn(move || load_one(tid)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("trace reader panicked"))
-                    .collect()
-            });
+            let results: Vec<Result<(ThreadTrace, u64, u64), TraceError>> =
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..nthreads)
+                        .map(|tid| s.spawn(move || load_one(tid)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("trace reader panicked"))
+                        .collect()
+                });
             for r in results {
-                let (t, n) = r?;
+                let (t, n, c) = r?;
                 report.bytes += n;
                 report.files += 1;
+                report.chunks += c;
                 threads.push(t);
             }
         } else {
             for tid in 0..nthreads {
-                let (t, n) = load_one(tid)?;
+                let (t, n, c) = load_one(tid)?;
                 report.bytes += n;
                 report.files += 1;
+                report.chunks += c;
                 threads.push(t);
             }
         }
 
         let st = if scheme == Scheme::St {
-            let bytes = Self::read_file(&self.dir.join("st.rtrc"))?;
+            let bytes = read_file(&st_file(&self.dir))?;
             report.bytes += bytes.len() as u64;
             report.files += 1;
-            Some(decode_st(&bytes)?)
+            let decoded = codec::decode_st_records(&bytes)?;
+            report.chunks += decoded.chunks;
+            Some(decoded.trace)
         } else {
             None
         };
@@ -339,12 +771,235 @@ impl TraceStore for DirStore {
             st,
         };
         bundle.validate()?;
+        // Cross-check the manifest's record count: a chunked file truncated
+        // exactly on a chunk boundary decodes cleanly, and this is what
+        // catches the missing tail.
+        if let Some(expected) = records {
+            let got = bundle.total_records();
+            if got != expected {
+                return Err(TraceError::Corrupt(format!(
+                    "manifest promises {expected} records but the files hold {got}"
+                )));
+            }
+        }
         Ok((bundle, report))
     }
 }
 
-fn decode_st(bytes: &[u8]) -> Result<StTrace, TraceError> {
-    codec::decode_st_trace(bytes)
+impl StreamingTraceStore for DirStore {
+    fn begin_record(
+        &self,
+        scheme: Scheme,
+        nthreads: u32,
+        validated: bool,
+    ) -> Result<Box<dyn RecordSink>, TraceError> {
+        if nthreads == 0 {
+            return Err(TraceError::Corrupt("zero threads".into()));
+        }
+        fs::create_dir_all(&self.dir)?;
+        scrub_before_save(&self.dir, nthreads, scheme == Scheme::St)?;
+        let mut threads = Vec::with_capacity(nthreads as usize);
+        for tid in 0..nthreads {
+            let header = codec::encode_thread_stream_header(scheme, tid, validated, validated);
+            threads.push(Mutex::new(StreamFile::create(
+                &self.thread_path(tid),
+                &header,
+            )?));
+        }
+        let st = if scheme == Scheme::St {
+            let header = codec::encode_st_stream_header(validated, validated);
+            Some(Mutex::new(StreamFile::create(
+                &st_file(&self.dir),
+                &header,
+            )?))
+        } else {
+            None
+        };
+        Ok(Box::new(DirRecordSink {
+            dir: self.dir.clone(),
+            scheme,
+            nthreads,
+            validated,
+            threads,
+            st,
+            committed: AtomicBool::new(false),
+        }))
+    }
+
+    fn save_chunked(
+        &self,
+        bundle: &TraceBundle,
+        records_per_chunk: usize,
+    ) -> Result<IoReport, TraceError> {
+        bundle.validate()?;
+        let sink = self.begin_record(bundle.scheme, bundle.nthreads, bundle.has_validation())?;
+        if self.parallel_io {
+            // Same per-thread I/O parallelism as the one-shot save: every
+            // stream has its own lock, so appenders do not contend.
+            let results: Vec<Result<u64, TraceError>> = std::thread::scope(|s| {
+                let sink = &*sink;
+                let handles: Vec<_> = bundle
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(tid, t)| {
+                        s.spawn(move || stream_thread_trace(sink, tid as u32, t, records_per_chunk))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chunk writer panicked"))
+                    .collect()
+            });
+            for r in results {
+                r?;
+            }
+        } else {
+            for (tid, t) in bundle.threads.iter().enumerate() {
+                stream_thread_trace(&*sink, tid as u32, t, records_per_chunk)?;
+            }
+        }
+        if let Some(st) = &bundle.st {
+            stream_st_trace(&*sink, st, records_per_chunk)?;
+        }
+        sink.commit(bundle.total_records())
+    }
+}
+
+/// One open chunked stream: writes go to the `*.tmp` sibling of `path`
+/// until the sink commits and renames it into place.
+struct StreamFile {
+    path: PathBuf,
+    writer: Option<std::io::BufWriter<fs::File>>,
+    bytes: u64,
+    chunks: u64,
+}
+
+impl StreamFile {
+    fn create(path: &Path, header: &[u8]) -> Result<StreamFile, TraceError> {
+        let tmp = tmp_sibling(path);
+        let mut writer = std::io::BufWriter::new(fs::File::create(&tmp)?);
+        writer.write_all(header)?;
+        Ok(StreamFile {
+            path: path.to_path_buf(),
+            writer: Some(writer),
+            bytes: header.len() as u64,
+            chunks: 0,
+        })
+    }
+
+    fn append(&mut self, chunk: &[u8]) -> Result<u64, TraceError> {
+        let writer = self
+            .writer
+            .as_mut()
+            .ok_or_else(|| TraceError::Corrupt("stream already closed".into()))?;
+        writer.write_all(chunk)?;
+        self.bytes += chunk.len() as u64;
+        self.chunks += 1;
+        Ok(chunk.len() as u64)
+    }
+
+    /// Flush, fsync, and close the temp file, then rename it to its final
+    /// name.
+    fn publish(&mut self) -> Result<(), TraceError> {
+        let mut writer = self
+            .writer
+            .take()
+            .ok_or_else(|| TraceError::Corrupt("stream already closed".into()))?;
+        writer.flush()?;
+        writer.get_ref().sync_all()?;
+        drop(writer);
+        fs::rename(tmp_sibling(&self.path), &self.path)?;
+        Ok(())
+    }
+}
+
+struct DirRecordSink {
+    dir: PathBuf,
+    scheme: Scheme,
+    nthreads: u32,
+    validated: bool,
+    threads: Vec<Mutex<StreamFile>>,
+    st: Option<Mutex<StreamFile>>,
+    committed: AtomicBool,
+}
+
+impl RecordSink for DirRecordSink {
+    fn append_thread_chunk(
+        &self,
+        tid: u32,
+        values: &[u64],
+        sites: Option<&[u64]>,
+        kinds: Option<&[u8]>,
+    ) -> Result<u64, TraceError> {
+        check_columns(self.validated, sites, kinds)?;
+        let stream = self
+            .threads
+            .get(tid as usize)
+            .ok_or_else(|| TraceError::Corrupt(format!("no stream for thread {tid}")))?;
+        let chunk = codec::encode_thread_chunk(values, sites, kinds);
+        stream.lock().append(&chunk)
+    }
+
+    fn append_st_chunk(
+        &self,
+        tids: &[u32],
+        sites: Option<&[u64]>,
+        kinds: Option<&[u8]>,
+    ) -> Result<u64, TraceError> {
+        check_columns(self.validated, sites, kinds)?;
+        let stream = self
+            .st
+            .as_ref()
+            .ok_or_else(|| TraceError::Corrupt("recording has no st stream".into()))?;
+        let chunk = codec::encode_st_chunk(tids, sites, kinds);
+        stream.lock().append(&chunk)
+    }
+
+    fn commit(self: Box<Self>, total_records: u64) -> Result<IoReport, TraceError> {
+        let mut report = IoReport::default();
+        for stream in &self.threads {
+            let mut s = stream.lock();
+            s.publish()?;
+            report.bytes += s.bytes;
+            report.chunks += s.chunks;
+            report.files += 1;
+        }
+        if let Some(stream) = &self.st {
+            let mut s = stream.lock();
+            s.publish()?;
+            report.bytes += s.bytes;
+            report.chunks += s.chunks;
+            report.files += 1;
+        }
+        // Manifest last: only now does the directory become loadable.
+        let text = format!(
+            "reomp-trace v1\nscheme {}\nthreads {}\nrecords {total_records}\n",
+            self.scheme.name(),
+            self.nthreads,
+        );
+        report.bytes += write_file_atomic(&manifest_file(&self.dir), text.as_bytes())?;
+        report.files += 1;
+        sync_dir(&self.dir);
+        self.committed.store(true, Ordering::Release);
+        Ok(report)
+    }
+}
+
+impl Drop for DirRecordSink {
+    fn drop(&mut self) {
+        if self.committed.load(Ordering::Acquire) {
+            return;
+        }
+        // Aborted recording: sweep the temp files so only committed data
+        // remains on disk (the directory has no manifest, so it already
+        // reads as Empty).
+        for stream in self.threads.iter().chain(self.st.iter()) {
+            let mut s = stream.lock();
+            s.writer = None;
+            let _ = fs::remove_file(tmp_sibling(&s.path));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -369,8 +1024,15 @@ mod tests {
             sites: Some(vec![10; 6]),
             kinds: Some(vec![3; 6]),
         });
+        // ST bundles keep empty per-thread traces; like session-assembled
+        // bundles, their validation columns are present-but-empty.
         let threads = if scheme == Scheme::St {
-            vec![ThreadTrace::default(), ThreadTrace::default()]
+            let empty = ThreadTrace {
+                values: vec![],
+                sites: Some(vec![]),
+                kinds: Some(vec![]),
+            };
+            vec![empty.clone(), empty]
         } else {
             threads
         };
@@ -402,12 +1064,26 @@ mod tests {
             let (back, loaded) = store.load().unwrap();
             assert_eq!(back, bundle, "{scheme:?}");
             assert_eq!(loaded.bytes, saved.bytes);
+            assert_eq!(loaded.chunks, 0, "one-shot layout has no chunks");
         }
     }
 
     #[test]
     fn memstore_empty_load_fails() {
         assert!(matches!(MemStore::new().load(), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn memstore_streaming_roundtrip() {
+        for scheme in [Scheme::St, Scheme::Dc, Scheme::De] {
+            let store = MemStore::new();
+            let bundle = sample_bundle(scheme);
+            let report = store.save_chunked(&bundle, 2).unwrap();
+            assert!(report.chunks > 0, "{scheme:?}");
+            let (back, loaded) = store.load().unwrap();
+            assert_eq!(back, bundle, "{scheme:?}");
+            assert_eq!(loaded.chunks, report.chunks);
+        }
     }
 
     #[test]
@@ -420,10 +1096,38 @@ mod tests {
                 store.save(&bundle).unwrap();
                 let (back, _) = store.load().unwrap();
                 assert_eq!(back, bundle);
-                // Per-thread layout on disk.
+                // Per-thread layout on disk, no temp leftovers.
                 assert!(dir.join("thread_0.rtrc").exists());
                 assert!(dir.join("thread_1.rtrc").exists());
                 assert_eq!(dir.join("st.rtrc").exists(), scheme == Scheme::St);
+                assert!(fs::read_dir(&dir).unwrap().all(|e| !e
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".tmp")));
+                fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn dirstore_chunked_save_loads_identical_bundle() {
+        for parallel in [true, false] {
+            for scheme in [Scheme::St, Scheme::Dc, Scheme::De] {
+                let dir = tempdir(&format!("ck-{parallel}-{}", scheme.name()));
+                let store = DirStore::new(&dir).with_parallel_io(parallel);
+                let bundle = sample_bundle(scheme);
+
+                // Reference: the one-shot save of the same bundle.
+                store.save(&bundle).unwrap();
+                let (one_shot, _) = store.load().unwrap();
+
+                let report = store.save_chunked(&bundle, 2).unwrap();
+                assert!(report.chunks > 0);
+                let (back, loaded) = store.load().unwrap();
+                assert_eq!(back, bundle, "{scheme:?}");
+                assert_eq!(back, one_shot, "{scheme:?}: chunked ≡ one-shot");
+                assert_eq!(loaded.chunks, report.chunks);
                 fs::remove_dir_all(&dir).unwrap();
             }
         }
@@ -477,6 +1181,182 @@ mod tests {
         let (back, _) = store.load().unwrap();
         assert_eq!(back.scheme, Scheme::De);
         assert_eq!(back, second);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_scrubs_stale_thread_and_st_files() {
+        let dir = tempdir("scrub");
+        let store = DirStore::new(&dir);
+
+        // First run: 4 threads.
+        let wide = TraceBundle {
+            scheme: Scheme::Dc,
+            nthreads: 4,
+            threads: (0..4u64)
+                .map(|t| ThreadTrace {
+                    values: vec![t],
+                    sites: None,
+                    kinds: None,
+                })
+                .collect(),
+            st: None,
+        };
+        store.save(&wide).unwrap();
+        assert!(dir.join("thread_3.rtrc").exists());
+
+        // Second run reuses the directory with 2 threads and an ST stream.
+        store.save(&sample_bundle(Scheme::St)).unwrap();
+        assert!(!dir.join("thread_2.rtrc").exists(), "stale file removed");
+        assert!(!dir.join("thread_3.rtrc").exists(), "stale file removed");
+        assert!(dir.join("st.rtrc").exists());
+
+        // Third run has no ST stream: st.rtrc must go away.
+        store.save(&sample_bundle(Scheme::De)).unwrap();
+        assert!(!dir.join("st.rtrc").exists(), "stale st stream removed");
+        let (back, _) = store.load().unwrap();
+        assert_eq!(back, sample_bundle(Scheme::De));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_scrubs_leftover_tmp_files() {
+        let dir = tempdir("tmpjunk");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("thread_0.rtrc.tmp"), b"junk").unwrap();
+        fs::write(dir.join("manifest.txt.tmp"), b"junk").unwrap();
+        let store = DirStore::new(&dir);
+        store.save(&sample_bundle(Scheme::Dc)).unwrap();
+        assert!(!dir.join("thread_0.rtrc.tmp").exists());
+        assert!(!dir.join("manifest.txt.tmp").exists());
+        store.load().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn directory_without_manifest_reads_as_empty() {
+        // The crash window of a save: record files present, manifest not
+        // yet published. The store must report Empty, never a bundle.
+        let dir = tempdir("nomanifest");
+        let store = DirStore::new(&dir);
+        store.save(&sample_bundle(Scheme::Dc)).unwrap();
+        fs::remove_file(dir.join("manifest.txt")).unwrap();
+        assert!(matches!(store.load(), Err(TraceError::Empty)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_streaming_recording_is_not_loadable() {
+        let dir = tempdir("abort");
+        let store = DirStore::new(&dir);
+        // A committed first recording, then an aborted second one.
+        store.save_chunked(&sample_bundle(Scheme::Dc), 2).unwrap();
+        {
+            let sink = store.begin_record(Scheme::Dc, 2, true).unwrap();
+            sink.append_thread_chunk(0, &[7], Some(&[1]), Some(&[0]))
+                .unwrap();
+            // Dropped without commit: simulated kill mid-recording.
+        }
+        assert!(
+            matches!(store.load(), Err(TraceError::Empty)),
+            "aborted recording must not resurrect the previous manifest"
+        );
+        // Temp files were swept.
+        assert!(fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aborted_memstore_recording_reads_empty() {
+        // begin_record must match DirStore semantics: the previous trace is
+        // replaced immediately, so an abort cannot resurrect it.
+        let store = MemStore::new();
+        store.save(&sample_bundle(Scheme::Dc)).unwrap();
+        {
+            let sink = store.begin_record(Scheme::Dc, 2, true).unwrap();
+            sink.append_thread_chunk(0, &[7], Some(&[1]), Some(&[0]))
+                .unwrap();
+            // Dropped without commit.
+        }
+        assert!(matches!(store.load(), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn chunk_boundary_truncation_is_detected_via_manifest() {
+        // A chunked file cut exactly on a chunk boundary decodes cleanly at
+        // the codec level; the manifest's record count must catch it.
+        let dir = tempdir("chunkcut");
+        let store = DirStore::new(&dir);
+        let bundle = sample_bundle(Scheme::Dc);
+        store.save_chunked(&bundle, 1).unwrap();
+        store.load().unwrap();
+
+        // Rewrite thread_0.rtrc with its last chunk dropped.
+        let forged = {
+            let t = &bundle.threads[0];
+            let mut bytes = codec::encode_thread_stream_header(Scheme::Dc, 0, true, true).to_vec();
+            for i in 0..t.values.len() - 1 {
+                bytes.extend_from_slice(&codec::encode_thread_chunk(
+                    &t.values[i..=i],
+                    t.sites.as_ref().map(|s| &s[i..=i]),
+                    t.kinds.as_ref().map(|k| &k[i..=i]),
+                ));
+            }
+            bytes
+        };
+        fs::write(dir.join("thread_0.rtrc"), &forged).unwrap();
+        let err = store.load().unwrap_err();
+        assert!(
+            matches!(&err, TraceError::Corrupt(msg) if msg.contains("records")),
+            "expected a record-count mismatch, got {err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sink_writer_handles_roundtrip() {
+        let dir = tempdir("writers");
+        let store = DirStore::new(&dir);
+        let sink = store.begin_record(Scheme::Dc, 2, false).unwrap();
+        let w0 = sink.thread_writer(0);
+        let w1 = sink.thread_writer(1);
+        w0.append(&[0, 2], None, None).unwrap();
+        w1.append(&[1], None, None).unwrap();
+        w1.append(&[3], None, None).unwrap();
+        sink.commit(4).unwrap();
+        let (bundle, io) = store.load().unwrap();
+        assert_eq!(bundle.threads[0].values, vec![0, 2]);
+        assert_eq!(bundle.threads[1].values, vec![1, 3]);
+        assert_eq!(io.chunks, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sink_rejects_mismatched_columns() {
+        let store = MemStore::new();
+        let sink = store.begin_record(Scheme::Dc, 1, true).unwrap();
+        assert!(sink.append_thread_chunk(0, &[1], None, None).is_err());
+        let sink = store.begin_record(Scheme::Dc, 1, false).unwrap();
+        assert!(sink
+            .append_thread_chunk(0, &[1], Some(&[1]), Some(&[0]))
+            .is_err());
+    }
+
+    #[test]
+    fn truncated_record_file_is_corrupt_not_panic() {
+        let dir = tempdir("truncate");
+        let store = DirStore::new(&dir);
+        store.save(&sample_bundle(Scheme::Dc)).unwrap();
+        let path = dir.join("thread_0.rtrc");
+        let full = fs::read(&path).unwrap();
+        for cut in [6, 7, 10, full.len() - 1] {
+            fs::write(&path, &full[..cut]).unwrap();
+            assert!(store.load().is_err(), "cut at {cut} must fail cleanly");
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -36,7 +36,17 @@ fn main() -> ExitCode {
     match args.get(1).map(String::as_str) {
         None => {
             println!("{}", analysis::summarize(&bundle));
-            println!("trace files: {} ({} bytes)", io.files, io.bytes);
+            if io.chunks > 0 {
+                println!(
+                    "trace files: {} ({} bytes, streamed as {} chunks)",
+                    io.files, io.bytes, io.chunks
+                );
+            } else {
+                println!(
+                    "trace files: {} ({} bytes, one-shot layout)",
+                    io.files, io.bytes
+                );
+            }
             let hist = EpochHistogram::from_bundle(&bundle);
             println!("{hist}");
             ExitCode::SUCCESS

@@ -24,6 +24,7 @@ pub use reomp_core as core;
 pub use rmpi;
 
 pub use reomp_core::{
-    AccessKind, DirStore, EpochHistogram, EpochPolicy, MemStore, Mode, Scheme, Session,
-    SessionConfig, SessionReport, SiteId, ThreadCtx, TraceBundle, TraceStore,
+    AccessKind, DirStore, EpochHistogram, EpochPolicy, IoReport, MemStore, Mode, RecordSink,
+    Scheme, Session, SessionConfig, SessionReport, SiteId, StreamingTraceStore, ThreadCtx,
+    TraceBundle, TraceStore, TraceWriter,
 };

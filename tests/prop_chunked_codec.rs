@@ -1,0 +1,142 @@
+//! Property tests for the chunked record-file codec: a trace encoded as a
+//! chunked stream with *arbitrary* chunk splits must decode to exactly the
+//! same trace as the one-shot encoding, and the streaming store must load
+//! the same bundle the one-shot store saves.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use reomp::core::codec;
+use reomp::core::store::StreamingTraceStore;
+use reomp::core::trace::{StTrace, ThreadTrace};
+use reomp::{MemStore, Scheme, TraceBundle, TraceStore};
+
+/// Build a thread trace from raw (value, site, kind) triples. Kind codes
+/// are drawn from the valid 0..7 range so bundle validation accepts them.
+fn thread_trace(records: &[(u64, u64, u8)], with_cols: bool) -> ThreadTrace {
+    ThreadTrace {
+        values: records.iter().map(|r| r.0).collect(),
+        sites: with_cols.then(|| records.iter().map(|r| r.1).collect()),
+        kinds: with_cols.then(|| records.iter().map(|r| r.2).collect()),
+    }
+}
+
+/// Encode `trace` as a chunked stream, cutting chunks at the given split
+/// lengths (cycled until the trace is exhausted).
+fn encode_chunked(trace: &ThreadTrace, scheme: Scheme, tid: u32, splits: &[usize]) -> Vec<u8> {
+    let mut out = codec::encode_thread_stream_header(
+        scheme,
+        tid,
+        trace.sites.is_some(),
+        trace.kinds.is_some(),
+    )
+    .to_vec();
+    let mut at = 0;
+    let mut split = splits.iter().cycle();
+    while at < trace.values.len() {
+        let len = *split.next().expect("cycled iterator");
+        let end = (at + len).min(trace.values.len());
+        out.extend_from_slice(&codec::encode_thread_chunk(
+            &trace.values[at..end],
+            trace.sites.as_ref().map(|s| &s[at..end]),
+            trace.kinds.as_ref().map(|k| &k[at..end]),
+        ));
+        at = end;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_chunk_splits_decode_like_one_shot(
+        records in vec((0u64..1_000_000, 0u64..u64::MAX, 0u8..7), 0..200),
+        with_cols in (0u8..2).prop_map(|b| b == 1),
+        splits in vec(1usize..17, 1..24),
+        scheme_idx in 0usize..3,
+        tid in 0u32..64,
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let trace = thread_trace(&records, with_cols);
+
+        // Reference: the one-shot encoding.
+        let one_shot = codec::encode_thread_trace(&trace, scheme, tid);
+        let reference = codec::decode_thread_records(&one_shot).unwrap();
+        prop_assert_eq!(&reference.trace, &trace);
+        prop_assert_eq!(reference.chunks, 0);
+
+        // Chunked with arbitrary splits: identical trace, same header.
+        let chunked = encode_chunked(&trace, scheme, tid, &splits);
+        let decoded = codec::decode_thread_records(&chunked).unwrap();
+        prop_assert_eq!(&decoded.trace, &trace);
+        prop_assert_eq!(decoded.scheme, scheme);
+        prop_assert_eq!(decoded.tid, tid);
+        let expected_chunks = {
+            let mut n = 0u64;
+            let mut at = 0usize;
+            let mut split = splits.iter().cycle();
+            while at < trace.values.len() {
+                at = (at + *split.next().unwrap()).min(trace.values.len());
+                n += 1;
+            }
+            n
+        };
+        prop_assert_eq!(decoded.chunks, expected_chunks);
+    }
+
+    #[test]
+    fn truncating_a_chunked_stream_never_panics(
+        records in vec((0u64..100_000, 0u64..u64::MAX, 0u8..7), 1..60),
+        splits in vec(1usize..9, 1..8),
+        cut_frac in 0u32..1000,
+    ) {
+        let trace = thread_trace(&records, true);
+        let chunked = encode_chunked(&trace, Scheme::De, 1, &splits);
+        let cut = (chunked.len() as u64 * u64::from(cut_frac) / 1000) as usize;
+        // Decoding any prefix must return cleanly: Ok for prefixes that end
+        // exactly on a chunk boundary, Err(Corrupt/..) otherwise — never a
+        // panic or an OOM-sized allocation.
+        let _ = codec::decode_thread_records(&chunked[..cut]);
+    }
+
+    #[test]
+    fn streaming_store_save_equals_one_shot_save(
+        per_thread in vec(vec((0u64..10_000, 0u64..1 << 48, 0u8..7), 0..40), 1..5),
+        with_cols in (0u8..2).prop_map(|b| b == 1),
+        records_per_chunk in 1usize..17,
+        st_run in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let nthreads = per_thread.len() as u32;
+        let scheme = if st_run { Scheme::St } else { Scheme::De };
+        let threads: Vec<ThreadTrace> = if st_run {
+            // ST bundles keep empty per-thread traces (columns mirror the
+            // bundle's validation mode, like session-assembled bundles).
+            (0..nthreads)
+                .map(|_| thread_trace(&[], with_cols))
+                .collect()
+        } else {
+            per_thread.iter().map(|r| thread_trace(r, with_cols)).collect()
+        };
+        let st = st_run.then(|| {
+            let flat: Vec<(u64, u64, u8)> = per_thread.concat();
+            StTrace {
+                tids: flat.iter().enumerate().map(|(i, _)| i as u32 % nthreads).collect(),
+                sites: with_cols.then(|| flat.iter().map(|r| r.1).collect()),
+                kinds: with_cols.then(|| flat.iter().map(|r| r.2).collect()),
+            }
+        });
+        let bundle = TraceBundle { scheme, nthreads, threads, st };
+        prop_assert!(bundle.validate().is_ok());
+
+        let one_shot = MemStore::new();
+        one_shot.save(&bundle).unwrap();
+        let (reference, _) = one_shot.load().unwrap();
+
+        let streaming = MemStore::new();
+        let report = streaming.save_chunked(&bundle, records_per_chunk).unwrap();
+        let (loaded, io) = streaming.load().unwrap();
+        prop_assert_eq!(&loaded, &reference);
+        prop_assert_eq!(&loaded, &bundle);
+        prop_assert_eq!(io.chunks, report.chunks);
+    }
+}

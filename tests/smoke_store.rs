@@ -7,7 +7,7 @@
 //!   matrix tests and every benchmark sweep iterate it and silently shrink
 //!   if a scheme goes missing.
 
-use reomp::{ompr, DirStore, Scheme, Session, TraceStore};
+use reomp::{ompr, AccessKind, DirStore, Scheme, Session, SessionConfig, SiteId, TraceStore};
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -111,6 +111,196 @@ fn tempdir_cleanup_leaves_nothing_behind() {
         "tempdir {} must be removed on drop",
         path.display()
     );
+}
+
+/// Drive a deterministic gate sequence over two registered contexts from
+/// the calling thread, so two record runs produce identical traces.
+fn deterministic_run(session: &Arc<Session>) {
+    let c0 = session.register_thread(0);
+    let c1 = session.register_thread(1);
+    for i in 0..25u64 {
+        let site = SiteId(0x900 + (i % 4));
+        c0.gate(site, AccessKind::Load, || ());
+        c1.gate(site, AccessKind::Store, || ());
+        c0.gate(site, AccessKind::Store, || ());
+        c1.gate(site, AccessKind::Load, || ());
+    }
+}
+
+#[test]
+fn streaming_record_loads_identical_to_one_shot_save() {
+    // Acceptance: a trace recorded through the streaming writer loads
+    // byte-for-byte equal (same TraceBundle) to the same run saved via the
+    // one-shot path.
+    for scheme in Scheme::ALL {
+        let tmp = TempDir::new(&format!("stream-eq-{}", scheme.name()));
+
+        // Reference: record once, save through the one-shot path.
+        let session = Session::record(scheme, 2);
+        deterministic_run(&session);
+        let bundle = session.finish().unwrap().bundle.unwrap();
+        let one_shot = DirStore::new(tmp.0.join("one-shot"));
+        one_shot.save(&bundle).unwrap();
+        let (reference, _) = one_shot.load().unwrap();
+        assert_eq!(reference, bundle);
+
+        // Same deterministic run, recorded through the streaming writer
+        // with a tiny flush threshold so many chunks are exercised.
+        let streamed = DirStore::new(tmp.0.join("streamed"));
+        let cfg = SessionConfig {
+            flush_records: 8,
+            ..SessionConfig::default()
+        };
+        let session = Session::record_streaming_with(scheme, 2, cfg, &streamed).unwrap();
+        deterministic_run(&session);
+        let report = session.finish().unwrap();
+        assert!(
+            report.bundle.is_none(),
+            "{scheme}: trace lives in the store"
+        );
+        let io = report.io.expect("streaming run reports io");
+        assert!(io.chunks > 0, "{scheme}");
+        assert!(report.stats.chunk_flushes > 0, "{scheme}");
+
+        let (loaded, loaded_io) = streamed.load().unwrap();
+        assert_eq!(loaded, reference, "{scheme}: streamed ≡ one-shot");
+        assert_eq!(loaded_io.chunks, io.chunks, "{scheme}");
+    }
+}
+
+#[test]
+fn concurrent_streaming_record_replays_faithfully() {
+    // The flush watermark must hold under real concurrency: stream a racy
+    // multi-threaded DE run with an aggressive threshold, then replay the
+    // loaded trace and check the racy result is reproduced.
+    for scheme in Scheme::ALL {
+        let tmp = TempDir::new(&format!("stream-replay-{}", scheme.name()));
+        let store = DirStore::new(tmp.0.join("trace"));
+        let cfg = SessionConfig {
+            flush_records: 4,
+            ..SessionConfig::default()
+        };
+        let session = Session::record_streaming_with(scheme, 2, cfg, &store).unwrap();
+        let cell = ompr::RacyCell::new("smoke:streamcell", 0u64);
+        let rt = ompr::Runtime::new(Arc::clone(&session));
+        rt.parallel(|w| {
+            for _ in 0..40 {
+                w.racy_update(&cell, |v| v + 1);
+            }
+        });
+        let recorded = cell.raw_load();
+        session.finish().expect("streaming finish");
+
+        let (bundle, _) = store.load().expect("load streamed trace");
+        bundle.validate().expect("streamed bundle is consistent");
+        let session = Session::replay(bundle).unwrap();
+        let cell = ompr::RacyCell::new("smoke:streamcell", 0u64);
+        let rt = ompr::Runtime::new(Arc::clone(&session));
+        rt.parallel(|w| {
+            for _ in 0..40 {
+                w.racy_update(&cell, |v| v + 1);
+            }
+        });
+        let report = session.finish().expect("finish replay");
+        assert_eq!(report.failure, None, "{scheme}: replay diverged");
+        assert_eq!(cell.raw_load(), recorded, "{scheme}: racy result differs");
+    }
+}
+
+#[test]
+fn reused_directory_cannot_mix_runs() {
+    // Regression: an earlier save with more threads (or an ST stream) used
+    // to leave its files behind; a crash window could then pair them with
+    // a newer manifest. The save now scrubs stale files and writes the
+    // manifest last.
+    let tmp = TempDir::new("stale");
+    let dir = tmp.0.join("trace");
+    let store = DirStore::new(&dir);
+
+    let wide = Session::record(Scheme::Dc, 4);
+    {
+        let ctxs: Vec<_> = (0..4).map(|t| wide.register_thread(t)).collect();
+        for ctx in &ctxs {
+            ctx.gate(SiteId(1), AccessKind::Load, || ());
+        }
+    }
+    store.save(&wide.finish().unwrap().bundle.unwrap()).unwrap();
+    assert!(dir.join("thread_3.rtrc").exists());
+
+    // Reuse with fewer threads and a different scheme (ST: adds st.rtrc).
+    let bundle_st = record_small_run(Scheme::St);
+    store.save(&bundle_st).unwrap();
+    assert!(!dir.join("thread_2.rtrc").exists(), "stale thread file");
+    assert!(!dir.join("thread_3.rtrc").exists(), "stale thread file");
+    let (loaded, _) = store.load().unwrap();
+    assert_eq!(loaded, bundle_st);
+
+    // Reuse again without an ST stream: st.rtrc must be scrubbed.
+    let bundle_de = record_small_run(Scheme::De);
+    store.save(&bundle_de).unwrap();
+    assert!(!dir.join("st.rtrc").exists(), "stale st stream");
+    let (loaded, _) = store.load().unwrap();
+    assert_eq!(loaded, bundle_de);
+}
+
+#[test]
+fn killed_recording_never_yields_a_loadable_corrupt_bundle() {
+    let tmp = TempDir::new("killed");
+    let dir = tmp.0.join("trace");
+    let store = DirStore::new(&dir);
+
+    // A committed recording exists...
+    store.save(&record_small_run(Scheme::Dc)).unwrap();
+    store.load().unwrap();
+
+    // ...then a new streaming recording dies mid-run (sink dropped without
+    // commit — the moral equivalent of `kill -9` between flushes).
+    {
+        let session = Session::record_streaming_with(
+            Scheme::Dc,
+            2,
+            SessionConfig {
+                flush_records: 1,
+                ..SessionConfig::default()
+            },
+            &store,
+        )
+        .unwrap();
+        let ctx = session.register_thread(0);
+        for _ in 0..4 {
+            ctx.gate(SiteId(7), AccessKind::Store, || ());
+        }
+        drop(ctx);
+        // Session dropped without finish(): nothing is committed.
+    }
+    match store.load() {
+        Err(reomp::core::TraceError::Empty) => {}
+        other => panic!("interrupted recording must read as Empty, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_record_files_fail_cleanly() {
+    // Regression: truncated headers/columns used to panic (or could drive
+    // an OOM-sized allocation via a corrupt count) instead of returning
+    // TraceError::Corrupt.
+    let tmp = TempDir::new("truncated");
+    let dir = tmp.0.join("trace");
+    let store = DirStore::new(&dir);
+    store.save(&record_small_run(Scheme::De)).unwrap();
+
+    let path = dir.join("thread_0.rtrc");
+    let full = std::fs::read(&path).unwrap();
+    for cut in [0, 5, 6, 8, 10, full.len().saturating_sub(3)] {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        assert!(store.load().is_err(), "cut {cut} must fail, not panic");
+    }
+
+    // A corrupt record count bounded only by u64 must also fail cleanly.
+    let mut forged = full[..11].to_vec();
+    forged.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+    std::fs::write(&path, &forged).unwrap();
+    assert!(store.load().is_err(), "absurd count must fail, not OOM");
 }
 
 #[test]
