@@ -215,4 +215,52 @@ mod tests {
         assert_eq!(report.stats.gates, 6);
         assert_eq!(report.bundle.unwrap().total_records(), 6);
     }
+
+    #[test]
+    fn runtime_constructs_record_and_replay_across_gate_domains() {
+        // The ompr constructs (racy cells, criticals, reductions) hash
+        // their sites across gate domains transparently: a multi-domain
+        // recording made through the runtime must replay bit-for-bit.
+        use reomp_core::SessionConfig;
+        let cfg = SessionConfig {
+            domains: 4,
+            ..SessionConfig::default()
+        };
+        let run = |session: Arc<Session>| {
+            let rt = Runtime::new(session);
+            let cells: Vec<crate::RacyCell<u64>> = (0..4)
+                .map(|i| crate::RacyCell::new(&format!("domtest:cell{i}"), 0))
+                .collect();
+            let cs = crate::Critical::new("domtest:cs");
+            let safe = AtomicU64::new(0);
+            rt.parallel(|w| {
+                for _ in 0..20 {
+                    w.racy_update(&cells[w.tid() as usize % 4], |v| v + 1);
+                    w.critical(&cs, || {
+                        safe.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            let finals: Vec<u64> = cells.iter().map(|c| c.raw_load()).collect();
+            (finals, safe.load(Ordering::Relaxed))
+        };
+
+        let session = Session::record_with(Scheme::De, 4, cfg);
+        let recorded = run(session.clone());
+        let report = session.finish().unwrap();
+        let bundle = report.bundle.unwrap();
+        assert_eq!(bundle.domains, 4);
+        assert!(
+            report.domain_gates.iter().filter(|&&g| g > 0).count() > 1,
+            "sites must scatter across domains: {:?}",
+            report.domain_gates
+        );
+
+        let session = Session::replay(bundle).unwrap();
+        let replayed = run(session.clone());
+        let report = session.finish().unwrap();
+        assert_eq!(report.failure, None);
+        assert_eq!(report.fully_consumed, Some(true));
+        assert_eq!(replayed, recorded);
+    }
 }

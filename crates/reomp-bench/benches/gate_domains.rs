@@ -1,0 +1,119 @@
+//! Gate-domain scaling: record-mode throughput on a **disjoint-site**
+//! workload as the gate is sharded across `D` domains.
+//!
+//! Every thread hammers its own private site, so with `D = 1` the run is
+//! pure gate-lock contention (the global serialization the paper's DC/DE
+//! schemes keep for *ordering* even though their *storage* is
+//! distributed), while `D = nthreads` removes all cross-thread contention.
+//! The point of the table is the record-throughput column rising
+//! monotonically with `D` — sharding turns the dominant record-mode
+//! bottleneck into a dial.
+//!
+//! Also reports the paired replay wall time: with disjoint sites, domains
+//! replay independently, so replay scales the same way.
+//!
+//! Environment knobs: `REOMP_BENCH_THREADS` (first value ≥ 2 is used,
+//! default 8), `REOMP_BENCH_SCALE` (iterations multiplier),
+//! `REOMP_BENCH_REPS`.
+
+use reomp_bench::{bench_scale, bench_threads, time_min};
+use reomp_core::{AccessKind, Scheme, Session, SessionConfig, SiteId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Each thread performs `iters` load+store pairs on its own site. Sites
+/// are chosen so that with `D` domains (D | nthreads) the threads spread
+/// evenly: site raw value == tid, and domain_of = raw % D.
+fn disjoint_workload(session: &Arc<Session>, nthreads: u32, iters: usize) {
+    std::thread::scope(|s| {
+        for tid in 0..nthreads {
+            let ctx = session.register_thread(tid);
+            s.spawn(move || {
+                let site = SiteId(u64::from(tid));
+                let cell = AtomicU64::new(0);
+                for _ in 0..iters {
+                    let v = ctx.gate(site, AccessKind::Load, || cell.load(Ordering::Relaxed));
+                    ctx.gate(site, AccessKind::Store, || {
+                        cell.store(v + 1, Ordering::Relaxed)
+                    });
+                }
+            });
+        }
+    });
+}
+
+fn main() {
+    let nthreads = bench_threads()
+        .into_iter()
+        .find(|&t| t >= 2)
+        .unwrap_or(8)
+        .max(2);
+    let iters = 20_000 * bench_scale();
+    let total_records = u64::from(nthreads) * iters as u64 * 2;
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("\n=== gate_domains: record throughput vs. domain count ===");
+    println!("disjoint-site workload · {nthreads} threads · {iters} iters/thread · {cores} cores");
+    if cores < 2 {
+        println!(
+            "NOTE: on a single core the gate lock is never contended in \
+             parallel, so sharding only adds overhead here; the domain \
+             dial pays off with cores >= threads."
+        );
+    }
+    println!(
+        "{:>8} {:>14} {:>16} {:>14} {:>12}",
+        "domains", "record (s)", "Mrec/s", "replay (s)", "speedup"
+    );
+
+    for scheme in [Scheme::Dc, Scheme::De] {
+        println!("--- {} ---", scheme.name());
+        let mut base = None;
+        for domains in [1u32, 2, 4, 8] {
+            if domains > nthreads {
+                continue;
+            }
+            let cfg = SessionConfig {
+                domains,
+                // Replay of a heavily oversubscribed disjoint workload can
+                // legitimately take a while on small hosts.
+                spin: reomp_core::sync::SpinConfig {
+                    spin_hints: 64,
+                    timeout: Some(Duration::from_secs(300)),
+                },
+                ..SessionConfig::default()
+            };
+
+            let record = time_min(|| {
+                let session = Session::record_with(scheme, nthreads, cfg.clone());
+                disjoint_workload(&session, nthreads, iters);
+                let _ = session.finish().unwrap();
+            });
+
+            // One more recording to produce the replay input.
+            let session = Session::record_with(scheme, nthreads, cfg.clone());
+            disjoint_workload(&session, nthreads, iters);
+            let bundle = session.finish().unwrap().bundle.unwrap();
+
+            let replay = time_min(|| {
+                let session = Session::replay_with(bundle.clone(), cfg.clone()).unwrap();
+                disjoint_workload(&session, nthreads, iters);
+                let report = session.finish().unwrap();
+                assert_eq!(report.failure, None, "replay diverged during benching");
+            });
+
+            let speedup = base.get_or_insert(record).as_secs_f64() / record.as_secs_f64();
+            println!(
+                "{domains:>8} {:>14.6} {:>16.2} {:>14.6} {:>11.2}x",
+                record.as_secs_f64(),
+                total_records as f64 / record.as_secs_f64() / 1e6,
+                replay.as_secs_f64(),
+                speedup
+            );
+        }
+    }
+    println!("\n(speedup column is record-mode, relative to domains = 1)");
+}

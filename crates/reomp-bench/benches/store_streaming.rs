@@ -34,8 +34,9 @@ fn synthetic_bundle(nthreads: u32, records_per_thread: usize) -> TraceBundle {
     TraceBundle {
         scheme: Scheme::Dc,
         nthreads,
+        domains: 1,
         threads,
-        st: None,
+        st: vec![],
     }
 }
 

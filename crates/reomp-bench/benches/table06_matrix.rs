@@ -29,7 +29,7 @@ fn main() {
         let stats = report.stats;
         row_lock.push(stats.lock_acquires >= stats.gates);
         let bundle = report.bundle.expect("bundle");
-        row_files.push(bundle.st.is_some());
+        row_files.push(bundle.is_st());
         let hist = EpochHistogram::from_bundle(&bundle);
         row_shared.push(hist.epochs_gt1() > 0);
     }

@@ -16,6 +16,8 @@ use std::fmt;
 /// One access in a reconstructed global order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimelineEntry {
+    /// Gate domain the access was recorded in (0 for single-domain runs).
+    pub domain: u32,
     /// Recorded value (clock for DC, epoch for DE, sequence index for ST).
     pub value: u64,
     /// Executing thread.
@@ -26,29 +28,38 @@ pub struct TimelineEntry {
     pub kind: Option<AccessKind>,
 }
 
-/// Reconstruct the global access order of a bundle.
+/// Reconstruct the access order of a bundle, domain by domain.
 ///
 /// * ST: the shared stream *is* the order.
 /// * DC: clocks are a total order.
 /// * DE: epochs are a partial order; entries sharing a value were
 ///   concurrent in replay (ties are broken by thread ID for determinism).
+///
+/// Multi-domain bundles have **no** recorded cross-domain order; the
+/// timeline lists each domain's order in turn.
 #[must_use]
 pub fn timeline(bundle: &TraceBundle) -> Vec<TimelineEntry> {
     let mut out = Vec::with_capacity(bundle.total_records() as usize);
-    if let Some(st) = &bundle.st {
-        for (i, &tid) in st.tids.iter().enumerate() {
-            out.push(TimelineEntry {
-                value: i as u64,
-                thread: tid,
-                site: st.sites.as_ref().map(|s| SiteId(s[i])),
-                kind: st.kinds.as_ref().and_then(|k| AccessKind::from_code(k[i])),
-            });
+    if bundle.is_st() {
+        for (dom, st) in bundle.st.iter().enumerate() {
+            for (i, &tid) in st.tids.iter().enumerate() {
+                out.push(TimelineEntry {
+                    domain: dom as u32,
+                    value: i as u64,
+                    thread: tid,
+                    site: st.sites.as_ref().map(|s| SiteId(s[i])),
+                    kind: st.kinds.as_ref().and_then(|k| AccessKind::from_code(k[i])),
+                });
+            }
         }
         return out;
     }
-    for (tid, t) in bundle.threads.iter().enumerate() {
+    let nthreads = bundle.nthreads.max(1) as usize;
+    for (idx, t) in bundle.threads.iter().enumerate() {
+        let (dom, tid) = (idx / nthreads, idx % nthreads);
         for i in 0..t.len() {
             out.push(TimelineEntry {
+                domain: dom as u32,
                 value: t.values[i],
                 thread: tid as u32,
                 site: t.site_at(i),
@@ -56,7 +67,7 @@ pub fn timeline(bundle: &TraceBundle) -> Vec<TimelineEntry> {
             });
         }
     }
-    out.sort_by_key(|e| (e.value, e.thread));
+    out.sort_by_key(|e| (e.domain, e.value, e.thread));
     out
 }
 
@@ -67,7 +78,10 @@ pub struct TraceSummary {
     pub scheme: Scheme,
     /// Thread count.
     pub nthreads: u32,
-    /// Records per thread (ST: per-thread share of the shared stream).
+    /// Gate-domain count (1 = classic single-gate recording).
+    pub domains: u32,
+    /// Records per thread across all domains (ST: per-thread share of the
+    /// shared streams).
     pub per_thread: Vec<u64>,
     /// Access counts per kind (only when the trace carries kinds).
     pub kinds: BTreeMap<&'static str, u64>,
@@ -85,13 +99,17 @@ impl TraceSummary {
 
 impl fmt::Display for TraceSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
+        write!(
             f,
             "scheme {} · {} threads · {} records",
             self.scheme.name(),
             self.nthreads,
             self.total()
         )?;
+        if self.domains > 1 {
+            write!(f, " · {} gate domains", self.domains)?;
+        }
+        writeln!(f)?;
         for (tid, n) in self.per_thread.iter().enumerate() {
             writeln!(f, "  thread {tid}: {n} records")?;
         }
@@ -123,6 +141,7 @@ pub fn summarize(bundle: &TraceBundle) -> TraceSummary {
     TraceSummary {
         scheme: bundle.scheme,
         nthreads: bundle.nthreads,
+        domains: bundle.domains,
         per_thread,
         distinct_sites: bundle.has_validation().then_some(sites.len() as u64),
         kinds,
@@ -147,7 +166,11 @@ pub fn ascii_timeline(bundle: &TraceBundle, max_events: usize) -> String {
     }
     out.push('\n');
     for e in events.iter().take(max_events) {
-        let _ = write!(out, "{:>8} ", e.value);
+        if bundle.domains > 1 {
+            let _ = write!(out, "{:>8} ", format!("d{}:{}", e.domain, e.value));
+        } else {
+            let _ = write!(out, "{:>8} ", e.value);
+        }
         for tid in 0..bundle.nthreads {
             if tid == e.thread {
                 let mark = match e.kind {
@@ -185,6 +208,8 @@ pub enum TraceDiff {
     Equal,
     /// First differing access on some thread.
     FirstDivergence {
+        /// Gate domain whose streams differ (0 for single-domain traces).
+        domain: u32,
         /// Thread whose streams differ.
         thread: u32,
         /// Index of the first differing access in that thread's stream.
@@ -202,6 +227,7 @@ impl fmt::Display for TraceDiff {
             TraceDiff::Shape { what } => write!(f, "traces are incomparable: {what}"),
             TraceDiff::Equal => write!(f, "traces are identical"),
             TraceDiff::FirstDivergence {
+                domain,
                 thread,
                 index,
                 left,
@@ -209,7 +235,7 @@ impl fmt::Display for TraceDiff {
             } => {
                 write!(
                     f,
-                    "first divergence on thread {thread} at access #{index}: "
+                    "first divergence on thread {thread} (domain {domain}) at access #{index}: "
                 )?;
                 let side = |s: &Option<(u64, Option<SiteId>, Option<AccessKind>)>| match s {
                     None => "<stream ends>".to_string(),
@@ -244,43 +270,53 @@ pub fn diff(a: &TraceBundle, b: &TraceBundle) -> TraceDiff {
             what: format!("{} vs {} threads", a.nthreads, b.nthreads),
         };
     }
+    if a.domains != b.domains {
+        return TraceDiff::Shape {
+            what: format!("{} vs {} gate domains", a.domains, b.domains),
+        };
+    }
     // ST: compare the shared streams as thread 0-attributed events.
-    if let (Some(sa), Some(sb)) = (&a.st, &b.st) {
-        let n = sa.len().max(sb.len());
-        for i in 0..n {
-            let la = sa.tids.get(i).map(|&t| {
-                (
-                    u64::from(t),
-                    sa.sites.as_ref().map(|s| SiteId(s[i])),
-                    sa.kinds.as_ref().and_then(|k| AccessKind::from_code(k[i])),
-                )
-            });
-            let rb = sb.tids.get(i).map(|&t| {
-                (
-                    u64::from(t),
-                    sb.sites.as_ref().map(|s| SiteId(s[i])),
-                    sb.kinds.as_ref().and_then(|k| AccessKind::from_code(k[i])),
-                )
-            });
-            if la != rb {
-                return TraceDiff::FirstDivergence {
-                    thread: 0,
-                    index: i as u64,
-                    left: la,
-                    right: rb,
-                };
+    if a.is_st() && b.is_st() {
+        for (dom, (sa, sb)) in a.st.iter().zip(&b.st).enumerate() {
+            let n = sa.len().max(sb.len());
+            for i in 0..n {
+                let la = sa.tids.get(i).map(|&t| {
+                    (
+                        u64::from(t),
+                        sa.sites.as_ref().map(|s| SiteId(s[i])),
+                        sa.kinds.as_ref().and_then(|k| AccessKind::from_code(k[i])),
+                    )
+                });
+                let rb = sb.tids.get(i).map(|&t| {
+                    (
+                        u64::from(t),
+                        sb.sites.as_ref().map(|s| SiteId(s[i])),
+                        sb.kinds.as_ref().and_then(|k| AccessKind::from_code(k[i])),
+                    )
+                });
+                if la != rb {
+                    return TraceDiff::FirstDivergence {
+                        domain: dom as u32,
+                        thread: 0,
+                        index: i as u64,
+                        left: la,
+                        right: rb,
+                    };
+                }
             }
         }
         return TraceDiff::Equal;
     }
-    for tid in 0..a.nthreads as usize {
-        let (ta, tb) = (&a.threads[tid], &b.threads[tid]);
+    let nthreads = a.nthreads.max(1) as usize;
+    for (idx, (ta, tb)) in a.threads.iter().zip(&b.threads).enumerate() {
+        let (dom, tid) = (idx / nthreads, idx % nthreads);
         let n = ta.len().max(tb.len());
         for i in 0..n {
             let la = ta.values.get(i).map(|&v| (v, ta.site_at(i), ta.kind_at(i)));
             let rb = tb.values.get(i).map(|&v| (v, tb.site_at(i), tb.kind_at(i)));
             if la != rb {
                 return TraceDiff::FirstDivergence {
+                    domain: dom as u32,
                     thread: tid as u32,
                     index: i as u64,
                     left: la,
@@ -301,6 +337,7 @@ mod tests {
         TraceBundle {
             scheme: Scheme::Dc,
             nthreads: 2,
+            domains: 1,
             threads: vec![
                 ThreadTrace {
                     values: vec![0, 3],
@@ -313,7 +350,7 @@ mod tests {
                     kinds: Some(vec![0, 0]),
                 },
             ],
-            st: None,
+            st: vec![],
         }
     }
 
@@ -331,12 +368,13 @@ mod tests {
         let b = TraceBundle {
             scheme: Scheme::St,
             nthreads: 2,
+            domains: 1,
             threads: vec![ThreadTrace::default(), ThreadTrace::default()],
-            st: Some(StTrace {
+            st: vec![StTrace {
                 tids: vec![1, 0, 1],
                 sites: None,
                 kinds: None,
-            }),
+            }],
         };
         let tl = timeline(&b);
         assert_eq!(
@@ -344,6 +382,66 @@ mod tests {
             vec![1, 0, 1]
         );
         assert_eq!(tl[2].value, 2);
+    }
+
+    #[test]
+    fn timeline_and_diff_are_domain_aware() {
+        // Two domains: threads[0..2] are domain 0, threads[2..4] domain 1.
+        let b = TraceBundle {
+            scheme: Scheme::Dc,
+            nthreads: 2,
+            domains: 2,
+            threads: vec![
+                ThreadTrace {
+                    values: vec![0],
+                    sites: None,
+                    kinds: None,
+                },
+                ThreadTrace {
+                    values: vec![1],
+                    sites: None,
+                    kinds: None,
+                },
+                ThreadTrace {
+                    values: vec![1],
+                    sites: None,
+                    kinds: None,
+                },
+                ThreadTrace {
+                    values: vec![0],
+                    sites: None,
+                    kinds: None,
+                },
+            ],
+            st: vec![],
+        };
+        let tl = timeline(&b);
+        // Domain-major order; thread ids recovered modulo nthreads.
+        assert_eq!(
+            tl.iter()
+                .map(|e| (e.domain, e.value, e.thread))
+                .collect::<Vec<_>>(),
+            vec![(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)]
+        );
+        let s = summarize(&b);
+        assert_eq!(s.domains, 2);
+        assert_eq!(s.per_thread, vec![2, 2]);
+        assert!(s.to_string().contains("2 gate domains"));
+
+        // Diff reports the domain of the first difference.
+        let mut c = b.clone();
+        c.threads[3].values = vec![9];
+        match diff(&b, &c) {
+            TraceDiff::FirstDivergence { domain, thread, .. } => {
+                assert_eq!((domain, thread), (1, 1));
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        // Domain-count mismatch is a shape error.
+        let mut d = b.clone();
+        d.domains = 1;
+        d.threads.truncate(2);
+        assert!(matches!(diff(&b, &d), TraceDiff::Shape { .. }));
     }
 
     #[test]
@@ -395,6 +493,7 @@ mod tests {
                 index,
                 left,
                 right,
+                ..
             } => {
                 assert_eq!(thread, 1);
                 assert_eq!(index, 1);

@@ -17,6 +17,7 @@
 //!
 //! ```text
 //! magic "RTRC" | version u8 | scheme u8 | flags u8 | tid u32le |
+//! [domain u32le]            (flags bit 3, FLAG_DOMAINS)
 //! count varint | values (zigzag-delta varints) |
 //! [sites: count × u64le]   (flags bit 0)
 //! [kinds: count × u8]      (flags bit 1)
@@ -24,6 +25,13 @@
 //!
 //! The ST stream uses magic `RTST` and a tid varint stream instead of the
 //! value stream.
+//!
+//! Record files of a multi-domain recording (gate domains, see
+//! [`crate::session::SessionConfig::domains`]) carry [`FLAG_DOMAINS`] and a
+//! 4-byte little-endian domain id right after the tid. Single-domain
+//! recordings never set the flag, so their files are byte-identical to the
+//! pre-domain format and old traces decode unchanged (the decoder reports
+//! `domain: None` for them).
 //!
 //! # Chunked (streaming) layout
 //!
@@ -67,6 +75,9 @@ const FLAG_SITES: u8 = 1;
 const FLAG_KINDS: u8 = 2;
 /// Header flag marking a chunked (streaming) record file.
 pub const FLAG_CHUNKED: u8 = 4;
+/// Header flag marking a record file that belongs to a multi-domain
+/// recording; a 4-byte little-endian domain id follows the tid.
+pub const FLAG_DOMAINS: u8 = 8;
 
 /// Append `v` as an LEB128 unsigned varint.
 pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
@@ -195,15 +206,63 @@ fn get_columns(buf: &mut Bytes, count: usize, flags: u8) -> Result<Columns, Trac
     Ok((sites, kinds))
 }
 
-/// Serialize one per-thread trace.
-#[must_use]
-pub fn encode_thread_trace(trace: &ThreadTrace, scheme: Scheme, tid: u32) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + trace.values.len() * 2);
-    buf.put_slice(MAGIC_THREAD);
+/// Write the shared header: magic, version, scheme, flags (with
+/// [`FLAG_DOMAINS`] folded in when `domain` is present), tid, and the
+/// optional domain id.
+fn put_header(
+    buf: &mut BytesMut,
+    magic: &[u8; 4],
+    scheme: Scheme,
+    flags: u8,
+    tid: u32,
+    domain: Option<u32>,
+) {
+    buf.put_slice(magic);
     buf.put_u8(VERSION);
     buf.put_u8(scheme.code());
-    buf.put_u8(flags_of(trace.sites.is_some(), trace.kinds.is_some()));
+    buf.put_u8(flags | if domain.is_some() { FLAG_DOMAINS } else { 0 });
     buf.put_u32_le(tid);
+    if let Some(dom) = domain {
+        buf.put_u32_le(dom);
+    }
+}
+
+/// Serialize one per-thread trace in the legacy (single-domain) layout —
+/// byte-identical to the pre-domain format.
+#[must_use]
+pub fn encode_thread_trace(trace: &ThreadTrace, scheme: Scheme, tid: u32) -> Bytes {
+    encode_thread_trace_opt(trace, scheme, tid, None)
+}
+
+/// Serialize one per-thread trace of a multi-domain recording: the header
+/// carries [`FLAG_DOMAINS`] and `domain`.
+#[must_use]
+pub fn encode_thread_trace_domain(
+    trace: &ThreadTrace,
+    scheme: Scheme,
+    tid: u32,
+    domain: u32,
+) -> Bytes {
+    encode_thread_trace_opt(trace, scheme, tid, Some(domain))
+}
+
+/// Encode with an optional domain tag — the single dispatch point the
+/// store layer uses (`None` = legacy single-domain layout).
+pub(crate) fn encode_thread_trace_opt(
+    trace: &ThreadTrace,
+    scheme: Scheme,
+    tid: u32,
+    domain: Option<u32>,
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(20 + trace.values.len() * 2);
+    put_header(
+        &mut buf,
+        MAGIC_THREAD,
+        scheme,
+        flags_of(trace.sites.is_some(), trace.kinds.is_some()),
+        tid,
+        domain,
+    );
     put_uvarint(&mut buf, trace.values.len() as u64);
     put_delta_stream(&mut buf, &trace.values);
     put_columns(
@@ -224,6 +283,9 @@ pub struct DecodedThread {
     pub scheme: Scheme,
     /// Thread ID stamped in the file header.
     pub tid: u32,
+    /// Gate domain stamped in the file header, `None` for legacy
+    /// (single-domain) files without [`FLAG_DOMAINS`].
+    pub domain: Option<u32>,
     /// Number of chunks the file was stored as (0 for one-shot files).
     pub chunks: u64,
 }
@@ -233,6 +295,8 @@ pub struct DecodedThread {
 pub struct DecodedSt {
     /// The reassembled shared trace.
     pub trace: StTrace,
+    /// Gate domain stamped in the file header, `None` for legacy files.
+    pub domain: Option<u32>,
     /// Number of chunks the file was stored as (0 for one-shot files).
     pub chunks: u64,
 }
@@ -256,6 +320,7 @@ pub fn decode_thread_records(bytes: &[u8]) -> Result<DecodedThread, TraceError> 
         .ok_or_else(|| TraceError::Corrupt("bad scheme code".into()))?;
     let flags = buf.get_u8();
     let tid = buf.get_u32_le();
+    let domain = get_domain(&mut buf, flags)?;
     let (trace, chunks) = if flags & FLAG_CHUNKED != 0 {
         let mut trace = empty_thread_trace(flags);
         let mut chunks = 0u64;
@@ -288,8 +353,20 @@ pub fn decode_thread_records(bytes: &[u8]) -> Result<DecodedThread, TraceError> 
         trace,
         scheme,
         tid,
+        domain,
         chunks,
     })
+}
+
+/// Read the optional [`FLAG_DOMAINS`] domain id following the tid.
+fn get_domain(buf: &mut Bytes, flags: u8) -> Result<Option<u32>, TraceError> {
+    if flags & FLAG_DOMAINS == 0 {
+        return Ok(None);
+    }
+    if buf.remaining() < 4 {
+        return Err(TraceError::Corrupt("domain id truncated".into()));
+    }
+    Ok(Some(buf.get_u32_le()))
 }
 
 fn empty_thread_trace(flags: u8) -> ThreadTrace {
@@ -363,24 +440,65 @@ fn get_chunk(buf: &mut Bytes, flags: u8, kind: StreamKind) -> Result<DecodedChun
 /// once when a streaming writer opens the file; chunks follow.
 #[must_use]
 pub fn encode_thread_stream_header(scheme: Scheme, tid: u32, sites: bool, kinds: bool) -> Bytes {
-    let mut buf = BytesMut::with_capacity(11);
-    buf.put_slice(MAGIC_THREAD);
-    buf.put_u8(VERSION);
-    buf.put_u8(scheme.code());
-    buf.put_u8(flags_of(sites, kinds) | FLAG_CHUNKED);
-    buf.put_u32_le(tid);
+    encode_thread_stream_header_opt(scheme, tid, None, sites, kinds)
+}
+
+/// [`encode_thread_stream_header`] for a multi-domain recording (15-byte
+/// header carrying [`FLAG_DOMAINS`] and the domain id).
+#[must_use]
+pub fn encode_thread_stream_header_domain(
+    scheme: Scheme,
+    tid: u32,
+    domain: u32,
+    sites: bool,
+    kinds: bool,
+) -> Bytes {
+    encode_thread_stream_header_opt(scheme, tid, Some(domain), sites, kinds)
+}
+
+/// Stream-header variant of [`encode_thread_trace_opt`].
+pub(crate) fn encode_thread_stream_header_opt(
+    scheme: Scheme,
+    tid: u32,
+    domain: Option<u32>,
+    sites: bool,
+    kinds: bool,
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(15);
+    put_header(
+        &mut buf,
+        MAGIC_THREAD,
+        scheme,
+        flags_of(sites, kinds) | FLAG_CHUNKED,
+        tid,
+        domain,
+    );
     buf.freeze()
 }
 
 /// Serialize the 11-byte header of a chunked ST stream.
 #[must_use]
 pub fn encode_st_stream_header(sites: bool, kinds: bool) -> Bytes {
-    let mut buf = BytesMut::with_capacity(11);
-    buf.put_slice(MAGIC_ST);
-    buf.put_u8(VERSION);
-    buf.put_u8(Scheme::St.code());
-    buf.put_u8(flags_of(sites, kinds) | FLAG_CHUNKED);
-    buf.put_u32_le(0);
+    encode_st_stream_header_opt(None, sites, kinds)
+}
+
+/// [`encode_st_stream_header`] for a multi-domain recording.
+#[must_use]
+pub fn encode_st_stream_header_domain(domain: u32, sites: bool, kinds: bool) -> Bytes {
+    encode_st_stream_header_opt(Some(domain), sites, kinds)
+}
+
+/// Stream-header variant of [`encode_st_trace_opt`].
+pub(crate) fn encode_st_stream_header_opt(domain: Option<u32>, sites: bool, kinds: bool) -> Bytes {
+    let mut buf = BytesMut::with_capacity(15);
+    put_header(
+        &mut buf,
+        MAGIC_ST,
+        Scheme::St,
+        flags_of(sites, kinds) | FLAG_CHUNKED,
+        0,
+        domain,
+    );
     buf.freeze()
 }
 
@@ -434,15 +552,29 @@ fn frame_chunk(payload: &BytesMut) -> Bytes {
     out.freeze()
 }
 
-/// Serialize the shared ST trace.
+/// Serialize the shared ST trace in the legacy (single-domain) layout.
 #[must_use]
 pub fn encode_st_trace(trace: &StTrace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + trace.tids.len() * 2);
-    buf.put_slice(MAGIC_ST);
-    buf.put_u8(VERSION);
-    buf.put_u8(Scheme::St.code());
-    buf.put_u8(flags_of(trace.sites.is_some(), trace.kinds.is_some()));
-    buf.put_u32_le(0);
+    encode_st_trace_opt(trace, None)
+}
+
+/// Serialize one domain's shared ST stream of a multi-domain recording.
+#[must_use]
+pub fn encode_st_trace_domain(trace: &StTrace, domain: u32) -> Bytes {
+    encode_st_trace_opt(trace, Some(domain))
+}
+
+/// ST variant of [`encode_thread_trace_opt`].
+pub(crate) fn encode_st_trace_opt(trace: &StTrace, domain: Option<u32>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(20 + trace.tids.len() * 2);
+    put_header(
+        &mut buf,
+        MAGIC_ST,
+        Scheme::St,
+        flags_of(trace.sites.is_some(), trace.kinds.is_some()),
+        0,
+        domain,
+    );
     put_uvarint(&mut buf, trace.tids.len() as u64);
     for &t in &trace.tids {
         put_uvarint(&mut buf, u64::from(t));
@@ -471,6 +603,7 @@ pub fn decode_st_records(bytes: &[u8]) -> Result<DecodedSt, TraceError> {
     let _scheme = buf.get_u8();
     let flags = buf.get_u8();
     let _tid = buf.get_u32_le();
+    let domain = get_domain(&mut buf, flags)?;
     let mut trace = StTrace {
         tids: Vec::new(),
         sites: (flags & FLAG_SITES != 0).then(Vec::new),
@@ -506,7 +639,11 @@ pub fn decode_st_records(bytes: &[u8]) -> Result<DecodedSt, TraceError> {
         trace.sites = sites;
         trace.kinds = kinds;
     }
-    Ok(DecodedSt { trace, chunks })
+    Ok(DecodedSt {
+        trace,
+        domain,
+        chunks,
+    })
 }
 
 fn append_tids(dst: &mut Vec<u32>, raw: &[u64]) -> Result<(), TraceError> {
@@ -820,6 +957,115 @@ mod tests {
         bytes.extend_from_slice(&len);
         bytes.push(0);
         assert!(decode_thread_records(&bytes).is_err());
+    }
+
+    #[test]
+    fn legacy_layout_bytes_are_pinned() {
+        // Golden bytes: the single-domain encoding must stay byte-identical
+        // to the pre-domain format so old traces and new D = 1 traces are
+        // interchangeable. This test IS the format contract — if it fails,
+        // back-compat broke.
+        let t = ThreadTrace {
+            values: vec![0, 1, 3],
+            sites: None,
+            kinds: None,
+        };
+        let bytes = encode_thread_trace(&t, Scheme::Dc, 2);
+        let expected: &[u8] = &[
+            b'R', b'T', b'R', b'C', // magic
+            1,    // version
+            1,    // scheme dc
+            0,    // flags: no columns, no chunking, no domains
+            2, 0, 0, 0, // tid u32le
+            3, // count varint
+            0, // delta 0 (zigzag)
+            2, // delta +1
+            4, // delta +2
+        ];
+        assert_eq!(&bytes[..], expected);
+
+        let st = StTrace {
+            tids: vec![1, 0],
+            sites: None,
+            kinds: None,
+        };
+        let bytes = encode_st_trace(&st);
+        let expected: &[u8] = &[
+            b'R', b'T', b'S', b'T', // magic
+            1, 0, 0, // version, scheme st = 0, flags
+            0, 0, 0, 0, // tid u32le (always 0 for the shared stream)
+            2, // count
+            1, 0, // tids
+        ];
+        assert_eq!(&bytes[..], expected);
+    }
+
+    #[test]
+    fn domain_header_roundtrips() {
+        let t = ThreadTrace {
+            values: vec![4, 4, 7],
+            sites: Some(vec![1, 2, 3]),
+            kinds: Some(vec![0, 1, 0]),
+        };
+        let bytes = encode_thread_trace_domain(&t, Scheme::De, 3, 2);
+        let d = decode_thread_records(&bytes).unwrap();
+        assert_eq!(d.trace, t);
+        assert_eq!((d.scheme, d.tid, d.domain), (Scheme::De, 3, Some(2)));
+        // Legacy files report no domain.
+        let legacy = encode_thread_trace(&t, Scheme::De, 3);
+        assert_eq!(decode_thread_records(&legacy).unwrap().domain, None);
+        // The domain header costs exactly 4 extra bytes.
+        assert_eq!(bytes.len(), legacy.len() + 4);
+
+        let st = StTrace {
+            tids: vec![0, 1, 1],
+            sites: None,
+            kinds: None,
+        };
+        let bytes = encode_st_trace_domain(&st, 5);
+        let d = decode_st_records(&bytes).unwrap();
+        assert_eq!(d.trace, st);
+        assert_eq!(d.domain, Some(5));
+        assert_eq!(
+            decode_st_records(&encode_st_trace(&st)).unwrap().domain,
+            None
+        );
+    }
+
+    #[test]
+    fn chunked_domain_streams_roundtrip() {
+        let t = ThreadTrace {
+            values: vec![0, 2, 5, 9],
+            sites: None,
+            kinds: None,
+        };
+        let mut bytes = encode_thread_stream_header_domain(Scheme::Dc, 1, 3, false, false).to_vec();
+        bytes.extend_from_slice(&encode_thread_chunk(&t.values[..2], None, None));
+        bytes.extend_from_slice(&encode_thread_chunk(&t.values[2..], None, None));
+        let d = decode_thread_records(&bytes).unwrap();
+        assert_eq!(d.trace, t);
+        assert_eq!((d.tid, d.domain, d.chunks), (1, Some(3), 2));
+
+        let mut bytes = encode_st_stream_header_domain(7, false, false).to_vec();
+        bytes.extend_from_slice(&encode_st_chunk(&[0, 1], None, None));
+        let d = decode_st_records(&bytes).unwrap();
+        assert_eq!(d.trace.tids, vec![0, 1]);
+        assert_eq!(d.domain, Some(7));
+    }
+
+    #[test]
+    fn truncated_domain_id_is_corrupt_not_panic() {
+        let t = ThreadTrace {
+            values: vec![1],
+            sites: None,
+            kinds: None,
+        };
+        let bytes = encode_thread_trace_domain(&t, Scheme::Dc, 0, 9);
+        // Cut inside the 4-byte domain id (header is 11 + 4 bytes).
+        for cut in 11..15 {
+            let err = decode_thread_records(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, TraceError::Corrupt(_)), "cut {cut}: {err}");
+        }
     }
 
     #[test]

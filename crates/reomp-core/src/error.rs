@@ -1,5 +1,6 @@
 //! Error types for recording, trace handling, and replay.
 
+use crate::history::AccessRecord;
 use crate::site::{AccessKind, SiteId};
 use std::fmt;
 use std::io;
@@ -62,7 +63,11 @@ impl From<io::Error> for TraceError {
 pub struct Divergence {
     /// Thread on which the divergence was observed.
     pub thread: u32,
-    /// Zero-based index of the access in that thread's gate sequence.
+    /// Gate domain in which the divergence was observed (0 for
+    /// single-domain sessions).
+    pub domain: u32,
+    /// Zero-based index of the access in that thread's gate sequence
+    /// (within `domain` for multi-domain sessions).
     pub seq: u64,
     /// Site recorded at this position, if the trace carries sites.
     pub recorded_site: Option<SiteId>,
@@ -72,14 +77,20 @@ pub struct Divergence {
     pub recorded_kind: Option<AccessKind>,
     /// Kind the replaying program actually executed.
     pub actual_kind: AccessKind,
+    /// The last N accesses this domain admitted before the divergence,
+    /// newest first — the post-mortem context the
+    /// [`HistoryRing`](crate::history::HistoryRing) exists for. Empty when
+    /// the session was configured with
+    /// [`ring_capacity`](crate::session::SessionConfig::ring_capacity) 0.
+    pub history: Vec<AccessRecord>,
 }
 
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "replay divergence on thread {} at access #{}: recorded ",
-            self.thread, self.seq
+            "replay divergence on thread {} (domain {}) at access #{}: recorded ",
+            self.thread, self.domain, self.seq
         )?;
         match (self.recorded_site, self.recorded_kind) {
             (Some(s), Some(k)) => write!(f, "{k} at {s}")?,
@@ -90,7 +101,23 @@ impl fmt::Display for Divergence {
             f,
             ", but program executed {} at {}",
             self.actual_kind, self.actual_site
-        )
+        )?;
+        if !self.history.is_empty() {
+            write!(
+                f,
+                "; last {} accesses admitted in domain {} (newest first):",
+                self.history.len(),
+                self.domain
+            )?;
+            for rec in &self.history {
+                write!(
+                    f,
+                    "\n  #{:<6} thread {} {} at {}",
+                    rec.clock, rec.thread, rec.kind, rec.site
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -231,17 +258,51 @@ mod tests {
     fn divergence_message_is_actionable() {
         let d = Divergence {
             thread: 3,
+            domain: 0,
             seq: 17,
             recorded_site: Some(SiteId(0x10)),
             actual_site: SiteId(0x20),
             recorded_kind: Some(AccessKind::Store),
             actual_kind: AccessKind::Load,
+            history: vec![],
         };
         let msg = d.to_string();
         assert!(msg.contains("thread 3"), "{msg}");
         assert!(msg.contains("#17"), "{msg}");
         assert!(msg.contains("store"), "{msg}");
         assert!(msg.contains("load"), "{msg}");
+    }
+
+    #[test]
+    fn divergence_message_includes_history_context() {
+        let d = Divergence {
+            thread: 1,
+            domain: 2,
+            seq: 4,
+            recorded_site: Some(SiteId(0x10)),
+            actual_site: SiteId(0x20),
+            recorded_kind: Some(AccessKind::Store),
+            actual_kind: AccessKind::Load,
+            history: vec![
+                AccessRecord {
+                    clock: 9,
+                    site: SiteId(0x30),
+                    kind: AccessKind::Load,
+                    thread: 0,
+                },
+                AccessRecord {
+                    clock: 8,
+                    site: SiteId(0x10),
+                    kind: AccessKind::Store,
+                    thread: 1,
+                },
+            ],
+        };
+        let msg = d.to_string();
+        assert!(msg.contains("domain 2"), "{msg}");
+        assert!(msg.contains("last 2 accesses"), "{msg}");
+        assert!(msg.contains("#9"), "{msg}");
+        assert!(msg.contains("thread 0 load"), "{msg}");
     }
 
     #[test]

@@ -3,7 +3,15 @@
 //! Each function body is annotated with the pseudo-code lines of the
 //! paper's Figure 4 (ST) and Figure 5 (DC/DE) it implements.
 //!
-//! Record-mode summary (all schemes serialize the region under lock `L`):
+//! Every engine operates on one **gate domain** (see
+//! [`SessionConfig::domains`](crate::session::SessionConfig::domains)):
+//! the caller resolves the site to its domain once, and all state below —
+//! lock `L`, `global_clock`, the epoch tracker, the replay turnstile and
+//! baton — is that domain's instance. With the default single domain this
+//! is exactly the paper's global gate.
+//!
+//! Record-mode summary (all schemes serialize the region under the
+//! domain's lock `L`):
 //!
 //! ```text
 //! ST  (Fig. 4 l.1-8):  lock; <region>; append tid to shared log; unlock
@@ -29,32 +37,42 @@
 //! ```
 
 use crate::error::{Divergence, ReplayError};
+use crate::history::AccessRecord;
 use crate::session::{RecEntry, Session, TID_EXHAUSTED, TID_NONE};
 use crate::site::{AccessKind, SiteId};
 use crate::sync::SpinWait;
 use crate::Scheme;
 use std::sync::atomic::Ordering;
 
-/// Record-mode `gate_in`: acquire the gate lock `L` (`set_lock(L)`,
-/// Fig. 4 line 1 / Fig. 5 line 20).
-pub(crate) fn record_in(session: &Session) {
+/// Record-mode `gate_in`: acquire domain `dom`'s gate lock `L`
+/// (`set_lock(L)`, Fig. 4 line 1 / Fig. 5 line 20).
+pub(crate) fn record_in(session: &Session, dom: u32) {
     let rec = session.rec.as_ref().expect("record mode");
-    rec.gate.lock();
+    rec.domains[dom as usize].gate.lock();
     session.stats.bump_lock();
+    session.stats.bump_domain_lock(dom);
 }
 
 /// Record-mode `gate_out`. `addr` is the memory location used for DE run
 /// grouping (Condition 1 is per-address).
-pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, kind: AccessKind) {
+pub(crate) fn record_out(
+    session: &Session,
+    dom: u32,
+    tid: u32,
+    site: SiteId,
+    addr: u64,
+    kind: AccessKind,
+) {
     let rec = session.rec.as_ref().expect("record mode");
+    let drec = &rec.domains[dom as usize];
     let streaming = rec.stream.is_some();
     match session.scheme() {
         Scheme::St => {
-            // Fig. 4 lines 6-8: record the thread ID to the single shared
+            // Fig. 4 lines 6-8: record the thread ID to the domain's shared
             // log *before* releasing the lock, so the logged order is the
             // execution order.
             // SAFETY: lock acquired in `record_in` on this thread.
-            let core = unsafe { rec.gate.get() };
+            let core = unsafe { drec.gate.get() };
             let builder = core.st.as_mut().expect("st builder");
             builder.push(tid, site, kind);
             session.stats.bump_record_written();
@@ -72,18 +90,14 @@ pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, k
             // Acquire the chunk-order lock *before* releasing the gate
             // lock: steal order is execution order, and holding st_order
             // across the append keeps two stolen batches from reaching the
-            // shared stream file out of order.
+            // domain's stream file out of order.
             let order_guard = stolen.is_some().then(|| {
-                rec.stream
-                    .as_ref()
-                    .expect("streaming state")
-                    .st_order
-                    .lock()
+                rec.stream.as_ref().expect("streaming state").st_order[dom as usize].lock()
             });
             // SAFETY: paired with the `record_in` lock.
-            unsafe { rec.gate.unlock() };
+            unsafe { drec.gate.unlock() };
             if let Some((tids, sites, kinds)) = stolen {
-                session.flush_st_records(&tids, &sites, &kinds);
+                session.flush_st_records(dom, &tids, &sites, &kinds);
             }
             drop(order_guard);
         }
@@ -91,16 +105,16 @@ pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, k
             // Fig. 5 lines 22-24 with X = 0.
             // SAFETY: lock acquired in `record_in` on this thread.
             let clock = {
-                let core = unsafe { rec.gate.get() };
+                let core = unsafe { drec.gate.get() };
                 let c = core.clock;
                 core.clock += 1;
                 c
             };
             // SAFETY: paired with the `record_in` lock.
-            unsafe { rec.gate.unlock() };
+            unsafe { drec.gate.unlock() };
             // Line 24 happens *after* unlock: the write to the thread's own
             // record file overlaps other threads' region execution (§IV-C3).
-            rec.bufs[tid as usize].lock().push(RecEntry {
+            drec.bufs[tid as usize].lock().push(RecEntry {
                 clock,
                 value: clock,
                 site: site.raw(),
@@ -110,7 +124,7 @@ pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, k
             if streaming {
                 // Only this thread appends to its buffer, so everything in
                 // it is stable (the DC floor stays at u64::MAX).
-                session.maybe_flush_thread(tid);
+                session.maybe_flush_thread(dom, tid);
             }
         }
         Scheme::De => {
@@ -121,14 +135,14 @@ pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, k
             // is routed to that thread's buffer.
             if streaming {
                 // Streaming needs a race-free flush watermark: route the
-                // finalized records and refresh the floor while still
-                // holding the gate lock, so a concurrent flusher that reads
-                // floor F is guaranteed every record with clock < F already
-                // sits in its owner's buffer.
+                // finalized records and refresh the domain's floor while
+                // still holding the gate lock, so a concurrent flusher that
+                // reads floor F is guaranteed every record with clock < F
+                // already sits in its owner's buffer.
                 let mut touched: Vec<u32> = Vec::with_capacity(2);
                 {
                     // SAFETY: lock acquired in `record_in` on this thread.
-                    let core = unsafe { rec.gate.get() };
+                    let core = unsafe { drec.gate.get() };
                     let clock = core.clock;
                     core.clock += 1;
                     let tracker = core.tracker.as_mut().expect("de tracker");
@@ -137,27 +151,24 @@ pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, k
                     // branch) — the flush targets are derived from the same
                     // loop so a record can never be routed but not flushed.
                     for f in observed.iter() {
-                        push_de_record(session, rec, &f);
+                        push_de_record(session, drec, &f);
                         if !touched.contains(&f.thread) {
                             touched.push(f.thread);
                         }
                     }
                     let floor = tracker.min_pending_clock().unwrap_or(clock + 1);
-                    rec.stream
-                        .as_ref()
-                        .expect("streaming state")
-                        .floor
+                    rec.stream.as_ref().expect("streaming state").floors[dom as usize]
                         .store(floor, std::sync::atomic::Ordering::Release);
                 }
                 // SAFETY: paired with the `record_in` lock.
-                unsafe { rec.gate.unlock() };
+                unsafe { drec.gate.unlock() };
                 for t in touched {
-                    session.maybe_flush_thread(t);
+                    session.maybe_flush_thread(dom, t);
                 }
             } else {
                 let observed = {
                     // SAFETY: lock acquired in `record_in` on this thread.
-                    let core = unsafe { rec.gate.get() };
+                    let core = unsafe { drec.gate.get() };
                     let clock = core.clock;
                     core.clock += 1;
                     core.tracker
@@ -166,22 +177,23 @@ pub(crate) fn record_out(session: &Session, tid: u32, site: SiteId, addr: u64, k
                         .observe(tid, site, addr, kind, clock)
                 };
                 // SAFETY: paired with the `record_in` lock.
-                unsafe { rec.gate.unlock() };
+                unsafe { drec.gate.unlock() };
                 for f in observed.iter() {
-                    push_de_record(session, rec, &f);
+                    push_de_record(session, drec, &f);
                 }
             }
         }
     }
 }
 
-/// Route one finalized DE record to its owner's buffer and bump counters.
+/// Route one finalized DE record to its owner's buffer in the same domain
+/// and bump counters.
 fn push_de_record(
     session: &Session,
-    rec: &crate::session::RecordState,
+    drec: &crate::session::DomainRecord,
     f: &crate::epoch::Finalized,
 ) {
-    rec.bufs[f.thread as usize].lock().push(RecEntry {
+    drec.bufs[f.thread as usize].lock().push(RecEntry {
         clock: f.clock,
         value: f.epoch,
         site: f.site.raw(),
@@ -193,56 +205,60 @@ fn push_de_record(
     }
 }
 
-/// Replay-mode `gate_in`. Blocks until the recorded order admits this
-/// access; validates site/kind when the trace carries them.
+/// Replay-mode `gate_in`. Blocks until the recorded order of domain `dom`
+/// admits this access; validates site/kind when the trace carries them.
 pub(crate) fn replay_in(
     session: &Session,
+    dom: u32,
     tid: u32,
     site: SiteId,
     kind: AccessKind,
 ) -> Result<(), ReplayError> {
     match session.scheme() {
-        Scheme::St => replay_in_st(session, tid, site, kind),
-        Scheme::Dc | Scheme::De => replay_in_distributed(session, tid, site, kind),
+        Scheme::St => replay_in_st(session, dom, tid, site, kind),
+        Scheme::Dc | Scheme::De => replay_in_distributed(session, dom, tid, site, kind),
     }
 }
 
 /// Replay-mode `gate_out`.
-pub(crate) fn replay_out(session: &Session, _tid: u32) {
+pub(crate) fn replay_out(session: &Session, dom: u32, _tid: u32) {
     let rep = session.rep.as_ref().expect("replay mode");
+    let drep = &rep.domains[dom as usize];
     match session.scheme() {
         Scheme::St => {
             // Fig. 4 line 17 (`unset_lock(L)`): invalidate `next_tid` so a
             // stale match cannot re-admit this thread, then release the
             // baton — one inter-thread communication (ST-3/ST-4 in Fig. 6).
-            rep.next_tid.store(TID_NONE, Ordering::Release);
+            drep.next_tid.store(TID_NONE, Ordering::Release);
             session.stats.bump_comms(1);
-            rep.baton.release();
+            drep.baton.release();
         }
         Scheme::Dc | Scheme::De => {
             // Fig. 5 line 34: `next_clock++` — the single inter-thread
             // communication of DC/DE replay (DC-1 in Fig. 7).
-            rep.turnstile.advance(&session.stats);
+            drep.turnstile.advance(&session.stats);
         }
     }
 }
 
 fn replay_in_st(
     session: &Session,
+    dom: u32,
     tid: u32,
     site: SiteId,
     kind: AccessKind,
 ) -> Result<(), ReplayError> {
     let rep = session.rep.as_ref().expect("replay mode");
-    let st = rep.bundle.st.as_ref().expect("st trace");
+    let drep = &rep.domains[dom as usize];
+    let st = rep.bundle.st_stream(dom).expect("st trace");
     let mut spin = SpinWait::new(&session.cfg.spin);
 
     // Fig. 4 lines 10-15.
     loop {
-        if rep.turnstile.is_aborted() {
+        if drep.turnstile.is_aborted() {
             return Err(ReplayError::Aborted);
         }
-        let next = rep.next_tid.load(Ordering::Acquire);
+        let next = drep.next_tid.load(Ordering::Acquire);
         if next == TID_EXHAUSTED {
             return Err(ReplayError::TraceExhausted {
                 thread: tid,
@@ -250,37 +266,48 @@ fn replay_in_st(
             });
         }
         if next == tid {
+            let seq = drep.st_pos.load(Ordering::Relaxed).saturating_sub(1) as u64;
             // Line 11 exit: it is this thread's turn. Validate against the
             // published record before entering the region.
             if session.cfg.validate_sites && st.sites.is_some() {
                 session.stats.bump_validate();
-                let recorded_site = SiteId(rep.next_site.load(Ordering::Relaxed));
+                let recorded_site = SiteId(drep.next_site.load(Ordering::Relaxed));
                 let recorded_kind =
-                    AccessKind::from_code(rep.next_kind.load(Ordering::Relaxed) as u8);
+                    AccessKind::from_code(drep.next_kind.load(Ordering::Relaxed) as u8);
                 if recorded_site != site || recorded_kind != Some(kind) {
-                    let seq = rep.st_pos.load(Ordering::Relaxed).saturating_sub(1) as u64;
                     return Err(Divergence {
                         thread: tid,
+                        domain: dom,
                         seq,
                         recorded_site: Some(recorded_site),
                         actual_site: site,
                         recorded_kind,
                         actual_kind: kind,
+                        history: session.replay_history(dom),
                     }
                     .into());
                 }
             }
+            session.push_replay_history(
+                dom,
+                AccessRecord {
+                    clock: seq,
+                    site,
+                    kind,
+                    thread: tid,
+                },
+            );
             return Ok(());
         }
         // Lines 12-13: any thread may become the reader by winning the
         // baton; it stays locked until the *replayed* thread's gate_out.
-        if rep.baton.try_acquire() {
+        if drep.baton.try_acquire() {
             session.stats.bump_lock();
-            let pos = rep.st_pos.load(Ordering::Relaxed);
+            let pos = drep.st_pos.load(Ordering::Relaxed);
             if pos >= st.len() {
                 // More accesses are being attempted than were recorded.
-                rep.next_tid.store(TID_EXHAUSTED, Ordering::Release);
-                rep.baton.release();
+                drep.next_tid.store(TID_EXHAUSTED, Ordering::Release);
+                drep.baton.release();
                 return Err(ReplayError::TraceExhausted {
                     thread: tid,
                     available: st.len() as u64,
@@ -288,16 +315,16 @@ fn replay_in_st(
             }
             let next_tid = st.tids[pos];
             if let Some(sites) = &st.sites {
-                rep.next_site.store(sites[pos], Ordering::Relaxed);
+                drep.next_site.store(sites[pos], Ordering::Relaxed);
             }
             if let Some(kinds) = &st.kinds {
-                rep.next_kind
+                drep.next_kind
                     .store(u32::from(kinds[pos]), Ordering::Relaxed);
             }
-            rep.st_pos.store(pos + 1, Ordering::Relaxed);
+            drep.st_pos.store(pos + 1, Ordering::Relaxed);
             // Publish last, with Release, so the matching thread sees the
             // site/kind written above.
-            rep.next_tid.store(next_tid, Ordering::Release);
+            drep.next_tid.store(next_tid, Ordering::Release);
             session.stats.bump_record_read();
             if next_tid != tid {
                 // ST-2 in Fig. 6: `next_tid` must travel from the reader to
@@ -308,22 +335,25 @@ fn replay_in_st(
             continue;
         }
         spin.step(tid, site, u64::from(tid), || {
-            u64::from(rep.next_tid.load(Ordering::Acquire))
+            u64::from(drep.next_tid.load(Ordering::Acquire))
         })?;
     }
 }
 
 fn replay_in_distributed(
     session: &Session,
+    dom: u32,
     tid: u32,
     site: SiteId,
     kind: AccessKind,
 ) -> Result<(), ReplayError> {
     let rep = session.rep.as_ref().expect("replay mode");
-    let trace = &rep.bundle.threads[tid as usize];
+    let drep = &rep.domains[dom as usize];
+    let trace = rep.bundle.thread(dom, tid);
 
-    // Fig. 5 line 31: read the next clock/epoch from the thread's own file.
-    let pos = rep.cursors[tid as usize].fetch_add(1, Ordering::Relaxed);
+    // Fig. 5 line 31: read the next clock/epoch from the thread's own file
+    // for this domain.
+    let pos = drep.cursors[tid as usize].fetch_add(1, Ordering::Relaxed);
     if pos >= trace.len() {
         return Err(ReplayError::TraceExhausted {
             thread: tid,
@@ -341,11 +371,13 @@ fn replay_in_distributed(
             if recorded_site != site || recorded_kind != Some(kind) {
                 return Err(Divergence {
                     thread: tid,
+                    domain: dom,
                     seq: pos as u64,
                     recorded_site: Some(recorded_site),
                     actual_site: site,
                     recorded_kind,
                     actual_kind: kind,
+                    history: session.replay_history(dom),
                 }
                 .into());
             }
@@ -355,15 +387,24 @@ fn replay_in_distributed(
     // Fig. 5 line 32.
     match session.scheme() {
         Scheme::Dc => {
-            rep.turnstile
+            drep.turnstile
                 .wait_exact(value, tid, site, &session.cfg.spin, &session.stats)?;
         }
         Scheme::De => {
-            rep.turnstile
+            drep.turnstile
                 .wait_at_least(value, tid, site, &session.cfg.spin, &session.stats)?;
         }
         Scheme::St => unreachable!("st handled separately"),
     }
+    session.push_replay_history(
+        dom,
+        AccessRecord {
+            clock: value,
+            site,
+            kind,
+            thread: tid,
+        },
+    );
     Ok(())
 }
 
@@ -482,12 +523,113 @@ mod tests {
     #[test]
     fn st_uses_single_stream_dc_uses_per_thread_files() {
         let (_, _, st_bundle) = record_racy(Scheme::St, 2, 5);
-        assert!(st_bundle.st.is_some());
+        assert!(st_bundle.is_st());
         assert!(st_bundle.threads.iter().all(|t| t.is_empty()));
 
         let (_, _, dc_bundle) = record_racy(Scheme::Dc, 2, 5);
-        assert!(dc_bundle.st.is_none());
+        assert!(!dc_bundle.is_st());
         assert!(dc_bundle.threads.iter().all(|t| !t.is_empty()));
+    }
+
+    /// Sites 0..domains map to distinct domains (raw % domains), so every
+    /// thread touching "its own" site gives a perfectly disjoint workload.
+    fn disjoint_workload(session: &Arc<Session>, nthreads: u32, iters: usize) -> Vec<u64> {
+        let cells: Vec<AtomicU64> = (0..nthreads).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            for tid in 0..nthreads {
+                let ctx = session.register_thread(tid);
+                let cell = &cells[tid as usize];
+                s.spawn(move || {
+                    let site = SiteId(u64::from(tid));
+                    for _ in 0..iters {
+                        let v = ctx.gate(site, AccessKind::Load, || cell.load(Ordering::Relaxed));
+                        ctx.gate(site, AccessKind::Store, || {
+                            cell.store(v + 1, Ordering::Relaxed)
+                        });
+                    }
+                });
+            }
+        });
+        cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    #[test]
+    fn multi_domain_record_replay_is_divergence_free_all_schemes() {
+        for scheme in Scheme::ALL {
+            for domains in [1u32, 2, 4] {
+                let cfg = SessionConfig {
+                    domains,
+                    ..Default::default()
+                };
+                let session = Session::record_with(scheme, 4, cfg.clone());
+                let recorded = disjoint_workload(&session, 4, 20);
+                let report = session.finish().unwrap();
+                let bundle = report.bundle.unwrap();
+                assert_eq!(bundle.domains, domains, "{scheme:?}");
+                bundle.validate().unwrap();
+
+                let replay = Session::replay(bundle).unwrap();
+                assert_eq!(replay.domains(), domains);
+                let replayed = disjoint_workload(&replay, 4, 20);
+                let report = replay.finish().unwrap();
+                assert_eq!(report.failure, None, "{scheme:?} D={domains}");
+                assert_eq!(report.fully_consumed, Some(true), "{scheme:?} D={domains}");
+                assert_eq!(replayed, recorded, "{scheme:?} D={domains}");
+            }
+        }
+    }
+
+    #[test]
+    fn domains_replay_independently() {
+        // Two threads in two different domains: thread 1 must be able to
+        // finish its entire replay before thread 0 even starts — the
+        // cross-domain concurrency the sharding exists for. With D = 1 the
+        // same trace interleaving would force thread 1 to wait.
+        let cfg = SessionConfig {
+            domains: 2,
+            ..Default::default()
+        };
+        let session = Session::record_with(Scheme::Dc, 2, cfg);
+        {
+            let c0 = session.register_thread(0);
+            let c1 = session.register_thread(1);
+            // Interleave strictly so with one domain thread 1's later
+            // accesses would depend on thread 0's.
+            for _ in 0..10 {
+                c0.gate(SiteId(2), AccessKind::Store, || ()); // domain 0
+                c1.gate(SiteId(3), AccessKind::Store, || ()); // domain 1
+            }
+        }
+        let bundle = session.finish().unwrap().bundle.unwrap();
+
+        // Replay thread 1 to completion on this thread *before* thread 0
+        // performs any access. A shared turnstile would deadlock (watchdog)
+        // here; per-domain turnstiles admit thread 1 immediately.
+        let replay = Session::replay_with(
+            bundle,
+            SessionConfig {
+                spin: SpinConfig {
+                    spin_hints: 8,
+                    timeout: Some(Duration::from_secs(5)),
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        {
+            let c1 = replay.register_thread(1);
+            for _ in 0..10 {
+                c1.try_gate(SiteId(3), AccessKind::Store, || ())
+                    .expect("domain 1 must not wait on domain 0");
+            }
+            let c0 = replay.register_thread(0);
+            for _ in 0..10 {
+                c0.try_gate(SiteId(2), AccessKind::Store, || ()).unwrap();
+            }
+        }
+        let report = replay.finish().unwrap();
+        assert_eq!(report.failure, None);
+        assert_eq!(report.fully_consumed, Some(true));
     }
 
     #[test]
@@ -547,6 +689,76 @@ mod tests {
     }
 
     #[test]
+    fn divergence_report_carries_admitted_history() {
+        // Deterministic single-thread DC run: 5 good accesses, then the
+        // replay takes a wrong turn. The report must show the accesses the
+        // domain admitted before the divergence, newest first.
+        let session = Session::record(Scheme::Dc, 1);
+        {
+            let ctx = session.register_thread(0);
+            for _ in 0..5 {
+                ctx.gate(SITE, AccessKind::Load, || ());
+            }
+            ctx.gate(SITE, AccessKind::Store, || ());
+        }
+        let bundle = session.finish().unwrap().bundle.unwrap();
+
+        let replay = Session::replay(bundle).unwrap();
+        let err = {
+            let ctx = replay.register_thread(0);
+            for _ in 0..5 {
+                ctx.try_gate(SITE, AccessKind::Load, || ()).unwrap();
+            }
+            // Recorded a store at SITE; the program does a load elsewhere.
+            ctx.try_gate(SiteId(0xbad), AccessKind::Load, || ())
+                .unwrap_err()
+        };
+        match err {
+            ReplayError::Divergence(d) => {
+                assert_eq!(d.domain, 0);
+                assert_eq!(d.history.len(), 5, "all admitted accesses retained");
+                // Newest first; every entry is one of the good loads.
+                assert!(d
+                    .history
+                    .iter()
+                    .all(|r| r.site == SITE && r.kind == AccessKind::Load && r.thread == 0));
+                assert!(d.history[0].clock > d.history[4].clock);
+                let msg = d.to_string();
+                assert!(msg.contains("last 5 accesses"), "{msg}");
+            }
+            other => panic!("expected divergence, got {other}"),
+        }
+        let _ = replay.finish().unwrap();
+    }
+
+    #[test]
+    fn zero_ring_capacity_disables_divergence_history() {
+        let session = Session::record(Scheme::Dc, 1);
+        {
+            let ctx = session.register_thread(0);
+            ctx.gate(SITE, AccessKind::Load, || ());
+            ctx.gate(SITE, AccessKind::Store, || ());
+        }
+        let bundle = session.finish().unwrap().bundle.unwrap();
+        let cfg = SessionConfig {
+            ring_capacity: 0,
+            ..Default::default()
+        };
+        let replay = Session::replay_with(bundle, cfg).unwrap();
+        let err = {
+            let ctx = replay.register_thread(0);
+            ctx.try_gate(SITE, AccessKind::Load, || ()).unwrap();
+            ctx.try_gate(SiteId(0xbad), AccessKind::Load, || ())
+                .unwrap_err()
+        };
+        match err {
+            ReplayError::Divergence(d) => assert!(d.history.is_empty()),
+            other => panic!("expected divergence, got {other}"),
+        }
+        let _ = replay.finish().unwrap();
+    }
+
+    #[test]
     fn replay_detects_trace_exhaustion() {
         for scheme in Scheme::ALL {
             let (_, _, bundle) = record_racy(scheme, 2, 3);
@@ -598,6 +810,7 @@ mod tests {
         let bundle = TraceBundle {
             scheme: Scheme::Dc,
             nthreads: 2,
+            domains: 1,
             threads: vec![
                 mk_thread(
                     vec![0, 2],
@@ -608,7 +821,7 @@ mod tests {
                     vec![AccessKind::Load.code(), AccessKind::Store.code()],
                 ),
             ],
-            st: None,
+            st: vec![],
         };
         let cfg = SessionConfig {
             spin: SpinConfig {
@@ -721,12 +934,13 @@ mod tests {
         let st_bundle = TraceBundle {
             scheme: Scheme::St,
             nthreads,
+            domains: 1,
             threads: vec![Default::default(); nthreads as usize],
-            st: Some(crate::trace::StTrace {
+            st: vec![crate::trace::StTrace {
                 tids,
                 sites: Some(vec![SITE.raw(); n]),
                 kinds: Some(kinds),
-            }),
+            }],
         };
         let replay = Session::replay(st_bundle).unwrap();
         let (_, order) = racy_workload(&replay, nthreads, iters);

@@ -9,8 +9,32 @@
 //! environment variables: `REOMP_MODE` (`off`/`record`/`replay`),
 //! `REOMP_SCHEME` (`st`/`dc`/`de`), `REOMP_EPOCH_POLICY`, `REOMP_DIR`
 //! for the record-file directory, `REOMP_STREAM` (`1` streams the trace
-//! to `REOMP_DIR` chunk-by-chunk as the run records), and
-//! `REOMP_FLUSH_RECORDS` (streaming flush threshold).
+//! to `REOMP_DIR` chunk-by-chunk as the run records),
+//! `REOMP_FLUSH_RECORDS` (streaming flush threshold), `REOMP_DOMAINS`
+//! (gate-domain count, see below), and `REOMP_SPIN_TIMEOUT` (replay
+//! watchdog in seconds, `0` disables it).
+//!
+//! # Gate domains
+//!
+//! By default every gated access serializes through **one** gate lock and
+//! one clock, regardless of which site it touches — the paper's layout.
+//! [`SessionConfig::domains`] partitions sites across `D` independent gate
+//! instances (*domains*): site `s` always belongs to domain
+//! `s.raw() % D`, each domain owns its own lock, clock, epoch tracker, and
+//! replay turnstile, and record files become per-thread **per-domain**
+//! streams. Threads touching sites in different domains no longer contend
+//! in record mode and replay concurrently in replay mode.
+//!
+//! Sharding is *sound* when ordering only ever matters within a domain:
+//! the recorded order stream of each domain is complete for the sites it
+//! contains (the partition is a pure function of the site id, identical in
+//! record and replay), so the paper's ordering requirement — and the
+//! Contiguous-policy monotonicity argument in [`crate::epoch`] — hold per
+//! stream. What multi-domain recording does **not** capture is the
+//! relative order of two racing accesses *to the same memory* made through
+//! sites in different domains; such programs must keep the sites in one
+//! domain (or run with `D = 1`), exactly like sites excluded from the
+//! [`gate_plan`](SessionConfig::gate_plan) must be race-free.
 //!
 //! # Streaming record runs
 //!
@@ -21,14 +45,16 @@
 //! never holds more than a bounded window of the trace in memory. For DE,
 //! a record is *stable* once no pending deferred store with a smaller
 //! clock remains (the tracker's
-//! [`min_pending_clock`](EpochTracker::min_pending_clock) watermark);
-//! ST/DC records are stable as soon as they are buffered. `finish`
-//! flushes the residue and atomically commits the store (manifest last).
+//! [`min_pending_clock`](EpochTracker::min_pending_clock) watermark, kept
+//! **per domain**); ST/DC records are stable as soon as they are buffered.
+//! `finish` flushes the residue and atomically commits the store (manifest
+//! last).
 
 use crate::clock::Turnstile;
 use crate::epoch::{EpochPolicy, EpochTracker};
 use crate::error::{FinishError, ReplayError, TraceError};
 use crate::gate;
+use crate::history::{AccessRecord, HistoryRing};
 use crate::site::{AccessKind, SiteId};
 use crate::stats::{EpochHistogram, Stats, StatsSnapshot};
 use crate::store::{DirStore, IoReport, RecordSink, StreamingTraceStore, TraceStore};
@@ -38,6 +64,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Recording scheme (paper §IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -119,7 +146,10 @@ pub enum Mode {
 pub struct SessionConfig {
     /// DE run-boundary policy (see [`EpochPolicy`]).
     pub epoch_policy: EpochPolicy,
-    /// Capacity of the DE access-history ring buffer (diagnostics/audit).
+    /// Capacity of the access-history ring buffers (diagnostics/audit):
+    /// the DE record-side `X_C` audit ring and, in replay, the per-domain
+    /// last-N admitted-access history attached to divergence reports.
+    /// `0` disables both.
     pub ring_capacity: usize,
     /// Replay spin-wait/watchdog policy.
     pub spin: SpinConfig,
@@ -133,6 +163,13 @@ pub struct SessionConfig {
     /// stream once it holds this many records (clamped to ≥ 1). Ignored
     /// unless the session was created with [`Session::record_streaming`].
     pub flush_records: usize,
+    /// Number of independent gate domains sites are partitioned across
+    /// (clamped to ≥ 1). `1` — the default — reproduces the classic
+    /// single-gate behavior and trace format byte-for-byte; larger values
+    /// let accesses to sites in different domains record and replay
+    /// concurrently (see the module docs for when that is sound). Replay
+    /// sessions always use the domain count stamped in the trace.
+    pub domains: u32,
 }
 
 impl Default for SessionConfig {
@@ -144,6 +181,7 @@ impl Default for SessionConfig {
             validate_sites: true,
             gate_plan: None,
             flush_records: 4096,
+            domains: 1,
         }
     }
 }
@@ -157,10 +195,10 @@ pub(crate) struct RecEntry {
     pub kind: u8,
 }
 
-/// State guarded by the gate lock `L` during record runs.
+/// State guarded by a domain's gate lock `L` during record runs.
 pub(crate) struct RecCore {
-    /// The paper's `global_clock` (Fig. 5 line 22). Kept as a plain field
-    /// because it is only touched under the gate lock.
+    /// The paper's `global_clock` (Fig. 5 line 22), one per domain. Kept as
+    /// a plain field because it is only touched under the domain's lock.
     pub clock: u64,
     /// DE epoch tracker (None for ST/DC).
     pub tracker: Option<EpochTracker>,
@@ -168,7 +206,7 @@ pub(crate) struct RecCore {
     pub st: Option<StBuilder>,
 }
 
-/// Builder for the single shared ST record stream.
+/// Builder for one domain's shared ST record stream.
 pub(crate) struct StBuilder {
     pub tids: Vec<u32>,
     pub sites: Vec<u64>,
@@ -186,30 +224,40 @@ impl StBuilder {
     }
 }
 
-pub(crate) struct RecordState {
+/// One gate domain's record-side state: its own lock + clock + tracker and
+/// its own set of per-thread buffers.
+pub(crate) struct DomainRecord {
     /// Gate lock + state; locked at `gate_in`, unlocked at `gate_out`.
     pub gate: RawLocked<RecCore>,
-    /// Per-thread record buffers (Fig. 3-(b): one record file per thread).
+    /// Per-thread record buffers (Fig. 3-(b): one record file per thread —
+    /// here one per thread *per domain*).
     pub bufs: Vec<Mutex<Vec<RecEntry>>>,
+}
+
+pub(crate) struct RecordState {
+    /// Per-domain gate instances (length = configured domain count).
+    pub domains: Vec<DomainRecord>,
     /// Attached streaming sink, when the session records incrementally.
     pub stream: Option<StreamState>,
 }
 
-/// Streaming-record state: the sink plus the flush watermark.
+/// Streaming-record state: the sink plus the per-domain flush watermarks.
 pub(crate) struct StreamState {
     /// The store's sink; read-locked for concurrent appends (each
     /// stream serializes its own writes), write-locked only to take it
     /// at commit time.
     pub sink: RwLock<Option<Box<dyn RecordSink>>>,
-    /// Flush watermark: records with clocks strictly below this value are
-    /// complete in their owners' buffers and safe to persist. `u64::MAX`
-    /// for ST/DC (records are stable on arrival); maintained under the
-    /// gate lock for DE from the tracker's pending-store minimum.
-    pub floor: AtomicU64,
-    /// Chunk-order lock for the shared ST stream: acquired *before* the
-    /// gate lock is released when a batch is stolen, so two stolen batches
-    /// can never append to the file out of execution order.
-    pub st_order: Mutex<()>,
+    /// Per-domain flush watermarks: records with clocks strictly below a
+    /// domain's floor are complete in their owners' buffers and safe to
+    /// persist. `u64::MAX` for ST/DC (records are stable on arrival);
+    /// maintained under the domain's gate lock for DE from the tracker's
+    /// pending-store minimum.
+    pub floors: Vec<AtomicU64>,
+    /// Per-domain chunk-order locks for the shared ST streams: acquired
+    /// *before* the domain's gate lock is released when a batch is stolen,
+    /// so two stolen batches can never append to that domain's file out of
+    /// execution order.
+    pub st_order: Vec<Mutex<()>>,
     /// Set after the first append failure; flushing stops and `finish`
     /// surfaces the error instead of committing a partial trace.
     pub failed: AtomicBool,
@@ -218,13 +266,15 @@ pub(crate) struct StreamState {
 }
 
 impl StreamState {
-    fn new(sink: Box<dyn RecordSink>, scheme: Scheme) -> StreamState {
+    fn new(sink: Box<dyn RecordSink>, scheme: Scheme, domains: u32) -> StreamState {
         StreamState {
             sink: RwLock::new(Some(sink)),
             // DE starts with nothing stable recorded; ST/DC buffers only
             // ever hold stable records.
-            floor: AtomicU64::new(if scheme == Scheme::De { 0 } else { u64::MAX }),
-            st_order: Mutex::new(()),
+            floors: (0..domains)
+                .map(|_| AtomicU64::new(if scheme == Scheme::De { 0 } else { u64::MAX }))
+                .collect(),
+            st_order: (0..domains).map(|_| Mutex::new(())).collect(),
             failed: AtomicBool::new(false),
             error: Mutex::new(None),
         }
@@ -243,16 +293,16 @@ impl StreamState {
 pub(crate) const TID_NONE: u32 = u32::MAX;
 pub(crate) const TID_EXHAUSTED: u32 = u32::MAX - 1;
 
-pub(crate) struct ReplayState {
-    pub bundle: TraceBundle,
-    /// The `next_clock` turnstile (DC/DE) — also used as the global abort
-    /// flag for ST replay.
+/// One gate domain's replay-side state.
+pub(crate) struct DomainReplay {
+    /// The `next_clock` turnstile (DC/DE) — also used as the abort flag
+    /// for ST replay.
     pub turnstile: Turnstile,
-    /// Per-thread read positions into the per-thread traces.
+    /// Per-thread read positions into this domain's per-thread traces.
     pub cursors: Vec<AtomicUsize>,
     /// ST: the baton lock `L` of Fig. 4.
     pub baton: BatonLock,
-    /// ST: shared read position into the single record stream.
+    /// ST: shared read position into this domain's record stream.
     pub st_pos: AtomicUsize,
     /// ST: the published `next_tid` (Fig. 4 line 13).
     pub next_tid: AtomicU32,
@@ -260,6 +310,15 @@ pub(crate) struct ReplayState {
     pub next_site: AtomicU64,
     /// ST: kind code published with `next_tid`.
     pub next_kind: AtomicU32,
+    /// Last-N accesses this domain admitted, newest first — attached to
+    /// divergence reports (capacity 0 disables it).
+    pub history: Mutex<HistoryRing>,
+}
+
+pub(crate) struct ReplayState {
+    pub bundle: TraceBundle,
+    /// Per-domain replay gates (length = the bundle's domain count).
+    pub domains: Vec<DomainReplay>,
 }
 
 /// A record or replay run.
@@ -333,7 +392,8 @@ impl Session {
         cfg: SessionConfig,
         store: &dyn StreamingTraceStore,
     ) -> Result<Arc<Session>, TraceError> {
-        let sink = store.begin_record(scheme, nthreads, cfg.validate_sites)?;
+        let domains = cfg.domains.max(1);
+        let sink = store.begin_record(scheme, nthreads, domains, cfg.validate_sites)?;
         Ok(Arc::new(Session::build(
             Mode::Record,
             scheme,
@@ -349,14 +409,18 @@ impl Session {
         Session::replay_with(bundle, SessionConfig::default())
     }
 
-    /// Start a replay run with explicit configuration.
+    /// Start a replay run with explicit configuration. The session's
+    /// domain count always comes from the bundle (a trace can only be
+    /// replayed against the partition it was recorded with), so
+    /// [`SessionConfig::domains`] is ignored here.
     pub fn replay_with(
         bundle: TraceBundle,
-        cfg: SessionConfig,
+        mut cfg: SessionConfig,
     ) -> Result<Arc<Session>, TraceError> {
         bundle.validate()?;
         let scheme = bundle.scheme;
         let nthreads = bundle.nthreads;
+        cfg.domains = bundle.domains;
         Ok(Arc::new(Session::build(
             Mode::Replay,
             scheme,
@@ -389,6 +453,22 @@ impl Session {
         {
             cfg.flush_records = n;
         }
+        if let Some(d) = std::env::var("REOMP_DOMAINS")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .filter(|&d| d > 0)
+        {
+            cfg.domains = d;
+        }
+        // Replay watchdog override: seconds, `0` disables the watchdog
+        // entirely (oversubscribed CI boxes legitimately exceed the 30 s
+        // default on long DE replays).
+        if let Some(secs) = std::env::var("REOMP_SPIN_TIMEOUT")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            cfg.spin.timeout = (secs > 0).then(|| Duration::from_secs(secs));
+        }
         let stream = std::env::var("REOMP_STREAM")
             .map(|s| matches!(s.to_ascii_lowercase().as_str(), "1" | "true" | "on"))
             .unwrap_or(false);
@@ -401,7 +481,14 @@ impl Session {
                 let (bundle, _) = Session::env_store().load()?;
                 Session::replay_with(bundle, cfg)
             }
-            _ => Ok(Session::passthrough(nthreads)),
+            _ => Ok(Arc::new(Session::build(
+                Mode::Passthrough,
+                scheme,
+                nthreads,
+                cfg,
+                None,
+                None,
+            ))),
         }
     }
 
@@ -420,42 +507,57 @@ impl Session {
         mode: Mode,
         scheme: Scheme,
         nthreads: u32,
-        cfg: SessionConfig,
+        mut cfg: SessionConfig,
         bundle: Option<TraceBundle>,
         sink: Option<Box<dyn RecordSink>>,
     ) -> Session {
         assert!(nthreads > 0, "a session needs at least one thread");
+        cfg.domains = cfg.domains.max(1);
+        if let Some(bundle) = &bundle {
+            cfg.domains = bundle.domains;
+        }
+        let domains = cfg.domains;
         let rec = (mode == Mode::Record).then(|| RecordState {
-            gate: RawLocked::new(RecCore {
-                clock: 0,
-                tracker: (scheme == Scheme::De)
-                    .then(|| EpochTracker::new(cfg.epoch_policy, cfg.ring_capacity)),
-                st: (scheme == Scheme::St).then(|| StBuilder {
-                    tids: Vec::new(),
-                    sites: Vec::new(),
-                    kinds: Vec::new(),
-                    validate: cfg.validate_sites,
-                }),
-            }),
-            bufs: (0..nthreads).map(|_| Mutex::new(Vec::new())).collect(),
-            stream: sink.map(|s| StreamState::new(s, scheme)),
+            domains: (0..domains)
+                .map(|_| DomainRecord {
+                    gate: RawLocked::new(RecCore {
+                        clock: 0,
+                        tracker: (scheme == Scheme::De)
+                            .then(|| EpochTracker::new(cfg.epoch_policy, cfg.ring_capacity)),
+                        st: (scheme == Scheme::St).then(|| StBuilder {
+                            tids: Vec::new(),
+                            sites: Vec::new(),
+                            kinds: Vec::new(),
+                            validate: cfg.validate_sites,
+                        }),
+                    }),
+                    bufs: (0..nthreads).map(|_| Mutex::new(Vec::new())).collect(),
+                })
+                .collect(),
+            stream: sink.map(|s| StreamState::new(s, scheme, domains)),
         });
+        let ring_capacity = cfg.ring_capacity;
         let rep = bundle.map(|bundle| ReplayState {
-            cursors: (0..nthreads).map(|_| AtomicUsize::new(0)).collect(),
-            turnstile: Turnstile::new(),
-            baton: BatonLock::new(),
-            st_pos: AtomicUsize::new(0),
-            next_tid: AtomicU32::new(TID_NONE),
-            next_site: AtomicU64::new(0),
-            next_kind: AtomicU32::new(0),
+            domains: (0..domains)
+                .map(|_| DomainReplay {
+                    cursors: (0..nthreads).map(|_| AtomicUsize::new(0)).collect(),
+                    turnstile: Turnstile::new(),
+                    baton: BatonLock::new(),
+                    st_pos: AtomicUsize::new(0),
+                    next_tid: AtomicU32::new(TID_NONE),
+                    next_site: AtomicU64::new(0),
+                    next_kind: AtomicU32::new(0),
+                    history: Mutex::new(HistoryRing::new(ring_capacity)),
+                })
+                .collect(),
             bundle,
         });
         Session {
+            stats: Stats::with_domains(domains),
             cfg,
             mode,
             scheme,
             nthreads,
-            stats: Stats::new(),
             rec,
             rep,
             active: AtomicU32::new(0),
@@ -480,6 +582,25 @@ impl Session {
     #[must_use]
     pub fn nthreads(&self) -> u32 {
         self.nthreads
+    }
+
+    /// Number of gate domains (≥ 1).
+    #[must_use]
+    pub fn domains(&self) -> u32 {
+        self.cfg.domains
+    }
+
+    /// The gate domain site `site` belongs to: a fixed partition that
+    /// record and replay compute identically.
+    #[inline]
+    #[must_use]
+    pub fn domain_of(&self, site: SiteId) -> u32 {
+        let d = self.cfg.domains;
+        if d <= 1 {
+            0
+        } else {
+            (site.raw() % u64::from(d)) as u32
+        }
     }
 
     /// Live statistics snapshot.
@@ -512,14 +633,17 @@ impl Session {
         }
     }
 
-    /// Record the first failure and release all replay waiters.
+    /// Record the first failure and release all replay waiters in every
+    /// domain.
     pub(crate) fn fail(&self, err: &ReplayError) {
         let mut slot = self.failure.lock();
         if slot.is_none() {
             *slot = Some(err.to_string());
         }
         if let Some(rep) = &self.rep {
-            rep.turnstile.abort();
+            for d in &rep.domains {
+                d.turnstile.abort();
+            }
         }
     }
 
@@ -527,6 +651,30 @@ impl Session {
     #[must_use]
     pub fn failure(&self) -> Option<String> {
         self.failure.lock().clone()
+    }
+
+    /// Append one admitted access to a domain's replay history ring.
+    #[inline]
+    pub(crate) fn push_replay_history(&self, dom: u32, rec: AccessRecord) {
+        if self.cfg.ring_capacity == 0 {
+            return;
+        }
+        if let Some(rep) = &self.rep {
+            rep.domains[dom as usize].history.lock().push(rec);
+        }
+    }
+
+    /// Snapshot a domain's replay history, newest first (for diagnostics).
+    pub(crate) fn replay_history(&self, dom: u32) -> Vec<AccessRecord> {
+        match &self.rep {
+            Some(rep) if self.cfg.ring_capacity > 0 => rep.domains[dom as usize]
+                .history
+                .lock()
+                .iter_recent()
+                .copied()
+                .collect(),
+            _ => Vec::new(),
+        }
     }
 
     /// Finish the run: flush pending DE stores, assemble the trace bundle
@@ -548,21 +696,23 @@ impl Session {
             Mode::Passthrough => {}
             Mode::Record => {
                 let rec = self.rec.as_ref().expect("record state");
-                // Flush the DE tracker's pending stores (trailing stores
-                // get their own clock — always safe).
-                rec.gate.with(|core| {
-                    if let Some(tracker) = &mut core.tracker {
-                        for f in tracker.flush() {
-                            rec.bufs[f.thread as usize].lock().push(RecEntry {
-                                clock: f.clock,
-                                value: f.epoch,
-                                site: f.site.raw(),
-                                kind: f.kind.code(),
-                            });
-                            self.stats.bump_record_written();
+                // Flush every domain tracker's pending stores (trailing
+                // stores get their own clock — always safe).
+                for drec in &rec.domains {
+                    drec.gate.with(|core| {
+                        if let Some(tracker) = &mut core.tracker {
+                            for f in tracker.flush() {
+                                drec.bufs[f.thread as usize].lock().push(RecEntry {
+                                    clock: f.clock,
+                                    value: f.epoch,
+                                    site: f.site.raw(),
+                                    kind: f.kind.code(),
+                                });
+                                self.stats.bump_record_written();
+                            }
                         }
-                    }
-                });
+                    });
+                }
                 if rec.stream.is_some() {
                     io = Some(self.commit_streaming().map_err(FinishError::Stream)?);
                 } else {
@@ -571,13 +721,18 @@ impl Session {
             }
             Mode::Replay => {
                 let rep = self.rep.as_ref().expect("replay state");
-                let consumed = match &rep.bundle.st {
-                    Some(st) => rep.st_pos.load(Ordering::SeqCst) == st.len(),
-                    None => rep
-                        .cursors
+                let consumed = if rep.bundle.is_st() {
+                    rep.domains
                         .iter()
-                        .zip(&rep.bundle.threads)
-                        .all(|(c, t)| c.load(Ordering::SeqCst) >= t.len()),
+                        .zip(&rep.bundle.st)
+                        .all(|(d, st)| d.st_pos.load(Ordering::SeqCst) == st.len())
+                } else {
+                    rep.domains.iter().enumerate().all(|(dom, d)| {
+                        d.cursors.iter().enumerate().all(|(tid, c)| {
+                            c.load(Ordering::SeqCst)
+                                >= rep.bundle.thread(dom as u32, tid as u32).len()
+                        })
+                    })
                 };
                 fully_consumed = Some(consumed);
             }
@@ -587,6 +742,7 @@ impl Session {
             scheme: self.scheme,
             mode: self.mode,
             stats: self.stats.snapshot(),
+            domain_gates: self.stats.domain_gates(),
             bundle,
             io,
             fully_consumed,
@@ -604,32 +760,36 @@ impl Session {
         if let Some(e) = stream.error.lock().take() {
             return Err(e);
         }
-        // ST: steal whatever the shared builder still holds.
-        if self.scheme == Scheme::St {
-            let stolen = rec.gate.with(|core| {
-                core.st.as_mut().map(|b| {
-                    (
-                        std::mem::take(&mut b.tids),
-                        std::mem::take(&mut b.sites),
-                        std::mem::take(&mut b.kinds),
-                    )
-                })
-            });
-            if let Some((tids, sites, kinds)) = stolen {
-                if !tids.is_empty() {
-                    self.append_st_chunk(&tids, &sites, &kinds)?;
+        for (dom, drec) in rec.domains.iter().enumerate() {
+            let dom = dom as u32;
+            // ST: steal whatever this domain's shared builder still holds.
+            if self.scheme == Scheme::St {
+                let stolen = drec.gate.with(|core| {
+                    core.st.as_mut().map(|b| {
+                        (
+                            std::mem::take(&mut b.tids),
+                            std::mem::take(&mut b.sites),
+                            std::mem::take(&mut b.kinds),
+                        )
+                    })
+                });
+                if let Some((tids, sites, kinds)) = stolen {
+                    if !tids.is_empty() {
+                        self.append_st_chunk(dom, &tids, &sites, &kinds)?;
+                    }
                 }
             }
-        }
-        // Per-thread residues. Recording is over, so everything is stable;
-        // sorting restores program (clock) order after DE deferrals.
-        for tid in 0..self.nthreads {
-            let mut entries = std::mem::take(&mut *rec.bufs[tid as usize].lock());
-            if entries.is_empty() {
-                continue;
+            // Per-thread residues. Recording is over, so everything is
+            // stable; sorting restores program (clock) order after DE
+            // deferrals.
+            for tid in 0..self.nthreads {
+                let mut entries = std::mem::take(&mut *drec.bufs[tid as usize].lock());
+                if entries.is_empty() {
+                    continue;
+                }
+                entries.sort_unstable_by_key(|e| e.clock);
+                self.append_thread_chunk(dom, tid, &entries)?;
             }
-            entries.sort_unstable_by_key(|e| e.clock);
-            self.append_thread_chunk(tid, &entries)?;
         }
         let sink = stream
             .sink
@@ -640,8 +800,13 @@ impl Session {
     }
 
     /// Encode `entries` as one chunk and append it to thread `tid`'s
-    /// stream, updating the flush counters.
-    fn append_thread_chunk(&self, tid: u32, entries: &[RecEntry]) -> Result<(), TraceError> {
+    /// stream in domain `dom`, updating the flush counters.
+    fn append_thread_chunk(
+        &self,
+        dom: u32,
+        tid: u32,
+        entries: &[RecEntry],
+    ) -> Result<(), TraceError> {
         let rec = self.rec.as_ref().expect("record state");
         let stream = rec.stream.as_ref().expect("streaming state");
         let validate = self.cfg.validate_sites;
@@ -652,14 +817,21 @@ impl Session {
         let sink = guard
             .as_ref()
             .ok_or_else(|| TraceError::Corrupt("streaming sink already committed".into()))?;
-        let bytes = sink.append_thread_chunk(tid, &values, sites.as_deref(), kinds.as_deref())?;
+        let bytes =
+            sink.append_thread_chunk(dom, tid, &values, sites.as_deref(), kinds.as_deref())?;
         self.stats.add_io_written(bytes);
         self.stats.bump_chunk_flush();
         Ok(())
     }
 
-    /// Append one chunk of the shared ST stream.
-    fn append_st_chunk(&self, tids: &[u32], sites: &[u64], kinds: &[u8]) -> Result<(), TraceError> {
+    /// Append one chunk of a domain's shared ST stream.
+    fn append_st_chunk(
+        &self,
+        dom: u32,
+        tids: &[u32],
+        sites: &[u64],
+        kinds: &[u8],
+    ) -> Result<(), TraceError> {
         let rec = self.rec.as_ref().expect("record state");
         let stream = rec.stream.as_ref().expect("streaming state");
         let validate = self.cfg.validate_sites;
@@ -667,17 +839,22 @@ impl Session {
         let sink = guard
             .as_ref()
             .ok_or_else(|| TraceError::Corrupt("streaming sink already committed".into()))?;
-        let bytes =
-            sink.append_st_chunk(tids, validate.then_some(sites), validate.then_some(kinds))?;
+        let bytes = sink.append_st_chunk(
+            dom,
+            tids,
+            validate.then_some(sites),
+            validate.then_some(kinds),
+        )?;
         self.stats.add_io_written(bytes);
         self.stats.bump_chunk_flush();
         Ok(())
     }
 
-    /// Hot-path flush check: if thread `tid`'s buffer reached the flush
-    /// threshold, persist its stable prefix (clocks below the watermark)
-    /// as one chunk. Failures are latched and surfaced at `finish`.
-    pub(crate) fn maybe_flush_thread(&self, tid: u32) {
+    /// Hot-path flush check: if thread `tid`'s buffer in domain `dom`
+    /// reached the flush threshold, persist its stable prefix (clocks
+    /// below the domain's watermark) as one chunk. Failures are latched
+    /// and surfaced at `finish`.
+    pub(crate) fn maybe_flush_thread(&self, dom: u32, tid: u32) {
         let Some(rec) = self.rec.as_ref() else { return };
         let Some(stream) = rec.stream.as_ref() else {
             return;
@@ -686,8 +863,8 @@ impl Session {
             return;
         }
         let threshold = self.cfg.flush_records.max(1);
-        let floor = stream.floor.load(Ordering::Acquire);
-        let mut buf = rec.bufs[tid as usize].lock();
+        let floor = stream.floors[dom as usize].load(Ordering::Acquire);
+        let mut buf = rec.domains[dom as usize].bufs[tid as usize].lock();
         if buf.len() < threshold {
             return;
         }
@@ -704,20 +881,21 @@ impl Session {
         // may flush this buffer (deferred records are routed across
         // threads), and two drained batches must reach the file in the
         // order they were drained.
-        let result = self.append_thread_chunk(tid, &stable);
+        let result = self.append_thread_chunk(dom, tid, &stable);
         drop(buf);
         if let Err(e) = result {
             stream.record_failure(e);
         }
     }
 
-    /// Hot-path ST flush: append a stolen prefix of the shared stream.
-    pub(crate) fn flush_st_records(&self, tids: &[u32], sites: &[u64], kinds: &[u8]) {
+    /// Hot-path ST flush: append a stolen prefix of a domain's shared
+    /// stream.
+    pub(crate) fn flush_st_records(&self, dom: u32, tids: &[u32], sites: &[u64], kinds: &[u8]) {
         let Some(rec) = self.rec.as_ref() else { return };
         let Some(stream) = rec.stream.as_ref() else {
             return;
         };
-        if let Err(e) = self.append_st_chunk(tids, sites, kinds) {
+        if let Err(e) = self.append_st_chunk(dom, tids, sites, kinds) {
             stream.record_failure(e);
         }
     }
@@ -726,34 +904,37 @@ impl Session {
         let rec = self.rec.as_ref().expect("record state");
         let validate = self.cfg.validate_sites;
 
-        let st = rec.gate.with(|core| {
-            core.st.take().map(|b| StTrace {
-                tids: b.tids,
-                sites: validate.then_some(b.sites),
-                kinds: validate.then_some(b.kinds),
-            })
-        });
-
-        let threads: Vec<ThreadTrace> = rec
-            .bufs
-            .iter()
-            .map(|buf| {
+        let mut st = Vec::new();
+        let mut threads = Vec::with_capacity(rec.domains.len() * self.nthreads as usize);
+        for drec in &rec.domains {
+            if self.scheme == Scheme::St {
+                let stream = drec.gate.with(|core| {
+                    core.st.take().map(|b| StTrace {
+                        tids: b.tids,
+                        sites: validate.then_some(b.sites),
+                        kinds: validate.then_some(b.kinds),
+                    })
+                });
+                st.push(stream.expect("st builder"));
+            }
+            for buf in &drec.bufs {
                 let mut entries = std::mem::take(&mut *buf.lock());
                 // DE deferral may append a record finalized by a later
                 // access after the owner's own later records; restore the
                 // thread's program order by clock.
                 entries.sort_unstable_by_key(|e| e.clock);
-                ThreadTrace {
+                threads.push(ThreadTrace {
                     values: entries.iter().map(|e| e.value).collect(),
                     sites: validate.then(|| entries.iter().map(|e| e.site).collect()),
                     kinds: validate.then(|| entries.iter().map(|e| e.kind).collect()),
-                }
-            })
-            .collect();
+                });
+            }
+        }
 
         let bundle = TraceBundle {
             scheme: self.scheme,
             nthreads: self.nthreads,
+            domains: self.cfg.domains,
             threads,
             st,
         };
@@ -768,6 +949,7 @@ impl std::fmt::Debug for Session {
             .field("mode", &self.mode)
             .field("scheme", &self.scheme)
             .field("nthreads", &self.nthreads)
+            .field("domains", &self.cfg.domains)
             .finish_non_exhaustive()
     }
 }
@@ -850,18 +1032,22 @@ impl ThreadCtx {
         match session.mode {
             Mode::Passthrough => Ok(f()),
             Mode::Record => {
-                gate::record_in(session);
+                let dom = session.domain_of(site);
+                session.stats.bump_domain_gate(dom);
+                gate::record_in(session, dom);
                 let out = f();
-                gate::record_out(session, self.tid, site, addr, kind);
+                gate::record_out(session, dom, self.tid, site, addr, kind);
                 Ok(out)
             }
             Mode::Replay => {
-                if let Err(e) = gate::replay_in(session, self.tid, site, kind) {
+                let dom = session.domain_of(site);
+                session.stats.bump_domain_gate(dom);
+                if let Err(e) = gate::replay_in(session, dom, self.tid, site, kind) {
                     session.fail(&e);
                     return Err(e);
                 }
                 let out = f();
-                gate::replay_out(session, self.tid);
+                gate::replay_out(session, dom, self.tid);
                 Ok(out)
             }
         }
@@ -883,6 +1069,12 @@ pub struct SessionReport {
     pub mode: Mode,
     /// Final statistics.
     pub stats: StatsSnapshot,
+    /// Gate passages per gate domain (empty for single-domain sessions;
+    /// for multi-domain record/replay runs it sums to `stats.gates` —
+    /// passthrough gates never resolve a domain, so there the breakdown
+    /// stays zero). A lopsided breakdown means the site→domain partition
+    /// is not spreading the load.
+    pub domain_gates: Vec<u64>,
     /// The recorded trace (record mode only; `None` for streaming record
     /// runs, whose trace lives in the store).
     pub bundle: Option<TraceBundle>,
@@ -981,6 +1173,88 @@ mod tests {
     }
 
     #[test]
+    fn env_knobs_configure_domains_and_watchdog() {
+        // One test mutates all REOMP_* knobs sequentially to avoid races
+        // with other env-reading tests in this binary (they only read
+        // REOMP_MODE, which stays unset here).
+        std::env::set_var("REOMP_DOMAINS", "4");
+        std::env::set_var("REOMP_SPIN_TIMEOUT", "120");
+        let s = Session::from_env(2).unwrap();
+        assert_eq!(s.cfg.domains, 4);
+        assert_eq!(s.cfg.spin.timeout, Some(Duration::from_secs(120)));
+
+        // 0 disables the watchdog entirely (oversubscribed-CI escape hatch).
+        std::env::set_var("REOMP_SPIN_TIMEOUT", "0");
+        let s = Session::from_env(2).unwrap();
+        assert_eq!(s.cfg.spin.timeout, None);
+
+        // Garbage values fall back to the defaults.
+        std::env::set_var("REOMP_DOMAINS", "zero");
+        std::env::set_var("REOMP_SPIN_TIMEOUT", "soon");
+        let s = Session::from_env(2).unwrap();
+        assert_eq!(s.cfg.domains, 1);
+        assert_eq!(s.cfg.spin.timeout, SpinConfig::default().timeout);
+
+        std::env::remove_var("REOMP_DOMAINS");
+        std::env::remove_var("REOMP_SPIN_TIMEOUT");
+    }
+
+    #[test]
+    fn domain_partition_is_stable_and_total() {
+        let cfg = SessionConfig {
+            domains: 4,
+            ..Default::default()
+        };
+        let s = Session::record_with(Scheme::Dc, 1, cfg);
+        assert_eq!(s.domains(), 4);
+        for raw in 0..64u64 {
+            let site = SiteId(raw);
+            let dom = s.domain_of(site);
+            assert!(dom < 4);
+            assert_eq!(dom, s.domain_of(site), "partition must be a function");
+        }
+        // D = 1 (and the clamped 0) always map to domain 0.
+        let s = Session::record_with(
+            Scheme::Dc,
+            1,
+            SessionConfig {
+                domains: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.domains(), 1, "domain count clamps to >= 1");
+        assert_eq!(s.domain_of(SiteId(u64::MAX)), 0);
+    }
+
+    #[test]
+    fn multi_domain_record_produces_per_domain_streams() {
+        let cfg = SessionConfig {
+            domains: 2,
+            ..Default::default()
+        };
+        let s = Session::record_with(Scheme::Dc, 2, cfg);
+        let c0 = s.register_thread(0);
+        let c1 = s.register_thread(1);
+        // SiteId(2) -> domain 0, SiteId(3) -> domain 1.
+        for _ in 0..5 {
+            c0.gate(SiteId(2), AccessKind::Load, || ());
+            c1.gate(SiteId(3), AccessKind::Store, || ());
+        }
+        drop((c0, c1));
+        let report = s.finish().unwrap();
+        assert_eq!(report.domain_gates, vec![5, 5]);
+        let bundle = report.bundle.unwrap();
+        assert_eq!(bundle.domains, 2);
+        bundle.validate().unwrap();
+        // Thread 0's accesses all live in domain 0, thread 1's in domain 1,
+        // and each domain's clocks are independent 0..5 sequences.
+        assert_eq!(bundle.thread(0, 0).values, vec![0, 1, 2, 3, 4]);
+        assert!(bundle.thread(0, 1).is_empty());
+        assert!(bundle.thread(1, 0).is_empty());
+        assert_eq!(bundle.thread(1, 1).values, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
     fn streaming_record_matches_one_shot_bundle() {
         use crate::store::{MemStore, TraceStore};
         // Drive both thread contexts from this test thread so the gate
@@ -995,25 +1269,33 @@ mod tests {
                 c1.gate(site, AccessKind::Load, || ());
             }
         };
-        for scheme in Scheme::ALL {
-            let s = Session::record(scheme, 2);
-            run(&s);
-            let bundle = s.finish().unwrap().bundle.unwrap();
+        for domains in [1u32, 3] {
+            for scheme in Scheme::ALL {
+                let cfg = SessionConfig {
+                    domains,
+                    ..Default::default()
+                };
+                let s = Session::record_with(scheme, 2, cfg.clone());
+                run(&s);
+                let bundle = s.finish().unwrap().bundle.unwrap();
+                assert_eq!(bundle.domains, domains);
 
-            let store = MemStore::new();
-            let cfg = SessionConfig {
-                flush_records: 4,
-                ..Default::default()
-            };
-            let s = Session::record_streaming_with(scheme, 2, cfg, &store).unwrap();
-            run(&s);
-            let report = s.finish().unwrap();
-            assert!(report.bundle.is_none(), "streaming keeps no bundle");
-            let io = report.io.expect("streaming report carries io totals");
-            assert!(io.chunks > 0, "{scheme:?}");
-            assert!(report.stats.chunk_flushes > 0, "{scheme:?}");
-            let (loaded, _) = store.load().unwrap();
-            assert_eq!(loaded, bundle, "{scheme:?}: streamed ≡ one-shot");
+                let store = MemStore::new();
+                let cfg = SessionConfig {
+                    flush_records: 4,
+                    domains,
+                    ..Default::default()
+                };
+                let s = Session::record_streaming_with(scheme, 2, cfg, &store).unwrap();
+                run(&s);
+                let report = s.finish().unwrap();
+                assert!(report.bundle.is_none(), "streaming keeps no bundle");
+                let io = report.io.expect("streaming report carries io totals");
+                assert!(io.chunks > 0, "{scheme:?}/{domains}");
+                assert!(report.stats.chunk_flushes > 0, "{scheme:?}/{domains}");
+                let (loaded, _) = store.load().unwrap();
+                assert_eq!(loaded, bundle, "{scheme:?}/{domains}: streamed ≡ one-shot");
+            }
         }
     }
 

@@ -31,6 +31,11 @@ pub struct Stats {
     io_bytes_read: AtomicU64,
     io_files: AtomicU64,
     validate_checks: AtomicU64,
+    /// Gate passages per gate domain (empty for single-domain sessions —
+    /// there the breakdown is just `gates`).
+    domain_gates: Vec<AtomicU64>,
+    /// Gate-lock acquisitions per gate domain.
+    domain_locks: Vec<AtomicU64>,
 }
 
 impl Stats {
@@ -38,6 +43,20 @@ impl Stats {
     #[must_use]
     pub fn new() -> Self {
         Stats::default()
+    }
+
+    /// Fresh counters that additionally keep a per-domain breakdown of
+    /// gate passages and lock acquisitions for `domains` gate domains.
+    /// With `domains <= 1` the breakdown is omitted (it would equal the
+    /// totals).
+    #[must_use]
+    pub fn with_domains(domains: u32) -> Self {
+        let n = if domains > 1 { domains as usize } else { 0 };
+        Stats {
+            domain_gates: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            domain_locks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            ..Stats::default()
+        }
     }
 
     /// Count one gate passage of the given kind.
@@ -51,6 +70,44 @@ impl Stats {
     #[inline]
     pub fn bump_lock(&self) {
         self.lock_acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one gate passage in gate domain `dom` (no-op unless the stats
+    /// were created with [`Stats::with_domains`]).
+    #[inline]
+    pub fn bump_domain_gate(&self, dom: u32) {
+        if let Some(c) = self.domain_gates.get(dom as usize) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one gate-lock acquisition in gate domain `dom`.
+    #[inline]
+    pub fn bump_domain_lock(&self, dom: u32) {
+        if let Some(c) = self.domain_locks.get(dom as usize) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-domain gate-passage counts (empty for single-domain sessions).
+    /// For multi-domain record/replay sessions the vector sums to `gates`;
+    /// passthrough gates are counted only in the total.
+    #[must_use]
+    pub fn domain_gates(&self) -> Vec<u64> {
+        self.domain_gates
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Per-domain gate-lock acquisition counts (empty for single-domain
+    /// sessions).
+    #[must_use]
+    pub fn domain_locks(&self) -> Vec<u64> {
+        self.domain_locks
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Count `n` inter-thread communication events (§IV-C2).
@@ -244,13 +301,18 @@ pub struct EpochHistogram {
 
 impl EpochHistogram {
     /// Build the histogram from a recorded bundle by grouping all recorded
-    /// values (clocks or epochs) across threads.
+    /// values (clocks or epochs) across threads. Multi-domain bundles are
+    /// grouped per `(domain, value)` — clocks in different gate domains are
+    /// independent counters, so equal raw values across domains are *not*
+    /// the same epoch.
     #[must_use]
     pub fn from_bundle(bundle: &TraceBundle) -> EpochHistogram {
-        let mut population: BTreeMap<u64, u64> = BTreeMap::new();
-        for thread in &bundle.threads {
+        let mut population: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+        let nthreads = bundle.nthreads.max(1) as usize;
+        for (i, thread) in bundle.threads.iter().enumerate() {
+            let dom = i / nthreads;
             for &v in &thread.values {
-                *population.entry(v).or_insert(0) += 1;
+                *population.entry((dom, v)).or_insert(0) += 1;
             }
         }
         let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
@@ -352,6 +414,7 @@ mod tests {
         TraceBundle {
             scheme: Scheme::De,
             nthreads: per_thread.len() as u32,
+            domains: 1,
             threads: per_thread
                 .into_iter()
                 .map(|values| ThreadTrace {
@@ -360,7 +423,7 @@ mod tests {
                     kinds: None,
                 })
                 .collect(),
-            st: None,
+            st: vec![],
         }
     }
 
@@ -399,6 +462,45 @@ mod tests {
         assert!((h.frac_gt1() - 0.5).abs() < 1e-12);
         assert_eq!(h.accesses_in_gt1(), 5);
         assert!((h.frac_accesses_gt1() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_counters_track_breakdown() {
+        let s = Stats::with_domains(3);
+        s.bump_domain_gate(0);
+        s.bump_domain_gate(2);
+        s.bump_domain_gate(2);
+        s.bump_domain_lock(1);
+        s.bump_domain_gate(99); // out of range: ignored, not a panic
+        assert_eq!(s.domain_gates(), vec![1, 0, 2]);
+        assert_eq!(s.domain_locks(), vec![0, 1, 0]);
+        // Single-domain stats keep no breakdown.
+        let s = Stats::with_domains(1);
+        s.bump_domain_gate(0);
+        assert!(s.domain_gates().is_empty());
+    }
+
+    #[test]
+    fn histogram_keeps_domains_apart() {
+        // Two domains, both with a value-0 pair. Per-domain grouping sees
+        // two epochs of size 2, not one of size 4.
+        let b = TraceBundle {
+            scheme: Scheme::De,
+            nthreads: 2,
+            domains: 2,
+            threads: vec![
+                ThreadTrace {
+                    values: vec![0],
+                    sites: None,
+                    kinds: None,
+                };
+                4
+            ],
+            st: vec![],
+        };
+        let h = EpochHistogram::from_bundle(&b);
+        assert_eq!(h.counts.get(&2), Some(&2), "{h}");
+        assert_eq!(h.total_epochs(), 2);
     }
 
     #[test]

@@ -7,6 +7,18 @@
 //! evaluation platform) and performs per-thread file I/O in parallel.
 //! [`MemStore`] is an in-memory stand-in for tests and microbenches.
 //!
+//! # Gate domains on disk
+//!
+//! A recording made with `D > 1` gate domains (see
+//! [`SessionConfig::domains`](crate::session::SessionConfig::domains))
+//! stores one record file per thread **per domain** —
+//! `thread_<tid>.d<dom>.rtrc`, plus `st.d<dom>.rtrc` for ST — and the
+//! manifest carries a `domains D` line. Single-domain recordings keep the
+//! classic names (`thread_<tid>.rtrc`, `st.rtrc`) and manifest, byte for
+//! byte, so traces from before gate domains existed load unchanged. On
+//! load, every file's header domain id is cross-checked against its name
+//! and the manifest.
+//!
 //! # Crash-safe persistence
 //!
 //! [`DirStore::save`] is atomic at the file level: every record file and
@@ -20,9 +32,10 @@
 //! against the decoded files, so even a chunked file that lost its tail at
 //! an exact chunk boundary is rejected as corrupt rather than silently
 //! shortened. Saving also scrubs *stale* files from earlier runs
-//! (per-thread files beyond the new thread count, an `st.rtrc` when the
-//! new bundle has no ST stream, leftover temp files), so a directory
-//! reused across schemes or thread counts cannot mix runs.
+//! (per-thread files beyond the new thread count, domain files beyond the
+//! new domain count, an `st.rtrc` when the new bundle has no ST stream,
+//! leftover temp files), so a directory reused across schemes, thread
+//! counts, or domain counts cannot mix runs.
 //!
 //! # Streaming (chunked) recording
 //!
@@ -30,12 +43,13 @@
 //! bounded by file-system usage (§II-B); rr and iReplayer both stream
 //! records incrementally for this reason. [`StreamingTraceStore`] is the
 //! incremental counterpart of [`TraceStore`]: [`begin_record`] opens one
-//! chunked stream per thread (see the [`crate::codec`] chunk frame), the
-//! returned [`RecordSink`] appends encoded chunks as the session records
-//! — so a trace can grow past RAM — and [`RecordSink::commit`] publishes
-//! the directory atomically (manifest last, like `save`). A recording
-//! that is dropped without `commit` leaves only temp files and no
-//! manifest: the directory stays unloadable rather than corrupt.
+//! chunked stream per thread per domain (see the [`crate::codec`] chunk
+//! frame), the returned [`RecordSink`] appends encoded chunks as the
+//! session records — so a trace can grow past RAM — and
+//! [`RecordSink::commit`] publishes the directory atomically (manifest
+//! last, like `save`). A recording that is dropped without `commit` leaves
+//! only temp files and no manifest: the directory stays unloadable rather
+//! than corrupt.
 //!
 //! [`begin_record`]: StreamingTraceStore::begin_record
 
@@ -61,6 +75,13 @@ pub struct IoReport {
     pub chunks: u64,
 }
 
+/// The on-disk/in-header domain tag: multi-domain recordings stamp every
+/// file with its domain; single-domain recordings stay in the legacy
+/// domain-less format.
+fn dom_tag(domains: u32, dom: u32) -> Option<u32> {
+    (domains > 1).then_some(dom)
+}
+
 /// Abstract trace persistence.
 pub trait TraceStore: Send + Sync {
     /// Persist a bundle, replacing any previous contents.
@@ -73,9 +94,10 @@ pub trait TraceStore: Send + Sync {
 /// record run instead of buffering the whole trace and saving once.
 pub trait StreamingTraceStore: TraceStore {
     /// Start a streaming recording, replacing any stored trace. Returns a
-    /// sink with one chunked stream per thread (plus the shared ST stream
-    /// for [`Scheme::St`]). The recording becomes loadable only after
-    /// [`RecordSink::commit`]; dropping the sink aborts it.
+    /// sink with one chunked stream per thread per domain (plus one shared
+    /// ST stream per domain for [`Scheme::St`]). The recording becomes
+    /// loadable only after [`RecordSink::commit`]; dropping the sink
+    /// aborts it.
     ///
     /// `validated` declares whether chunks will carry site/kind columns;
     /// every appended chunk must match it.
@@ -83,6 +105,7 @@ pub trait StreamingTraceStore: TraceStore {
         &self,
         scheme: Scheme,
         nthreads: u32,
+        domains: u32,
         validated: bool,
     ) -> Result<Box<dyn RecordSink>, TraceError>;
 
@@ -96,20 +119,33 @@ pub trait StreamingTraceStore: TraceStore {
         records_per_chunk: usize,
     ) -> Result<IoReport, TraceError> {
         bundle.validate()?;
-        let sink = self.begin_record(bundle.scheme, bundle.nthreads, bundle.has_validation())?;
-        for (tid, trace) in bundle.threads.iter().enumerate() {
-            stream_thread_trace(&*sink, tid as u32, trace, records_per_chunk)?;
+        let sink = self.begin_record(
+            bundle.scheme,
+            bundle.nthreads,
+            bundle.domains,
+            bundle.has_validation(),
+        )?;
+        for (i, trace) in bundle.threads.iter().enumerate() {
+            let (dom, tid) = split_stream_index(i, bundle.nthreads);
+            stream_thread_trace(&*sink, dom, tid, trace, records_per_chunk)?;
         }
-        if let Some(st) = &bundle.st {
-            stream_st_trace(&*sink, st, records_per_chunk)?;
+        for (dom, st) in bundle.st.iter().enumerate() {
+            stream_st_trace(&*sink, dom as u32, st, records_per_chunk)?;
         }
         sink.commit(bundle.total_records())
     }
 }
 
+/// Recover `(dom, tid)` from a flat domain-major stream index.
+fn split_stream_index(i: usize, nthreads: u32) -> (u32, u32) {
+    let n = nthreads.max(1) as usize;
+    ((i / n) as u32, (i % n) as u32)
+}
+
 /// Append one thread trace to a sink in `records_per_chunk`-sized chunks.
 fn stream_thread_trace(
     sink: &dyn RecordSink,
+    dom: u32,
     tid: u32,
     trace: &ThreadTrace,
     records_per_chunk: usize,
@@ -120,6 +156,7 @@ fn stream_thread_trace(
     while at < trace.values.len() {
         let end = (at + step).min(trace.values.len());
         bytes += sink.append_thread_chunk(
+            dom,
             tid,
             &trace.values[at..end],
             trace.sites.as_ref().map(|s| &s[at..end]),
@@ -130,9 +167,10 @@ fn stream_thread_trace(
     Ok(bytes)
 }
 
-/// Append the shared ST trace to a sink in chunks.
+/// Append one domain's shared ST trace to a sink in chunks.
 fn stream_st_trace(
     sink: &dyn RecordSink,
+    dom: u32,
     st: &StTrace,
     records_per_chunk: usize,
 ) -> Result<u64, TraceError> {
@@ -142,6 +180,7 @@ fn stream_st_trace(
     while at < st.tids.len() {
         let end = (at + step).min(st.tids.len());
         bytes += sink.append_st_chunk(
+            dom,
             &st.tids[at..end],
             st.sites.as_ref().map(|s| &s[at..end]),
             st.kinds.as_ref().map(|k| &k[at..end]),
@@ -154,19 +193,23 @@ fn stream_st_trace(
 /// Handle for one in-progress streaming recording. All methods are
 /// callable concurrently; each stream serializes its own appends.
 pub trait RecordSink: Send + Sync {
-    /// Append one chunk of records to thread `tid`'s stream. Returns the
-    /// encoded bytes appended.
+    /// Append one chunk of records to thread `tid`'s stream in domain
+    /// `dom` (0 for single-domain recordings). Returns the encoded bytes
+    /// appended.
     fn append_thread_chunk(
         &self,
+        dom: u32,
         tid: u32,
         values: &[u64],
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
     ) -> Result<u64, TraceError>;
 
-    /// Append one chunk to the shared ST stream (ST recordings only).
+    /// Append one chunk to domain `dom`'s shared ST stream (ST recordings
+    /// only).
     fn append_st_chunk(
         &self,
+        dom: u32,
         tids: &[u32],
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
@@ -179,21 +222,23 @@ pub trait RecordSink: Send + Sync {
 }
 
 impl<'s> dyn RecordSink + 's {
-    /// A borrowing writer handle for thread `tid`'s stream — the
-    /// per-thread view a recording thread holds onto.
+    /// A borrowing writer handle for thread `tid`'s stream in domain
+    /// `dom` — the per-thread view a recording thread holds onto.
     #[must_use]
-    pub fn thread_writer(&self, tid: u32) -> TraceWriter<'_> {
+    pub fn thread_writer(&self, dom: u32, tid: u32) -> TraceWriter<'_> {
         TraceWriter {
             sink: self,
+            dom,
             tid: Some(tid),
         }
     }
 
-    /// A borrowing writer handle for the shared ST stream.
+    /// A borrowing writer handle for domain `dom`'s shared ST stream.
     #[must_use]
-    pub fn st_writer(&self) -> TraceWriter<'_> {
+    pub fn st_writer(&self, dom: u32) -> TraceWriter<'_> {
         TraceWriter {
             sink: self,
+            dom,
             tid: None,
         }
     }
@@ -204,6 +249,8 @@ impl<'s> dyn RecordSink + 's {
 #[derive(Clone, Copy)]
 pub struct TraceWriter<'s> {
     sink: &'s dyn RecordSink,
+    /// Gate domain the stream belongs to (0 for single-domain runs).
+    dom: u32,
     /// `None` addresses the shared ST stream.
     tid: Option<u32>,
 }
@@ -218,7 +265,9 @@ impl TraceWriter<'_> {
         kinds: Option<&[u8]>,
     ) -> Result<u64, TraceError> {
         match self.tid {
-            Some(tid) => self.sink.append_thread_chunk(tid, values, sites, kinds),
+            Some(tid) => self
+                .sink
+                .append_thread_chunk(self.dom, tid, values, sites, kinds),
             None => {
                 let mut tids = Vec::with_capacity(values.len());
                 for &v in values {
@@ -226,7 +275,7 @@ impl TraceWriter<'_> {
                         TraceError::Corrupt(format!("st stream tid {v} out of range"))
                     })?);
                 }
-                self.sink.append_st_chunk(&tids, sites, kinds)
+                self.sink.append_st_chunk(self.dom, &tids, sites, kinds)
             }
         }
     }
@@ -235,6 +284,7 @@ impl TraceWriter<'_> {
 impl std::fmt::Debug for TraceWriter<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceWriter")
+            .field("dom", &self.dom)
             .field("tid", &self.tid)
             .finish()
     }
@@ -264,8 +314,11 @@ pub struct MemStore {
 struct EncodedBundle {
     scheme: Scheme,
     nthreads: u32,
+    domains: u32,
+    /// Flat, domain-major encoded per-thread files.
     threads: Vec<Vec<u8>>,
-    st: Option<Vec<u8>>,
+    /// Per-domain encoded ST streams (empty for non-ST).
+    st: Vec<Vec<u8>>,
 }
 
 impl MemStore {
@@ -278,27 +331,44 @@ impl MemStore {
 
 impl TraceStore for MemStore {
     fn save(&self, bundle: &TraceBundle) -> Result<IoReport, TraceError> {
+        // An inconsistent bundle must fail here, not map streams onto the
+        // wrong slots (the flat index is interpreted modulo nthreads).
+        bundle.validate()?;
         let mut report = IoReport::default();
         let threads: Vec<Vec<u8>> = bundle
             .threads
             .iter()
             .enumerate()
-            .map(|(tid, t)| {
-                let b = codec::encode_thread_trace(t, bundle.scheme, tid as u32).to_vec();
+            .map(|(i, t)| {
+                let (dom, tid) = split_stream_index(i, bundle.nthreads);
+                let b = codec::encode_thread_trace_opt(
+                    t,
+                    bundle.scheme,
+                    tid,
+                    dom_tag(bundle.domains, dom),
+                )
+                .to_vec();
                 report.bytes += b.len() as u64;
                 report.files += 1;
                 b
             })
             .collect();
-        let st = bundle.st.as_ref().map(|st| {
-            let b = codec::encode_st_trace(st).to_vec();
-            report.bytes += b.len() as u64;
-            report.files += 1;
-            b
-        });
+        let st: Vec<Vec<u8>> = bundle
+            .st
+            .iter()
+            .enumerate()
+            .map(|(dom, st)| {
+                let b =
+                    codec::encode_st_trace_opt(st, dom_tag(bundle.domains, dom as u32)).to_vec();
+                report.bytes += b.len() as u64;
+                report.files += 1;
+                b
+            })
+            .collect();
         *self.files.lock() = Some(EncodedBundle {
             scheme: bundle.scheme,
             nthreads: bundle.nthreads,
+            domains: bundle.domains,
             threads,
             st,
         });
@@ -309,29 +379,35 @@ impl TraceStore for MemStore {
         let encoded = self.files.lock().clone().ok_or(TraceError::Empty)?;
         let mut report = IoReport::default();
         let mut threads = Vec::with_capacity(encoded.threads.len());
-        for (expect_tid, bytes) in encoded.threads.iter().enumerate() {
+        for (i, bytes) in encoded.threads.iter().enumerate() {
+            let (dom, tid) = split_stream_index(i, encoded.nthreads);
             report.bytes += bytes.len() as u64;
             report.files += 1;
             let decoded = codec::decode_thread_records(bytes)?;
-            if decoded.scheme != encoded.scheme || decoded.tid != expect_tid as u32 {
+            if decoded.scheme != encoded.scheme
+                || decoded.tid != tid
+                || decoded.domain != dom_tag(encoded.domains, dom)
+            {
                 return Err(TraceError::Corrupt("trace header mismatch".into()));
             }
             report.chunks += decoded.chunks;
             threads.push(decoded.trace);
         }
-        let st = match &encoded.st {
-            Some(bytes) => {
-                report.bytes += bytes.len() as u64;
-                report.files += 1;
-                let decoded = codec::decode_st_records(bytes)?;
-                report.chunks += decoded.chunks;
-                Some(decoded.trace)
+        let mut st = Vec::with_capacity(encoded.st.len());
+        for (dom, bytes) in encoded.st.iter().enumerate() {
+            report.bytes += bytes.len() as u64;
+            report.files += 1;
+            let decoded = codec::decode_st_records(bytes)?;
+            if decoded.domain != dom_tag(encoded.domains, dom as u32) {
+                return Err(TraceError::Corrupt("st stream header mismatch".into()));
             }
-            None => None,
-        };
+            report.chunks += decoded.chunks;
+            st.push(decoded.trace);
+        }
         let bundle = TraceBundle {
             scheme: encoded.scheme,
             nthreads: encoded.nthreads,
+            domains: encoded.domains,
             threads,
             st,
         };
@@ -345,28 +421,51 @@ impl StreamingTraceStore for MemStore {
         &self,
         scheme: Scheme,
         nthreads: u32,
+        domains: u32,
         validated: bool,
     ) -> Result<Box<dyn RecordSink>, TraceError> {
         if nthreads == 0 {
             return Err(TraceError::Corrupt("zero threads".into()));
         }
+        if domains == 0 {
+            return Err(TraceError::Corrupt("zero domains".into()));
+        }
         // Match DirStore semantics: beginning a recording replaces any
         // stored trace immediately, so an aborted recording reads as Empty
         // instead of resurrecting the previous bundle.
         *self.files.lock() = None;
-        let streams = (0..nthreads)
-            .map(|tid| {
-                Mutex::new(
-                    codec::encode_thread_stream_header(scheme, tid, validated, validated).to_vec(),
-                )
-            })
-            .collect();
-        let st = (scheme == Scheme::St)
-            .then(|| Mutex::new(codec::encode_st_stream_header(validated, validated).to_vec()));
+        let mut streams = Vec::with_capacity(domains as usize * nthreads as usize);
+        for dom in 0..domains {
+            for tid in 0..nthreads {
+                let header = codec::encode_thread_stream_header_opt(
+                    scheme,
+                    tid,
+                    dom_tag(domains, dom),
+                    validated,
+                    validated,
+                );
+                streams.push(Mutex::new(header.to_vec()));
+            }
+        }
+        let st = if scheme == Scheme::St {
+            (0..domains)
+                .map(|dom| {
+                    let header = codec::encode_st_stream_header_opt(
+                        dom_tag(domains, dom),
+                        validated,
+                        validated,
+                    );
+                    Mutex::new(header.to_vec())
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(Box::new(MemRecordSink {
             files: Arc::clone(&self.files),
             scheme,
             nthreads,
+            domains,
             validated,
             streams,
             st,
@@ -379,27 +478,38 @@ struct MemRecordSink {
     files: Arc<Mutex<Option<EncodedBundle>>>,
     scheme: Scheme,
     nthreads: u32,
+    domains: u32,
     validated: bool,
+    /// Flat, domain-major streams.
     streams: Vec<Mutex<Vec<u8>>>,
-    st: Option<Mutex<Vec<u8>>>,
+    st: Vec<Mutex<Vec<u8>>>,
     /// Chunks appended so far (mirrors StreamFile's counter; commit must
     /// not have to re-decode everything it just encoded).
     chunks: AtomicU64,
 }
 
+impl MemRecordSink {
+    fn stream_index(&self, dom: u32, tid: u32) -> Result<usize, TraceError> {
+        if dom >= self.domains || tid >= self.nthreads {
+            return Err(TraceError::Corrupt(format!(
+                "no stream for domain {dom} thread {tid}"
+            )));
+        }
+        Ok((dom * self.nthreads + tid) as usize)
+    }
+}
+
 impl RecordSink for MemRecordSink {
     fn append_thread_chunk(
         &self,
+        dom: u32,
         tid: u32,
         values: &[u64],
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
     ) -> Result<u64, TraceError> {
         check_columns(self.validated, sites, kinds)?;
-        let stream = self
-            .streams
-            .get(tid as usize)
-            .ok_or_else(|| TraceError::Corrupt(format!("no stream for thread {tid}")))?;
+        let stream = &self.streams[self.stream_index(dom, tid)?];
         let chunk = codec::encode_thread_chunk(values, sites, kinds);
         stream.lock().extend_from_slice(&chunk);
         self.chunks.fetch_add(1, Ordering::Relaxed);
@@ -408,6 +518,7 @@ impl RecordSink for MemRecordSink {
 
     fn append_st_chunk(
         &self,
+        dom: u32,
         tids: &[u32],
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
@@ -415,8 +526,8 @@ impl RecordSink for MemRecordSink {
         check_columns(self.validated, sites, kinds)?;
         let stream = self
             .st
-            .as_ref()
-            .ok_or_else(|| TraceError::Corrupt("recording has no st stream".into()))?;
+            .get(dom as usize)
+            .ok_or_else(|| TraceError::Corrupt(format!("no st stream for domain {dom}")))?;
         let chunk = codec::encode_st_chunk(tids, sites, kinds);
         stream.lock().extend_from_slice(&chunk);
         self.chunks.fetch_add(1, Ordering::Relaxed);
@@ -435,16 +546,21 @@ impl RecordSink for MemRecordSink {
                 b
             })
             .collect();
-        let st = self.st.map(|s| {
-            let b = s.into_inner();
-            report.bytes += b.len() as u64;
-            report.files += 1;
-            b
-        });
+        let st: Vec<Vec<u8>> = self
+            .st
+            .into_iter()
+            .map(|s| {
+                let b = s.into_inner();
+                report.bytes += b.len() as u64;
+                report.files += 1;
+                b
+            })
+            .collect();
         report.chunks = self.chunks.load(Ordering::Relaxed);
         *self.files.lock() = Some(EncodedBundle {
             scheme: self.scheme,
             nthreads: self.nthreads,
+            domains: self.domains,
             threads,
             st,
         });
@@ -455,22 +571,29 @@ impl RecordSink for MemRecordSink {
 /// One-record-file-per-thread directory store (the paper's layout).
 ///
 /// Layout: `manifest.txt`, `thread_<tid>.rtrc`, and `st.rtrc` for ST
-/// bundles. Per-thread files are written/read by concurrent worker threads
-/// when `parallel_io` is enabled (default), mirroring the parallel-I/O
-/// property §IV-C1 credits to DC/DE recording. See the module docs for the
-/// crash-safety protocol (`*.tmp` + rename, manifest last).
+/// bundles — with a `.d<dom>` infix before the extension for multi-domain
+/// recordings. Per-thread files are written/read by concurrent worker
+/// threads when `parallel_io` is enabled (default), mirroring the
+/// parallel-I/O property §IV-C1 credits to DC/DE recording. See the module
+/// docs for the crash-safety protocol (`*.tmp` + rename, manifest last).
 #[derive(Debug)]
 pub struct DirStore {
     dir: PathBuf,
     parallel_io: bool,
 }
 
-fn thread_file(dir: &Path, tid: u32) -> PathBuf {
-    dir.join(format!("thread_{tid}.rtrc"))
+fn thread_file(dir: &Path, tid: u32, dom: Option<u32>) -> PathBuf {
+    match dom {
+        Some(dom) => dir.join(format!("thread_{tid}.d{dom}.rtrc")),
+        None => dir.join(format!("thread_{tid}.rtrc")),
+    }
 }
 
-fn st_file(dir: &Path) -> PathBuf {
-    dir.join("st.rtrc")
+fn st_file(dir: &Path, dom: Option<u32>) -> PathBuf {
+    match dom {
+        Some(dom) => dir.join(format!("st.d{dom}.rtrc")),
+        None => dir.join("st.rtrc"),
+    }
 }
 
 fn manifest_file(dir: &Path) -> PathBuf {
@@ -518,29 +641,61 @@ fn read_file(path: &Path) -> Result<Vec<u8>, TraceError> {
     Ok(bytes)
 }
 
+/// A parsed record-file name.
+enum RecordFileName {
+    /// `thread_<tid>.rtrc` / `thread_<tid>.d<dom>.rtrc`.
+    Thread { tid: u32, dom: Option<u32> },
+    /// `st.rtrc` / `st.d<dom>.rtrc`.
+    St { dom: Option<u32> },
+}
+
+fn parse_record_name(name: &str) -> Option<RecordFileName> {
+    let stem = name.strip_suffix(".rtrc")?;
+    let (stem, dom) = match stem.rsplit_once(".d") {
+        Some((pre, d)) => match d.parse::<u32>() {
+            Ok(d) => (pre, Some(d)),
+            Err(_) => (stem, None),
+        },
+        None => (stem, None),
+    };
+    if stem == "st" {
+        return Some(RecordFileName::St { dom });
+    }
+    let tid = stem.strip_prefix("thread_")?.parse::<u32>().ok()?;
+    Some(RecordFileName::Thread { tid, dom })
+}
+
 /// Remove everything a completed save must not leave behind: the manifest
 /// first (concurrent readers now see [`TraceError::Empty`] instead of a
-/// half-replaced directory), then per-thread files at or beyond
-/// `keep_threads`, `st.rtrc` unless `keep_st`, and leftover `*.tmp` files
-/// from an interrupted earlier save.
-fn scrub_before_save(dir: &Path, keep_threads: u32, keep_st: bool) -> Result<(), TraceError> {
+/// half-replaced directory), then record files that the new layout —
+/// `keep_threads` threads × `keep_domains` domains, ST iff `keep_st` —
+/// will not overwrite, and leftover `*.tmp` files from an interrupted
+/// earlier save.
+fn scrub_before_save(
+    dir: &Path,
+    keep_threads: u32,
+    keep_domains: u32,
+    keep_st: bool,
+) -> Result<(), TraceError> {
     remove_if_present(&manifest_file(dir))?;
+    // Single-domain layouts use domain-less names; multi-domain layouts
+    // tag every file. A file survives only if the new save will replace it.
+    let keeps = |dom: Option<u32>| match dom {
+        None => keep_domains == 1,
+        Some(d) => keep_domains > 1 && d < keep_domains,
+    };
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
         let stale = if name.ends_with(".tmp") {
             true
-        } else if name == "st.rtrc" {
-            !keep_st
-        } else if let Some(tid) = name
-            .strip_prefix("thread_")
-            .and_then(|s| s.strip_suffix(".rtrc"))
-            .and_then(|s| s.parse::<u32>().ok())
-        {
-            tid >= keep_threads
         } else {
-            false
+            match parse_record_name(name) {
+                Some(RecordFileName::St { dom }) => !(keep_st && keeps(dom)),
+                Some(RecordFileName::Thread { tid, dom }) => !(tid < keep_threads && keeps(dom)),
+                None => false,
+            }
         };
         if stale {
             remove_if_present(&entry.path())?;
@@ -573,28 +728,37 @@ impl DirStore {
         &self.dir
     }
 
-    fn thread_path(&self, tid: u32) -> PathBuf {
-        thread_file(&self.dir, tid)
-    }
-
     fn manifest_path(&self) -> PathBuf {
         manifest_file(&self.dir)
+    }
+
+    fn render_manifest(scheme: Scheme, nthreads: u32, domains: u32, records: u64) -> String {
+        // `domains` is only written for multi-domain recordings so that
+        // single-domain manifests stay byte-identical to the pre-domain
+        // format.
+        let mut text = format!(
+            "reomp-trace v1\nscheme {}\nthreads {nthreads}\n",
+            scheme.name()
+        );
+        if domains > 1 {
+            text.push_str(&format!("domains {domains}\n"));
+        }
+        text.push_str(&format!("records {records}\n"));
+        text
     }
 
     fn save_manifest(
         &self,
         scheme: Scheme,
         nthreads: u32,
+        domains: u32,
         records: u64,
     ) -> Result<u64, TraceError> {
-        let text = format!(
-            "reomp-trace v1\nscheme {}\nthreads {nthreads}\nrecords {records}\n",
-            scheme.name(),
-        );
+        let text = Self::render_manifest(scheme, nthreads, domains, records);
         write_file_atomic(&self.manifest_path(), text.as_bytes())
     }
 
-    fn load_manifest(&self) -> Result<(Scheme, u32, Option<u64>), TraceError> {
+    fn load_manifest(&self) -> Result<(Scheme, u32, u32, Option<u64>), TraceError> {
         let bytes = read_file(&self.manifest_path()).map_err(|e| match e {
             TraceError::Io(ref io) if io.kind() == std::io::ErrorKind::NotFound => {
                 TraceError::Empty
@@ -605,6 +769,7 @@ impl DirStore {
             .map_err(|_| TraceError::Corrupt("manifest is not UTF-8".into()))?;
         let mut scheme = None;
         let mut threads = None;
+        let mut domains = None;
         let mut records = None;
         for (i, line) in text.lines().enumerate() {
             if i == 0 {
@@ -627,6 +792,12 @@ impl DirStore {
                         return Err(TraceError::Corrupt(format!("bad thread count {n:?}")));
                     }
                 }
+                (Some("domains"), Some(n)) => {
+                    domains = n.parse::<u32>().ok().filter(|&d| d > 0);
+                    if domains.is_none() {
+                        return Err(TraceError::Corrupt(format!("bad domain count {n:?}")));
+                    }
+                }
                 (Some("records"), Some(n)) => {
                     records = n.parse::<u64>().ok();
                     if records.is_none() {
@@ -640,7 +811,7 @@ impl DirStore {
             }
         }
         match (scheme, threads) {
-            (Some(s), Some(t)) => Ok((s, t, records)),
+            (Some(s), Some(t)) => Ok((s, t, domains.unwrap_or(1), records)),
             _ => Err(TraceError::Corrupt(
                 "manifest missing scheme/threads".into(),
             )),
@@ -650,24 +821,37 @@ impl DirStore {
 
 impl TraceStore for DirStore {
     fn save(&self, bundle: &TraceBundle) -> Result<IoReport, TraceError> {
+        // An inconsistent bundle must fail here, not clobber other
+        // threads' files (the flat index is interpreted modulo nthreads).
+        bundle.validate()?;
         fs::create_dir_all(&self.dir)?;
         // Invalidate the directory before touching record files; rebuild,
         // then publish the manifest last (see module docs).
-        scrub_before_save(&self.dir, bundle.threads.len() as u32, bundle.st.is_some())?;
+        scrub_before_save(&self.dir, bundle.nthreads, bundle.domains, bundle.is_st())?;
         let mut report = IoReport::default();
 
+        let encode_one = |i: usize, t: &ThreadTrace| -> (PathBuf, bytes::Bytes) {
+            let (dom, tid) = split_stream_index(i, bundle.nthreads);
+            let tag = dom_tag(bundle.domains, dom);
+            let path = thread_file(&self.dir, tid, tag);
+            (
+                path,
+                codec::encode_thread_trace_opt(t, bundle.scheme, tid, tag),
+            )
+        };
+
         if self.parallel_io {
-            // One writer per thread trace — the per-thread parallel I/O the
+            // One writer per stream — the per-thread parallel I/O the
             // paper credits to DC/DE recording (§IV-C1).
             let results: Vec<Result<u64, TraceError>> = std::thread::scope(|s| {
                 let handles: Vec<_> = bundle
                     .threads
                     .iter()
                     .enumerate()
-                    .map(|(tid, t)| {
-                        let path = self.thread_path(tid as u32);
+                    .map(|(i, t)| {
+                        let encode_one = &encode_one;
                         s.spawn(move || {
-                            let bytes = codec::encode_thread_trace(t, bundle.scheme, tid as u32);
+                            let (path, bytes) = encode_one(i, t);
                             write_file_atomic(&path, &bytes)
                         })
                     })
@@ -682,54 +866,65 @@ impl TraceStore for DirStore {
                 report.files += 1;
             }
         } else {
-            for (tid, t) in bundle.threads.iter().enumerate() {
-                let bytes = codec::encode_thread_trace(t, bundle.scheme, tid as u32);
-                report.bytes += write_file_atomic(&self.thread_path(tid as u32), &bytes)?;
+            for (i, t) in bundle.threads.iter().enumerate() {
+                let (path, bytes) = encode_one(i, t);
+                report.bytes += write_file_atomic(&path, &bytes)?;
                 report.files += 1;
             }
         }
 
-        if let Some(st) = &bundle.st {
-            let bytes = codec::encode_st_trace(st);
-            report.bytes += write_file_atomic(&st_file(&self.dir), &bytes)?;
+        for (dom, st) in bundle.st.iter().enumerate() {
+            let tag = dom_tag(bundle.domains, dom as u32);
+            let bytes = codec::encode_st_trace_opt(st, tag);
+            report.bytes += write_file_atomic(&st_file(&self.dir, tag), &bytes)?;
             report.files += 1;
         }
 
-        report.bytes +=
-            self.save_manifest(bundle.scheme, bundle.nthreads, bundle.total_records())?;
+        report.bytes += self.save_manifest(
+            bundle.scheme,
+            bundle.nthreads,
+            bundle.domains,
+            bundle.total_records(),
+        )?;
         report.files += 1;
         sync_dir(&self.dir);
         Ok(report)
     }
 
     fn load(&self) -> Result<(TraceBundle, IoReport), TraceError> {
-        let (scheme, nthreads, records) = self.load_manifest()?;
+        let (scheme, nthreads, domains, records) = self.load_manifest()?;
         let mut report = IoReport {
             bytes: 0,
             files: 1,
             chunks: 0,
         };
 
-        let load_one = |tid: u32| -> Result<(ThreadTrace, u64, u64), TraceError> {
-            let bytes = read_file(&self.thread_path(tid))?;
+        let load_one = |dom: u32, tid: u32| -> Result<(ThreadTrace, u64, u64), TraceError> {
+            let tag = dom_tag(domains, dom);
+            let bytes = read_file(&thread_file(&self.dir, tid, tag))?;
             let n = bytes.len() as u64;
             let decoded = codec::decode_thread_records(&bytes)?;
-            if decoded.scheme != scheme || decoded.tid != tid {
+            if decoded.scheme != scheme || decoded.tid != tid || decoded.domain != tag {
                 return Err(TraceError::Corrupt(format!(
-                    "thread file {tid}: header says scheme {} tid {}",
+                    "thread file {tid} (domain {dom}): header says scheme {} tid {} domain {:?}",
                     decoded.scheme.name(),
-                    decoded.tid
+                    decoded.tid,
+                    decoded.domain
                 )));
             }
             Ok((decoded.trace, n, decoded.chunks))
         };
 
-        let mut threads = Vec::with_capacity(nthreads as usize);
+        let streams: Vec<(u32, u32)> = (0..domains)
+            .flat_map(|dom| (0..nthreads).map(move |tid| (dom, tid)))
+            .collect();
+        let mut threads = Vec::with_capacity(streams.len());
         if self.parallel_io {
             let results: Vec<Result<(ThreadTrace, u64, u64), TraceError>> =
                 std::thread::scope(|s| {
-                    let handles: Vec<_> = (0..nthreads)
-                        .map(|tid| s.spawn(move || load_one(tid)))
+                    let handles: Vec<_> = streams
+                        .iter()
+                        .map(|&(dom, tid)| s.spawn(move || load_one(dom, tid)))
                         .collect();
                     handles
                         .into_iter()
@@ -744,8 +939,8 @@ impl TraceStore for DirStore {
                 threads.push(t);
             }
         } else {
-            for tid in 0..nthreads {
-                let (t, n, c) = load_one(tid)?;
+            for &(dom, tid) in &streams {
+                let (t, n, c) = load_one(dom, tid)?;
                 report.bytes += n;
                 report.files += 1;
                 report.chunks += c;
@@ -753,20 +948,29 @@ impl TraceStore for DirStore {
             }
         }
 
-        let st = if scheme == Scheme::St {
-            let bytes = read_file(&st_file(&self.dir))?;
-            report.bytes += bytes.len() as u64;
-            report.files += 1;
-            let decoded = codec::decode_st_records(&bytes)?;
-            report.chunks += decoded.chunks;
-            Some(decoded.trace)
-        } else {
-            None
-        };
+        let mut st = Vec::new();
+        if scheme == Scheme::St {
+            for dom in 0..domains {
+                let tag = dom_tag(domains, dom);
+                let bytes = read_file(&st_file(&self.dir, tag))?;
+                report.bytes += bytes.len() as u64;
+                report.files += 1;
+                let decoded = codec::decode_st_records(&bytes)?;
+                if decoded.domain != tag {
+                    return Err(TraceError::Corrupt(format!(
+                        "st stream (domain {dom}): header says domain {:?}",
+                        decoded.domain
+                    )));
+                }
+                report.chunks += decoded.chunks;
+                st.push(decoded.trace);
+            }
+        }
 
         let bundle = TraceBundle {
             scheme,
             nthreads,
+            domains,
             threads,
             st,
         };
@@ -791,34 +995,48 @@ impl StreamingTraceStore for DirStore {
         &self,
         scheme: Scheme,
         nthreads: u32,
+        domains: u32,
         validated: bool,
     ) -> Result<Box<dyn RecordSink>, TraceError> {
         if nthreads == 0 {
             return Err(TraceError::Corrupt("zero threads".into()));
         }
+        if domains == 0 {
+            return Err(TraceError::Corrupt("zero domains".into()));
+        }
         fs::create_dir_all(&self.dir)?;
-        scrub_before_save(&self.dir, nthreads, scheme == Scheme::St)?;
-        let mut threads = Vec::with_capacity(nthreads as usize);
-        for tid in 0..nthreads {
-            let header = codec::encode_thread_stream_header(scheme, tid, validated, validated);
-            threads.push(Mutex::new(StreamFile::create(
-                &self.thread_path(tid),
-                &header,
-            )?));
+        scrub_before_save(&self.dir, nthreads, domains, scheme == Scheme::St)?;
+        let mut threads = Vec::with_capacity(domains as usize * nthreads as usize);
+        for dom in 0..domains {
+            for tid in 0..nthreads {
+                let tag = dom_tag(domains, dom);
+                let header =
+                    codec::encode_thread_stream_header_opt(scheme, tid, tag, validated, validated);
+                threads.push(Mutex::new(StreamFile::create(
+                    &thread_file(&self.dir, tid, tag),
+                    &header,
+                )?));
+            }
         }
         let st = if scheme == Scheme::St {
-            let header = codec::encode_st_stream_header(validated, validated);
-            Some(Mutex::new(StreamFile::create(
-                &st_file(&self.dir),
-                &header,
-            )?))
+            let mut st = Vec::with_capacity(domains as usize);
+            for dom in 0..domains {
+                let tag = dom_tag(domains, dom);
+                let header = codec::encode_st_stream_header_opt(tag, validated, validated);
+                st.push(Mutex::new(StreamFile::create(
+                    &st_file(&self.dir, tag),
+                    &header,
+                )?));
+            }
+            st
         } else {
-            None
+            Vec::new()
         };
         Ok(Box::new(DirRecordSink {
             dir: self.dir.clone(),
             scheme,
             nthreads,
+            domains,
             validated,
             threads,
             st,
@@ -832,7 +1050,12 @@ impl StreamingTraceStore for DirStore {
         records_per_chunk: usize,
     ) -> Result<IoReport, TraceError> {
         bundle.validate()?;
-        let sink = self.begin_record(bundle.scheme, bundle.nthreads, bundle.has_validation())?;
+        let sink = self.begin_record(
+            bundle.scheme,
+            bundle.nthreads,
+            bundle.domains,
+            bundle.has_validation(),
+        )?;
         if self.parallel_io {
             // Same per-thread I/O parallelism as the one-shot save: every
             // stream has its own lock, so appenders do not contend.
@@ -842,8 +1065,9 @@ impl StreamingTraceStore for DirStore {
                     .threads
                     .iter()
                     .enumerate()
-                    .map(|(tid, t)| {
-                        s.spawn(move || stream_thread_trace(sink, tid as u32, t, records_per_chunk))
+                    .map(|(i, t)| {
+                        let (dom, tid) = split_stream_index(i, bundle.nthreads);
+                        s.spawn(move || stream_thread_trace(sink, dom, tid, t, records_per_chunk))
                     })
                     .collect();
                 handles
@@ -855,12 +1079,13 @@ impl StreamingTraceStore for DirStore {
                 r?;
             }
         } else {
-            for (tid, t) in bundle.threads.iter().enumerate() {
-                stream_thread_trace(&*sink, tid as u32, t, records_per_chunk)?;
+            for (i, t) in bundle.threads.iter().enumerate() {
+                let (dom, tid) = split_stream_index(i, bundle.nthreads);
+                stream_thread_trace(&*sink, dom, tid, t, records_per_chunk)?;
             }
         }
-        if let Some(st) = &bundle.st {
-            stream_st_trace(&*sink, st, records_per_chunk)?;
+        for (dom, st) in bundle.st.iter().enumerate() {
+            stream_st_trace(&*sink, dom as u32, st, records_per_chunk)?;
         }
         sink.commit(bundle.total_records())
     }
@@ -918,31 +1143,38 @@ struct DirRecordSink {
     dir: PathBuf,
     scheme: Scheme,
     nthreads: u32,
+    domains: u32,
     validated: bool,
+    /// Flat, domain-major streams.
     threads: Vec<Mutex<StreamFile>>,
-    st: Option<Mutex<StreamFile>>,
+    /// Per-domain ST streams (empty for non-ST).
+    st: Vec<Mutex<StreamFile>>,
     committed: AtomicBool,
 }
 
 impl RecordSink for DirRecordSink {
     fn append_thread_chunk(
         &self,
+        dom: u32,
         tid: u32,
         values: &[u64],
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
     ) -> Result<u64, TraceError> {
         check_columns(self.validated, sites, kinds)?;
-        let stream = self
-            .threads
-            .get(tid as usize)
-            .ok_or_else(|| TraceError::Corrupt(format!("no stream for thread {tid}")))?;
+        if dom >= self.domains || tid >= self.nthreads {
+            return Err(TraceError::Corrupt(format!(
+                "no stream for domain {dom} thread {tid}"
+            )));
+        }
+        let stream = &self.threads[(dom * self.nthreads + tid) as usize];
         let chunk = codec::encode_thread_chunk(values, sites, kinds);
         stream.lock().append(&chunk)
     }
 
     fn append_st_chunk(
         &self,
+        dom: u32,
         tids: &[u32],
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
@@ -950,22 +1182,15 @@ impl RecordSink for DirRecordSink {
         check_columns(self.validated, sites, kinds)?;
         let stream = self
             .st
-            .as_ref()
-            .ok_or_else(|| TraceError::Corrupt("recording has no st stream".into()))?;
+            .get(dom as usize)
+            .ok_or_else(|| TraceError::Corrupt(format!("no st stream for domain {dom}")))?;
         let chunk = codec::encode_st_chunk(tids, sites, kinds);
         stream.lock().append(&chunk)
     }
 
     fn commit(self: Box<Self>, total_records: u64) -> Result<IoReport, TraceError> {
         let mut report = IoReport::default();
-        for stream in &self.threads {
-            let mut s = stream.lock();
-            s.publish()?;
-            report.bytes += s.bytes;
-            report.chunks += s.chunks;
-            report.files += 1;
-        }
-        if let Some(stream) = &self.st {
+        for stream in self.threads.iter().chain(self.st.iter()) {
             let mut s = stream.lock();
             s.publish()?;
             report.bytes += s.bytes;
@@ -973,11 +1198,8 @@ impl RecordSink for DirRecordSink {
             report.files += 1;
         }
         // Manifest last: only now does the directory become loadable.
-        let text = format!(
-            "reomp-trace v1\nscheme {}\nthreads {}\nrecords {total_records}\n",
-            self.scheme.name(),
-            self.nthreads,
-        );
+        let text =
+            DirStore::render_manifest(self.scheme, self.nthreads, self.domains, total_records);
         report.bytes += write_file_atomic(&manifest_file(&self.dir), text.as_bytes())?;
         report.files += 1;
         sync_dir(&self.dir);
@@ -1019,11 +1241,15 @@ mod tests {
                 kinds: Some(vec![0, 0, 1]),
             },
         ];
-        let st = (scheme == Scheme::St).then(|| StTrace {
-            tids: vec![0, 1, 0, 1, 1, 0],
-            sites: Some(vec![10; 6]),
-            kinds: Some(vec![3; 6]),
-        });
+        let st = if scheme == Scheme::St {
+            vec![StTrace {
+                tids: vec![0, 1, 0, 1, 1, 0],
+                sites: Some(vec![10; 6]),
+                kinds: Some(vec![3; 6]),
+            }]
+        } else {
+            vec![]
+        };
         // ST bundles keep empty per-thread traces; like session-assembled
         // bundles, their validation columns are present-but-empty.
         let threads = if scheme == Scheme::St {
@@ -1039,8 +1265,51 @@ mod tests {
         TraceBundle {
             scheme,
             nthreads: 2,
+            domains: 1,
             threads,
             st,
+        }
+    }
+
+    /// A 2-thread × 2-domain bundle for every scheme.
+    fn sample_multi_domain(scheme: Scheme) -> TraceBundle {
+        let mk = |values: Vec<u64>| ThreadTrace {
+            sites: Some(vec![10; values.len()]),
+            kinds: Some(vec![0; values.len()]),
+            values,
+        };
+        if scheme == Scheme::St {
+            let empty = ThreadTrace {
+                values: vec![],
+                sites: Some(vec![]),
+                kinds: Some(vec![]),
+            };
+            TraceBundle {
+                scheme,
+                nthreads: 2,
+                domains: 2,
+                threads: vec![empty.clone(), empty.clone(), empty.clone(), empty],
+                st: vec![
+                    StTrace {
+                        tids: vec![0, 1, 0],
+                        sites: Some(vec![10; 3]),
+                        kinds: Some(vec![3; 3]),
+                    },
+                    StTrace {
+                        tids: vec![1, 1],
+                        sites: Some(vec![11; 2]),
+                        kinds: Some(vec![3; 2]),
+                    },
+                ],
+            }
+        } else {
+            TraceBundle {
+                scheme,
+                nthreads: 2,
+                domains: 2,
+                threads: vec![mk(vec![0, 2]), mk(vec![1]), mk(vec![1, 2]), mk(vec![0])],
+                st: vec![],
+            }
         }
     }
 
@@ -1069,8 +1338,47 @@ mod tests {
     }
 
     #[test]
+    fn memstore_multi_domain_roundtrip() {
+        for scheme in [Scheme::St, Scheme::Dc, Scheme::De] {
+            let store = MemStore::new();
+            let bundle = sample_multi_domain(scheme);
+            bundle.validate().unwrap();
+            store.save(&bundle).unwrap();
+            let (back, _) = store.load().unwrap();
+            assert_eq!(back, bundle, "{scheme:?}");
+            // And the chunked path too.
+            let report = store.save_chunked(&bundle, 2).unwrap();
+            assert!(report.chunks > 0, "{scheme:?}");
+            let (back, _) = store.load().unwrap();
+            assert_eq!(back, bundle, "{scheme:?} chunked");
+        }
+    }
+
+    #[test]
     fn memstore_empty_load_fails() {
         assert!(matches!(MemStore::new().load(), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn save_rejects_inconsistent_bundles() {
+        // A bundle whose thread count lies about its stream vector must be
+        // rejected up front: the flat stream index is interpreted modulo
+        // nthreads, so writing it out would silently clobber another
+        // thread's file instead of leaving an orphan.
+        let mut bad = sample_bundle(Scheme::Dc);
+        bad.threads.push(ThreadTrace {
+            values: vec![6],
+            sites: Some(vec![1]),
+            kinds: Some(vec![0]),
+        });
+        assert!(MemStore::new().save(&bad).is_err());
+        let dir = tempdir("badsave");
+        assert!(DirStore::new(&dir).save(&bad).is_err());
+        assert!(
+            !dir.join("manifest.txt").exists(),
+            "nothing may be published for a rejected bundle"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1111,26 +1419,83 @@ mod tests {
     }
 
     #[test]
-    fn dirstore_chunked_save_loads_identical_bundle() {
+    fn dirstore_multi_domain_layout_and_roundtrip() {
+        for scheme in [Scheme::St, Scheme::Dc, Scheme::De] {
+            let dir = tempdir(&format!("md-{}", scheme.name()));
+            let store = DirStore::new(&dir);
+            let bundle = sample_multi_domain(scheme);
+            store.save(&bundle).unwrap();
+            // Domain-tagged files on disk, no legacy names.
+            assert!(dir.join("thread_0.d0.rtrc").exists());
+            assert!(dir.join("thread_1.d1.rtrc").exists());
+            assert!(!dir.join("thread_0.rtrc").exists());
+            assert_eq!(dir.join("st.d0.rtrc").exists(), scheme == Scheme::St);
+            assert_eq!(dir.join("st.d1.rtrc").exists(), scheme == Scheme::St);
+            let manifest = fs::read_to_string(dir.join("manifest.txt")).unwrap();
+            assert!(manifest.contains("domains 2"), "{manifest}");
+            let (back, _) = store.load().unwrap();
+            assert_eq!(back, bundle, "{scheme:?}");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn dirstore_multi_domain_chunked_roundtrip() {
         for parallel in [true, false] {
             for scheme in [Scheme::St, Scheme::Dc, Scheme::De] {
-                let dir = tempdir(&format!("ck-{parallel}-{}", scheme.name()));
+                let dir = tempdir(&format!("mdc-{parallel}-{}", scheme.name()));
                 let store = DirStore::new(&dir).with_parallel_io(parallel);
-                let bundle = sample_bundle(scheme);
-
-                // Reference: the one-shot save of the same bundle.
-                store.save(&bundle).unwrap();
-                let (one_shot, _) = store.load().unwrap();
-
-                let report = store.save_chunked(&bundle, 2).unwrap();
+                let bundle = sample_multi_domain(scheme);
+                let report = store.save_chunked(&bundle, 1).unwrap();
                 assert!(report.chunks > 0);
-                let (back, loaded) = store.load().unwrap();
+                let (back, _) = store.load().unwrap();
                 assert_eq!(back, bundle, "{scheme:?}");
-                assert_eq!(back, one_shot, "{scheme:?}: chunked ≡ one-shot");
-                assert_eq!(loaded.chunks, report.chunks);
                 fs::remove_dir_all(&dir).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn single_domain_save_is_byte_identical_to_legacy_layout() {
+        // The D = 1 on-disk format must not change: domain-less file
+        // names, no FLAG_DOMAINS headers, no `domains` manifest line.
+        let dir = tempdir("legacy");
+        let store = DirStore::new(&dir);
+        let bundle = sample_bundle(Scheme::Dc);
+        store.save(&bundle).unwrap();
+        let manifest = fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        assert_eq!(
+            manifest,
+            "reomp-trace v1\nscheme dc\nthreads 2\nrecords 6\n"
+        );
+        for tid in 0..2u32 {
+            let on_disk = fs::read(dir.join(format!("thread_{tid}.rtrc"))).unwrap();
+            let expect = codec::encode_thread_trace(&bundle.threads[tid as usize], Scheme::Dc, tid);
+            assert_eq!(on_disk, expect.to_vec(), "thread {tid} bytes");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_directory_without_domains_line_loads_as_one_domain() {
+        // Simulate a pre-domain trace directory written by an old version:
+        // legacy file names + a manifest without the domains key.
+        let dir = tempdir("olddir");
+        fs::create_dir_all(&dir).unwrap();
+        let bundle = sample_bundle(Scheme::De);
+        for (tid, t) in bundle.threads.iter().enumerate() {
+            let bytes = codec::encode_thread_trace(t, Scheme::De, tid as u32);
+            fs::write(dir.join(format!("thread_{tid}.rtrc")), &bytes).unwrap();
+        }
+        fs::write(
+            dir.join("manifest.txt"),
+            "reomp-trace v1\nscheme de\nthreads 2\nrecords 6\n",
+        )
+        .unwrap();
+        let (back, _) = DirStore::new(&dir).load().unwrap();
+        assert_eq!(back.domains, 1);
+        assert_eq!(back, bundle);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -1156,6 +1521,23 @@ mod tests {
     }
 
     #[test]
+    fn dirstore_detects_domain_header_mismatch() {
+        let dir = tempdir("domswap");
+        let store = DirStore::new(&dir);
+        store.save(&sample_multi_domain(Scheme::Dc)).unwrap();
+        // Swap thread 0's two domain files: headers no longer match names.
+        let a = dir.join("thread_0.d0.rtrc");
+        let b = dir.join("thread_0.d1.rtrc");
+        let tmp = dir.join("tmp");
+        fs::rename(&a, &tmp).unwrap();
+        fs::rename(&b, &a).unwrap();
+        fs::rename(&tmp, &b).unwrap();
+        let err = store.load().unwrap_err();
+        assert!(err.to_string().contains("domain"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn dirstore_rejects_corrupt_manifest() {
         let dir = tempdir("manifest");
         let store = DirStore::new(&dir);
@@ -1168,6 +1550,12 @@ mod tests {
         )
         .unwrap();
         assert!(store.load().is_err());
+        fs::write(
+            dir.join("manifest.txt"),
+            "reomp-trace v1\nscheme de\nthreads 2\ndomains 0\n",
+        )
+        .unwrap();
+        assert!(store.load().is_err(), "zero domains is corrupt");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1193,6 +1581,7 @@ mod tests {
         let wide = TraceBundle {
             scheme: Scheme::Dc,
             nthreads: 4,
+            domains: 1,
             threads: (0..4u64)
                 .map(|t| ThreadTrace {
                     values: vec![t],
@@ -1200,7 +1589,7 @@ mod tests {
                     kinds: None,
                 })
                 .collect(),
-            st: None,
+            st: vec![],
         };
         store.save(&wide).unwrap();
         assert!(dir.join("thread_3.rtrc").exists());
@@ -1216,6 +1605,32 @@ mod tests {
         assert!(!dir.join("st.rtrc").exists(), "stale st stream removed");
         let (back, _) = store.load().unwrap();
         assert_eq!(back, sample_bundle(Scheme::De));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_scrubs_stale_domain_files_across_layout_changes() {
+        let dir = tempdir("domscrub");
+        let store = DirStore::new(&dir);
+
+        // Multi-domain run first.
+        store.save(&sample_multi_domain(Scheme::Dc)).unwrap();
+        assert!(dir.join("thread_0.d1.rtrc").exists());
+
+        // Single-domain run reusing the directory: every domain-tagged
+        // file must be scrubbed, otherwise a later multi-domain load could
+        // mix runs.
+        store.save(&sample_bundle(Scheme::Dc)).unwrap();
+        assert!(!dir.join("thread_0.d0.rtrc").exists(), "stale domain file");
+        assert!(!dir.join("thread_0.d1.rtrc").exists(), "stale domain file");
+        assert!(dir.join("thread_0.rtrc").exists());
+        store.load().unwrap();
+
+        // And back to multi-domain: legacy names must be scrubbed.
+        store.save(&sample_multi_domain(Scheme::St)).unwrap();
+        assert!(!dir.join("thread_0.rtrc").exists(), "stale legacy file");
+        assert!(dir.join("st.d1.rtrc").exists());
+        store.load().unwrap();
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1252,8 +1667,8 @@ mod tests {
         // A committed first recording, then an aborted second one.
         store.save_chunked(&sample_bundle(Scheme::Dc), 2).unwrap();
         {
-            let sink = store.begin_record(Scheme::Dc, 2, true).unwrap();
-            sink.append_thread_chunk(0, &[7], Some(&[1]), Some(&[0]))
+            let sink = store.begin_record(Scheme::Dc, 2, 1, true).unwrap();
+            sink.append_thread_chunk(0, 0, &[7], Some(&[1]), Some(&[0]))
                 .unwrap();
             // Dropped without commit: simulated kill mid-recording.
         }
@@ -1277,8 +1692,8 @@ mod tests {
         let store = MemStore::new();
         store.save(&sample_bundle(Scheme::Dc)).unwrap();
         {
-            let sink = store.begin_record(Scheme::Dc, 2, true).unwrap();
-            sink.append_thread_chunk(0, &[7], Some(&[1]), Some(&[0]))
+            let sink = store.begin_record(Scheme::Dc, 2, 1, true).unwrap();
+            sink.append_thread_chunk(0, 0, &[7], Some(&[1]), Some(&[0]))
                 .unwrap();
             // Dropped without commit.
         }
@@ -1321,9 +1736,9 @@ mod tests {
     fn sink_writer_handles_roundtrip() {
         let dir = tempdir("writers");
         let store = DirStore::new(&dir);
-        let sink = store.begin_record(Scheme::Dc, 2, false).unwrap();
-        let w0 = sink.thread_writer(0);
-        let w1 = sink.thread_writer(1);
+        let sink = store.begin_record(Scheme::Dc, 2, 1, false).unwrap();
+        let w0 = sink.thread_writer(0, 0);
+        let w1 = sink.thread_writer(0, 1);
         w0.append(&[0, 2], None, None).unwrap();
         w1.append(&[1], None, None).unwrap();
         w1.append(&[3], None, None).unwrap();
@@ -1336,14 +1751,18 @@ mod tests {
     }
 
     #[test]
-    fn sink_rejects_mismatched_columns() {
+    fn sink_rejects_mismatched_columns_and_bad_streams() {
         let store = MemStore::new();
-        let sink = store.begin_record(Scheme::Dc, 1, true).unwrap();
-        assert!(sink.append_thread_chunk(0, &[1], None, None).is_err());
-        let sink = store.begin_record(Scheme::Dc, 1, false).unwrap();
+        let sink = store.begin_record(Scheme::Dc, 1, 1, true).unwrap();
+        assert!(sink.append_thread_chunk(0, 0, &[1], None, None).is_err());
+        let sink = store.begin_record(Scheme::Dc, 1, 2, false).unwrap();
         assert!(sink
-            .append_thread_chunk(0, &[1], Some(&[1]), Some(&[0]))
+            .append_thread_chunk(0, 0, &[1], Some(&[1]), Some(&[0]))
             .is_err());
+        // Out-of-range domain/thread is an error, not a panic.
+        assert!(sink.append_thread_chunk(2, 0, &[1], None, None).is_err());
+        assert!(sink.append_thread_chunk(0, 1, &[1], None, None).is_err());
+        assert!(sink.append_st_chunk(0, &[0], None, None).is_err());
     }
 
     #[test]

@@ -57,12 +57,22 @@ impl BatonLock {
                 .is_ok()
     }
 
-    /// Release the baton. May be called by any thread; callers must ensure
-    /// the baton is actually held (checked in debug builds).
+    /// Release the baton. May be called by any thread (that is the point of
+    /// a baton), but the baton must actually be held.
+    ///
+    /// # Panics
+    /// Panics — in **all** build profiles — when the baton is already free.
+    /// A double release would silently corrupt the ST replay hand-off (two
+    /// threads could both win `try_acquire` and publish conflicting
+    /// `next_tid` values), so it is a protocol violation, not a recoverable
+    /// condition. The check is a `swap`, not a load-then-store, so two
+    /// racing releases cannot both observe "held".
     #[inline]
     pub fn release(&self) {
-        debug_assert!(self.locked.load(Ordering::Relaxed), "releasing free baton");
-        self.locked.store(false, Ordering::Release);
+        assert!(
+            self.locked.swap(false, Ordering::Release),
+            "BatonLock::release called on a baton that is not held (double release)"
+        );
     }
 
     /// Whether the baton is currently held.
@@ -235,6 +245,22 @@ mod tests {
         b.release();
         assert!(!b.is_locked());
         assert!(b.try_acquire());
+        b.release();
+    }
+
+    #[test]
+    fn baton_double_release_panics_in_all_builds() {
+        // Regression: this used to be a `debug_assert!` on a separate load,
+        // so release builds silently cleared an already-free baton and ST
+        // replay could hand the baton to two readers at once.
+        let b = BatonLock::new();
+        assert!(b.try_acquire());
+        b.release();
+        let err = std::panic::catch_unwind(|| b.release());
+        assert!(err.is_err(), "double release must panic, not corrupt state");
+        // The poisoned release did not re-lock the baton.
+        assert!(!b.is_locked());
+        assert!(b.try_acquire(), "baton still usable after the panic");
         b.release();
     }
 

@@ -8,6 +8,18 @@
 //!
 //! Traces optionally carry the [`SiteId`] and [`AccessKind`] of every
 //! access ("validated" traces) so replay divergence can be detected.
+//!
+//! # Gate domains
+//!
+//! A bundle recorded with `D` *gate domains* (see
+//! [`SessionConfig::domains`](crate::session::SessionConfig::domains))
+//! holds one independent order stream **per domain**: sites are statically
+//! partitioned across domains, each domain runs its own gate lock and
+//! clock, and ordering is only recorded *within* a domain. The layout is
+//! flat and domain-major: `threads[dom * nthreads + tid]` is thread `tid`'s
+//! stream in domain `dom`, and `st[dom]` is domain `dom`'s shared ST
+//! stream. With `D = 1` (the default) this degenerates to exactly the
+//! classic single-gate layout — `threads[tid]` indexes as before.
 
 use crate::error::TraceError;
 use crate::session::Scheme;
@@ -132,83 +144,138 @@ pub struct TraceBundle {
     pub scheme: Scheme,
     /// Number of threads in the recorded run.
     pub nthreads: u32,
-    /// Per-thread streams (empty traces for ST, which uses `st`).
+    /// Number of gate domains (`1` = classic single-gate recording).
+    pub domains: u32,
+    /// Per-domain per-thread streams, flat and domain-major: index
+    /// `dom * nthreads + tid`. Empty traces for ST, which uses `st`.
     pub threads: Vec<ThreadTrace>,
-    /// The shared ST stream (present iff `scheme == Scheme::St`).
-    pub st: Option<StTrace>,
+    /// Shared ST streams, one per domain (non-empty iff
+    /// `scheme == Scheme::St`).
+    pub st: Vec<StTrace>,
 }
 
 impl TraceBundle {
+    /// Thread `tid`'s stream in domain `dom`.
+    ///
+    /// # Panics
+    /// Panics when `dom >= domains` or `tid >= nthreads`.
+    #[must_use]
+    pub fn thread(&self, dom: u32, tid: u32) -> &ThreadTrace {
+        assert!(dom < self.domains && tid < self.nthreads);
+        &self.threads[(dom * self.nthreads + tid) as usize]
+    }
+
+    /// Domain `dom`'s shared ST stream, if this is an ST bundle.
+    #[must_use]
+    pub fn st_stream(&self, dom: u32) -> Option<&StTrace> {
+        self.st.get(dom as usize)
+    }
+
+    /// Whether this bundle uses the shared-stream (ST) layout.
+    #[must_use]
+    pub fn is_st(&self) -> bool {
+        !self.st.is_empty()
+    }
+
     /// Structural consistency check; run after decoding and before replay.
     pub fn validate(&self) -> Result<(), TraceError> {
         if self.nthreads == 0 {
             return Err(TraceError::Corrupt("zero threads".into()));
         }
-        if self.threads.len() != self.nthreads as usize {
+        if self.domains == 0 {
+            return Err(TraceError::Corrupt("zero domains".into()));
+        }
+        let expect = self.domains as usize * self.nthreads as usize;
+        if self.threads.len() != expect {
             return Err(TraceError::Corrupt(format!(
-                "{} thread traces for {} threads",
+                "{} thread traces for {} threads × {} domains",
                 self.threads.len(),
-                self.nthreads
+                self.nthreads,
+                self.domains
             )));
         }
-        match (self.scheme, &self.st) {
-            (Scheme::St, None) => {
-                return Err(TraceError::Corrupt("ST bundle without st stream".into()))
+        match (self.scheme, self.st.len()) {
+            (Scheme::St, n) if n != self.domains as usize => {
+                return Err(TraceError::Corrupt(format!(
+                    "ST bundle with {n} st streams for {} domains",
+                    self.domains
+                )))
             }
-            (Scheme::St, Some(st)) => st.check(self.nthreads)?,
-            (_, Some(_)) => return Err(TraceError::Corrupt("non-ST bundle with st stream".into())),
-            (_, None) => {}
+            (Scheme::St, _) => {
+                for st in &self.st {
+                    st.check(self.nthreads)?;
+                }
+            }
+            (_, 0) => {}
+            (_, _) => return Err(TraceError::Corrupt("non-ST bundle with st stream".into())),
         }
         for (i, t) in self.threads.iter().enumerate() {
-            t.check(&format!("thread {i}"))?;
+            let (dom, tid) = (i / self.nthreads as usize, i % self.nthreads as usize);
+            t.check(&format!("domain {dom} thread {tid}"))?;
         }
         if self.scheme == Scheme::Dc {
-            // DC clocks across all threads must be a permutation of 0..n.
-            let mut clocks: Vec<u64> = self
-                .threads
-                .iter()
-                .flat_map(|t| t.values.iter().copied())
-                .collect();
-            clocks.sort_unstable();
-            for (expect, got) in clocks.iter().enumerate() {
-                if *got != expect as u64 {
-                    return Err(TraceError::Corrupt(format!(
-                        "DC clocks are not a permutation of 0..{} (found {got} at rank {expect})",
-                        clocks.len()
-                    )));
+            // DC clocks are per-domain: within each domain, the clocks
+            // across all threads must be a permutation of 0..n_d (clock
+            // contiguity is a *domain* property — domains tick
+            // independently).
+            for (dom, chunk) in self.threads.chunks(self.nthreads as usize).enumerate() {
+                let mut clocks: Vec<u64> = chunk
+                    .iter()
+                    .flat_map(|t| t.values.iter().copied())
+                    .collect();
+                clocks.sort_unstable();
+                for (expect, got) in clocks.iter().enumerate() {
+                    if *got != expect as u64 {
+                        return Err(TraceError::Corrupt(format!(
+                            "domain {dom}: DC clocks are not a permutation of 0..{} \
+                             (found {got} at rank {expect})",
+                            clocks.len()
+                        )));
+                    }
                 }
             }
         }
         Ok(())
     }
 
-    /// Total recorded accesses across all streams.
+    /// Total recorded accesses across all streams and domains.
     #[must_use]
     pub fn total_records(&self) -> u64 {
-        match &self.st {
-            Some(st) => st.len() as u64,
-            None => self.threads.iter().map(|t| t.len() as u64).sum(),
+        if self.is_st() {
+            self.st.iter().map(|st| st.len() as u64).sum()
+        } else {
+            self.threads.iter().map(|t| t.len() as u64).sum()
         }
     }
 
     /// Whether the bundle carries per-access validation columns.
     #[must_use]
     pub fn has_validation(&self) -> bool {
-        match &self.st {
-            Some(st) => st.sites.is_some(),
-            None => self.threads.iter().all(|t| t.sites.is_some()),
+        if self.is_st() {
+            self.st.iter().all(|st| st.sites.is_some())
+        } else {
+            self.threads.iter().all(|t| t.sites.is_some())
         }
     }
 
     /// Reconstruct the global access order as `(clock, thread)` pairs
     /// (DC/DE bundles only; DE orders ties by epoch then arbitrarily).
     /// Used by analysis tooling and tests.
+    ///
+    /// For multi-domain bundles the result interleaves all domains by raw
+    /// clock value; clocks in *different* domains are independent counters,
+    /// so the interleaving is only meaningful per domain.
     #[must_use]
     pub fn global_order(&self) -> Vec<(u64, u32)> {
         let mut out: Vec<(u64, u32)> = Vec::with_capacity(self.total_records() as usize);
-        for (tid, t) in self.threads.iter().enumerate() {
+        let nthreads = self.nthreads.max(1) as usize;
+        for (i, t) in self.threads.iter().enumerate() {
+            // The thread index is recovered modulo `nthreads`, never by a
+            // raw `as u32` narrowing: the flat index can exceed u32 range
+            // before validation, and the modulus is what the layout means.
+            let tid = (i % nthreads) as u32;
             for &v in &t.values {
-                out.push((v, tid as u32));
+                out.push((v, tid));
             }
         }
         out.sort_unstable();
@@ -224,6 +291,7 @@ mod tests {
         TraceBundle {
             scheme: Scheme::Dc,
             nthreads: 2,
+            domains: 1,
             threads: vec![
                 ThreadTrace {
                     values: vec![0, 3],
@@ -236,7 +304,41 @@ mod tests {
                     kinds: Some(vec![0, 0]),
                 },
             ],
-            st: None,
+            st: vec![],
+        }
+    }
+
+    /// Two domains, each an independent DC clock permutation.
+    fn dc_bundle_two_domains() -> TraceBundle {
+        TraceBundle {
+            scheme: Scheme::Dc,
+            nthreads: 2,
+            domains: 2,
+            threads: vec![
+                // domain 0
+                ThreadTrace {
+                    values: vec![0, 2],
+                    sites: None,
+                    kinds: None,
+                },
+                ThreadTrace {
+                    values: vec![1],
+                    sites: None,
+                    kinds: None,
+                },
+                // domain 1
+                ThreadTrace {
+                    values: vec![1],
+                    sites: None,
+                    kinds: None,
+                },
+                ThreadTrace {
+                    values: vec![0],
+                    sites: None,
+                    kinds: None,
+                },
+            ],
+            st: vec![],
         }
     }
 
@@ -256,26 +358,71 @@ mod tests {
     }
 
     #[test]
+    fn multi_domain_dc_clocks_are_checked_per_domain() {
+        let b = dc_bundle_two_domains();
+        b.validate().unwrap();
+        assert_eq!(b.total_records(), 5);
+        assert_eq!(b.thread(0, 0).values, vec![0, 2]);
+        assert_eq!(b.thread(1, 1).values, vec![0]);
+
+        // Clock 1 appearing twice in *one* domain is corrupt even though
+        // the multiset over all domains would still look like a run.
+        let mut bad = dc_bundle_two_domains();
+        bad.threads[3].values = vec![1];
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("domain 1"), "{err}");
+    }
+
+    #[test]
+    fn domain_thread_count_mismatch_detected() {
+        let mut b = dc_bundle_two_domains();
+        b.threads.pop();
+        assert!(b.validate().is_err());
+        let mut b = dc_bundle();
+        b.domains = 0;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
     fn st_bundle_requires_stream_and_valid_tids() {
         let b = TraceBundle {
             scheme: Scheme::St,
             nthreads: 2,
+            domains: 1,
             threads: vec![ThreadTrace::default(), ThreadTrace::default()],
-            st: None,
+            st: vec![],
         };
         assert!(b.validate().is_err());
 
         let b = TraceBundle {
             scheme: Scheme::St,
             nthreads: 2,
+            domains: 1,
             threads: vec![ThreadTrace::default(), ThreadTrace::default()],
-            st: Some(StTrace {
+            st: vec![StTrace {
                 tids: vec![0, 1, 5],
                 sites: None,
                 kinds: None,
-            }),
+            }],
         };
         assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn st_bundle_needs_one_stream_per_domain() {
+        let b = TraceBundle {
+            scheme: Scheme::St,
+            nthreads: 1,
+            domains: 2,
+            threads: vec![ThreadTrace::default(), ThreadTrace::default()],
+            st: vec![StTrace {
+                tids: vec![0],
+                sites: None,
+                kinds: None,
+            }],
+        };
+        let err = b.validate().unwrap_err();
+        assert!(err.to_string().contains("st streams"), "{err}");
     }
 
     #[test]
@@ -295,11 +442,23 @@ mod tests {
     }
 
     #[test]
+    fn global_order_recovers_tid_modulo_nthreads() {
+        // Regression: the thread index used to be a raw `as u32` narrowing
+        // of the flat vector index, which for multi-domain bundles is the
+        // *stream* index, not the thread id.
+        let order = dc_bundle_two_domains().global_order();
+        assert!(order.iter().all(|&(_, tid)| tid < 2), "{order:?}");
+    }
+
+    #[test]
     fn accessors() {
         let b = dc_bundle();
         assert_eq!(b.threads[0].site_at(0), Some(SiteId(1)));
         assert_eq!(b.threads[0].kind_at(1), Some(AccessKind::Store));
         assert_eq!(b.threads[0].kind_at(99), None);
         assert!(!b.threads[0].is_empty());
+        assert_eq!(b.thread(0, 1), &b.threads[1]);
+        assert_eq!(b.st_stream(0), None);
+        assert!(!b.is_st());
     }
 }

@@ -11,7 +11,14 @@
 //! cargo run --example debug_heisenbug
 //! ```
 
-use reomp::{ompr, Scheme, Session, TraceBundle};
+//! The replay section at the end shows the other half of the diagnostics
+//! story: when a *patched* program is replayed against the buggy trace and
+//! takes a different path, the divergence report includes the last-N
+//! accesses the gate admitted before the mismatch (the `HistoryRing`), so
+//! you see *what led up to* the divergence, not just the mismatching
+//! access.
+
+use reomp::{ompr, AccessKind, ReplayError, Scheme, Session, SiteId, TraceBundle};
 use std::sync::Arc;
 
 const THREADS: u32 = 4;
@@ -83,4 +90,78 @@ fn main() {
         println!("  replay #{i}: result {result} — bug reproduced");
     }
     println!("\nok: the once-in-N-runs failure now reproduces on every replay.");
+
+    // Bonus: what a *divergence* report looks like. Pretend the developer
+    // "fixed" the program by touching a different location — the replay
+    // notices the first off-script access and its report carries the
+    // access history leading up to it.
+    println!("\nreplaying a mis-patched program against the same trace:");
+    let session = Session::replay(bundle).expect("valid trace");
+    let err = divergent_replay(&session);
+    match err {
+        Some(ReplayError::Divergence(d)) => {
+            println!("{d}\n");
+            assert!(
+                !d.history.is_empty(),
+                "divergence reports carry the admitted-access history"
+            );
+            println!(
+                "ok: the report shows the {} accesses the gate admitted before the mismatch.",
+                d.history.len()
+            );
+        }
+        other => panic!("expected a divergence report, got {other:?}"),
+    }
+    let _ = session.finish();
+}
+
+/// Run the buggy program but have thread 0 touch a wrong site after a few
+/// iterations; returns the first replay error some thread observed.
+fn divergent_replay(session: &Arc<Session>) -> Option<ReplayError> {
+    let rt = ompr::Runtime::new(Arc::clone(session));
+    let total = ompr::RacyCell::new("heisenbug:total", 0u64);
+    // Keep the *divergence* specifically: sibling threads racing to report
+    // their Aborted release must not shadow it.
+    let divergence = std::sync::Mutex::new(None);
+    let record = |e: ReplayError| {
+        if matches!(e, ReplayError::Divergence(_)) {
+            divergence.lock().unwrap().get_or_insert(e);
+        }
+    };
+    rt.parallel(|w| {
+        let ctx = w.ctx();
+        for i in 0..INCREMENTS {
+            if w.tid() == 0 && i == 8 {
+                // The "fix": a read of some other location the recording
+                // never saw.
+                let r = ctx.try_gate(
+                    SiteId::from_label("heisenbug:patched-in-read"),
+                    AccessKind::Load,
+                    || (),
+                );
+                if let Err(e) = r {
+                    record(e);
+                    return;
+                }
+            }
+            let v = match ctx.try_gate_at(total.site(), total.addr(), AccessKind::Load, || {
+                total.raw_load()
+            }) {
+                Ok(v) => v,
+                Err(e) => {
+                    record(e);
+                    return;
+                }
+            };
+            if ctx
+                .try_gate_at(total.site(), total.addr(), AccessKind::Store, || {
+                    total.raw_store(v + 1)
+                })
+                .is_err()
+            {
+                return;
+            }
+        }
+    });
+    divergence.into_inner().unwrap()
 }

@@ -24,7 +24,7 @@ pub use reomp_core as core;
 pub use rmpi;
 
 pub use reomp_core::{
-    AccessKind, DirStore, EpochHistogram, EpochPolicy, IoReport, MemStore, Mode, RecordSink,
-    Scheme, Session, SessionConfig, SessionReport, SiteId, StreamingTraceStore, ThreadCtx,
-    TraceBundle, TraceStore, TraceWriter,
+    AccessKind, DirStore, Divergence, EpochHistogram, EpochPolicy, IoReport, MemStore, Mode,
+    RecordSink, ReplayError, Scheme, Session, SessionConfig, SessionReport, SiteId,
+    StreamingTraceStore, ThreadCtx, TraceBundle, TraceError, TraceStore, TraceWriter,
 };

@@ -103,6 +103,7 @@ fn per_address_epochs_can_mis_replay_values() {
     let bundle = TraceBundle {
         scheme: Scheme::De,
         nthreads: 4,
+        domains: 1,
         threads: vec![
             thread_trace(&[
                 (0, SITE_B, Load),
@@ -117,7 +118,7 @@ fn per_address_epochs_can_mis_replay_values() {
             thread_trace(&[(7, SITE_A, Load)]),
             thread_trace(&[(7, SITE_A, Load)]), // clock 9, epoch 7 (A-run)
         ],
-        st: None,
+        st: vec![],
     };
     let seen = replay_with_delayed_store(bundle);
     assert_eq!(
@@ -135,6 +136,7 @@ fn contiguous_epochs_replay_the_same_run_correctly() {
     let bundle = TraceBundle {
         scheme: Scheme::De,
         nthreads: 4,
+        domains: 1,
         threads: vec![
             thread_trace(&[
                 (0, SITE_B, Load),
@@ -149,7 +151,7 @@ fn contiguous_epochs_replay_the_same_run_correctly() {
             thread_trace(&[(7, SITE_A, Load)]),
             thread_trace(&[(9, SITE_A, Load)]),
         ],
-        st: None,
+        st: vec![],
     };
     let seen = replay_with_delayed_store(bundle);
     assert_eq!(

@@ -125,7 +125,13 @@ proptest! {
                 kinds: with_cols.then(|| flat.iter().map(|r| r.2).collect()),
             }
         });
-        let bundle = TraceBundle { scheme, nthreads, threads, st };
+        let bundle = TraceBundle {
+            scheme,
+            nthreads,
+            domains: 1,
+            threads,
+            st: st.into_iter().collect(),
+        };
         prop_assert!(bundle.validate().is_ok());
 
         let one_shot = MemStore::new();

@@ -100,21 +100,37 @@ proptest! {
         programs in proptest::collection::vec(
             proptest::collection::vec(op_strategy(), 0..25),
             2..4,
-        )
+        ),
+        domains_idx in 0usize..3,
     ) {
+        // Sweep gate-domain counts alongside schemes: the generated
+        // programs hash their sites across domains, so D > 1 exercises the
+        // sharded gate paths. REOMP_DOMAINS (set by the CI
+        // oversubscription leg) pins the count.
+        let domains = std::env::var("REOMP_DOMAINS")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .filter(|&d| d >= 1)
+            .unwrap_or([1u32, 2, 4][domains_idx]);
+        let cfg = reomp::SessionConfig {
+            domains,
+            ..reomp::SessionConfig::default()
+        };
         for scheme in Scheme::ALL {
-            let session = Session::record(scheme, programs.len() as u32);
+            let session = Session::record_with(scheme, programs.len() as u32, cfg.clone());
             let recorded = execute(&programs, &session);
             let report = session.finish().unwrap();
             let bundle = report.bundle.unwrap();
+            prop_assert_eq!(bundle.domains, domains);
+            prop_assert!(bundle.validate().is_ok());
 
             let session = Session::replay(bundle).unwrap();
             let replayed = execute(&programs, &session);
             let report = session.finish().unwrap();
-            prop_assert_eq!(report.failure, None, "{} replay failed", scheme);
+            prop_assert_eq!(report.failure, None, "{} D={} replay failed", scheme, domains);
             prop_assert_eq!(
                 &replayed, &recorded,
-                "{} final state mismatch", scheme
+                "{} D={} final state mismatch", scheme, domains
             );
         }
     }

@@ -1,9 +1,31 @@
-//! Integration: record→replay equivalence for every app × scheme, plus
-//! store roundtrips through the on-disk format.
+//! Integration: record→replay equivalence for every app × scheme — and,
+//! since gate domains landed, × domain count — plus store roundtrips
+//! through the on-disk format.
 
 use reomp::miniapps::{amg, hacc, hpccg, minife, quicksilver, AppOutput};
-use reomp::{ompr::Runtime, DirStore, MemStore, Scheme, Session, TraceStore};
+use reomp::{ompr::Runtime, DirStore, MemStore, Scheme, Session, SessionConfig, TraceStore};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Domain counts to sweep. `REOMP_DOMAINS` (the CI oversubscription leg
+/// sets it to 4) pins the sweep to one value; the default covers the
+/// single-gate baseline and two sharded layouts.
+fn domain_sweep() -> Vec<u32> {
+    match std::env::var("REOMP_DOMAINS")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        Some(d) if d >= 1 => vec![d],
+        _ => vec![1, 2, 4],
+    }
+}
+
+fn config_with_domains(domains: u32) -> SessionConfig {
+    SessionConfig {
+        domains,
+        ..SessionConfig::default()
+    }
+}
 
 fn run_app(name: &str, session: &Arc<Session>) -> AppOutput {
     let rt = Runtime::new(Arc::clone(session));
@@ -35,6 +57,74 @@ fn every_app_replays_bitwise_under_every_scheme() {
             assert_eq!(report.failure, None, "{app}/{scheme}");
             assert_eq!(report.fully_consumed, Some(true), "{app}/{scheme}");
             assert_eq!(replayed, recorded, "{app}/{scheme}");
+        }
+    }
+}
+
+#[test]
+fn apps_replay_divergence_free_across_domain_counts() {
+    // The multi-domain acceptance sweep: domains × schemes over real
+    // workloads whose sites scatter across domains. Replay must stay
+    // divergence-free and reproduce the recorded output exactly.
+    for domains in domain_sweep() {
+        for app in ["amg", "hacc"] {
+            for scheme in Scheme::ALL {
+                let tag = format!("{app}/{scheme}/D={domains}");
+                let session = Session::record_with(scheme, 4, config_with_domains(domains));
+                let recorded = run_app(app, &session);
+                let report = session.finish().unwrap();
+                let bundle = report.bundle.unwrap();
+                assert_eq!(bundle.domains, domains, "{tag}");
+                bundle.validate().unwrap_or_else(|e| panic!("{tag}: {e}"));
+                if domains > 1 {
+                    assert_eq!(
+                        report.domain_gates.iter().sum::<u64>(),
+                        report.stats.gates,
+                        "{tag}: per-domain gate counts must sum to the total"
+                    );
+                }
+
+                // The bundle also survives the on-disk multi-domain layout.
+                let store = MemStore::new();
+                store.save(&bundle).unwrap();
+                let (loaded, _) = store.load().unwrap();
+                assert_eq!(loaded, bundle, "{tag}");
+
+                let session = Session::replay(loaded).unwrap();
+                let replayed = run_app(app, &session);
+                let report = session.finish().unwrap();
+                assert_eq!(report.failure, None, "{tag}");
+                assert_eq!(report.fully_consumed, Some(true), "{tag}");
+                assert_eq!(replayed, recorded, "{tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_replay_does_not_trip_watchdog() {
+    // Replay with more threads than cores: waits yield instead of
+    // spinning forever, and a generous watchdog (what REOMP_SPIN_TIMEOUT
+    // configures from the environment) must not fire spuriously. This is
+    // the case that used to hit ReplayError::Timeout on loaded CI boxes.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(2);
+    let threads = (2 * cores).clamp(8, 16);
+    for scheme in Scheme::ALL {
+        for domains in [1u32, 4] {
+            let tag = format!("{scheme}/D={domains}/threads={threads}");
+            let mut cfg = config_with_domains(domains);
+            cfg.spin.timeout = Some(Duration::from_secs(300));
+            let session = Session::record_with(scheme, threads, cfg.clone());
+            let recorded = run_app("minife", &session);
+            let bundle = session.finish().unwrap().bundle.unwrap();
+
+            let session = Session::replay_with(bundle, cfg).unwrap();
+            let replayed = run_app("minife", &session);
+            let report = session.finish().unwrap();
+            assert_eq!(report.failure, None, "{tag}");
+            assert_eq!(replayed, recorded, "{tag}");
         }
     }
 }

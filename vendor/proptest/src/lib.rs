@@ -256,7 +256,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length bounds for [`vec`], convertible from ranges and a fixed size.
+    /// Length bounds for [`vec()`](fn@vec), convertible from ranges and a fixed size.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
