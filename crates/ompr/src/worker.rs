@@ -75,7 +75,10 @@ impl<'t> Worker<'t> {
     // ------------------------------------------------------------------
 
     /// Team barrier (`#pragma omp barrier`). Deterministic, hence ungated;
-    /// emits happens-before events for the race detector.
+    /// emits happens-before events for the race detector, and — in
+    /// multi-domain record runs — notes a cross-domain synchronization
+    /// point so the order the barrier establishes between gate domains is
+    /// stamped into the trace and restored on replay.
     pub fn barrier(&self) {
         let episode = self.barrier_count.get();
         self.barrier_count.set(episode + 1);
@@ -90,6 +93,10 @@ impl<'t> Worker<'t> {
             tid: self.tid,
             generation: episode,
         });
+        // After everyone arrived: every pre-barrier access in every domain
+        // is complete, so the snapshot taken here is the strongest sound
+        // edge for this thread's next gated access.
+        self.ctx.sync_point();
     }
 
     /// Named critical section: the gate wraps lock + region, so the

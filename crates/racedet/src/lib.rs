@@ -10,7 +10,11 @@
 //! Freund, PLDI'09 — the same epoch-based happens-before analysis TSan v2
 //! uses) to find conflicting unsynchronized accesses. The resulting
 //! [`RaceReport`] yields the set of racy [`SiteId`]s, which becomes the
-//! session's *instrumentation plan* (`SessionConfig::gate_plan`).
+//! session's *instrumentation plan* (`SessionConfig::gate_plan`) — and,
+//! through [`DomainPlanner`], the session's *domain plan*
+//! (`SessionConfig::plan`): racing/aliased sites co-locate in one gate
+//! domain, the remaining sites are load-balanced across domains by
+//! observed gate frequency.
 //!
 //! A deliberately simple [`oracle`] (full vector-clock history comparison)
 //! is provided for differential testing.
@@ -39,10 +43,12 @@
 pub mod detector;
 pub mod fasttrack;
 pub mod oracle;
+pub mod plan;
 pub mod report;
 pub mod vc;
 
 pub use detector::Detector;
+pub use plan::{domain_plan, DomainPlanner};
 pub use report::{RaceInfo, RaceReport};
 pub use vc::VectorClock;
 

@@ -17,20 +17,22 @@
 //! `REOMP_BENCH_REPS`.
 
 use reomp_bench::{bench_scale, bench_threads, time_min};
-use reomp_core::{AccessKind, Scheme, Session, SessionConfig, SiteId};
+use reomp_core::{AccessKind, DomainPlan, Scheme, Session, SessionConfig, SiteId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Each thread performs `iters` load+store pairs on its own site. Sites
-/// are chosen so that with `D` domains (D | nthreads) the threads spread
-/// evenly: site raw value == tid, and domain_of = raw % D.
-fn disjoint_workload(session: &Arc<Session>, nthreads: u32, iters: usize) {
+/// Each thread performs `iters` load+store pairs on its own site,
+/// `site = tid * stride`. With `stride == 1` the legacy modulo spreads the
+/// threads evenly across `D | nthreads` domains; with a stride divisible
+/// by `D` it stripes every site into domain 0 — the load-balance defect
+/// the plan's mixed-hash fallback and explicit assignment both fix.
+fn disjoint_workload(session: &Arc<Session>, nthreads: u32, iters: usize, stride: u64) {
     std::thread::scope(|s| {
         for tid in 0..nthreads {
             let ctx = session.register_thread(tid);
             s.spawn(move || {
-                let site = SiteId(u64::from(tid));
+                let site = SiteId(u64::from(tid) * stride);
                 let cell = AtomicU64::new(0);
                 for _ in 0..iters {
                     let v = ctx.gate(site, AccessKind::Load, || cell.load(Ordering::Relaxed));
@@ -89,18 +91,18 @@ fn main() {
 
             let record = time_min(|| {
                 let session = Session::record_with(scheme, nthreads, cfg.clone());
-                disjoint_workload(&session, nthreads, iters);
+                disjoint_workload(&session, nthreads, iters, 1);
                 let _ = session.finish().unwrap();
             });
 
             // One more recording to produce the replay input.
             let session = Session::record_with(scheme, nthreads, cfg.clone());
-            disjoint_workload(&session, nthreads, iters);
+            disjoint_workload(&session, nthreads, iters, 1);
             let bundle = session.finish().unwrap().bundle.unwrap();
 
             let replay = time_min(|| {
                 let session = Session::replay_with(bundle.clone(), cfg.clone()).unwrap();
-                disjoint_workload(&session, nthreads, iters);
+                disjoint_workload(&session, nthreads, iters, 1);
                 let report = session.finish().unwrap();
                 assert_eq!(report.failure, None, "replay diverged during benching");
             });
@@ -116,4 +118,60 @@ fn main() {
         }
     }
     println!("\n(speedup column is record-mode, relative to domains = 1)");
+
+    // Planned vs modulo assignment on STRIPED sites (site = tid * 8): the
+    // legacy modulo folds every site into domain 0 whenever D divides the
+    // stride, so sharding buys nothing; an explicit plan (site i → i mod D)
+    // — or the planned hash fallback — restores the spread. The imbalance
+    // is visible in record throughput whenever cores ≥ threads.
+    let stride = 8u64;
+    println!("\n=== gate_domains: planned vs modulo on striped sites (stride {stride}) ===");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>14}",
+        "domains", "partition", "record (s)", "Mrec/s", "max dom share"
+    );
+    for domains in [2u32, 4, 8] {
+        if domains > nthreads {
+            continue;
+        }
+        let planned = DomainPlan::with_assignments(
+            domains,
+            (0..nthreads).map(|t| (SiteId(u64::from(t) * stride), t % domains)),
+        );
+        let partitions: [(&str, Option<DomainPlan>); 3] = [
+            ("modulo", None),
+            ("hash", Some(DomainPlan::new(domains))),
+            ("planned", Some(planned)),
+        ];
+        for (name, plan) in partitions {
+            let cfg = SessionConfig {
+                domains,
+                plan,
+                spin: reomp_core::sync::SpinConfig {
+                    spin_hints: 64,
+                    timeout: Some(Duration::from_secs(300)),
+                },
+                ..SessionConfig::default()
+            };
+            let record = time_min(|| {
+                let session = Session::record_with(Scheme::Dc, nthreads, cfg.clone());
+                disjoint_workload(&session, nthreads, iters, stride);
+                let _ = session.finish().unwrap();
+            });
+            // Imbalance diagnostic: the share of gates the hottest domain
+            // absorbed (1/D is perfect, 1.0 is fully serialized).
+            let session = Session::record_with(Scheme::Dc, nthreads, cfg.clone());
+            disjoint_workload(&session, nthreads, iters, stride);
+            let report = session.finish().unwrap();
+            let total: u64 = report.domain_gates.iter().sum::<u64>().max(1);
+            let share = *report.domain_gates.iter().max().unwrap_or(&0) as f64 / total as f64;
+            println!(
+                "{domains:>8} {name:>12} {:>14.6} {:>14.2} {:>13.0}%",
+                record.as_secs_f64(),
+                total_records as f64 / record.as_secs_f64() / 1e6,
+                share * 100.0
+            );
+        }
+    }
+    println!("(max dom share: fraction of gates in the hottest domain; 1/D is ideal)");
 }

@@ -32,6 +32,8 @@ fn synthetic_bundle(nthreads: u32, records_per_thread: usize) -> TraceBundle {
         })
         .collect();
     TraceBundle {
+        plan: None,
+        edges: vec![],
         scheme: Scheme::Dc,
         nthreads,
         domains: 1,

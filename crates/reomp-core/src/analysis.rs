@@ -87,6 +87,13 @@ pub struct TraceSummary {
     pub kinds: BTreeMap<&'static str, u64>,
     /// Distinct sites touched (only when the trace carries sites).
     pub distinct_sites: Option<u64>,
+    /// Explicitly planned sites (`None`: recorded without a domain plan).
+    pub planned_sites: Option<u64>,
+    /// Cross-domain happens-before edges in the trace.
+    pub edges: u64,
+    /// Whether the edges admit a full interleaving (always true for
+    /// genuinely recorded traces; `false` flags corrupt/cyclic edges).
+    pub edges_consistent: bool,
 }
 
 impl TraceSummary {
@@ -115,6 +122,21 @@ impl fmt::Display for TraceSummary {
         }
         if let Some(sites) = self.distinct_sites {
             writeln!(f, "  distinct sites: {sites}")?;
+        }
+        if let Some(n) = self.planned_sites {
+            writeln!(f, "  domain plan: {n} pinned site(s)")?;
+        }
+        if self.edges > 0 {
+            writeln!(
+                f,
+                "  cross-domain edges: {}{}",
+                self.edges,
+                if self.edges_consistent {
+                    ""
+                } else {
+                    " (INCONSISTENT)"
+                }
+            )?;
         }
         for (kind, n) in &self.kinds {
             writeln!(f, "  {kind}: {n}")?;
@@ -145,7 +167,46 @@ pub fn summarize(bundle: &TraceBundle) -> TraceSummary {
         per_thread,
         distinct_sites: bundle.has_validation().then_some(sites.len() as u64),
         kinds,
+        planned_sites: bundle.plan.as_ref().map(|p| p.assigned() as u64),
+        edges: bundle.edges.len() as u64,
+        edges_consistent: bundle.edges.is_empty() || bundle.edges_consistent(),
     }
+}
+
+/// Reconstruct one interleaved cross-domain timeline using the bundle's
+/// happens-before edges: each domain's internal order is preserved, and an
+/// edge's anchor never precedes the foreign accesses it waited on. For
+/// edge-less multi-domain bundles this is `None` — there is no recorded
+/// basis for interleaving them.
+#[must_use]
+pub fn interleaved_timeline(bundle: &TraceBundle) -> Option<Vec<TimelineEntry>> {
+    if bundle.domains <= 1 || bundle.edges.is_empty() {
+        return None;
+    }
+    let merged = bundle.merged_order();
+    let mut out = Vec::with_capacity(merged.len());
+    for (domain, value, thread, seq) in merged {
+        let (site, kind) = if bundle.is_st() {
+            let st = &bundle.st[domain as usize];
+            (
+                st.sites.as_ref().map(|s| SiteId(s[seq as usize])),
+                st.kinds
+                    .as_ref()
+                    .and_then(|k| AccessKind::from_code(k[seq as usize])),
+            )
+        } else {
+            let t = bundle.thread(domain, thread);
+            (t.site_at(seq as usize), t.kind_at(seq as usize))
+        };
+        out.push(TimelineEntry {
+            domain,
+            value,
+            thread,
+            site,
+            kind,
+        });
+    }
+    Some(out)
 }
 
 /// Render the first `max_events` accesses as per-thread lanes:
@@ -335,6 +396,8 @@ mod tests {
 
     fn dc_bundle() -> TraceBundle {
         TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::Dc,
             nthreads: 2,
             domains: 1,
@@ -366,6 +429,8 @@ mod tests {
     #[test]
     fn timeline_uses_st_stream_order() {
         let b = TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::St,
             nthreads: 2,
             domains: 1,
@@ -388,6 +453,8 @@ mod tests {
     fn timeline_and_diff_are_domain_aware() {
         // Two domains: threads[0..2] are domain 0, threads[2..4] domain 1.
         let b = TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::Dc,
             nthreads: 2,
             domains: 2,
@@ -442,6 +509,88 @@ mod tests {
         d.domains = 1;
         d.threads.truncate(2);
         assert!(matches!(diff(&b, &d), TraceDiff::Shape { .. }));
+    }
+
+    #[test]
+    fn interleaved_timeline_respects_edges() {
+        use crate::trace::CrossDomainEdge;
+        // Two domains: d0 holds t0's clocks [0,1], d1 holds t1's clock
+        // [0]. The edge forces d1's access after both of d0's.
+        let mut b = TraceBundle {
+            scheme: Scheme::Dc,
+            nthreads: 2,
+            domains: 2,
+            threads: vec![
+                ThreadTrace {
+                    values: vec![0, 1],
+                    sites: Some(vec![7, 8]),
+                    kinds: Some(vec![0, 1]),
+                },
+                ThreadTrace::default(),
+                ThreadTrace::default(),
+                ThreadTrace {
+                    values: vec![0],
+                    sites: Some(vec![9]),
+                    kinds: Some(vec![3]),
+                },
+            ],
+            st: vec![],
+            plan: None,
+            edges: vec![CrossDomainEdge {
+                domain: 1,
+                thread: 1,
+                seq: 0,
+                waits: vec![(0, 2)],
+            }],
+        };
+        b.validate().unwrap();
+        let tl = interleaved_timeline(&b).expect("edges present");
+        assert_eq!(
+            tl.iter()
+                .map(|e| (e.domain, e.thread, e.value))
+                .collect::<Vec<_>>(),
+            vec![(0, 0, 0), (0, 0, 1), (1, 1, 0)],
+            "the d1 anchor must come after both d0 accesses"
+        );
+        assert_eq!(tl[2].site, Some(SiteId(9)));
+        assert_eq!(tl[2].kind, Some(AccessKind::Critical));
+        // Edge-less multi-domain bundles have no interleaving basis.
+        b.edges.clear();
+        assert!(interleaved_timeline(&b).is_none());
+
+        // ST bundle: the anchor is the shared-stream index.
+        let st = TraceBundle {
+            scheme: Scheme::St,
+            nthreads: 2,
+            domains: 2,
+            threads: vec![ThreadTrace::default(); 4],
+            st: vec![
+                StTrace {
+                    tids: vec![0, 0],
+                    sites: Some(vec![1, 2]),
+                    kinds: Some(vec![0, 0]),
+                },
+                StTrace {
+                    tids: vec![1],
+                    sites: Some(vec![3]),
+                    kinds: Some(vec![3]),
+                },
+            ],
+            plan: None,
+            edges: vec![CrossDomainEdge {
+                domain: 1,
+                thread: 1,
+                seq: 0,
+                waits: vec![(0, 2)],
+            }],
+        };
+        st.validate().unwrap();
+        let tl = interleaved_timeline(&st).expect("edges present");
+        assert_eq!(
+            tl.iter().map(|e| (e.domain, e.thread)).collect::<Vec<_>>(),
+            vec![(0, 0), (0, 0), (1, 1)]
+        );
+        assert_eq!(tl[2].site, Some(SiteId(3)));
     }
 
     #[test]

@@ -149,6 +149,16 @@ impl Turnstile {
         stats.bump_comms(1);
         self.next.fetch_add(1, Ordering::AcqRel) + 1
     }
+
+    /// Advance the completed-access count *without* counting a paper
+    /// communication. ST replay uses this in multi-domain sessions: the
+    /// baton hand-off is ST's real communication; the turnstile only
+    /// mirrors the completion count so other domains' cross-domain edges
+    /// have something to wait on.
+    #[inline]
+    pub fn complete(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::AcqRel) + 1
+    }
 }
 
 #[cfg(test)]

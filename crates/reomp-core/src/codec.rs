@@ -63,13 +63,17 @@
 //! [`TraceError::Corrupt`] instead of panicking.
 
 use crate::error::TraceError;
+use crate::plan::DomainPlan;
 use crate::session::Scheme;
-use crate::trace::{StTrace, ThreadTrace};
+use crate::site::SiteId;
+use crate::trace::{CrossDomainEdge, StTrace, ThreadTrace};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC_THREAD: &[u8; 4] = b"RTRC";
 const MAGIC_ST: &[u8; 4] = b"RTST";
 const MAGIC_CHUNK: &[u8; 4] = b"RTCK";
+const MAGIC_PLAN: &[u8; 4] = b"RTPL";
+const MAGIC_EDGES: &[u8; 4] = b"RTHB";
 const VERSION: u8 = 1;
 const FLAG_SITES: u8 = 1;
 const FLAG_KINDS: u8 = 2;
@@ -78,6 +82,9 @@ pub const FLAG_CHUNKED: u8 = 4;
 /// Header flag marking a record file that belongs to a multi-domain
 /// recording; a 4-byte little-endian domain id follows the tid.
 pub const FLAG_DOMAINS: u8 = 8;
+/// Header flag marking a domain-plan section (set in the `RTPL` file so a
+/// plan can never be confused with a record stream even if renamed).
+pub const FLAG_PLAN: u8 = 16;
 
 /// Append `v` as an LEB128 unsigned varint.
 pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
@@ -655,6 +662,160 @@ fn append_tids(dst: &mut Vec<u32>, raw: &[u64]) -> Result<(), TraceError> {
     Ok(())
 }
 
+/// Serialize a [`DomainPlan`] as the trace's plan section:
+///
+/// ```text
+/// magic "RTPL" | version u8 | flags u8 (= FLAG_PLAN) | domains u32le |
+/// count varint | count × (site u64le | domain varint)   — sorted by site
+/// ```
+#[must_use]
+pub fn encode_plan(plan: &DomainPlan) -> Bytes {
+    let entries = plan.sorted_assignments();
+    let mut buf = BytesMut::with_capacity(16 + entries.len() * 10);
+    buf.put_slice(MAGIC_PLAN);
+    buf.put_u8(VERSION);
+    buf.put_u8(FLAG_PLAN);
+    buf.put_u32_le(plan.domains());
+    put_uvarint(&mut buf, entries.len() as u64);
+    for (site, dom) in entries {
+        buf.put_u64_le(site);
+        put_uvarint(&mut buf, u64::from(dom));
+    }
+    buf.freeze()
+}
+
+/// Deserialize a plan section. Entry count and every domain id are bounded
+/// before allocation.
+pub fn decode_plan(bytes: &[u8]) -> Result<DomainPlan, TraceError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    check_header(&mut buf, MAGIC_PLAN)?;
+    if buf.remaining() < 5 {
+        return Err(TraceError::Corrupt("plan header truncated".into()));
+    }
+    let flags = buf.get_u8();
+    if flags & FLAG_PLAN == 0 {
+        return Err(TraceError::Corrupt("plan section without FLAG_PLAN".into()));
+    }
+    let domains = buf.get_u32_le();
+    if domains == 0 {
+        return Err(TraceError::Corrupt("plan with zero domains".into()));
+    }
+    let count = get_uvarint(&mut buf)? as usize;
+    // Every entry costs at least 9 bytes; bound before building the map.
+    let need = count
+        .checked_mul(9)
+        .ok_or_else(|| TraceError::Corrupt("plan entry count overflows".into()))?;
+    if need > buf.remaining() {
+        return Err(TraceError::Corrupt(format!(
+            "plan entry count {count} exceeds the {} remaining bytes",
+            buf.remaining()
+        )));
+    }
+    let mut plan = DomainPlan::new(domains);
+    for _ in 0..count {
+        if buf.remaining() < 8 {
+            return Err(TraceError::Corrupt("plan entry truncated".into()));
+        }
+        let site = buf.get_u64_le();
+        let dom = get_uvarint(&mut buf)?;
+        let dom = u32::try_from(dom)
+            .ok()
+            .filter(|&d| d < domains)
+            .ok_or_else(|| {
+                TraceError::Corrupt(format!("plan assigns a site to domain {dom} of {domains}"))
+            })?;
+        plan.set(SiteId(site), dom);
+    }
+    if buf.has_remaining() {
+        return Err(TraceError::Corrupt("plan has trailing bytes".into()));
+    }
+    Ok(plan)
+}
+
+/// Serialize the cross-domain happens-before edges:
+///
+/// ```text
+/// magic "RTHB" | version u8 | flags u8 (= 0) | count varint |
+/// count × ( domain varint | thread varint | seq varint |
+///           nwaits varint | nwaits × (domain varint | count varint) )
+/// ```
+#[must_use]
+pub fn encode_edges(edges: &[CrossDomainEdge]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + edges.len() * 8);
+    buf.put_slice(MAGIC_EDGES);
+    buf.put_u8(VERSION);
+    buf.put_u8(0);
+    put_uvarint(&mut buf, edges.len() as u64);
+    for e in edges {
+        put_uvarint(&mut buf, u64::from(e.domain));
+        put_uvarint(&mut buf, u64::from(e.thread));
+        put_uvarint(&mut buf, e.seq);
+        put_uvarint(&mut buf, e.waits.len() as u64);
+        for &(dom, count) in &e.waits {
+            put_uvarint(&mut buf, u64::from(dom));
+            put_uvarint(&mut buf, count);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize an edge section; counts are bounded against the remaining
+/// bytes before any allocation.
+pub fn decode_edges(bytes: &[u8]) -> Result<Vec<CrossDomainEdge>, TraceError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    check_header(&mut buf, MAGIC_EDGES)?;
+    if !buf.has_remaining() {
+        return Err(TraceError::Corrupt("edge header truncated".into()));
+    }
+    let _flags = buf.get_u8();
+    let count = get_uvarint(&mut buf)? as usize;
+    // Every edge costs at least 4 bytes (four varints).
+    if count
+        .checked_mul(4)
+        .is_none_or(|need| need > buf.remaining())
+    {
+        return Err(TraceError::Corrupt(format!(
+            "edge count {count} exceeds the {} remaining bytes",
+            buf.remaining()
+        )));
+    }
+    let get_u32 = |buf: &mut Bytes, what: &str| -> Result<u32, TraceError> {
+        let v = get_uvarint(buf)?;
+        u32::try_from(v).map_err(|_| TraceError::Corrupt(format!("edge {what} {v} out of range")))
+    };
+    let mut edges = Vec::with_capacity(count);
+    for _ in 0..count {
+        let domain = get_u32(&mut buf, "domain")?;
+        let thread = get_u32(&mut buf, "thread")?;
+        let seq = get_uvarint(&mut buf)?;
+        let nwaits = get_uvarint(&mut buf)? as usize;
+        if nwaits.checked_mul(2).is_none_or(|n| n > buf.remaining()) {
+            return Err(TraceError::Corrupt(format!(
+                "edge wait count {nwaits} exceeds the {} remaining bytes",
+                buf.remaining()
+            )));
+        }
+        let mut waits = Vec::with_capacity(nwaits);
+        for _ in 0..nwaits {
+            let dom = get_u32(&mut buf, "wait domain")?;
+            let c = get_uvarint(&mut buf)?;
+            waits.push((dom, c));
+        }
+        edges.push(CrossDomainEdge {
+            domain,
+            thread,
+            seq,
+            waits,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(TraceError::Corrupt(
+            "edge section has trailing bytes".into(),
+        ));
+    }
+    Ok(edges)
+}
+
 fn check_header(buf: &mut Bytes, magic: &[u8; 4]) -> Result<(), TraceError> {
     if buf.remaining() < 6 {
         return Err(TraceError::Corrupt("file shorter than header".into()));
@@ -1066,6 +1227,143 @@ mod tests {
             let err = decode_thread_records(&bytes[..cut]).unwrap_err();
             assert!(matches!(err, TraceError::Corrupt(_)), "cut {cut}: {err}");
         }
+    }
+
+    #[test]
+    fn plan_roundtrip() {
+        let plan = DomainPlan::with_assignments(
+            4,
+            [(SiteId(9), 3), (SiteId(0xdead_beef), 0), (SiteId(1), 1)],
+        );
+        let bytes = encode_plan(&plan);
+        assert_eq!(decode_plan(&bytes).unwrap(), plan);
+        // Empty plans (pure hash fallback) roundtrip too.
+        let empty = DomainPlan::new(2);
+        assert_eq!(decode_plan(&encode_plan(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn plan_bytes_are_pinned() {
+        // Golden bytes for the plan section — the on-disk format contract.
+        let plan = DomainPlan::with_assignments(2, [(SiteId(3), 1)]);
+        let bytes = encode_plan(&plan);
+        let expected: &[u8] = &[
+            b'R', b'T', b'P', b'L', // magic
+            1,    // version
+            16,   // flags = FLAG_PLAN
+            2, 0, 0, 0, // domains u32le
+            1, // entry count varint
+            3, 0, 0, 0, 0, 0, 0, 0, // site u64le
+            1, // domain varint
+        ];
+        assert_eq!(&bytes[..], expected);
+    }
+
+    #[test]
+    fn plan_rejects_corrupt_input() {
+        let plan = DomainPlan::with_assignments(2, [(SiteId(3), 1), (SiteId(7), 0)]);
+        let good = encode_plan(&plan);
+        for cut in 0..good.len() {
+            assert!(decode_plan(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Out-of-range domain id.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTPL");
+        buf.put_u8(1);
+        buf.put_u8(FLAG_PLAN);
+        buf.put_u32_le(2);
+        put_uvarint(&mut buf, 1);
+        buf.put_u64_le(3);
+        put_uvarint(&mut buf, 5); // domain 5 of 2
+        assert!(decode_plan(&buf.freeze()).is_err());
+        // Absurd entry count must fail before allocation.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTPL");
+        buf.put_u8(1);
+        buf.put_u8(FLAG_PLAN);
+        buf.put_u32_le(2);
+        put_uvarint(&mut buf, u64::MAX / 2);
+        buf.put_u8(0);
+        assert!(decode_plan(&buf.freeze()).is_err());
+        // Trailing garbage rejected.
+        let mut tail = good.to_vec();
+        tail.push(0);
+        assert!(decode_plan(&tail).is_err());
+    }
+
+    #[test]
+    fn edges_roundtrip() {
+        let edges = vec![
+            CrossDomainEdge {
+                domain: 1,
+                thread: 0,
+                seq: 4,
+                waits: vec![(0, 7), (2, 1)],
+            },
+            CrossDomainEdge {
+                domain: 0,
+                thread: 3,
+                seq: 0,
+                waits: vec![(1, 100)],
+            },
+        ];
+        let bytes = encode_edges(&edges);
+        assert_eq!(decode_edges(&bytes).unwrap(), edges);
+        assert_eq!(decode_edges(&encode_edges(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn edge_bytes_are_pinned() {
+        let edges = vec![CrossDomainEdge {
+            domain: 1,
+            thread: 2,
+            seq: 3,
+            waits: vec![(0, 5)],
+        }];
+        let bytes = encode_edges(&edges);
+        let expected: &[u8] = &[
+            b'R', b'T', b'H', b'B', // magic
+            1, 0, // version, flags
+            1, // edge count
+            1, 2, 3, // domain, thread, seq varints
+            1, // wait count
+            0, 5, // wait (domain, count)
+        ];
+        assert_eq!(&bytes[..], expected);
+    }
+
+    #[test]
+    fn edges_reject_corrupt_input() {
+        let edges = vec![CrossDomainEdge {
+            domain: 0,
+            thread: 1,
+            seq: 9,
+            waits: vec![(1, 2)],
+        }];
+        let good = encode_edges(&edges);
+        for cut in 0..good.len() {
+            assert!(decode_edges(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Oversized edge count bounded before allocation.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTHB");
+        buf.put_u8(1);
+        buf.put_u8(0);
+        put_uvarint(&mut buf, u64::MAX / 2);
+        buf.put_u8(0);
+        assert!(decode_edges(&buf.freeze()).is_err());
+        // Oversized wait count bounded too.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTHB");
+        buf.put_u8(1);
+        buf.put_u8(0);
+        put_uvarint(&mut buf, 1); // one edge
+        put_uvarint(&mut buf, 0); // domain
+        put_uvarint(&mut buf, 0); // thread
+        put_uvarint(&mut buf, 0); // seq
+        put_uvarint(&mut buf, u64::MAX / 4); // nwaits
+        buf.put_u8(0);
+        assert!(decode_edges(&buf.freeze()).is_err());
     }
 
     #[test]

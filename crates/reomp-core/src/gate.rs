@@ -66,6 +66,45 @@ pub(crate) fn record_out(
     let rec = session.rec.as_ref().expect("record mode");
     let drec = &rec.domains[dom as usize];
     let streaming = rec.stream.is_some();
+    let multi = session.domains() > 1;
+    // Cross-domain edge sources: a pending barrier snapshot taken at this
+    // thread's last sync point, or — for critical-section gates — a fresh
+    // snapshot taken below. The snapshot MUST be read before this access
+    // publishes its own completion (see `edge_waits` below): two accesses
+    // in different domains can then never both observe each other, which
+    // is what makes replaying the edges deadlock-free.
+    let pending = if multi {
+        session.take_pending_sync(tid)
+    } else {
+        None
+    };
+    let wants_edge = multi && (kind == AccessKind::Critical || pending.is_some());
+    // `Some((seq, counts))` once the anchor position is known: the edge is
+    // appended after the gate lock is released.
+    let mut edge: Option<(u64, Vec<u64>)> = None;
+    // Resolve the wait set now for critical gates (a fresh snapshot
+    // dominates any pending one — counts are monotone), else the barrier
+    // snapshot.
+    let edge_counts = |session: &Session| -> Option<Vec<u64>> {
+        if kind == AccessKind::Critical {
+            session.snapshot_domain_counts()
+        } else {
+            pending.clone()
+        }
+    };
+    // DC/DE shared completion bookkeeping, run under the domain's gate
+    // lock right after the clock assignment. The snapshot is read strictly
+    // BEFORE `published` advances past this access: two accesses in
+    // different domains can then never both observe each other's
+    // completion, which keeps the recorded edge set acyclic — the
+    // invariant that makes replaying the edges deadlock-free. Returns the
+    // pending edge as `(anchor seq, wait snapshot)`.
+    let stamp_clocked = |clock: u64| -> Option<(u64, Vec<u64>)> {
+        let counts = wants_edge.then(|| edge_counts(session)).flatten();
+        let seq = drec.seqs[tid as usize].fetch_add(1, Ordering::Relaxed);
+        drec.published.store(clock + 1, Ordering::Release);
+        counts.map(|c| (seq, c))
+    };
     match session.scheme() {
         Scheme::St => {
             // Fig. 4 lines 6-8: record the thread ID to the domain's shared
@@ -76,6 +115,15 @@ pub(crate) fn record_out(
             let builder = core.st.as_mut().expect("st builder");
             builder.push(tid, site, kind);
             session.stats.bump_record_written();
+            if multi {
+                // Snapshot (for the edge) strictly before self-publish.
+                let counts = wants_edge.then(|| edge_counts(session)).flatten();
+                let count = drec.published.fetch_add(1, Ordering::AcqRel) + 1;
+                if let Some(counts) = counts {
+                    // ST anchors at the access's shared-stream index.
+                    edge = Some((count - 1, counts));
+                }
+            }
             // Streaming: steal a full shared log under the lock (the order
             // is already captured); encode and write it after unlock.
             let stolen = if streaming && builder.tids.len() >= session.cfg.flush_records.max(1) {
@@ -108,6 +156,9 @@ pub(crate) fn record_out(
                 let core = unsafe { drec.gate.get() };
                 let c = core.clock;
                 core.clock += 1;
+                if multi {
+                    edge = stamp_clocked(c);
+                }
                 c
             };
             // SAFETY: paired with the `record_in` lock.
@@ -145,6 +196,9 @@ pub(crate) fn record_out(
                     let core = unsafe { drec.gate.get() };
                     let clock = core.clock;
                     core.clock += 1;
+                    if multi {
+                        edge = stamp_clocked(clock);
+                    }
                     let tracker = core.tracker.as_mut().expect("de tracker");
                     let observed = tracker.observe(tid, site, addr, kind, clock);
                     // Push every finalized record (like the non-streaming
@@ -171,6 +225,9 @@ pub(crate) fn record_out(
                     let core = unsafe { drec.gate.get() };
                     let clock = core.clock;
                     core.clock += 1;
+                    if multi {
+                        edge = stamp_clocked(clock);
+                    }
                     core.tracker
                         .as_mut()
                         .expect("de tracker")
@@ -183,6 +240,9 @@ pub(crate) fn record_out(
                 }
             }
         }
+    }
+    if let Some((seq, counts)) = edge {
+        session.push_edge(dom, tid, seq, &counts);
     }
 }
 
@@ -231,6 +291,12 @@ pub(crate) fn replay_out(session: &Session, dom: u32, _tid: u32) {
             // baton — one inter-thread communication (ST-3/ST-4 in Fig. 6).
             drep.next_tid.store(TID_NONE, Ordering::Release);
             session.stats.bump_comms(1);
+            if session.domains() > 1 {
+                // Mirror the completion count so other domains'
+                // cross-domain edges can wait on this domain (not a paper
+                // communication — the baton hand-off above is ST's).
+                drep.turnstile.complete();
+            }
             drep.baton.release();
         }
         Scheme::Dc | Scheme::De => {
@@ -267,6 +333,9 @@ fn replay_in_st(
         }
         if next == tid {
             let seq = drep.st_pos.load(Ordering::Relaxed).saturating_sub(1) as u64;
+            // Enforce any cross-domain edge anchored at this stream
+            // position before entering the region.
+            session.wait_edges(dom, tid, seq, site)?;
             // Line 11 exit: it is this thread's turn. Validate against the
             // published record before entering the region.
             if session.cfg.validate_sites && st.sites.is_some() {
@@ -383,6 +452,10 @@ fn replay_in_distributed(
             }
         }
     }
+
+    // Cross-domain edges: wait for the stamped foreign-domain counts
+    // before taking this domain's own turn.
+    session.wait_edges(dom, tid, pos as u64, site)?;
 
     // Fig. 5 line 32.
     match session.scheme() {
@@ -632,6 +705,137 @@ mod tests {
         assert_eq!(report.fully_consumed, Some(true));
     }
 
+    /// Two-domain plan pinning site A in domain 0 and site B in domain 1.
+    fn two_domain_plan() -> (crate::plan::DomainPlan, SiteId, SiteId) {
+        let a = SiteId(0xaaaa);
+        let b = SiteId(0xbbbb);
+        let plan = crate::plan::DomainPlan::with_assignments(2, [(a, 0), (b, 1)]);
+        (plan, a, b)
+    }
+
+    #[test]
+    fn critical_gates_emit_and_enforce_cross_domain_edges() {
+        for scheme in Scheme::ALL {
+            let (plan, a, b) = two_domain_plan();
+            let cfg = SessionConfig {
+                plan: Some(plan),
+                ..Default::default()
+            };
+            // Record deterministically from one driver thread: thread 0
+            // takes three criticals in domain 0, then thread 1 takes one
+            // critical in domain 1. The domain-1 gate must stamp an edge
+            // "domain 0 reached 3".
+            let session = Session::record_with(scheme, 2, cfg.clone());
+            {
+                let c0 = session.register_thread(0);
+                let c1 = session.register_thread(1);
+                for _ in 0..3 {
+                    c0.gate(a, AccessKind::Critical, || ());
+                }
+                c1.gate(b, AccessKind::Critical, || ());
+            }
+            let report = session.finish().unwrap();
+            assert!(report.stats.sync_edges >= 1, "{scheme:?}");
+            let bundle = report.bundle.unwrap();
+            bundle.validate().unwrap();
+            assert!(bundle.plan.is_some(), "{scheme:?}: plan stamped");
+            let edge = bundle
+                .edges
+                .iter()
+                .find(|e| e.domain == 1)
+                .unwrap_or_else(|| panic!("{scheme:?}: domain-1 edge missing: {:?}", bundle.edges));
+            assert_eq!(edge.seq, 0, "{scheme:?}");
+            assert_eq!(edge.waits, vec![(0, 3)], "{scheme:?}");
+
+            // Replay with real threads: thread 1 starts first, but its
+            // critical must not complete until thread 0 finished all
+            // three domain-0 criticals — the edge restores the
+            // cross-domain order the blind sharding would lose.
+            let replay = Session::replay_with(
+                bundle,
+                SessionConfig {
+                    spin: SpinConfig {
+                        spin_hints: 16,
+                        timeout: Some(Duration::from_secs(30)),
+                    },
+                    ..cfg
+                },
+            )
+            .unwrap();
+            let order = parking_lot::Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                let c1 = replay.register_thread(1);
+                let c0 = replay.register_thread(0);
+                let order = &order;
+                s.spawn(move || {
+                    c1.gate(b, AccessKind::Critical, || order.lock().push(1u32));
+                });
+                s.spawn(move || {
+                    // Give thread 1 a head start so an unenforced replay
+                    // would demonstrably run it first.
+                    std::thread::sleep(Duration::from_millis(30));
+                    for _ in 0..3 {
+                        c0.gate(a, AccessKind::Critical, || order.lock().push(0u32));
+                    }
+                });
+            });
+            let report = replay.finish().unwrap();
+            assert_eq!(report.failure, None, "{scheme:?}");
+            assert_eq!(report.fully_consumed, Some(true), "{scheme:?}");
+            assert!(report.stats.edge_waits >= 1, "{scheme:?}");
+            assert_eq!(
+                *order.lock(),
+                vec![0, 0, 0, 1],
+                "{scheme:?}: edge must order domain 1 after domain 0"
+            );
+        }
+    }
+
+    #[test]
+    fn sync_point_stamps_edge_on_next_access() {
+        let (plan, a, b) = two_domain_plan();
+        let cfg = SessionConfig {
+            plan: Some(plan),
+            ..Default::default()
+        };
+        let session = Session::record_with(Scheme::Dc, 2, cfg);
+        {
+            let c0 = session.register_thread(0);
+            let c1 = session.register_thread(1);
+            c0.gate(a, AccessKind::Store, || ());
+            c0.gate(a, AccessKind::Store, || ());
+            // Thread 1 passes a barrier, then stores in domain 1: the
+            // store anchors an edge carrying the barrier-time snapshot.
+            c1.sync_point();
+            c1.gate(b, AccessKind::Store, || ());
+        }
+        let bundle = session.finish().unwrap().bundle.unwrap();
+        assert_eq!(bundle.edges.len(), 1, "{:?}", bundle.edges);
+        let e = &bundle.edges[0];
+        assert_eq!((e.domain, e.thread, e.seq), (1, 1, 0));
+        assert_eq!(e.waits, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn plain_stores_in_single_domain_record_no_edges() {
+        // D = 1 must never pay for edges — the golden-bytes compatibility
+        // depends on it.
+        let session = Session::record(Scheme::Dc, 2);
+        {
+            let c0 = session.register_thread(0);
+            c0.gate(SITE, AccessKind::Critical, || ());
+            c0.sync_point(); // no-op at D = 1
+            c0.gate(SITE, AccessKind::Store, || ());
+            let c1 = session.register_thread(1);
+            c1.gate(SITE, AccessKind::Critical, || ());
+        }
+        let report = session.finish().unwrap();
+        assert_eq!(report.stats.sync_edges, 0);
+        let bundle = report.bundle.unwrap();
+        assert!(bundle.edges.is_empty());
+        assert!(bundle.plan.is_none());
+    }
+
     #[test]
     fn replay_detects_site_divergence() {
         for scheme in Scheme::ALL {
@@ -808,6 +1012,8 @@ mod tests {
             values,
         };
         let bundle = TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::Dc,
             nthreads: 2,
             domains: 1,
@@ -932,6 +1138,8 @@ mod tests {
         }
         let n = tids.len();
         let st_bundle = TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::St,
             nthreads,
             domains: 1,

@@ -86,6 +86,7 @@
 //! | [`clock`] | `global_clock` and the `next_clock` turnstile (Fig. 5) |
 //! | [`history`] | the access-history ring buffer used to compute `X_C` (§IV-D) |
 //! | [`epoch`] | epoch assignment incl. the deferred-store rule of Table V |
+//! | [`plan`] | race-report-driven site → gate-domain assignment ([`DomainPlan`]) |
 //! | [`trace`] | per-thread and shared trace representations (Fig. 3) |
 //! | [`codec`] | varint/delta binary encoding of record files, incl. the streaming chunk frame |
 //! | [`store`] | record-file storage: in-memory and one-file-per-thread dir, one-shot and streaming |
@@ -104,6 +105,7 @@ pub mod epoch;
 pub mod error;
 pub mod gate;
 pub mod history;
+pub mod plan;
 pub mod session;
 pub mod site;
 pub mod stats;
@@ -113,10 +115,11 @@ pub mod trace;
 
 pub use epoch::EpochPolicy;
 pub use error::{Divergence, ReplayError, TraceError};
+pub use plan::DomainPlan;
 pub use session::{Mode, Scheme, Session, SessionConfig, SessionReport, ThreadCtx};
 pub use site::{AccessKind, SiteId};
 pub use stats::{EpochHistogram, StatsSnapshot};
 pub use store::{
     DirStore, IoReport, MemStore, RecordSink, StreamingTraceStore, TraceStore, TraceWriter,
 };
-pub use trace::TraceBundle;
+pub use trace::{CrossDomainEdge, TraceBundle};

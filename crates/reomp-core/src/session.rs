@@ -30,11 +30,26 @@
 //! contains (the partition is a pure function of the site id, identical in
 //! record and replay), so the paper's ordering requirement — and the
 //! Contiguous-policy monotonicity argument in [`crate::epoch`] — hold per
-//! stream. What multi-domain recording does **not** capture is the
+//! stream. What multi-domain recording does **not** capture per se is the
 //! relative order of two racing accesses *to the same memory* made through
-//! sites in different domains; such programs must keep the sites in one
-//! domain (or run with `D = 1`), exactly like sites excluded from the
-//! [`gate_plan`](SessionConfig::gate_plan) must be race-free.
+//! sites in different domains. Two mechanisms close that gap:
+//!
+//! * **Domain plans** ([`SessionConfig::plan`]): an explicit
+//!   [`DomainPlan`] — typically produced by `racedet::DomainPlanner` from
+//!   a race report — co-locates every group of aliased/racing sites in one
+//!   domain (so their order is recorded) and spreads the remaining sites
+//!   with a mixed-hash fallback. The plan is stamped into the trace and
+//!   reconstructed on replay; a plan-less multi-domain session keeps the
+//!   legacy `site.raw() % D` partition for PR 3 trace compatibility.
+//! * **Cross-domain happens-before edges**: at barrier
+//!   ([`ThreadCtx::sync_point`]) and critical-section gates of a
+//!   multi-domain record run, the session stamps a sparse vector of the
+//!   other domains' clocks into the trace ([`CrossDomainEdge`]); replay
+//!   waits on the foreign domains' turnstiles before admitting the anchor
+//!   access, restoring inter-domain order at synchronization points.
+//!
+//! The soundness contract is: **aliased sites co-locate, or edges restore
+//! their order at the synchronization points that separate them.**
 //!
 //! # Streaming record runs
 //!
@@ -55,13 +70,14 @@ use crate::epoch::{EpochPolicy, EpochTracker};
 use crate::error::{FinishError, ReplayError, TraceError};
 use crate::gate;
 use crate::history::{AccessRecord, HistoryRing};
+use crate::plan::DomainPlan;
 use crate::site::{AccessKind, SiteId};
 use crate::stats::{EpochHistogram, Stats, StatsSnapshot};
 use crate::store::{DirStore, IoReport, RecordSink, StreamingTraceStore, TraceStore};
 use crate::sync::{BatonLock, RawLocked, SpinConfig};
-use crate::trace::{StTrace, ThreadTrace, TraceBundle};
+use crate::trace::{CrossDomainEdge, StTrace, ThreadTrace, TraceBundle};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -168,8 +184,18 @@ pub struct SessionConfig {
     /// single-gate behavior and trace format byte-for-byte; larger values
     /// let accesses to sites in different domains record and replay
     /// concurrently (see the module docs for when that is sound). Replay
-    /// sessions always use the domain count stamped in the trace.
+    /// sessions always use the domain count stamped in the trace. Without
+    /// a [`SessionConfig::plan`], sites partition with the legacy
+    /// `site.raw() % D` modulo.
     pub domains: u32,
+    /// Explicit site → domain assignment (see [`DomainPlan`] and
+    /// `racedet::DomainPlanner`). When set it **overrides**
+    /// [`SessionConfig::domains`] with its own domain count, pins each
+    /// planned site to its domain, and spreads unplanned sites with a
+    /// splitmix64-mixed hash instead of the striping raw modulo. The plan
+    /// is stamped into recorded traces; replay sessions always use the
+    /// plan stamped in the trace (or the legacy modulo when none is).
+    pub plan: Option<DomainPlan>,
 }
 
 impl Default for SessionConfig {
@@ -182,7 +208,21 @@ impl Default for SessionConfig {
             gate_plan: None,
             flush_records: 4096,
             domains: 1,
+            plan: None,
         }
+    }
+}
+
+impl SessionConfig {
+    /// The domain count the session will actually run with: the plan's
+    /// count when a plan is set, the raw knob otherwise (clamped to ≥ 1).
+    #[must_use]
+    pub fn effective_domains(&self) -> u32 {
+        self.plan
+            .as_ref()
+            .map(DomainPlan::domains)
+            .unwrap_or(self.domains)
+            .max(1)
     }
 }
 
@@ -232,6 +272,15 @@ pub(crate) struct DomainRecord {
     /// Per-thread record buffers (Fig. 3-(b): one record file per thread —
     /// here one per thread *per domain*).
     pub bufs: Vec<Mutex<Vec<RecEntry>>>,
+    /// Number of accesses this domain has completed (mirrors the clock):
+    /// written under the domain's gate lock, read lock-free by *other*
+    /// domains' gates when they stamp a cross-domain edge. Only maintained
+    /// for multi-domain sessions.
+    pub published: AtomicU64,
+    /// Per-thread access counters in this domain — the `seq` a
+    /// cross-domain edge anchors at. Bumped under the gate lock; only
+    /// maintained for multi-domain sessions.
+    pub seqs: Vec<AtomicU64>,
 }
 
 pub(crate) struct RecordState {
@@ -239,6 +288,13 @@ pub(crate) struct RecordState {
     pub domains: Vec<DomainRecord>,
     /// Attached streaming sink, when the session records incrementally.
     pub stream: Option<StreamState>,
+    /// Cross-domain happens-before edges collected so far (multi-domain
+    /// sessions only; appended outside the gate locks).
+    pub edges: Mutex<Vec<CrossDomainEdge>>,
+    /// Per-thread pending barrier snapshots: set by
+    /// [`ThreadCtx::sync_point`], consumed by the thread's next gated
+    /// access, which becomes the edge anchor.
+    pub pending_sync: Vec<Mutex<Option<Vec<u64>>>>,
 }
 
 /// Streaming-record state: the sink plus the per-domain flush watermarks.
@@ -319,6 +375,10 @@ pub(crate) struct ReplayState {
     pub bundle: TraceBundle,
     /// Per-domain replay gates (length = the bundle's domain count).
     pub domains: Vec<DomainReplay>,
+    /// Edge waits keyed by anchor — `(domain, thread, seq)` for DC/DE,
+    /// `(domain, 0, stream index)` for ST (see
+    /// [`TraceBundle::edge_index`]).
+    pub edges: HashMap<(u32, u32, u64), Vec<(u32, u64)>>,
 }
 
 /// A record or replay run.
@@ -392,7 +452,7 @@ impl Session {
         cfg: SessionConfig,
         store: &dyn StreamingTraceStore,
     ) -> Result<Arc<Session>, TraceError> {
-        let domains = cfg.domains.max(1);
+        let domains = cfg.effective_domains();
         let sink = store.begin_record(scheme, nthreads, domains, cfg.validate_sites)?;
         Ok(Arc::new(Session::build(
             Mode::Record,
@@ -512,9 +572,13 @@ impl Session {
         sink: Option<Box<dyn RecordSink>>,
     ) -> Session {
         assert!(nthreads > 0, "a session needs at least one thread");
-        cfg.domains = cfg.domains.max(1);
+        cfg.domains = cfg.effective_domains();
         if let Some(bundle) = &bundle {
+            // A trace replays against exactly the partition it was
+            // recorded with: the stamped plan when one exists, the legacy
+            // modulo otherwise.
             cfg.domains = bundle.domains;
+            cfg.plan = bundle.plan.clone();
         }
         let domains = cfg.domains;
         let rec = (mode == Mode::Record).then(|| RecordState {
@@ -532,9 +596,13 @@ impl Session {
                         }),
                     }),
                     bufs: (0..nthreads).map(|_| Mutex::new(Vec::new())).collect(),
+                    published: AtomicU64::new(0),
+                    seqs: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
                 })
                 .collect(),
             stream: sink.map(|s| StreamState::new(s, scheme, domains)),
+            edges: Mutex::new(Vec::new()),
+            pending_sync: (0..nthreads).map(|_| Mutex::new(None)).collect(),
         });
         let ring_capacity = cfg.ring_capacity;
         let rep = bundle.map(|bundle| ReplayState {
@@ -550,6 +618,7 @@ impl Session {
                     history: Mutex::new(HistoryRing::new(ring_capacity)),
                 })
                 .collect(),
+            edges: bundle.edge_index(),
             bundle,
         });
         Session {
@@ -591,16 +660,26 @@ impl Session {
     }
 
     /// The gate domain site `site` belongs to: a fixed partition that
-    /// record and replay compute identically.
+    /// record and replay compute identically — the session's
+    /// [`DomainPlan`] when one is set, the legacy `raw % D` modulo
+    /// otherwise.
     #[inline]
     #[must_use]
     pub fn domain_of(&self, site: SiteId) -> u32 {
         let d = self.cfg.domains;
         if d <= 1 {
             0
+        } else if let Some(plan) = &self.cfg.plan {
+            plan.domain_of(site)
         } else {
-            (site.raw() % u64::from(d)) as u32
+            DomainPlan::legacy_modulo(d, site)
         }
+    }
+
+    /// The session's domain plan, if it runs with one.
+    #[must_use]
+    pub fn plan(&self) -> Option<&DomainPlan> {
+        self.cfg.plan.as_ref()
     }
 
     /// Live statistics snapshot.
@@ -631,6 +710,100 @@ impl Session {
             session: Arc::clone(self),
             tid,
         }
+    }
+
+    /// Snapshot every domain's published completion count (record mode,
+    /// multi-domain). Index `d` is domain `d`'s count.
+    pub(crate) fn snapshot_domain_counts(&self) -> Option<Vec<u64>> {
+        let rec = self.rec.as_ref()?;
+        if self.cfg.domains <= 1 {
+            return None;
+        }
+        Some(
+            rec.domains
+                .iter()
+                .map(|d| d.published.load(Ordering::Acquire))
+                .collect(),
+        )
+    }
+
+    /// Note a synchronization point (barrier) for `tid`: the snapshot of
+    /// all domains' counts becomes the wait set of an edge anchored at the
+    /// thread's *next* gated access.
+    pub(crate) fn note_sync_point(&self, tid: u32) {
+        if self.mode != Mode::Record {
+            return;
+        }
+        let Some(snap) = self.snapshot_domain_counts() else {
+            return;
+        };
+        if let Some(rec) = &self.rec {
+            // A newer snapshot dominates an unconsumed older one (counts
+            // are monotone), so plain replacement is the max-merge.
+            *rec.pending_sync[tid as usize].lock() = Some(snap);
+        }
+    }
+
+    /// Take `tid`'s pending barrier snapshot, if any.
+    pub(crate) fn take_pending_sync(&self, tid: u32) -> Option<Vec<u64>> {
+        self.rec
+            .as_ref()
+            .and_then(|rec| rec.pending_sync[tid as usize].lock().take())
+    }
+
+    /// Append one cross-domain edge anchored at `(dom, tid, seq)` whose
+    /// wait set is `counts` (a full per-domain snapshot; the anchor's own
+    /// domain and zero counts are dropped here).
+    pub(crate) fn push_edge(&self, dom: u32, tid: u32, seq: u64, counts: &[u64]) {
+        let waits: Vec<(u32, u64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(j, &c)| j as u32 != dom && c > 0)
+            .map(|(j, &c)| (j as u32, c))
+            .collect();
+        if waits.is_empty() {
+            return;
+        }
+        if let Some(rec) = &self.rec {
+            rec.edges.lock().push(CrossDomainEdge {
+                domain: dom,
+                thread: tid,
+                seq,
+                waits,
+            });
+            self.stats.bump_sync_edge();
+        }
+    }
+
+    /// Enforce the cross-domain edge anchored at `(dom, tid, seq)`, if one
+    /// was recorded: wait until every listed foreign domain's turnstile
+    /// reaches its stamped count.
+    pub(crate) fn wait_edges(
+        &self,
+        dom: u32,
+        tid: u32,
+        seq: u64,
+        site: SiteId,
+    ) -> Result<(), ReplayError> {
+        let Some(rep) = &self.rep else { return Ok(()) };
+        if rep.edges.is_empty() {
+            return Ok(());
+        }
+        let key = (dom, if rep.bundle.is_st() { 0 } else { tid }, seq);
+        let Some(waits) = rep.edges.get(&key) else {
+            return Ok(());
+        };
+        for &(j, count) in waits {
+            self.stats.bump_edge_wait();
+            rep.domains[j as usize].turnstile.wait_at_least(
+                count,
+                tid,
+                site,
+                &self.cfg.spin,
+                &self.stats,
+            )?;
+        }
+        Ok(())
     }
 
     /// Record the first failure and release all replay waiters in every
@@ -791,6 +964,21 @@ impl Session {
                 self.append_thread_chunk(dom, tid, &entries)?;
             }
         }
+        // Stamp the domain plan and the collected cross-domain edges
+        // before the manifest is published.
+        {
+            let guard = stream.sink.read();
+            let sink = guard
+                .as_ref()
+                .ok_or_else(|| TraceError::Corrupt("streaming sink already committed".into()))?;
+            if let Some(plan) = &self.cfg.plan {
+                sink.put_plan(plan)?;
+            }
+            let edges = self.drain_edges();
+            if !edges.is_empty() {
+                sink.append_edges(&edges)?;
+            }
+        }
         let sink = stream
             .sink
             .write()
@@ -900,6 +1088,14 @@ impl Session {
         }
     }
 
+    /// Drain the collected cross-domain edges in deterministic order.
+    fn drain_edges(&self) -> Vec<CrossDomainEdge> {
+        let rec = self.rec.as_ref().expect("record state");
+        let mut edges = std::mem::take(&mut *rec.edges.lock());
+        edges.sort_by_key(|e| (e.domain, e.thread, e.seq));
+        edges
+    }
+
     fn assemble_bundle(&self) -> TraceBundle {
         let rec = self.rec.as_ref().expect("record state");
         let validate = self.cfg.validate_sites;
@@ -937,6 +1133,8 @@ impl Session {
             domains: self.cfg.domains,
             threads,
             st,
+            plan: self.cfg.plan.clone(),
+            edges: self.drain_edges(),
         };
         debug_assert!(bundle.validate().is_ok(), "assembled bundle is consistent");
         bundle
@@ -972,6 +1170,20 @@ impl ThreadCtx {
     #[must_use]
     pub fn session(&self) -> &Arc<Session> {
         &self.session
+    }
+
+    /// Note a synchronization point (e.g. a barrier departure) for this
+    /// thread.
+    ///
+    /// In a multi-domain record run this snapshots every gate domain's
+    /// completion count; the snapshot becomes a [`CrossDomainEdge`]
+    /// anchored at this thread's *next* gated access, so replay restores
+    /// the inter-domain ordering the barrier established. A no-op in every
+    /// other mode and for single-domain sessions — runtimes can call it
+    /// unconditionally from their barrier shims.
+    #[inline]
+    pub fn sync_point(&self) {
+        self.session.note_sync_point(self.tid);
     }
 
     /// Execute `f` as a shared-memory access region bracketed by
@@ -1224,6 +1436,87 @@ mod tests {
         );
         assert_eq!(s.domains(), 1, "domain count clamps to >= 1");
         assert_eq!(s.domain_of(SiteId(u64::MAX)), 0);
+    }
+
+    #[test]
+    fn planned_session_partitions_by_plan_not_modulo() {
+        // Pin sites opposite to what raw % 2 would do.
+        let a = SiteId(2); // modulo: domain 0 — plan: domain 1
+        let b = SiteId(3); // modulo: domain 1 — plan: domain 0
+        let plan = DomainPlan::with_assignments(2, [(a, 1), (b, 0)]);
+        let cfg = SessionConfig {
+            plan: Some(plan.clone()),
+            ..Default::default()
+        };
+        let s = Session::record_with(Scheme::Dc, 1, cfg);
+        assert_eq!(s.domains(), 2);
+        assert_eq!(s.domain_of(a), 1);
+        assert_eq!(s.domain_of(b), 0);
+        assert_eq!(s.plan(), Some(&plan));
+        let ctx = s.register_thread(0);
+        ctx.gate(a, AccessKind::Store, || ());
+        drop(ctx);
+        let bundle = s.finish().unwrap().bundle.unwrap();
+        assert_eq!(bundle.plan.as_ref(), Some(&plan), "plan stamped in trace");
+        assert!(bundle.thread(0, 0).is_empty());
+        assert_eq!(bundle.thread(1, 0).len(), 1, "access landed per plan");
+
+        // Replay reconstructs the plan from the bundle even when the
+        // caller's config has none.
+        let replay = Session::replay(bundle).unwrap();
+        assert_eq!(replay.domain_of(a), 1);
+        assert_eq!(replay.domain_of(b), 0);
+    }
+
+    #[test]
+    fn plan_overrides_raw_domain_knob() {
+        let cfg = SessionConfig {
+            domains: 2,
+            plan: Some(DomainPlan::new(4)),
+            ..Default::default()
+        };
+        assert_eq!(cfg.effective_domains(), 4);
+        let s = Session::record_with(Scheme::Dc, 1, cfg);
+        assert_eq!(s.domains(), 4);
+        // Unplanned sites take the mixed-hash fallback, not the modulo.
+        let site = SiteId(6);
+        assert_eq!(s.domain_of(site), DomainPlan::hashed_fallback(4, site));
+    }
+
+    #[test]
+    fn streaming_record_persists_plan_and_edges() {
+        use crate::store::{MemStore, TraceStore};
+        let a = SiteId(0xa);
+        let b = SiteId(0xb);
+        let plan = DomainPlan::with_assignments(2, [(a, 0), (b, 1)]);
+        let drive = |session: &Arc<Session>| {
+            let c0 = session.register_thread(0);
+            let c1 = session.register_thread(1);
+            for _ in 0..3 {
+                c0.gate(a, AccessKind::Critical, || ());
+            }
+            c1.gate(b, AccessKind::Critical, || ());
+        };
+        let cfg = SessionConfig {
+            plan: Some(plan.clone()),
+            ..Default::default()
+        };
+        let s = Session::record_with(Scheme::Dc, 2, cfg.clone());
+        drive(&s);
+        let one_shot = s.finish().unwrap().bundle.unwrap();
+        assert!(!one_shot.edges.is_empty());
+
+        let store = MemStore::new();
+        let cfg = SessionConfig {
+            flush_records: 2,
+            ..cfg
+        };
+        let s = Session::record_streaming_with(Scheme::Dc, 2, cfg, &store).unwrap();
+        drive(&s);
+        s.finish().unwrap();
+        let (loaded, _) = store.load().unwrap();
+        assert_eq!(loaded, one_shot, "streamed plan+edges ≡ one-shot");
+        assert_eq!(loaded.plan.as_ref(), Some(&plan));
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub struct Stats {
     io_bytes_read: AtomicU64,
     io_files: AtomicU64,
     validate_checks: AtomicU64,
+    sync_edges: AtomicU64,
+    edge_waits: AtomicU64,
     /// Gate passages per gate domain (empty for single-domain sessions —
     /// there the breakdown is just `gates`).
     domain_gates: Vec<AtomicU64>,
@@ -177,6 +179,19 @@ impl Stats {
         self.validate_checks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one cross-domain happens-before edge recorded.
+    #[inline]
+    pub fn bump_sync_edge(&self) {
+        self.sync_edges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one replay wait on a *foreign* domain's turnstile (a
+    /// cross-domain edge being enforced).
+    #[inline]
+    pub fn bump_edge_wait(&self) {
+        self.edge_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy all counters into an immutable snapshot.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -199,6 +214,8 @@ impl Stats {
             io_bytes_read: self.io_bytes_read.load(Ordering::Relaxed),
             io_files: self.io_files.load(Ordering::Relaxed),
             validate_checks: self.validate_checks.load(Ordering::Relaxed),
+            sync_edges: self.sync_edges.load(Ordering::Relaxed),
+            edge_waits: self.edge_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -234,6 +251,10 @@ pub struct StatsSnapshot {
     pub io_files: u64,
     /// Replay-validation comparisons performed.
     pub validate_checks: u64,
+    /// Cross-domain happens-before edges recorded (record mode, D > 1).
+    pub sync_edges: u64,
+    /// Replay waits on foreign domains' turnstiles (edges enforced).
+    pub edge_waits: u64,
 }
 
 impl StatsSnapshot {
@@ -282,7 +303,12 @@ impl fmt::Display for StatsSnapshot {
             "trace I/O:          {} B out, {} B in, {} files",
             self.io_bytes_written, self.io_bytes_read, self.io_files
         )?;
-        write!(f, "validate checks:    {}", self.validate_checks)
+        writeln!(f, "validate checks:    {}", self.validate_checks)?;
+        write!(
+            f,
+            "cross-domain edges: {} recorded, {} replay waits",
+            self.sync_edges, self.edge_waits
+        )
     }
 }
 
@@ -412,6 +438,8 @@ mod tests {
 
     fn bundle_with_values(per_thread: Vec<Vec<u64>>) -> TraceBundle {
         TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::De,
             nthreads: per_thread.len() as u32,
             domains: 1,
@@ -485,6 +513,8 @@ mod tests {
         // Two domains, both with a value-0 pair. Per-domain grouping sees
         // two epochs of size 2, not one of size 4.
         let b = TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::De,
             nthreads: 2,
             domains: 2,

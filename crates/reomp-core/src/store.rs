@@ -55,8 +55,9 @@
 
 use crate::codec;
 use crate::error::TraceError;
+use crate::plan::DomainPlan;
 use crate::session::Scheme;
-use crate::trace::{StTrace, ThreadTrace, TraceBundle};
+use crate::trace::{CrossDomainEdge, StTrace, ThreadTrace, TraceBundle};
 use parking_lot::Mutex;
 use std::fs;
 use std::io::{Read, Write};
@@ -131,6 +132,12 @@ pub trait StreamingTraceStore: TraceStore {
         }
         for (dom, st) in bundle.st.iter().enumerate() {
             stream_st_trace(&*sink, dom as u32, st, records_per_chunk)?;
+        }
+        if let Some(plan) = &bundle.plan {
+            sink.put_plan(plan)?;
+        }
+        if !bundle.edges.is_empty() {
+            sink.append_edges(&bundle.edges)?;
         }
         sink.commit(bundle.total_records())
     }
@@ -214,6 +221,15 @@ pub trait RecordSink: Send + Sync {
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
     ) -> Result<u64, TraceError>;
+
+    /// Attach the recording's [`DomainPlan`]; it is persisted at commit
+    /// (`plan` manifest line + plan section). Calling it again replaces
+    /// the previous plan.
+    fn put_plan(&self, plan: &DomainPlan) -> Result<(), TraceError>;
+
+    /// Append cross-domain happens-before edges; they accumulate and are
+    /// persisted at commit (`edges` manifest line + edge section).
+    fn append_edges(&self, edges: &[CrossDomainEdge]) -> Result<(), TraceError>;
 
     /// Finalize the recording: flush every stream and atomically publish
     /// it (the manifest is written last). Until commit returns, the store
@@ -319,6 +335,10 @@ struct EncodedBundle {
     threads: Vec<Vec<u8>>,
     /// Per-domain encoded ST streams (empty for non-ST).
     st: Vec<Vec<u8>>,
+    /// Encoded domain-plan section, when the recording carried one.
+    plan: Option<Vec<u8>>,
+    /// Encoded cross-domain edge section, when edges were recorded.
+    edges: Option<Vec<u8>>,
 }
 
 impl MemStore {
@@ -365,12 +385,26 @@ impl TraceStore for MemStore {
                 b
             })
             .collect();
+        let plan = bundle.plan.as_ref().map(|p| {
+            let b = codec::encode_plan(p).to_vec();
+            report.bytes += b.len() as u64;
+            report.files += 1;
+            b
+        });
+        let edges = (!bundle.edges.is_empty()).then(|| {
+            let b = codec::encode_edges(&bundle.edges).to_vec();
+            report.bytes += b.len() as u64;
+            report.files += 1;
+            b
+        });
         *self.files.lock() = Some(EncodedBundle {
             scheme: bundle.scheme,
             nthreads: bundle.nthreads,
             domains: bundle.domains,
             threads,
             st,
+            plan,
+            edges,
         });
         Ok(report)
     }
@@ -404,12 +438,30 @@ impl TraceStore for MemStore {
             report.chunks += decoded.chunks;
             st.push(decoded.trace);
         }
+        let plan = match &encoded.plan {
+            Some(bytes) => {
+                report.bytes += bytes.len() as u64;
+                report.files += 1;
+                Some(codec::decode_plan(bytes)?)
+            }
+            None => None,
+        };
+        let edges = match &encoded.edges {
+            Some(bytes) => {
+                report.bytes += bytes.len() as u64;
+                report.files += 1;
+                codec::decode_edges(bytes)?
+            }
+            None => Vec::new(),
+        };
         let bundle = TraceBundle {
             scheme: encoded.scheme,
             nthreads: encoded.nthreads,
             domains: encoded.domains,
             threads,
             st,
+            plan,
+            edges,
         };
         bundle.validate()?;
         Ok((bundle, report))
@@ -469,6 +521,8 @@ impl StreamingTraceStore for MemStore {
             validated,
             streams,
             st,
+            plan: Mutex::new(None),
+            edges: Mutex::new(Vec::new()),
             chunks: AtomicU64::new(0),
         }))
     }
@@ -483,6 +537,10 @@ struct MemRecordSink {
     /// Flat, domain-major streams.
     streams: Vec<Mutex<Vec<u8>>>,
     st: Vec<Mutex<Vec<u8>>>,
+    /// Attached domain plan, persisted at commit.
+    plan: Mutex<Option<DomainPlan>>,
+    /// Accumulated cross-domain edges, persisted at commit.
+    edges: Mutex<Vec<CrossDomainEdge>>,
     /// Chunks appended so far (mirrors StreamFile's counter; commit must
     /// not have to re-decode everything it just encoded).
     chunks: AtomicU64,
@@ -534,6 +592,23 @@ impl RecordSink for MemRecordSink {
         Ok(chunk.len() as u64)
     }
 
+    fn put_plan(&self, plan: &DomainPlan) -> Result<(), TraceError> {
+        if plan.domains() != self.domains {
+            return Err(TraceError::Corrupt(format!(
+                "plan partitions {} domains but the recording has {}",
+                plan.domains(),
+                self.domains
+            )));
+        }
+        *self.plan.lock() = Some(plan.clone());
+        Ok(())
+    }
+
+    fn append_edges(&self, edges: &[CrossDomainEdge]) -> Result<(), TraceError> {
+        self.edges.lock().extend_from_slice(edges);
+        Ok(())
+    }
+
     fn commit(self: Box<Self>, _total_records: u64) -> Result<IoReport, TraceError> {
         let mut report = IoReport::default();
         let threads: Vec<Vec<u8>> = self
@@ -557,12 +632,29 @@ impl RecordSink for MemRecordSink {
             })
             .collect();
         report.chunks = self.chunks.load(Ordering::Relaxed);
+        let plan = self.plan.into_inner().map(|p| {
+            let b = codec::encode_plan(&p).to_vec();
+            report.bytes += b.len() as u64;
+            report.files += 1;
+            b
+        });
+        let edges = {
+            let edges = self.edges.into_inner();
+            (!edges.is_empty()).then(|| {
+                let b = codec::encode_edges(&edges).to_vec();
+                report.bytes += b.len() as u64;
+                report.files += 1;
+                b
+            })
+        };
         *self.files.lock() = Some(EncodedBundle {
             scheme: self.scheme,
             nthreads: self.nthreads,
             domains: self.domains,
             threads,
             st,
+            plan,
+            edges,
         });
         Ok(report)
     }
@@ -594,6 +686,14 @@ fn st_file(dir: &Path, dom: Option<u32>) -> PathBuf {
         Some(dom) => dir.join(format!("st.d{dom}.rtrc")),
         None => dir.join("st.rtrc"),
     }
+}
+
+fn plan_file(dir: &Path) -> PathBuf {
+    dir.join("plan.rtrc")
+}
+
+fn edges_file(dir: &Path) -> PathBuf {
+    dir.join("edges.rtrc")
 }
 
 fn manifest_file(dir: &Path) -> PathBuf {
@@ -647,10 +747,20 @@ enum RecordFileName {
     Thread { tid: u32, dom: Option<u32> },
     /// `st.rtrc` / `st.d<dom>.rtrc`.
     St { dom: Option<u32> },
+    /// `plan.rtrc` — the domain-plan section of a planned recording.
+    Plan,
+    /// `edges.rtrc` — the cross-domain happens-before edges.
+    Edges,
 }
 
 fn parse_record_name(name: &str) -> Option<RecordFileName> {
     let stem = name.strip_suffix(".rtrc")?;
+    if stem == "plan" {
+        return Some(RecordFileName::Plan);
+    }
+    if stem == "edges" {
+        return Some(RecordFileName::Edges);
+    }
     let (stem, dom) = match stem.rsplit_once(".d") {
         Some((pre, d)) => match d.parse::<u32>() {
             Ok(d) => (pre, Some(d)),
@@ -694,6 +804,9 @@ fn scrub_before_save(
             match parse_record_name(name) {
                 Some(RecordFileName::St { dom }) => !(keep_st && keeps(dom)),
                 Some(RecordFileName::Thread { tid, dom }) => !(tid < keep_threads && keeps(dom)),
+                // Plan/edge sections are always rewritten by the save that
+                // owns them; a stale one from an earlier run must go.
+                Some(RecordFileName::Plan | RecordFileName::Edges) => true,
                 None => false,
             }
         };
@@ -732,16 +845,30 @@ impl DirStore {
         manifest_file(&self.dir)
     }
 
-    fn render_manifest(scheme: Scheme, nthreads: u32, domains: u32, records: u64) -> String {
-        // `domains` is only written for multi-domain recordings so that
-        // single-domain manifests stay byte-identical to the pre-domain
-        // format.
+    fn render_manifest(
+        scheme: Scheme,
+        nthreads: u32,
+        domains: u32,
+        records: u64,
+        plan_sites: Option<u64>,
+        edges: Option<u64>,
+    ) -> String {
+        // `domains` is only written for multi-domain recordings — and
+        // `plan`/`edges` only for recordings that carry them — so that
+        // manifests without the new features stay byte-identical to the
+        // earlier formats.
         let mut text = format!(
             "reomp-trace v1\nscheme {}\nthreads {nthreads}\n",
             scheme.name()
         );
         if domains > 1 {
             text.push_str(&format!("domains {domains}\n"));
+        }
+        if let Some(n) = plan_sites {
+            text.push_str(&format!("plan {n}\n"));
+        }
+        if let Some(n) = edges {
+            text.push_str(&format!("edges {n}\n"));
         }
         text.push_str(&format!("records {records}\n"));
         text
@@ -753,12 +880,14 @@ impl DirStore {
         nthreads: u32,
         domains: u32,
         records: u64,
+        plan_sites: Option<u64>,
+        edges: Option<u64>,
     ) -> Result<u64, TraceError> {
-        let text = Self::render_manifest(scheme, nthreads, domains, records);
+        let text = Self::render_manifest(scheme, nthreads, domains, records, plan_sites, edges);
         write_file_atomic(&self.manifest_path(), text.as_bytes())
     }
 
-    fn load_manifest(&self) -> Result<(Scheme, u32, u32, Option<u64>), TraceError> {
+    fn load_manifest(&self) -> Result<Manifest, TraceError> {
         let bytes = read_file(&self.manifest_path()).map_err(|e| match e {
             TraceError::Io(ref io) if io.kind() == std::io::ErrorKind::NotFound => {
                 TraceError::Empty
@@ -771,6 +900,8 @@ impl DirStore {
         let mut threads = None;
         let mut domains = None;
         let mut records = None;
+        let mut plan_sites = None;
+        let mut edges = None;
         for (i, line) in text.lines().enumerate() {
             if i == 0 {
                 if line != "reomp-trace v1" {
@@ -798,6 +929,18 @@ impl DirStore {
                         return Err(TraceError::Corrupt(format!("bad domain count {n:?}")));
                     }
                 }
+                (Some("plan"), Some(n)) => {
+                    plan_sites = n.parse::<u64>().ok();
+                    if plan_sites.is_none() {
+                        return Err(TraceError::Corrupt(format!("bad plan site count {n:?}")));
+                    }
+                }
+                (Some("edges"), Some(n)) => {
+                    edges = n.parse::<u64>().ok();
+                    if edges.is_none() {
+                        return Err(TraceError::Corrupt(format!("bad edge count {n:?}")));
+                    }
+                }
                 (Some("records"), Some(n)) => {
                     records = n.parse::<u64>().ok();
                     if records.is_none() {
@@ -811,12 +954,32 @@ impl DirStore {
             }
         }
         match (scheme, threads) {
-            (Some(s), Some(t)) => Ok((s, t, domains.unwrap_or(1), records)),
+            (Some(s), Some(t)) => Ok(Manifest {
+                scheme: s,
+                nthreads: t,
+                domains: domains.unwrap_or(1),
+                records,
+                plan_sites,
+                edges,
+            }),
             _ => Err(TraceError::Corrupt(
                 "manifest missing scheme/threads".into(),
             )),
         }
     }
+}
+
+/// Parsed `manifest.txt` contents.
+struct Manifest {
+    scheme: Scheme,
+    nthreads: u32,
+    domains: u32,
+    records: Option<u64>,
+    /// Explicit site count of the stamped plan (`None`: no plan section —
+    /// the recording partitioned with the legacy modulo).
+    plan_sites: Option<u64>,
+    /// Cross-domain edge count (`None`: no edge section).
+    edges: Option<u64>,
 }
 
 impl TraceStore for DirStore {
@@ -880,11 +1043,24 @@ impl TraceStore for DirStore {
             report.files += 1;
         }
 
+        if let Some(plan) = &bundle.plan {
+            let bytes = codec::encode_plan(plan);
+            report.bytes += write_file_atomic(&plan_file(&self.dir), &bytes)?;
+            report.files += 1;
+        }
+        if !bundle.edges.is_empty() {
+            let bytes = codec::encode_edges(&bundle.edges);
+            report.bytes += write_file_atomic(&edges_file(&self.dir), &bytes)?;
+            report.files += 1;
+        }
+
         report.bytes += self.save_manifest(
             bundle.scheme,
             bundle.nthreads,
             bundle.domains,
             bundle.total_records(),
+            bundle.plan.as_ref().map(|p| p.assigned() as u64),
+            (!bundle.edges.is_empty()).then_some(bundle.edges.len() as u64),
         )?;
         report.files += 1;
         sync_dir(&self.dir);
@@ -892,7 +1068,14 @@ impl TraceStore for DirStore {
     }
 
     fn load(&self) -> Result<(TraceBundle, IoReport), TraceError> {
-        let (scheme, nthreads, domains, records) = self.load_manifest()?;
+        let Manifest {
+            scheme,
+            nthreads,
+            domains,
+            records,
+            plan_sites,
+            edges: edge_count,
+        } = self.load_manifest()?;
         let mut report = IoReport {
             bytes: 0,
             files: 1,
@@ -967,12 +1150,49 @@ impl TraceStore for DirStore {
             }
         }
 
+        // Plan and edge sections, cross-checked against the manifest's
+        // counts the same way record files are.
+        let plan = match plan_sites {
+            Some(expected) => {
+                let bytes = read_file(&plan_file(&self.dir))?;
+                report.bytes += bytes.len() as u64;
+                report.files += 1;
+                let plan = codec::decode_plan(&bytes)?;
+                if plan.assigned() as u64 != expected {
+                    return Err(TraceError::Corrupt(format!(
+                        "manifest promises {expected} planned sites but the plan holds {}",
+                        plan.assigned()
+                    )));
+                }
+                Some(plan)
+            }
+            None => None,
+        };
+        let edges = match edge_count {
+            Some(expected) => {
+                let bytes = read_file(&edges_file(&self.dir))?;
+                report.bytes += bytes.len() as u64;
+                report.files += 1;
+                let edges = codec::decode_edges(&bytes)?;
+                if edges.len() as u64 != expected {
+                    return Err(TraceError::Corrupt(format!(
+                        "manifest promises {expected} edges but the section holds {}",
+                        edges.len()
+                    )));
+                }
+                edges
+            }
+            None => Vec::new(),
+        };
+
         let bundle = TraceBundle {
             scheme,
             nthreads,
             domains,
             threads,
             st,
+            plan,
+            edges,
         };
         bundle.validate()?;
         // Cross-check the manifest's record count: a chunked file truncated
@@ -1040,6 +1260,8 @@ impl StreamingTraceStore for DirStore {
             validated,
             threads,
             st,
+            plan: Mutex::new(None),
+            edges: Mutex::new(Vec::new()),
             committed: AtomicBool::new(false),
         }))
     }
@@ -1086,6 +1308,12 @@ impl StreamingTraceStore for DirStore {
         }
         for (dom, st) in bundle.st.iter().enumerate() {
             stream_st_trace(&*sink, dom as u32, st, records_per_chunk)?;
+        }
+        if let Some(plan) = &bundle.plan {
+            sink.put_plan(plan)?;
+        }
+        if !bundle.edges.is_empty() {
+            sink.append_edges(&bundle.edges)?;
         }
         sink.commit(bundle.total_records())
     }
@@ -1149,6 +1377,10 @@ struct DirRecordSink {
     threads: Vec<Mutex<StreamFile>>,
     /// Per-domain ST streams (empty for non-ST).
     st: Vec<Mutex<StreamFile>>,
+    /// Attached domain plan, written (atomically) at commit.
+    plan: Mutex<Option<DomainPlan>>,
+    /// Accumulated cross-domain edges, written at commit.
+    edges: Mutex<Vec<CrossDomainEdge>>,
     committed: AtomicBool,
 }
 
@@ -1188,6 +1420,23 @@ impl RecordSink for DirRecordSink {
         stream.lock().append(&chunk)
     }
 
+    fn put_plan(&self, plan: &DomainPlan) -> Result<(), TraceError> {
+        if plan.domains() != self.domains {
+            return Err(TraceError::Corrupt(format!(
+                "plan partitions {} domains but the recording has {}",
+                plan.domains(),
+                self.domains
+            )));
+        }
+        *self.plan.lock() = Some(plan.clone());
+        Ok(())
+    }
+
+    fn append_edges(&self, edges: &[CrossDomainEdge]) -> Result<(), TraceError> {
+        self.edges.lock().extend_from_slice(edges);
+        Ok(())
+    }
+
     fn commit(self: Box<Self>, total_records: u64) -> Result<IoReport, TraceError> {
         let mut report = IoReport::default();
         for stream in self.threads.iter().chain(self.st.iter()) {
@@ -1197,9 +1446,34 @@ impl RecordSink for DirRecordSink {
             report.chunks += s.chunks;
             report.files += 1;
         }
+        let plan = self.plan.lock().take();
+        let plan_sites = match &plan {
+            Some(plan) => {
+                let bytes = codec::encode_plan(plan);
+                report.bytes += write_file_atomic(&plan_file(&self.dir), &bytes)?;
+                report.files += 1;
+                Some(plan.assigned() as u64)
+            }
+            None => None,
+        };
+        let edges = std::mem::take(&mut *self.edges.lock());
+        let edge_count = if edges.is_empty() {
+            None
+        } else {
+            let bytes = codec::encode_edges(&edges);
+            report.bytes += write_file_atomic(&edges_file(&self.dir), &bytes)?;
+            report.files += 1;
+            Some(edges.len() as u64)
+        };
         // Manifest last: only now does the directory become loadable.
-        let text =
-            DirStore::render_manifest(self.scheme, self.nthreads, self.domains, total_records);
+        let text = DirStore::render_manifest(
+            self.scheme,
+            self.nthreads,
+            self.domains,
+            total_records,
+            plan_sites,
+            edge_count,
+        );
         report.bytes += write_file_atomic(&manifest_file(&self.dir), text.as_bytes())?;
         report.files += 1;
         sync_dir(&self.dir);
@@ -1263,6 +1537,8 @@ mod tests {
             threads
         };
         TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme,
             nthreads: 2,
             domains: 1,
@@ -1285,6 +1561,8 @@ mod tests {
                 kinds: Some(vec![]),
             };
             TraceBundle {
+                plan: None,
+                edges: vec![],
                 scheme,
                 nthreads: 2,
                 domains: 2,
@@ -1304,6 +1582,8 @@ mod tests {
             }
         } else {
             TraceBundle {
+                plan: None,
+                edges: vec![],
                 scheme,
                 nthreads: 2,
                 domains: 2,
@@ -1455,6 +1735,104 @@ mod tests {
         }
     }
 
+    /// A planned multi-domain bundle with cross-domain edges.
+    fn sample_planned(scheme: Scheme) -> TraceBundle {
+        let mut bundle = sample_multi_domain(scheme);
+        bundle.plan = Some(DomainPlan::with_assignments(
+            2,
+            [(crate::site::SiteId(10), 0), (crate::site::SiteId(11), 1)],
+        ));
+        bundle.edges = vec![CrossDomainEdge {
+            domain: 1,
+            thread: if scheme == Scheme::St { 1 } else { 0 },
+            seq: 0,
+            waits: vec![(0, 2)],
+        }];
+        bundle.validate().unwrap();
+        bundle
+    }
+
+    #[test]
+    fn plan_and_edges_roundtrip_on_disk() {
+        for scheme in [Scheme::St, Scheme::Dc, Scheme::De] {
+            let dir = tempdir(&format!("plan-{}", scheme.name()));
+            let store = DirStore::new(&dir);
+            let bundle = sample_planned(scheme);
+            store.save(&bundle).unwrap();
+            assert!(dir.join("plan.rtrc").exists());
+            assert!(dir.join("edges.rtrc").exists());
+            let manifest = fs::read_to_string(dir.join("manifest.txt")).unwrap();
+            assert!(manifest.contains("plan 2"), "{manifest}");
+            assert!(manifest.contains("edges 1"), "{manifest}");
+            let (back, _) = store.load().unwrap();
+            assert_eq!(back, bundle, "{scheme:?}");
+            // The chunked (streaming) path persists them too.
+            let report = store.save_chunked(&bundle, 1).unwrap();
+            assert!(report.chunks > 0);
+            let (back, _) = store.load().unwrap();
+            assert_eq!(back, bundle, "{scheme:?} chunked");
+            // MemStore agrees.
+            let mem = MemStore::new();
+            mem.save(&bundle).unwrap();
+            assert_eq!(mem.load().unwrap().0, bundle, "{scheme:?} mem");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn planless_multi_domain_layout_matches_pr3_format() {
+        // A multi-domain bundle with no plan and no edges must produce
+        // exactly the PR 3 directory: no plan/edges files, no new manifest
+        // lines — and such directories load with `plan: None` (the legacy
+        // modulo partition) and no edges.
+        let dir = tempdir("pr3compat");
+        let store = DirStore::new(&dir);
+        let bundle = sample_multi_domain(Scheme::Dc);
+        assert!(bundle.plan.is_none() && bundle.edges.is_empty());
+        store.save(&bundle).unwrap();
+        assert!(!dir.join("plan.rtrc").exists());
+        assert!(!dir.join("edges.rtrc").exists());
+        let manifest = fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        assert_eq!(
+            manifest,
+            "reomp-trace v1\nscheme dc\nthreads 2\ndomains 2\nrecords 6\n"
+        );
+        let (back, _) = store.load().unwrap();
+        assert_eq!(back.plan, None);
+        assert!(back.edges.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_plan_and_edges_scrubbed_on_reuse() {
+        let dir = tempdir("planscrub");
+        let store = DirStore::new(&dir);
+        store.save(&sample_planned(Scheme::Dc)).unwrap();
+        assert!(dir.join("plan.rtrc").exists());
+        // Re-save a plan-less single-domain bundle into the same dir: the
+        // stale plan/edges sections must not survive to pair with it.
+        store.save(&sample_bundle(Scheme::Dc)).unwrap();
+        assert!(!dir.join("plan.rtrc").exists());
+        assert!(!dir.join("edges.rtrc").exists());
+        let (back, _) = store.load().unwrap();
+        assert_eq!(back.plan, None);
+        assert!(back.edges.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_plan_count_cross_checked() {
+        let dir = tempdir("planxcheck");
+        let store = DirStore::new(&dir);
+        store.save(&sample_planned(Scheme::Dc)).unwrap();
+        // Corrupt the plan file (drop an entry) without touching the
+        // manifest: the load must notice the count mismatch.
+        let plan = DomainPlan::with_assignments(2, [(crate::site::SiteId(10), 0)]);
+        fs::write(dir.join("plan.rtrc"), codec::encode_plan(&plan)).unwrap();
+        assert!(matches!(store.load(), Err(TraceError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn single_domain_save_is_byte_identical_to_legacy_layout() {
         // The D = 1 on-disk format must not change: domain-less file
@@ -1579,6 +1957,8 @@ mod tests {
 
         // First run: 4 threads.
         let wide = TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::Dc,
             nthreads: 4,
             domains: 1,

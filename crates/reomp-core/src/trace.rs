@@ -20,10 +20,25 @@
 //! stream in domain `dom`, and `st[dom]` is domain `dom`'s shared ST
 //! stream. With `D = 1` (the default) this degenerates to exactly the
 //! classic single-gate layout — `threads[tid]` indexes as before.
+//!
+//! Multi-domain bundles additionally carry:
+//!
+//! * [`TraceBundle::plan`] — the [`DomainPlan`] the recording partitioned
+//!   sites with, so replay reconstructs the identical assignment (`None`
+//!   means the legacy `site.raw() % D` partition of plan-less recordings);
+//! * [`TraceBundle::edges`] — sparse **cross-domain happens-before
+//!   edges** ([`CrossDomainEdge`]) stamped at barrier and critical-section
+//!   gates. Each edge anchors at one recorded access and lists the minimum
+//!   number of completed accesses the recording observed in *other*
+//!   domains at that point; replay's per-domain turnstiles wait for those
+//!   counts before admitting the anchor, restoring inter-domain order at
+//!   synchronization points.
 
 use crate::error::TraceError;
+use crate::plan::DomainPlan;
 use crate::session::Scheme;
 use crate::site::{AccessKind, SiteId};
+use std::collections::HashMap;
 
 /// Per-thread record stream (DC/DE).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -137,6 +152,31 @@ impl StTrace {
     }
 }
 
+/// One cross-domain happens-before edge.
+///
+/// Recorded at a barrier or critical-section gate of a multi-domain
+/// session: *before* the anchor access (identified by its domain plus its
+/// position) may run in replay, every listed domain's turnstile must have
+/// completed at least the listed number of accesses. The counts are
+/// snapshots of the other domains' record-side clocks taken under the
+/// anchor's gate lock, so the recorded execution itself always satisfies
+/// its own edges — replay enforcing them can never deadlock on a genuine
+/// trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossDomainEdge {
+    /// Gate domain of the anchor access.
+    pub domain: u32,
+    /// Thread that performed the anchor access (diagnostic for DC/DE,
+    /// where it also keys the anchor; informational for ST).
+    pub thread: u32,
+    /// Position of the anchor: the access's index in `thread`'s per-domain
+    /// stream (DC/DE), or its index in the domain's shared stream (ST).
+    pub seq: u64,
+    /// Sparse per-domain clock stamps: `(other domain, minimum completed
+    /// access count)`. Never names the anchor's own domain.
+    pub waits: Vec<(u32, u64)>,
+}
+
 /// A complete recording: everything needed to replay one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceBundle {
@@ -152,6 +192,13 @@ pub struct TraceBundle {
     /// Shared ST streams, one per domain (non-empty iff
     /// `scheme == Scheme::St`).
     pub st: Vec<StTrace>,
+    /// The site → domain plan the recording was partitioned with; `None`
+    /// for single-domain bundles and for plan-less (legacy modulo)
+    /// multi-domain recordings.
+    pub plan: Option<DomainPlan>,
+    /// Cross-domain happens-before edges (empty for single-domain
+    /// bundles and for traces from before edges existed).
+    pub edges: Vec<CrossDomainEdge>,
 }
 
 impl TraceBundle {
@@ -235,7 +282,115 @@ impl TraceBundle {
                 }
             }
         }
+        if let Some(plan) = &self.plan {
+            if plan.domains() != self.domains {
+                return Err(TraceError::Corrupt(format!(
+                    "plan partitions {} domains but the bundle has {}",
+                    plan.domains(),
+                    self.domains
+                )));
+            }
+        }
+        self.check_edges()
+    }
+
+    /// Structural consistency of the cross-domain edges: anchors must name
+    /// recorded accesses, waits must name *other* existing domains, and no
+    /// wait may demand more accesses than its domain recorded.
+    fn check_edges(&self) -> Result<(), TraceError> {
+        if self.edges.is_empty() {
+            return Ok(());
+        }
+        if self.domains <= 1 {
+            return Err(TraceError::Corrupt(
+                "cross-domain edges in a single-domain bundle".into(),
+            ));
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.domain >= self.domains {
+                return Err(TraceError::Corrupt(format!(
+                    "edge #{i} anchors in domain {} of {}",
+                    e.domain, self.domains
+                )));
+            }
+            let anchor_len = if self.is_st() {
+                self.st[e.domain as usize].len() as u64
+            } else {
+                if e.thread >= self.nthreads {
+                    return Err(TraceError::Corrupt(format!(
+                        "edge #{i} anchors on thread {} of {}",
+                        e.thread, self.nthreads
+                    )));
+                }
+                self.thread(e.domain, e.thread).len() as u64
+            };
+            if e.seq >= anchor_len {
+                return Err(TraceError::Corrupt(format!(
+                    "edge #{i} anchors at access {} but its stream holds {anchor_len}",
+                    e.seq
+                )));
+            }
+            for &(dom, count) in &e.waits {
+                if dom >= self.domains || dom == e.domain {
+                    return Err(TraceError::Corrupt(format!(
+                        "edge #{i} waits on domain {dom} (anchor domain {})",
+                        e.domain
+                    )));
+                }
+                let available = self.domain_records(dom);
+                if count == 0 || count > available {
+                    return Err(TraceError::Corrupt(format!(
+                        "edge #{i} waits for {count} accesses in domain {dom} \
+                         which recorded {available}"
+                    )));
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Number of recorded accesses in one domain.
+    #[must_use]
+    pub fn domain_records(&self, dom: u32) -> u64 {
+        if self.is_st() {
+            self.st
+                .get(dom as usize)
+                .map(|st| st.len() as u64)
+                .unwrap_or(0)
+        } else {
+            let n = self.nthreads.max(1) as usize;
+            self.threads
+                .iter()
+                .skip(dom as usize * n)
+                .take(n)
+                .map(|t| t.len() as u64)
+                .sum()
+        }
+    }
+
+    /// Merged edge-wait index keyed by anchor. For ST bundles the key is
+    /// `(domain, 0, stream index)`; for DC/DE it is
+    /// `(domain, thread, per-thread index)`. Multiple edges on one anchor
+    /// merge by taking the maximum wait per foreign domain.
+    #[must_use]
+    pub fn edge_index(&self) -> HashMap<(u32, u32, u64), Vec<(u32, u64)>> {
+        let mut map: HashMap<(u32, u32, u64), Vec<(u32, u64)>> = HashMap::new();
+        let st = self.is_st();
+        for e in &self.edges {
+            let key = if st {
+                (e.domain, 0, e.seq)
+            } else {
+                (e.domain, e.thread, e.seq)
+            };
+            let waits = map.entry(key).or_default();
+            for &(dom, count) in &e.waits {
+                match waits.iter_mut().find(|(d, _)| *d == dom) {
+                    Some((_, c)) => *c = (*c).max(count),
+                    None => waits.push((dom, count)),
+                }
+            }
+        }
+        map
     }
 
     /// Total recorded accesses across all streams and domains.
@@ -262,11 +417,22 @@ impl TraceBundle {
     /// (DC/DE bundles only; DE orders ties by epoch then arbitrarily).
     /// Used by analysis tooling and tests.
     ///
-    /// For multi-domain bundles the result interleaves all domains by raw
-    /// clock value; clocks in *different* domains are independent counters,
-    /// so the interleaving is only meaningful per domain.
+    /// Multi-domain bundles **with cross-domain edges** are merged into one
+    /// interleaved view that respects every domain's internal order *and*
+    /// every edge (an anchor is only emitted once its foreign wait counts
+    /// are satisfied), so the result is a linearization the recorded run
+    /// could actually have taken at sync granularity. Edge-less
+    /// multi-domain bundles fall back to sorting by raw clock value, which
+    /// is only meaningful per domain.
     #[must_use]
     pub fn global_order(&self) -> Vec<(u64, u32)> {
+        if self.domains > 1 && !self.edges.is_empty() {
+            return self
+                .merged_order()
+                .into_iter()
+                .map(|(_, v, tid, _)| (v, tid))
+                .collect();
+        }
         let mut out: Vec<(u64, u32)> = Vec::with_capacity(self.total_records() as usize);
         let nthreads = self.nthreads.max(1) as usize;
         for (i, t) in self.threads.iter().enumerate() {
@@ -281,6 +447,100 @@ impl TraceBundle {
         out.sort_unstable();
         out
     }
+
+    /// Each domain's internal order as `(value, thread, per-anchor seq)`
+    /// triples: ST stream order, or DC/DE clock order (DE epoch ties broken
+    /// by thread id for determinism).
+    fn domain_sequences(&self) -> Vec<Vec<(u64, u32, u64)>> {
+        let mut out = Vec::with_capacity(self.domains as usize);
+        if self.is_st() {
+            for st in &self.st {
+                out.push(
+                    st.tids
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &tid)| (i as u64, tid, i as u64))
+                        .collect(),
+                );
+            }
+            return out;
+        }
+        let n = self.nthreads.max(1) as usize;
+        for chunk in self.threads.chunks(n) {
+            let mut seq: Vec<(u64, u32, u64)> = chunk
+                .iter()
+                .enumerate()
+                .flat_map(|(tid, t)| {
+                    t.values
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, &v)| (v, tid as u32, i as u64))
+                })
+                .collect();
+            seq.sort_unstable();
+            out.push(seq);
+        }
+        out
+    }
+
+    /// Topologically merge all domains into one order respecting the
+    /// cross-domain edges: `(domain, value, thread, seq)` per access. If
+    /// the edges are cyclic (corrupt input), the un-mergeable remainder is
+    /// appended in domain-major order; [`TraceBundle::edges_consistent`]
+    /// reports whether that happened.
+    #[must_use]
+    pub fn merged_order(&self) -> Vec<(u32, u64, u32, u64)> {
+        self.merge_domains().0
+    }
+
+    /// Whether the cross-domain edges admit a full interleaving (no cycle
+    /// among edge constraints — always true for genuinely recorded
+    /// traces).
+    #[must_use]
+    pub fn edges_consistent(&self) -> bool {
+        self.merge_domains().1
+    }
+
+    fn merge_domains(&self) -> (Vec<(u32, u64, u32, u64)>, bool) {
+        let seqs = self.domain_sequences();
+        let index = self.edge_index();
+        let d = self.domains as usize;
+        let mut ptr = vec![0usize; d];
+        let mut emitted = vec![0u64; d];
+        let mut out = Vec::with_capacity(self.total_records() as usize);
+        loop {
+            let mut progressed = false;
+            for dom in 0..d {
+                let Some(&(value, tid, seq)) = seqs[dom].get(ptr[dom]) else {
+                    continue;
+                };
+                let ready = index
+                    .get(&(dom as u32, if self.is_st() { 0 } else { tid }, seq))
+                    .map(|waits| waits.iter().all(|&(j, c)| emitted[j as usize] >= c))
+                    .unwrap_or(true);
+                if ready {
+                    out.push((dom as u32, value, tid, seq));
+                    ptr[dom] += 1;
+                    emitted[dom] += 1;
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                let stuck = (0..d).any(|dom| ptr[dom] < seqs[dom].len());
+                if stuck {
+                    // Cyclic (corrupt) edges: emit the rest domain-major so
+                    // callers still see every access.
+                    for (dom, seq) in seqs.iter().enumerate() {
+                        for &(value, tid, s) in &seq[ptr[dom]..] {
+                            out.push((dom as u32, value, tid, s));
+                        }
+                    }
+                }
+                return (out, !stuck);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +549,8 @@ mod tests {
 
     fn dc_bundle() -> TraceBundle {
         TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::Dc,
             nthreads: 2,
             domains: 1,
@@ -311,6 +573,8 @@ mod tests {
     /// Two domains, each an independent DC clock permutation.
     fn dc_bundle_two_domains() -> TraceBundle {
         TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::Dc,
             nthreads: 2,
             domains: 2,
@@ -386,6 +650,8 @@ mod tests {
     #[test]
     fn st_bundle_requires_stream_and_valid_tids() {
         let b = TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::St,
             nthreads: 2,
             domains: 1,
@@ -395,6 +661,8 @@ mod tests {
         assert!(b.validate().is_err());
 
         let b = TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::St,
             nthreads: 2,
             domains: 1,
@@ -411,6 +679,8 @@ mod tests {
     #[test]
     fn st_bundle_needs_one_stream_per_domain() {
         let b = TraceBundle {
+            plan: None,
+            edges: vec![],
             scheme: Scheme::St,
             nthreads: 1,
             domains: 2,
@@ -448,6 +718,104 @@ mod tests {
         // *stream* index, not the thread id.
         let order = dc_bundle_two_domains().global_order();
         assert!(order.iter().all(|&(_, tid)| tid < 2), "{order:?}");
+    }
+
+    fn edge(domain: u32, thread: u32, seq: u64, waits: Vec<(u32, u64)>) -> CrossDomainEdge {
+        CrossDomainEdge {
+            domain,
+            thread,
+            seq,
+            waits,
+        }
+    }
+
+    #[test]
+    fn edges_validate_structurally() {
+        let mut b = dc_bundle_two_domains();
+        // Valid: thread 0's access #1 in domain 0 waits for 1 access in
+        // domain 1.
+        b.edges = vec![edge(0, 0, 1, vec![(1, 1)])];
+        b.validate().unwrap();
+
+        // Anchor beyond the stream.
+        let mut bad = dc_bundle_two_domains();
+        bad.edges = vec![edge(0, 0, 9, vec![(1, 1)])];
+        assert!(bad.validate().is_err());
+        // Wait on own domain.
+        let mut bad = dc_bundle_two_domains();
+        bad.edges = vec![edge(0, 0, 0, vec![(0, 1)])];
+        assert!(bad.validate().is_err());
+        // Wait count exceeds the domain's records (domain 1 has 2).
+        let mut bad = dc_bundle_two_domains();
+        bad.edges = vec![edge(0, 0, 0, vec![(1, 3)])];
+        assert!(bad.validate().is_err());
+        // Edges in a single-domain bundle.
+        let mut bad = dc_bundle();
+        bad.edges = vec![edge(0, 0, 0, vec![(1, 1)])];
+        assert!(bad.validate().is_err());
+        // Plan domain count must match the bundle.
+        let mut bad = dc_bundle_two_domains();
+        bad.plan = Some(crate::plan::DomainPlan::new(3));
+        assert!(bad.validate().is_err());
+        let mut ok = dc_bundle_two_domains();
+        ok.plan = Some(crate::plan::DomainPlan::new(2));
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_index_merges_by_max() {
+        let mut b = dc_bundle_two_domains();
+        b.edges = vec![edge(0, 0, 1, vec![(1, 1)]), edge(0, 0, 1, vec![(1, 2)])];
+        let idx = b.edge_index();
+        assert_eq!(idx.get(&(0, 0, 1)), Some(&vec![(1u32, 2u64)]));
+    }
+
+    #[test]
+    fn merged_order_respects_edges() {
+        // Domain 0: t0 clocks [0,2], t1 clock [1]; domain 1: t1 [1], t0 [0].
+        // Edge: domain 0's access at clock 2 (t0, seq 1) must come after
+        // BOTH of domain 1's accesses.
+        let mut b = dc_bundle_two_domains();
+        b.edges = vec![edge(0, 0, 1, vec![(1, 2)])];
+        b.validate().unwrap();
+        assert!(b.edges_consistent());
+        let order = b.merged_order();
+        assert_eq!(order.len(), 5);
+        let pos_anchor = order
+            .iter()
+            .position(|&(d, v, t, _)| (d, v, t) == (0, 2, 0))
+            .unwrap();
+        let pos_last_d1 = order
+            .iter()
+            .position(|&(d, v, _, _)| (d, v) == (1, 1))
+            .unwrap();
+        assert!(
+            pos_anchor > pos_last_d1,
+            "anchor must follow domain 1's accesses: {order:?}"
+        );
+        // Per-domain internal order preserved.
+        let d0: Vec<u64> = order
+            .iter()
+            .filter(|&&(d, ..)| d == 0)
+            .map(|&(_, v, ..)| v)
+            .collect();
+        assert_eq!(d0, vec![0, 1, 2]);
+        // global_order reflects the merged view when edges exist.
+        assert_eq!(b.global_order().len(), 5);
+    }
+
+    #[test]
+    fn cyclic_edges_detected_as_inconsistent() {
+        // Two edges forming a wait cycle: domain 0's first access needs
+        // all of domain 1, and domain 1's first access needs all of
+        // domain 0. A genuine recording can never produce this.
+        let mut b = dc_bundle_two_domains();
+        b.edges = vec![edge(0, 0, 0, vec![(1, 2)]), edge(1, 1, 0, vec![(0, 3)])];
+        // Structurally valid…
+        b.validate().unwrap();
+        // …but not mergeable; every access is still emitted exactly once.
+        assert!(!b.edges_consistent());
+        assert_eq!(b.merged_order().len(), 5);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The full four-step ReOMP toolflow of Fig. 2:
+//! The full ReOMP toolflow of Fig. 2 — extended with gate-domain planning:
 //!
 //! 1. **Race detection** — run once in passthrough mode with the FastTrack
 //!    detector attached (the paper's ThreadSanitizer step) to find the
@@ -6,13 +6,21 @@
 //! 2. **Instrumentation plan** — racy sites + statically known construct
 //!    sites become the gate plan (the paper's LLVM-pass step);
 //! 3. **Record** — run with gates enabled only on planned sites;
-//! 4. **Replay** — reproduce the run from the record files on disk.
+//! 4. **Replay** — reproduce the run from the record files on disk;
+//! 5. **Domain plan** — the SAME race report plus the record run's
+//!    per-domain gate frequency drive a `DomainPlan`: racing sites
+//!    co-locate in one gate domain, the rest load-balance, and a planned
+//!    multi-domain record/replay reproduces the run with sharded gates
+//!    (cross-domain edges stamped at the criticals keep inter-domain
+//!    order at sync points).
 //!
 //! ```bash
 //! cargo run --example toolflow
 //! ```
 
-use reomp::{core::SessionConfig, ompr, racedet, DirStore, Scheme, Session, TraceStore};
+use reomp::{
+    core::SessionConfig, ompr, racedet, DirStore, DomainPlan, Scheme, Session, TraceStore,
+};
 use std::sync::Arc;
 
 /// The application under test: a racy flag + counter, plus a properly
@@ -120,6 +128,66 @@ fn main() {
     assert_eq!(replayed_counter, counter, "racy counter must replay");
     assert_eq!(replayed_safe, safe_total);
     println!("step 4: replayed  (counter={replayed_counter}) — identical. ok.");
+
+    // Step 5: domain planning — detect once, shard soundly.
+    let domains = 4;
+    println!("step 5: domain plan over {domains} gate domains");
+    // Probe run under the empty (hash-fallback) plan to observe per-domain
+    // gate frequency — the planner's feedback signal.
+    let probe = DomainPlan::new(domains);
+    let probe_cfg = SessionConfig {
+        gate_plan: Some(plan.clone()),
+        plan: Some(probe.clone()),
+        ..SessionConfig::default()
+    };
+    let probe_app = TestApp::new();
+    let session = Session::record_with(Scheme::De, threads, probe_cfg);
+    let _ = probe_app.run(&session, None);
+    let probe_report = session.finish().expect("finish");
+    println!(
+        "        probe gates/domain {:?} (hash fallback)",
+        probe_report.domain_gates
+    );
+    let domain_plan = racedet::DomainPlanner::new(domains)
+        .observe_report(&detector.report())
+        .weight(app.safe.site(), 0)
+        .feedback(&probe, &probe_report.domain_gates)
+        .build();
+    println!(
+        "        {} site(s) pinned; counter -> domain {}, flag -> domain {}, critical -> domain {}",
+        domain_plan.assigned(),
+        domain_plan.domain_of(app.counter.site()),
+        domain_plan.domain_of(app.flag.site()),
+        domain_plan.domain_of(app.safe.site()),
+    );
+    let cfg = SessionConfig {
+        gate_plan: Some(plan),
+        plan: Some(domain_plan),
+        ..SessionConfig::default()
+    };
+    let app = TestApp::new();
+    let session = Session::record_with(Scheme::De, threads, cfg.clone());
+    let (planned_counter, _) = app.run(&session, None);
+    let planned_report = session.finish().expect("finish");
+    println!(
+        "        recorded with D={domains}: gates/domain {:?}, {} cross-domain edge(s)",
+        planned_report.domain_gates, planned_report.stats.sync_edges
+    );
+    let bundle = planned_report.bundle.expect("bundle");
+    store.save(&bundle).expect("save planned trace");
+    let (bundle, _) = store.load().expect("load planned trace");
+    assert!(bundle.plan.is_some(), "plan travels with the trace");
+    let app = TestApp::new();
+    let session = Session::replay_with(bundle, cfg).expect("valid bundle");
+    let (replayed, _) = app.run(&session, None);
+    let rep = session.finish().expect("finish");
+    assert_eq!(rep.failure, None);
+    assert_eq!(replayed, planned_counter, "planned D=4 replay is exact");
+    println!(
+        "        replayed  (counter={replayed}) — identical under sharded gates \
+         ({} edge wait(s) enforced). ok.",
+        rep.stats.edge_waits
+    );
 
     if std::env::var_os("REOMP_KEEP_TRACE").is_none() {
         let _ = std::fs::remove_dir_all(&dir);

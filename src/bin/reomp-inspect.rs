@@ -35,23 +35,21 @@ fn main() -> ExitCode {
 
     match args.get(1).map(String::as_str) {
         None => {
+            // summarize() already computes the edge count and runs the
+            // (potentially expensive) consistency merge once; reuse it.
             println!("{}", analysis::summarize(&bundle));
             if bundle.domains > 1 {
                 // Per-domain record counts: a lopsided split means the
                 // site→domain partition is not spreading the load.
-                let n = bundle.nthreads.max(1) as usize;
                 for dom in 0..bundle.domains {
-                    let records: u64 = match bundle.st_stream(dom) {
-                        Some(st) => st.len() as u64,
-                        None => bundle
-                            .threads
-                            .iter()
-                            .skip(dom as usize * n)
-                            .take(n)
-                            .map(|t| t.len() as u64)
-                            .sum(),
-                    };
-                    println!("  domain {dom}: {records} records");
+                    println!("  domain {dom}: {} records", bundle.domain_records(dom));
+                }
+                match &bundle.plan {
+                    Some(plan) => println!(
+                        "  partition: planned ({} pinned sites, mixed-hash fallback)",
+                        plan.assigned()
+                    ),
+                    None => println!("  partition: legacy modulo (no plan)"),
                 }
             }
             if io.chunks > 0 {

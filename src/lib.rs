@@ -24,7 +24,8 @@ pub use reomp_core as core;
 pub use rmpi;
 
 pub use reomp_core::{
-    AccessKind, DirStore, Divergence, EpochHistogram, EpochPolicy, IoReport, MemStore, Mode,
-    RecordSink, ReplayError, Scheme, Session, SessionConfig, SessionReport, SiteId,
-    StreamingTraceStore, ThreadCtx, TraceBundle, TraceError, TraceStore, TraceWriter,
+    AccessKind, CrossDomainEdge, DirStore, Divergence, DomainPlan, EpochHistogram, EpochPolicy,
+    IoReport, MemStore, Mode, RecordSink, ReplayError, Scheme, Session, SessionConfig,
+    SessionReport, SiteId, StreamingTraceStore, ThreadCtx, TraceBundle, TraceError, TraceStore,
+    TraceWriter,
 };

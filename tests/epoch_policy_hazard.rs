@@ -101,6 +101,8 @@ fn per_address_epochs_can_mis_replay_values() {
     use AccessKind::{Load, Store};
     // Per-address epochs for the recorded run described in the module docs.
     let bundle = TraceBundle {
+        plan: None,
+        edges: vec![],
         scheme: Scheme::De,
         nthreads: 4,
         domains: 1,
@@ -134,6 +136,8 @@ fn contiguous_epochs_replay_the_same_run_correctly() {
     // The contiguous encoding of the *same* recorded interleaving: every
     // interleaving point breaks a run, so epochs are monotone.
     let bundle = TraceBundle {
+        plan: None,
+        edges: vec![],
         scheme: Scheme::De,
         nthreads: 4,
         domains: 1,

@@ -126,6 +126,8 @@ proptest! {
             }
         });
         let bundle = TraceBundle {
+                         plan: None,
+                         edges: vec![],
             scheme,
             nthreads,
             domains: 1,

@@ -1,9 +1,11 @@
 //! Integration: the Fig. 2 toolflow end-to-end — detect, plan, record,
 //! replay — including the paper's footnote 1 property ("even if the
 //! developers do not fix such bugs, it does not hamper the ability of
-//! ReOMP record-and-replay").
+//! ReOMP record-and-replay"), and the domain-planned variant: one race
+//! report drives BOTH the gate plan (which sites) and the domain plan
+//! (where they record).
 
-use reomp::{core::SessionConfig, ompr, racedet, Scheme, Session};
+use reomp::{core::SessionConfig, ompr, racedet, DomainPlan, Scheme, Session, TraceStore};
 use std::sync::Arc;
 
 struct RacyApp {
@@ -85,6 +87,84 @@ fn detect_plan_record_replay() {
     let report = session.finish().unwrap();
     assert_eq!(report.failure, None);
     assert_eq!(replayed, recorded);
+}
+
+#[test]
+fn detect_plan_record_replay_with_domain_plan() {
+    // The full planned pipeline over gate domains: detect → initial
+    // multi-domain record (hashed fallback plan) → planner consumes the
+    // race report + the run's `domain_gates` frequency feedback → planned
+    // record → replay from disk. One race report drives both plans.
+    let threads = 4;
+    let domains = 4;
+
+    // Detect.
+    let app = RacyApp::new();
+    let detector = Arc::new(racedet::Detector::new(threads));
+    let session = Session::passthrough(threads);
+    let _ = app.run(&session, Some(Arc::clone(&detector)));
+    session.finish().unwrap();
+    let report = detector.report();
+    assert!(!report.is_clean());
+
+    // Feedback run: record under an empty (hash-fallback) plan to observe
+    // the per-domain gate frequency.
+    let probe_plan = DomainPlan::new(domains);
+    let cfg = SessionConfig {
+        gate_plan: Some(racedet::instrumentation_plan(&report, [app.cs.site()])),
+        plan: Some(probe_plan.clone()),
+        ..SessionConfig::default()
+    };
+    let app = RacyApp::new();
+    let session = Session::record_with(Scheme::Dc, threads, cfg.clone());
+    let _ = app.run(&session, None);
+    let feedback = session.finish().unwrap();
+    assert_eq!(feedback.domain_gates.len(), domains as usize);
+
+    // Plan: racing sites co-locate; the critical construct site is
+    // weighted by the observed per-domain load.
+    let plan = racedet::DomainPlanner::new(domains)
+        .observe_report(&report)
+        .weight(app.cs.site(), 0)
+        .feedback(&probe_plan, &feedback.domain_gates)
+        .build();
+    let hot_dom = plan.domain_of(app.hot.site());
+    assert!(hot_dom < domains);
+    assert!(plan.assigned() >= 2, "hot + cs sites pinned");
+
+    // Record with both plans, persist to disk (plan + edges travel with
+    // the trace), replay from disk.
+    let cfg = SessionConfig {
+        plan: Some(plan.clone()),
+        ..cfg
+    };
+    let app = RacyApp::new();
+    let session = Session::record_with(Scheme::Dc, threads, cfg.clone());
+    let recorded = app.run(&session, None);
+    let rec_report = session.finish().unwrap();
+    assert!(
+        rec_report.stats.sync_edges > 0,
+        "criticals in a multi-domain run must stamp cross-domain edges"
+    );
+    let bundle = rec_report.bundle.unwrap();
+    assert_eq!(bundle.plan.as_ref(), Some(&plan));
+    assert!(!bundle.edges.is_empty());
+
+    let dir = std::env::temp_dir().join(format!("reomp-toolflow-plan-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = reomp::DirStore::new(&dir);
+    store.save(&bundle).unwrap();
+    let (loaded, _) = store.load().unwrap();
+    assert_eq!(loaded, bundle, "plan and edges survive the store");
+
+    let app = RacyApp::new();
+    let session = Session::replay_with(loaded, cfg).unwrap();
+    let replayed = app.run(&session, None);
+    let rep_report = session.finish().unwrap();
+    assert_eq!(rep_report.failure, None);
+    assert_eq!(rep_report.fully_consumed, Some(true));
+    assert_eq!(replayed, recorded, "planned multi-domain replay is exact");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
