@@ -23,12 +23,16 @@
 //! * `run(&Runtime, &Config) -> AppOutput` — the threaded version whose
 //!   gated accesses are recorded/replayed through the runtime's session,
 //! * (HACC, HPCCG) `hybrid` variants running rmpi ranks × ompr threads
-//!   for the §VI-C ReMPI+ReOMP case study.
+//!   for the §VI-C ReMPI+ReOMP case study, and [`halo`] — a dedicated
+//!   hybrid halo-exchange driver whose phase-tagged receives exercise the
+//!   rmpi session's `(rank × domain)` receive-order streams with threads
+//!   inside ranks.
 
 #![warn(missing_docs)]
 
 pub mod amg;
 pub mod hacc;
+pub mod halo;
 pub mod hpccg;
 pub mod linalg;
 pub mod minife;

@@ -9,11 +9,13 @@
 //!   sends, wildcard (`ANY_SOURCE`) receives, and collectives built on
 //!   p2p. Wildcard receives and arrival-order reductions are genuinely
 //!   non-deterministic, exactly the message races ReMPI exists to tame;
-//! * a receive-order recorder — [`MpiSession`] logs, **per rank** (like
-//!   ReMPI's per-process record files), which source each wildcard receive
-//!   matched, and enforces the same matching during replay. Trace encoding
-//!   includes a delta/RLE compressor in the spirit of ReMPI's clock-delta
-//!   compression.
+//! * a receive-order recorder — [`MpiSession`] logs, per **(rank ×
+//!   domain)** stream (classic ReMPI keeps one per-process record file;
+//!   [`MpiSessionConfig::domains`] shards it across receive-site domains
+//!   the way the thread gate's domains shard the order-recording gate),
+//!   which source each wildcard receive matched, and enforces the same
+//!   matching during replay. Trace encoding includes a delta/RLE
+//!   compressor in the spirit of ReMPI's clock-delta compression.
 //!
 //! For `MPI_THREAD_MULTIPLE` hybrid replay, receive-side calls accept an
 //! optional [`reomp_core::ThreadCtx`] and wrap themselves in a
@@ -64,5 +66,8 @@ pub mod world;
 
 pub use mailbox::Mailbox;
 pub use message::{Envelope, MpiError, ANY_SOURCE, ANY_TAG};
-pub use session::{MpiMode, MpiSession, MpiTrace, RecvEvent};
+pub use session::{
+    recv_site, waitany_site, MpiDivergence, MpiMode, MpiSession, MpiSessionConfig, MpiTrace,
+    RecvEvent,
+};
 pub use world::{RankCtx, Request, World};

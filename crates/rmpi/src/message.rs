@@ -72,11 +72,29 @@ pub enum MpiError {
         /// Requested tag (possibly [`ANY_TAG`]).
         tag: u32,
     },
-    /// Replay: the wildcard-receive trace has fewer records than the run
-    /// performs.
+    /// Replay: one `(rank × domain)` wildcard-receive stream has fewer
+    /// records than the run performs.
     ReplayExhausted {
         /// The receiving rank.
         rank: u32,
+        /// The receive-order domain whose stream ran dry.
+        domain: u32,
+        /// Events that stream had served before running dry.
+        consumed: usize,
+        /// The last admitted events of that stream, newest first (bounded
+        /// by the session's history capacity) — the ReMPI analogue of the
+        /// thread gate's `Divergence` access history.
+        history: Vec<crate::session::RecvEvent>,
+    },
+    /// Replay: one `(rank × domain)` waitany stream has fewer records than
+    /// the run performs.
+    WaitanyExhausted {
+        /// The waiting rank.
+        rank: u32,
+        /// The receive-order domain whose waitany stream ran dry.
+        domain: u32,
+        /// Completions that stream had served before running dry.
+        consumed: usize,
     },
     /// The world was shut down while waiting.
     Shutdown,
@@ -101,8 +119,29 @@ impl fmt::Display for MpiError {
                 }
                 write!(f, ") timed out")
             }
-            MpiError::ReplayExhausted { rank } => {
-                write!(f, "rank {rank}: wildcard-receive trace exhausted")
+            MpiError::ReplayExhausted {
+                rank,
+                domain,
+                consumed,
+                history,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} domain {domain}: wildcard-receive trace exhausted \
+                     after {consumed} events"
+                )?;
+                crate::session::fmt_history(f, history)
+            }
+            MpiError::WaitanyExhausted {
+                rank,
+                domain,
+                consumed,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} domain {domain}: waitany trace exhausted \
+                     after {consumed} completions"
+                )
             }
             MpiError::Shutdown => write!(f, "world shut down"),
         }

@@ -2,8 +2,8 @@
 
 use crate::mailbox::Mailbox;
 use crate::message::{f64s_to_bytes, u64s_to_bytes, Envelope, MpiError, ANY_SOURCE};
-use crate::session::MpiSession;
-use reomp_core::{AccessKind, SiteId, ThreadCtx};
+use crate::session::{recv_site, waitany_site, MpiSession};
+use reomp_core::{AccessKind, ThreadCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
@@ -91,6 +91,11 @@ pub struct WorldStats {
 #[derive(Debug)]
 pub struct Request {
     kind: ReqKind,
+    /// Construction-time `(peer, tag)` key: stable across record and
+    /// replay regardless of completion state, so `waitany` can derive a
+    /// deterministic site (and thus a receive-order domain) from the
+    /// request set.
+    key: (u32, u32),
 }
 
 #[derive(Debug)]
@@ -187,10 +192,24 @@ impl RankCtx {
     /// §VI-C: when several runtime threads of one rank receive
     /// concurrently, passing each thread's [`ThreadCtx`] records which
     /// thread got which message.
+    ///
+    /// Compatibility note: the gate site is the per-`(rank, src, tag)`
+    /// [`recv_site`] hash (so receives can spread across gate domains);
+    /// before the `(rank × domain)` sharding it was a per-rank constant.
+    /// rmpi trace *directories* from before the change load and replay
+    /// unchanged, but a **thread** `TraceBundle` whose gated receives
+    /// were recorded with the old constant embeds the old site hash and
+    /// will report a site divergence here — re-record hybrid thread
+    /// traces with the current build.
     pub fn recv(&self, src: u32, tag: u32, gate: Option<&ThreadCtx>) -> Result<Envelope, MpiError> {
         match gate {
             Some(ctx) => {
-                let site = SiteId::from_label_indexed("rmpi:recv", u64::from(self.rank));
+                // The gate site is the same (requested src, tag) hash the
+                // receive-order domain is derived from, so a thread
+                // session with a matching plan keeps every receive of one
+                // MPI domain in one thread-gate domain (see
+                // [`MpiSession::matching_thread_plan`]).
+                let site = recv_site(self.rank, src, tag);
                 ctx.try_gate(site, AccessKind::MpiOp, || self.recv_ungated(src, tag))
                     .unwrap_or_else(|e| panic!("hybrid replay failed: {e}"))
             }
@@ -203,12 +222,15 @@ impl RankCtx {
         self.stats.recvs.fetch_add(1, Ordering::Relaxed);
         if src == ANY_SOURCE {
             self.stats.wildcard_recvs.fetch_add(1, Ordering::Relaxed);
+            // The stream is chosen by the *requested* (src, tag) — known
+            // identically in record and replay before any match is made.
+            let dom = self.session.domain_of(recv_site(self.rank, src, tag));
             // Replay: force the recorded match.
-            if let Some(rec) = self.session.next_recv(self.rank)? {
+            if let Some(rec) = self.session.next_recv(self.rank, dom)? {
                 return mb.recv(self.rank, rec.src, rec.tag, self.recv_timeout);
             }
             let env = mb.recv(self.rank, src, tag, self.recv_timeout)?;
-            self.session.log_recv(self.rank, env.src, env.tag);
+            self.session.log_recv(self.rank, dom, env.src, env.tag);
             return Ok(env);
         }
         mb.recv(self.rank, src, tag, self.recv_timeout)
@@ -232,6 +254,7 @@ impl RankCtx {
         self.send(dst, tag, payload)?;
         Ok(Request {
             kind: ReqKind::SendDone,
+            key: (dst, tag),
         })
     }
 
@@ -247,6 +270,7 @@ impl RankCtx {
                 tag,
                 done: None,
             },
+            key: (src, tag),
         })
     }
 
@@ -304,8 +328,12 @@ impl RankCtx {
         if reqs.is_empty() {
             return Err(MpiError::InvalidRank(u32::MAX));
         }
+        // The completion-order stream is chosen by the request set's
+        // construction-time keys — identical in record and replay.
+        let site = waitany_site(self.rank, reqs.iter().map(|r| r.key));
+        let dom = self.session.domain_of(site);
         // Replay: the recorded index must complete next.
-        if let Some(idx) = self.session.next_waitany(self.rank)? {
+        if let Some(idx) = self.session.next_waitany(self.rank, dom)? {
             let idx = idx as usize;
             let env = self.wait(&mut reqs[idx])?;
             return Ok((idx, env));
@@ -319,11 +347,11 @@ impl RankCtx {
                 }
                 if matches!(req.kind, ReqKind::SendDone) {
                     req.kind = ReqKind::Done;
-                    self.session.log_waitany(self.rank, i as u32);
+                    self.session.log_waitany(self.rank, dom, i as u32);
                     return Ok((i, None));
                 }
                 if let Some(env) = self.test(req) {
-                    self.session.log_waitany(self.rank, i as u32);
+                    self.session.log_waitany(self.rank, dom, i as u32);
                     return Ok((i, Some(env)));
                 }
             }
@@ -344,7 +372,23 @@ impl RankCtx {
 
     /// All-ranks barrier.
     pub fn barrier(&self) {
+        self.barrier_with(None);
+    }
+
+    /// All-ranks barrier that also notes a cross-domain synchronization
+    /// point in the calling thread's **thread** session
+    /// ([`ThreadCtx::sync_point`]): in a multi-domain hybrid record run
+    /// the rank barrier orders every gate domain's pre-barrier accesses
+    /// before this thread's next gated access, and the stamped
+    /// `CrossDomainEdge` makes replay restore that order — the same
+    /// mechanism (and the same acyclicity argument) as the thread gate's
+    /// barrier shim. A no-op wrapper around [`RankCtx::barrier`] for
+    /// single-domain sessions and `None`.
+    pub fn barrier_with(&self, gate: Option<&ThreadCtx>) {
         self.barrier.wait();
+        if let Some(ctx) = gate {
+            ctx.sync_point();
+        }
     }
 
     /// Broadcast `data` from `root` to every rank (overwrites `data` on
@@ -543,7 +587,7 @@ mod tests {
         let session = Arc::new(MpiSession::record(4));
         let recorded = run(Arc::clone(&session))[0].clone();
         let trace = session.finish();
-        assert_eq!(trace.per_rank[0].len(), 3);
+        assert_eq!(trace.rank_events(0), 3);
 
         let session = Arc::new(MpiSession::replay(trace));
         let replayed = run(Arc::clone(&session))[0].clone();
@@ -578,18 +622,59 @@ mod tests {
 
     #[test]
     fn replay_exhaustion_is_an_error() {
-        let trace = crate::session::MpiTrace {
-            per_rank: vec![vec![]],
-            waitany_per_rank: vec![vec![]],
-        };
+        let trace = crate::session::MpiTrace::single(vec![vec![]], vec![vec![]]);
         let session = Arc::new(MpiSession::replay(trace));
         World::run(1, session, |rank| {
             // One wildcard recv but the trace is empty.
             match rank.recv(ANY_SOURCE, 1, None) {
-                Err(MpiError::ReplayExhausted { rank: 0 }) => {}
+                Err(MpiError::ReplayExhausted {
+                    rank: 0, domain: 0, ..
+                }) => {}
                 other => panic!("expected exhaustion, got {other:?}"),
             }
         });
+    }
+
+    #[test]
+    fn multi_domain_session_shards_recv_streams_by_tag() {
+        // Two tags whose receive sites land in different domains: the
+        // recorded streams stay apart, replay re-routes identically, and
+        // both streams are fully consumed.
+        let cfg = crate::session::MpiSessionConfig::with_domains(4);
+        let s0 = recv_site(0, ANY_SOURCE, 5);
+        let s1 = recv_site(0, ANY_SOURCE, 6);
+        let run = |session: Arc<MpiSession>| {
+            World::run(3, session, |rank| {
+                if rank.rank() == 0 {
+                    let a = rank.recv(ANY_SOURCE, 5, None).unwrap().src;
+                    let b = rank.recv(ANY_SOURCE, 6, None).unwrap().src;
+                    let c = rank.recv(ANY_SOURCE, 5, None).unwrap().src;
+                    vec![a, b, c]
+                } else {
+                    std::thread::sleep(Duration::from_micros(u64::from(rank.rank()) * 40));
+                    rank.send(0, 5, &[1]).unwrap();
+                    rank.send(0, 6, &[2]).unwrap();
+                    vec![]
+                }
+            })
+        };
+        let session = Arc::new(MpiSession::record_with(3, cfg));
+        let (da, db) = (session.domain_of(s0), session.domain_of(s1));
+        let recorded = run(Arc::clone(&session))[0].clone();
+        let trace = session.finish();
+        assert_eq!(trace.domains, 4);
+        assert_eq!(trace.recv_stream(0, da).len(), 2, "tag-5 stream");
+        if db != da {
+            assert_eq!(trace.recv_stream(0, db).len(), 1, "tag-6 stream");
+        }
+        assert_eq!(trace.rank_events(0), 3);
+        // (One tag-6 message stays in the mailbox — mailboxes are
+        // per-World, so the replay run starts fresh.)
+        let session = Arc::new(MpiSession::replay(trace));
+        let replayed = run(Arc::clone(&session))[0].clone();
+        assert_eq!(replayed, recorded);
+        assert_eq!(session.fully_consumed(), Some(true));
+        assert!(session.divergences().is_empty());
     }
 }
 
@@ -693,7 +778,7 @@ mod nonblocking_tests {
         let session = Arc::new(MpiSession::record(3));
         let recorded = run(Arc::clone(&session))[0].clone();
         let trace = session.finish();
-        assert_eq!(trace.waitany_per_rank[0].len(), 2);
+        assert_eq!(trace.total_waitany(), 2);
 
         for _ in 0..2 {
             let session = Arc::new(MpiSession::replay(trace.clone()));

@@ -4,22 +4,74 @@
 //! reomp-inspect <trace-dir>                 summary + epoch histogram
 //! reomp-inspect <trace-dir> --timeline [N]  first N accesses as lanes
 //! reomp-inspect <trace-dir> --diff <dir2>   first divergence between runs
+//! reomp-inspect --mpi <trace-dir>           rmpi (rank × domain) counts
 //! ```
 //!
 //! `<trace-dir>` is a directory written by `DirStore` (one record file per
-//! thread plus `manifest.txt`), e.g. the `REOMP_DIR` of a record run.
+//! thread plus `manifest.txt`), e.g. the `REOMP_DIR` of a record run —
+//! or, with `--mpi`, one written by `MpiTrace::save_dir` (one record file
+//! per rank × receive-order domain).
 
 use reomp::core::analysis;
-use reomp::{DirStore, EpochHistogram, TraceStore};
+use reomp::{DirStore, EpochHistogram, MpiTrace, TraceStore};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: reomp-inspect <trace-dir> [--timeline [N]] [--diff <trace-dir2>]");
+    eprintln!(
+        "usage: reomp-inspect <trace-dir> [--timeline [N]] [--diff <trace-dir2>]\n\
+         \x20      reomp-inspect --mpi <trace-dir>"
+    );
     ExitCode::from(2)
+}
+
+fn inspect_mpi(dir: &str) -> ExitCode {
+    let trace = match MpiTrace::load_dir(std::path::Path::new(dir)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reomp-inspect: cannot load rmpi trace {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "rmpi trace: {} ranks × {} domain(s), {} receives, {} waitany",
+        trace.nranks(),
+        trace.domains,
+        trace.total_events(),
+        trace.total_waitany()
+    );
+    match &trace.plan {
+        Some(plan) => println!(
+            "partition: planned ({} pinned sites, mixed-hash fallback)",
+            plan.assigned()
+        ),
+        None if trace.domains > 1 => println!("partition: mixed-hash over receive sites"),
+        None => println!("partition: single stream per rank"),
+    }
+    for rank in 0..trace.nranks() {
+        println!("rank {rank}: {} receives", trace.rank_events(rank));
+        if trace.domains > 1 {
+            // Per-rank-per-domain event counts: a lopsided split means
+            // the receive-site partition is not spreading the load.
+            for dom in 0..trace.domains {
+                println!(
+                    "  domain {dom}: {} receives, {} waitany",
+                    trace.recv_stream(rank, dom).len(),
+                    trace.waitany_stream(rank, dom).len()
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--mpi") {
+        let Some(dir) = args.get(1) else {
+            return usage();
+        };
+        return inspect_mpi(dir);
+    }
     let Some(dir) = args.first() else {
         return usage();
     };

@@ -29,3 +29,5 @@ pub use reomp_core::{
     SessionReport, SiteId, StreamingTraceStore, ThreadCtx, TraceBundle, TraceError, TraceStore,
     TraceWriter,
 };
+
+pub use rmpi::{MpiDivergence, MpiMode, MpiSession, MpiSessionConfig, MpiTrace};

@@ -3,43 +3,75 @@
 //! varies from run to run. The paper's recipe — instrument
 //! `gate_in`/`gate_out` around the MPI receive calls — is implemented by
 //! `RankCtx::recv(..., Some(&thread_ctx))`; these tests drive it end to
-//! end across rmpi + ompr + reomp-core.
+//! end across rmpi + ompr + reomp-core, sweeping the `(rank × domain)`
+//! sharding of both recorders (`REOMP_DOMAINS` pins the sweep in CI).
 
-use reomp::{ompr, rmpi, Scheme, Session, TraceBundle};
+use reomp::{ompr, rmpi, Scheme, Session, SessionConfig, TraceBundle};
+use rmpi::{MpiSession, MpiSessionConfig, ANY_SOURCE};
 use std::sync::Arc;
 
-const TAG: u32 = 3;
+/// Two tags: with multi-domain sessions their receive sites spread over
+/// the `(rank × domain)` streams.
+const TAG_EVEN: u32 = 3;
+const TAG_ODD: u32 = 4;
 const NTHREADS: u32 = 3;
 
-/// Rank 1 sends `2 * NTHREADS` distinct payloads to rank 0; rank 0's
-/// threads each receive two of them through gated receives and fold the
-/// payloads into a per-thread signature. The assignment of messages to
-/// threads is the recorded non-determinism.
+/// Domain counts to sweep (`REOMP_DOMAINS` pins it, like the thread-gate
+/// suites).
+fn domain_sweep() -> Vec<u32> {
+    match std::env::var("REOMP_DOMAINS")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        Some(d) if d >= 1 => vec![d],
+        _ => vec![1, 2, 4],
+    }
+}
+
+/// Rank 1 sends `2 * NTHREADS` distinct payloads to rank 0, alternating
+/// the two tags; rank 0's threads each receive two messages of their
+/// parity's tag through gated receives and fold the payloads into a
+/// per-thread signature. The assignment of messages to threads is the
+/// recorded non-determinism.
 fn run_once(
-    mpi: Arc<rmpi::MpiSession>,
+    mpi: Arc<MpiSession>,
     omp_bundle: Option<TraceBundle>,
     record: bool,
 ) -> (Vec<u64>, Option<TraceBundle>) {
-    let outputs = rmpi::World::run(2, mpi, |rank| {
+    let outputs = rmpi::World::run(2, Arc::clone(&mpi), |rank| {
         if rank.rank() == 1 {
             for i in 0..(2 * NTHREADS) as u64 {
-                rank.send_u64s(0, TAG, &[100 + i]).unwrap();
+                // Thread parity picks the tag: threads 0 and 2 drain
+                // TAG_EVEN (4 messages), thread 1 drains TAG_ODD (2).
+                let tag = if (i / 2) % 2 == 0 { TAG_EVEN } else { TAG_ODD };
+                rank.send_u64s(0, tag, &[100 + i]).unwrap();
             }
             return (vec![], None);
         }
-        // Rank 0: three runtime threads receive concurrently.
+        // Rank 0: three runtime threads receive concurrently, with the
+        // thread gate partitioned to MATCH the rmpi session's domains.
+        let scfg = SessionConfig {
+            plan: Some(mpi.matching_thread_plan()),
+            ..SessionConfig::default()
+        };
         let session = match &omp_bundle {
             Some(b) => Session::replay(b.clone()).expect("bundle"),
-            None if record => Session::record(Scheme::De, NTHREADS),
+            None if record => Session::record_with(Scheme::De, NTHREADS, scfg),
             None => Session::passthrough(NTHREADS),
         };
         let rt = ompr::Runtime::new(session.clone());
         let sigs: Vec<std::sync::Mutex<u64>> =
             (0..NTHREADS).map(|_| std::sync::Mutex::new(0)).collect();
         rt.parallel(|w| {
+            let tag = if w.tid() % 2 == 0 { TAG_EVEN } else { TAG_ODD };
             let mut sig = 1u64;
             for _ in 0..2 {
-                let msg = rank.recv(1, TAG, Some(w.ctx())).expect("gated recv");
+                // Wildcard source: the match is recorded in the tag's
+                // (rank × domain) stream AND the thread gate records
+                // which thread made it.
+                let msg = rank
+                    .recv(ANY_SOURCE, tag, Some(w.ctx()))
+                    .expect("gated recv");
                 sig = sig.wrapping_mul(1_000_003).wrapping_add(msg.as_u64s()[0]);
             }
             *sigs[w.tid() as usize].lock().unwrap() = sig;
@@ -59,20 +91,32 @@ fn run_once(
 
 #[test]
 fn gated_receives_record_and_replay_message_to_thread_assignment() {
-    // Record: whichever thread got whichever message, capture it.
-    let (recorded_sigs, bundle) = run_once(Arc::new(rmpi::MpiSession::record(2)), None, true);
-    let bundle = bundle.expect("record produced a bundle");
-    assert_eq!(recorded_sigs.len(), NTHREADS as usize);
-
-    // Replay: the same threads must receive the same messages in the same
-    // order, reproducing every per-thread signature.
-    for _ in 0..3 {
-        let (replayed_sigs, _) = run_once(
-            Arc::new(rmpi::MpiSession::passthrough(2)),
-            Some(bundle.clone()),
-            false,
+    for domains in domain_sweep() {
+        // Record: whichever thread got whichever message, capture it.
+        let mpi = Arc::new(MpiSession::record_with(
+            2,
+            MpiSessionConfig::with_domains(domains),
+        ));
+        let (recorded_sigs, bundle) = run_once(Arc::clone(&mpi), None, true);
+        let trace = mpi.finish();
+        assert_eq!(trace.domains, domains);
+        assert_eq!(
+            trace.total_events(),
+            u64::from(2 * NTHREADS),
+            "every wildcard receive lands in some (rank × domain) stream"
         );
-        assert_eq!(replayed_sigs, recorded_sigs);
+        let bundle = bundle.expect("record produced a bundle");
+        assert_eq!(recorded_sigs.len(), NTHREADS as usize);
+
+        // Replay: the same threads must receive the same messages in the
+        // same order, reproducing every per-thread signature.
+        for _ in 0..3 {
+            let mpi = Arc::new(MpiSession::replay(trace.clone()));
+            let (replayed_sigs, _) = run_once(Arc::clone(&mpi), Some(bundle.clone()), false);
+            assert_eq!(replayed_sigs, recorded_sigs, "D={domains}");
+            assert_eq!(mpi.fully_consumed(), Some(true), "D={domains}");
+            assert!(mpi.divergences().is_empty(), "D={domains}");
+        }
     }
 }
 
@@ -82,7 +126,7 @@ fn free_runs_can_differ_replay_cannot() {
     // assignments; they are *allowed* to differ (no assertion), while the
     // replayed ones above must not. Here we only verify the free run is
     // well-formed: all 6 payloads received exactly once.
-    let (sigs, _) = run_once(Arc::new(rmpi::MpiSession::passthrough(2)), None, false);
+    let (sigs, _) = run_once(Arc::new(MpiSession::passthrough(2)), None, false);
     assert_eq!(sigs.len(), NTHREADS as usize);
     assert!(sigs.iter().all(|&s| s != 0), "every thread got messages");
 }

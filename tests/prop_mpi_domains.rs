@@ -1,0 +1,360 @@
+//! The (rank × domain) rmpi sharding suite.
+//!
+//! * The property test drives random hybrid schedules — ranks × threads ×
+//!   domains swept over {1, 2, 4} — through record and replay: senders
+//!   stagger racy tagged messages at rank 0, whose ompr workers pull them
+//!   through gated wildcard receives, and a waitany drain records the
+//!   completion order. Replay must reproduce every per-thread signature
+//!   and consume every `(rank × domain)` stream exactly.
+//! * `unsynced_cross_domain_receives_lose_their_order` is the
+//!   `#[should_panic]` witness: two receives pinned to *different*
+//!   domains, ordered only by a rank barrier, replay out of order when
+//!   the barrier is NOT noted as a sync point — and
+//!   `rank_barrier_edges_restore_cross_domain_order` shows the
+//!   [`rmpi::RankCtx::barrier_with`] wiring restoring the order through
+//!   the same `CrossDomainEdge` mechanism the thread gate uses.
+
+use proptest::prelude::*;
+use reomp::{rmpi, DomainPlan, Scheme, Session, SessionConfig};
+use rmpi::{MpiSession, MpiSessionConfig, World, ANY_SOURCE};
+use std::sync::Arc;
+use std::time::Duration;
+
+const TAG_BASE: u32 = 100;
+const TAG_DONE: u32 = 90;
+const DIMS: [u32; 3] = [1, 2, 4];
+
+/// `REOMP_DOMAINS` (the CI hybrid leg sets 4) pins the swept domain
+/// count, mirroring the thread-gate suites.
+fn domain_override() -> Option<u32> {
+    std::env::var("REOMP_DOMAINS")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .filter(|&d| d >= 1)
+}
+
+fn thread_cfg(mpi: &MpiSession) -> SessionConfig {
+    let mut cfg = SessionConfig {
+        plan: Some(mpi.matching_thread_plan()),
+        ..SessionConfig::default()
+    };
+    cfg.spin.timeout = Some(Duration::from_secs(120));
+    cfg
+}
+
+/// One hybrid run. `sends[i] = (sender_sel, tag, payload)`; rank 0's
+/// `threads` workers receive the per-tag counts round-robin through gated
+/// wildcard receives, then the main thread drains one `done` request per
+/// sender with `waitany`. Returns (per-thread signatures, waitany order,
+/// thread bundle).
+fn run_hybrid(
+    mpi: Arc<MpiSession>,
+    omp_bundle: Option<reomp::TraceBundle>,
+    record: bool,
+    ranks: u32,
+    threads: u32,
+    sends: &[(u8, u32, u8)],
+    staggers: &[u64],
+) -> (Vec<u64>, Vec<u64>, Option<reomp::TraceBundle>) {
+    let nsenders = ranks.saturating_sub(1);
+    // Resolve each send to a concrete sender; schedule is pure data, so
+    // record and replay see identical programs.
+    let resolved: Vec<(u32, u32, u8)> = if nsenders == 0 {
+        Vec::new()
+    } else {
+        sends
+            .iter()
+            .map(|&(s, tag, p)| (1 + u32::from(s) % nsenders, tag, p))
+            .collect()
+    };
+    // Per-tag receive counts → round-robin assignment over threads.
+    let mut counts = [0usize; 4];
+    for &(_, tag, _) in &resolved {
+        counts[tag as usize] += 1;
+    }
+    let mut assignments: Vec<Vec<u32>> = vec![Vec::new(); threads as usize];
+    let mut idx = 0usize;
+    for (tag, &n) in counts.iter().enumerate() {
+        for _ in 0..n {
+            assignments[idx % threads as usize].push(tag as u32);
+            idx += 1;
+        }
+    }
+    let assignments = &assignments;
+    let resolved = &resolved;
+
+    let outputs = World::run(ranks, Arc::clone(&mpi), |rank| {
+        let me = rank.rank();
+        if me != 0 {
+            // Sender: staggered tagged messages, then a `done` marker.
+            for (i, &(sender, tag, payload)) in resolved.iter().enumerate() {
+                if sender != me {
+                    continue;
+                }
+                let us = staggers
+                    .get(i % staggers.len().max(1))
+                    .copied()
+                    .unwrap_or(0);
+                std::thread::sleep(Duration::from_micros(us));
+                rank.send(0, TAG_BASE + tag, &[payload]).unwrap();
+            }
+            rank.send(0, TAG_DONE, &[me as u8]).unwrap();
+            return (vec![], vec![], None);
+        }
+        // Rank 0: hybrid receiver.
+        let session = match &omp_bundle {
+            Some(b) => Session::replay_with(b.clone(), thread_cfg(&mpi)).expect("bundle"),
+            None if record => Session::record_with(Scheme::De, threads, thread_cfg(&mpi)),
+            None => Session::passthrough(threads),
+        };
+        let rt = reomp::ompr::Runtime::new(session.clone());
+        let sigs: Vec<std::sync::Mutex<u64>> =
+            (0..threads).map(|_| std::sync::Mutex::new(1)).collect();
+        rt.parallel(|w| {
+            let mut sig = 1u64;
+            for &tag in &assignments[w.tid() as usize] {
+                let m = rank
+                    .recv(ANY_SOURCE, TAG_BASE + tag, Some(w.ctx()))
+                    .expect("gated recv");
+                sig = sig
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add(u64::from(m.src) << 16 | u64::from(m.payload[0]));
+            }
+            *sigs[w.tid() as usize].lock().unwrap() = sig;
+        });
+        // Waitany drain of the `done` markers: completion order is the
+        // recorded non-determinism of the §VI-C waitany gate.
+        let mut wa_order = Vec::new();
+        if nsenders > 0 {
+            let mut reqs: Vec<rmpi::Request> = (1..ranks)
+                .map(|s| rank.irecv(s, TAG_DONE).unwrap())
+                .collect();
+            for _ in 0..nsenders {
+                let (i, env) = rank.waitany(&mut reqs).unwrap();
+                wa_order.push((i as u64) << 8 | u64::from(env.unwrap().src));
+            }
+        }
+        let report = session.finish().expect("finish");
+        assert_eq!(report.failure, None, "thread-level replay failed");
+        (
+            sigs.iter().map(|s| *s.lock().unwrap()).collect(),
+            wa_order,
+            report.bundle,
+        )
+    });
+    let (sigs, wa, bundle) = outputs.into_iter().next().unwrap();
+    (sigs, wa, bundle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random hybrid schedules over the {1, 2, 4}³ matrix record → replay
+    /// identically, with every `(rank × domain)` stream fully consumed.
+    #[test]
+    fn hybrid_schedules_replay_identically(
+        ranks_i in 0usize..3,
+        threads_i in 0usize..3,
+        domains_i in 0usize..3,
+        sends in proptest::collection::vec(
+            (0u8..255, 0u32..4, 0u8..255),
+            1..14,
+        ),
+        staggers in proptest::collection::vec(0u64..40, 1..14),
+    ) {
+        let ranks = DIMS[ranks_i];
+        let threads = DIMS[threads_i];
+        let domains = domain_override().unwrap_or(DIMS[domains_i]);
+
+        let mpi = Arc::new(MpiSession::record_with(
+            ranks,
+            MpiSessionConfig::with_domains(domains),
+        ));
+        let (rec_sigs, rec_wa, bundle) = run_hybrid(
+            Arc::clone(&mpi), None, true, ranks, threads, &sends, &staggers,
+        );
+        let trace = mpi.finish();
+        prop_assert_eq!(trace.domains, domains);
+        prop_assert!(trace.validate().is_ok());
+        if ranks > 1 {
+            prop_assert_eq!(trace.rank_events(0), sends.len() as u64);
+            prop_assert_eq!(trace.total_waitany(), u64::from(ranks - 1));
+        }
+        let bundle = bundle.expect("record produced a bundle");
+
+        let mpi = Arc::new(MpiSession::replay(trace));
+        let (rep_sigs, rep_wa, _) = run_hybrid(
+            Arc::clone(&mpi),
+            Some(bundle),
+            false,
+            ranks,
+            threads,
+            &sends,
+            &staggers,
+        );
+        prop_assert_eq!(&rep_sigs, &rec_sigs, "per-thread signatures diverged");
+        prop_assert_eq!(&rep_wa, &rec_wa, "waitany completion order diverged");
+        prop_assert_eq!(mpi.fully_consumed(), Some(true));
+        prop_assert!(mpi.divergences().is_empty(), "{:?}", mpi.divergences());
+    }
+}
+
+// ---------------------------------------------------------------------
+// The cross-rank-domain ordering witness
+// ---------------------------------------------------------------------
+
+const TAG_A: u32 = 10;
+const TAG_B: u32 = 11;
+
+/// A thread-gate plan pinning the two receives' gate sites to DIFFERENT
+/// domains — the configuration in which only a sync-point edge can keep
+/// their relative order.
+fn split_plan() -> DomainPlan {
+    DomainPlan::with_assignments(
+        2,
+        [
+            (rmpi::recv_site(0, ANY_SOURCE, TAG_A), 0),
+            (rmpi::recv_site(0, ANY_SOURCE, TAG_B), 1),
+        ],
+    )
+}
+
+/// Record run: thread 0 receives tag A, a rank barrier orders it before
+/// thread 1's tag-B receive (domains 0 and 1 respectively). The receives
+/// are driven from one real thread, so the recorded cross-domain order is
+/// exactly [A, B]. `sync` selects whether the barrier is noted as a sync
+/// point ([`rmpi::RankCtx::barrier_with`]) — the wiring under test.
+fn record_ordered_run(sync: bool) -> (Vec<(u32, u32)>, reomp::TraceBundle) {
+    let mpi = Arc::new(MpiSession::record_with(
+        2,
+        MpiSessionConfig {
+            plan: Some(split_plan()),
+            ..MpiSessionConfig::default()
+        },
+    ));
+    let outputs = World::run(2, Arc::clone(&mpi), |rank| {
+        if rank.rank() == 1 {
+            rank.send(0, TAG_A, &[1]).unwrap();
+            rank.send(0, TAG_B, &[2]).unwrap();
+            rank.barrier();
+            return (vec![], None);
+        }
+        let cfg = SessionConfig {
+            plan: Some(split_plan()),
+            ..SessionConfig::default()
+        };
+        let session = Session::record_with(Scheme::Dc, 2, cfg);
+        let log = std::sync::Mutex::new(Vec::new());
+        {
+            let c0 = session.register_thread(0);
+            let c1 = session.register_thread(1);
+            let m = rank.recv(ANY_SOURCE, TAG_A, Some(&c0)).unwrap();
+            log.lock().unwrap().push((0u32, m.tag));
+            // The rank barrier is what orders the two cross-domain
+            // receives; with `sync` it stamps the edge for c1's next gate.
+            rank.barrier_with(sync.then_some(&c1));
+            let m = rank.recv(ANY_SOURCE, TAG_B, Some(&c1)).unwrap();
+            log.lock().unwrap().push((1u32, m.tag));
+        }
+        let report = session.finish().unwrap();
+        (log.into_inner().unwrap(), report.bundle)
+    });
+    let (log, bundle) = outputs.into_iter().next().unwrap();
+    let bundle = bundle.expect("record bundle");
+    assert_eq!(log, vec![(0, TAG_A), (1, TAG_B)]);
+    (log, bundle)
+}
+
+/// Adversarial replay: thread 1's receive is issued FIRST. Returns the
+/// observed order. `concurrent` uses real threads (needed when edges make
+/// thread 1 wait); the sequential variant demonstrates the loss.
+fn replay_adversarial(bundle: reomp::TraceBundle, concurrent: bool) -> Vec<(u32, u32)> {
+    let trace = {
+        // Rebuild the MPI trace the recording produced: one event per
+        // stream, routed by the same plan.
+        let mpi = MpiSession::record_with(
+            2,
+            MpiSessionConfig {
+                plan: Some(split_plan()),
+                ..MpiSessionConfig::default()
+            },
+        );
+        let da = mpi.domain_of(rmpi::recv_site(0, ANY_SOURCE, TAG_A));
+        let db = mpi.domain_of(rmpi::recv_site(0, ANY_SOURCE, TAG_B));
+        mpi.log_recv(0, da, 1, TAG_A);
+        mpi.log_recv(0, db, 1, TAG_B);
+        mpi.finish()
+    };
+    let mpi = Arc::new(MpiSession::replay(trace));
+    let outputs = World::run(2, Arc::clone(&mpi), |rank| {
+        if rank.rank() == 1 {
+            rank.send(0, TAG_A, &[1]).unwrap();
+            rank.send(0, TAG_B, &[2]).unwrap();
+            rank.barrier();
+            return vec![];
+        }
+        let mut cfg = SessionConfig::default();
+        cfg.spin.timeout = Some(Duration::from_secs(60));
+        let session = Session::replay_with(bundle.clone(), cfg).unwrap();
+        let log = std::sync::Mutex::new(Vec::new());
+        if concurrent {
+            std::thread::scope(|s| {
+                let c1 = session.register_thread(1);
+                let c0 = session.register_thread(0);
+                let log = &log;
+                let r = &*rank;
+                s.spawn(move || {
+                    // Issued first; with the recorded edge it must WAIT
+                    // for domain 0's receive before being admitted.
+                    let m = r.recv(ANY_SOURCE, TAG_B, Some(&c1)).unwrap();
+                    log.lock().unwrap().push((1u32, m.tag));
+                });
+                std::thread::sleep(Duration::from_millis(20));
+                s.spawn(move || {
+                    let m = r.recv(ANY_SOURCE, TAG_A, Some(&c0)).unwrap();
+                    log.lock().unwrap().push((0u32, m.tag));
+                });
+            });
+        } else {
+            let c1 = session.register_thread(1);
+            let c0 = session.register_thread(0);
+            let m = rank.recv(ANY_SOURCE, TAG_B, Some(&c1)).unwrap();
+            log.lock().unwrap().push((1u32, m.tag));
+            let m = rank.recv(ANY_SOURCE, TAG_A, Some(&c0)).unwrap();
+            log.lock().unwrap().push((0u32, m.tag));
+        }
+        rank.barrier();
+        assert_eq!(session.finish().unwrap().failure, None);
+        log.into_inner().unwrap()
+    });
+    outputs.into_iter().next().unwrap()
+}
+
+/// The demonstration the sharded recorder needs the barrier wiring for:
+/// WITHOUT the sync point, the two domains replay independently, the
+/// adversarial schedule runs thread 1's receive first, and the
+/// cross-domain order the rank barrier established is lost.
+#[test]
+#[should_panic(expected = "cross-rank-domain order must replay")]
+fn unsynced_cross_domain_receives_lose_their_order() {
+    let (recorded, bundle) = record_ordered_run(false);
+    assert!(bundle.edges.is_empty(), "no sync point, no edges");
+    let replayed = replay_adversarial(bundle, false);
+    assert_eq!(replayed, recorded, "cross-rank-domain order must replay");
+}
+
+/// The fix: `barrier_with` notes the sync point, the trace carries a
+/// cross-domain edge, and the SAME adversarial schedule simply waits.
+#[test]
+fn rank_barrier_edges_restore_cross_domain_order() {
+    let (recorded, bundle) = record_ordered_run(true);
+    assert!(
+        !bundle.edges.is_empty(),
+        "barrier_with must stamp a cross-domain edge"
+    );
+    let replayed = replay_adversarial(bundle, true);
+    assert_eq!(replayed, recorded, "cross-rank-domain order must replay");
+}

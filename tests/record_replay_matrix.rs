@@ -130,6 +130,67 @@ fn oversubscribed_replay_does_not_trip_watchdog() {
 }
 
 #[test]
+fn hybrid_halo_replays_across_mpi_domain_counts() {
+    // The rmpi leg of the domain sweep: the hybrid halo driver records
+    // (rank × domain) receive streams and replays them bit-identically
+    // for every swept domain count (REOMP_DOMAINS pins it in CI).
+    use reomp::miniapps::halo;
+    for domains in domain_sweep() {
+        for scheme in [Scheme::De, Scheme::Dc] {
+            let tag = format!("halo/{scheme}/D={domains}");
+            let cfg = halo::HybridConfig {
+                cells: 16,
+                steps: 4,
+                ranks: 2,
+                threads: 2,
+                scheme,
+                mpi_domains: domains,
+                site_groups: 2,
+                seed: 11,
+                replay_timeout: Some(Duration::from_secs(300)),
+            };
+            let (recorded, traces) = halo::run_hybrid_record(&cfg);
+            assert_eq!(traces.mpi.domains, domains, "{tag}");
+            traces
+                .mpi
+                .validate()
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            assert!(traces.mpi.total_events() > 0, "{tag}");
+            let replayed = halo::run_hybrid_replay(&cfg, traces);
+            assert_eq!(replayed, recorded, "{tag}");
+        }
+    }
+}
+
+#[test]
+fn hybrid_halo_oversubscribed_replay_stays_divergence_free() {
+    // More rank threads than cores, multi-domain on both layers: replay
+    // waits yield instead of spinning and a generous watchdog must not
+    // fire — the rmpi counterpart of the thread gate's oversubscription
+    // case.
+    use reomp::miniapps::halo;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(2);
+    let threads = (2 * cores).clamp(8, 16);
+    let domains = domain_sweep().into_iter().max().unwrap_or(4);
+    let cfg = halo::HybridConfig {
+        cells: 16,
+        steps: 3,
+        ranks: 2,
+        threads,
+        scheme: Scheme::De,
+        mpi_domains: domains,
+        site_groups: 2,
+        seed: 23,
+        replay_timeout: Some(Duration::from_secs(300)),
+    };
+    let (recorded, traces) = halo::run_hybrid_record(&cfg);
+    let replayed = halo::run_hybrid_replay(&cfg, traces);
+    assert_eq!(replayed, recorded, "D={domains}/threads={threads}");
+}
+
+#[test]
 fn traces_survive_memstore_roundtrip() {
     for scheme in Scheme::ALL {
         let session = Session::record(scheme, 3);
