@@ -34,6 +34,7 @@ fn synthetic_bundle(nthreads: u32, records_per_thread: usize) -> TraceBundle {
     TraceBundle {
         plan: None,
         edges: vec![],
+        checkpoint: None,
         scheme: Scheme::Dc,
         nthreads,
         domains: 1,
@@ -55,8 +56,8 @@ fn main() {
         "\n=== Store streaming: {total} records across {nthreads} threads (one-shot vs chunked) ==="
     );
     println!(
-        "{:>10} {:>14} {:>12} {:>12} {:>12} {:>10}",
-        "io mode", "layout", "save (s)", "load (s)", "bytes", "chunks"
+        "{:>10} {:>20} {:>12} {:>12} {:>12} {:>10} {:>9}",
+        "io mode", "layout", "save (s)", "load (s)", "bytes", "chunks", "B/event"
     );
 
     for parallel in [true, false] {
@@ -73,35 +74,45 @@ fn main() {
             assert_eq!(b.total_records(), total);
         });
         println!(
-            "{io_mode:>10} {:>14} {:>12.6} {:>12.6} {:>12} {:>10}",
+            "{io_mode:>10} {:>20} {:>12.6} {:>12.6} {:>12} {:>10} {:>9.3}",
             "one-shot",
             t_save.as_secs_f64(),
             t_load.as_secs_f64(),
             report.bytes,
-            report.chunks
+            report.chunks,
+            report.bytes as f64 / total as f64
         );
 
         for records_per_chunk in [4_096usize, 65_536, 1_048_576] {
-            let t_save = time_min(|| {
-                store
-                    .save_chunked(&bundle, records_per_chunk)
+            // Plain chunked vs per-chunk RLE compression (REOMP_COMPRESS):
+            // same loaded bundle, different bytes/event.
+            for compress in [false, true] {
+                let t_save = time_min(|| {
+                    store
+                        .save_chunked_opt(&bundle, records_per_chunk, compress)
+                        .expect("chunked save");
+                });
+                let report = store
+                    .save_chunked_opt(&bundle, records_per_chunk, compress)
                     .expect("chunked save");
-            });
-            let report = store
-                .save_chunked(&bundle, records_per_chunk)
-                .expect("chunked save");
-            let t_load = time_min(|| {
-                let (b, _) = store.load().expect("load");
-                assert_eq!(b.total_records(), total);
-            });
-            println!(
-                "{io_mode:>10} {:>14} {:>12.6} {:>12.6} {:>12} {:>10}",
-                format!("chunk {records_per_chunk}"),
-                t_save.as_secs_f64(),
-                t_load.as_secs_f64(),
-                report.bytes,
-                report.chunks
-            );
+                let t_load = time_min(|| {
+                    let (b, _) = store.load().expect("load");
+                    assert_eq!(b.total_records(), total);
+                });
+                let layout = if compress {
+                    format!("chunk {records_per_chunk} +rle")
+                } else {
+                    format!("chunk {records_per_chunk}")
+                };
+                println!(
+                    "{io_mode:>10} {layout:>20} {:>12.6} {:>12.6} {:>12} {:>10} {:>9.3}",
+                    t_save.as_secs_f64(),
+                    t_load.as_secs_f64(),
+                    report.bytes,
+                    report.chunks,
+                    report.bytes as f64 / total as f64
+                );
+            }
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -158,6 +169,52 @@ fn main() {
         t_streaming.as_secs_f64()
     );
     let _ = std::fs::remove_dir_all(&dir);
+
+    // Flight recorder: bounded in-situ retention on the same live run —
+    // no file I/O while recording, a window dump only on the trigger.
+    // "retained" is the peak chunks per stream (≤ window by invariant),
+    // "dump bytes" the materialized window, "dump (s)" its latency.
+    println!("\n--- flight recorder: window sweep on the same live DE run ---");
+    println!(
+        "{:>8} {:>12} {:>10} {:>12} {:>10} {:>10}",
+        "window", "record (s)", "dump (s)", "dump bytes", "retained", "evicted"
+    );
+    for window in [2u32, 8, 32] {
+        let dir = bench_dir(&format!("flight-{window}"));
+        let cfg = SessionConfig {
+            flight: Some(window),
+            flush_records: 1024,
+            ..SessionConfig::default()
+        };
+        let t_record = time_min(|| {
+            let session =
+                Session::record_flight(Scheme::De, live_threads, cfg.clone(), DirStore::new(&dir))
+                    .expect("begin flight");
+            workload(&session);
+            session.finish().expect("finish");
+        });
+        let session =
+            Session::record_flight(Scheme::De, live_threads, cfg.clone(), DirStore::new(&dir))
+                .expect("begin flight");
+        workload(&session);
+        let t_dump = time_min(|| {
+            session
+                .dump(reomp_core::DumpTrigger::Manual)
+                .expect("dump window");
+        });
+        let dump_io = session.dumps().last().expect("at least one dump").1;
+        let report = session.finish().expect("finish");
+        let retention = report.io.expect("flight report");
+        println!(
+            "{window:>8} {:>12.6} {:>10.6} {:>12} {:>10} {:>10}",
+            t_record.as_secs_f64(),
+            t_dump.as_secs_f64(),
+            dump_io.bytes,
+            retention.retained_peak,
+            retention.evicted
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     println!(
         "\nExpected shape: chunked saves track one-shot closely (same bytes ±\n\

@@ -398,6 +398,7 @@ mod tests {
         TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::Dc,
             nthreads: 2,
             domains: 1,
@@ -431,6 +432,7 @@ mod tests {
         let b = TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::St,
             nthreads: 2,
             domains: 1,
@@ -455,6 +457,7 @@ mod tests {
         let b = TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::Dc,
             nthreads: 2,
             domains: 2,
@@ -542,6 +545,7 @@ mod tests {
                 seq: 0,
                 waits: vec![(0, 2)],
             }],
+            checkpoint: None,
         };
         b.validate().unwrap();
         let tl = interleaved_timeline(&b).expect("edges present");
@@ -583,6 +587,7 @@ mod tests {
                 seq: 0,
                 waits: vec![(0, 2)],
             }],
+            checkpoint: None,
         };
         st.validate().unwrap();
         let tl = interleaved_timeline(&st).expect("edges present");

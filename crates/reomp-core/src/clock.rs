@@ -62,8 +62,17 @@ impl Turnstile {
     /// A turnstile starting at zero completed accesses.
     #[must_use]
     pub const fn new() -> Self {
+        Turnstile::starting_at(0)
+    }
+
+    /// A turnstile that starts as if `base` accesses had already
+    /// completed — the replay entry point for flight-recorder windows,
+    /// whose checkpoint records how many accesses each domain completed
+    /// before the retained history begins.
+    #[must_use]
+    pub const fn starting_at(base: u64) -> Self {
         Turnstile {
-            next: AtomicU64::new(0),
+            next: AtomicU64::new(base),
             aborted: AtomicBool::new(false),
         }
     }

@@ -66,7 +66,7 @@ use crate::error::TraceError;
 use crate::plan::DomainPlan;
 use crate::session::Scheme;
 use crate::site::SiteId;
-use crate::trace::{CrossDomainEdge, StTrace, ThreadTrace};
+use crate::trace::{Checkpoint, CrossDomainEdge, DumpTrigger, StTrace, ThreadTrace};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC_THREAD: &[u8; 4] = b"RTRC";
@@ -74,6 +74,7 @@ const MAGIC_ST: &[u8; 4] = b"RTST";
 const MAGIC_CHUNK: &[u8; 4] = b"RTCK";
 const MAGIC_PLAN: &[u8; 4] = b"RTPL";
 const MAGIC_EDGES: &[u8; 4] = b"RTHB";
+const MAGIC_CHECKPOINT: &[u8; 4] = b"RTCP";
 const VERSION: u8 = 1;
 const FLAG_SITES: u8 = 1;
 const FLAG_KINDS: u8 = 2;
@@ -85,6 +86,18 @@ pub const FLAG_DOMAINS: u8 = 8;
 /// Header flag marking a domain-plan section (set in the `RTPL` file so a
 /// plan can never be confused with a record stream even if renamed).
 pub const FLAG_PLAN: u8 = 16;
+/// Header flag marking a stream whose chunk payloads are run-length
+/// compressed (see [`encode_thread_chunk_opt`]); only valid together with
+/// [`FLAG_CHUNKED`].
+pub const FLAG_COMPRESSED: u8 = 32;
+
+/// Upper bound on how many records a compressed chunk may claim per
+/// payload byte. RLE legitimately decodes to many more records than it
+/// occupies bytes, so the usual `count <= nbytes` bound does not apply;
+/// this cap keeps a corrupt count from provoking an OOM-sized decode
+/// while allowing any compression ratio a real recording can reach
+/// (chunks hold at most one flush of records).
+const MAX_RLE_EXPANSION: usize = 4096;
 
 /// Append `v` as an LEB128 unsigned varint.
 pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
@@ -158,6 +171,97 @@ pub fn get_delta_stream(buf: &mut Bytes, count: usize) -> Result<Vec<u64>, Trace
         let d = unzigzag(get_uvarint(buf)?);
         prev = prev.wrapping_add(d);
         out.push(prev as u64);
+    }
+    Ok(out)
+}
+
+/// Maximal runs of equal adjacent elements, as `(run_length, &value)`
+/// pairs. The run-length scanner shared by every RLE stage of the codec
+/// pipeline (compressed chunk payloads here, receive-event compression in
+/// `rmpi::compress`).
+pub fn rle_runs<T: PartialEq>(items: &[T]) -> Vec<(u64, &T)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < items.len() {
+        let mut j = i + 1;
+        while j < items.len() && items[j] == items[i] {
+            j += 1;
+        }
+        out.push(((j - i) as u64, &items[i]));
+        i = j;
+    }
+    out
+}
+
+/// Encode a u64 stream as run-length-encoded zigzag deltas:
+/// `(run_len varint, delta varint)` per maximal run of equal deltas. The
+/// delta base starts at 0 like [`put_delta_stream`], so clock streams
+/// with a constant stride — and constant columns like repeated sites —
+/// collapse to a handful of bytes.
+pub fn put_rle_delta_stream(buf: &mut BytesMut, values: &[u64]) {
+    let mut prev = 0i64;
+    let deltas: Vec<u64> = values
+        .iter()
+        .map(|&v| {
+            let cur = v as i64;
+            let d = zigzag(cur.wrapping_sub(prev));
+            prev = cur;
+            d
+        })
+        .collect();
+    for (run, &delta) in rle_runs(&deltas) {
+        put_uvarint(buf, run);
+        put_uvarint(buf, delta);
+    }
+}
+
+/// Decode `count` values from a run-length-encoded zigzag-delta stream.
+/// Run lengths must be non-zero and sum to exactly `count`; the caller
+/// bounds `count` (see `MAX_RLE_EXPANSION`) before this allocates.
+pub fn get_rle_delta_stream(buf: &mut Bytes, count: usize) -> Result<Vec<u64>, TraceError> {
+    let mut out = Vec::with_capacity(count);
+    let mut prev = 0i64;
+    while out.len() < count {
+        let run = get_uvarint(buf)? as usize;
+        if run == 0 || run > count - out.len() {
+            return Err(TraceError::Corrupt(format!(
+                "RLE run of {run} in a stream expecting {} more values",
+                count - out.len()
+            )));
+        }
+        let d = unzigzag(get_uvarint(buf)?);
+        for _ in 0..run {
+            prev = prev.wrapping_add(d);
+            out.push(prev as u64);
+        }
+    }
+    Ok(out)
+}
+
+/// Encode a byte column as `(run_len varint, byte)` runs.
+fn put_rle_bytes(buf: &mut BytesMut, bytes: &[u8]) {
+    for (run, &b) in rle_runs(bytes) {
+        put_uvarint(buf, run);
+        buf.put_u8(b);
+    }
+}
+
+/// Decode `count` bytes from a run-length-encoded column.
+fn get_rle_bytes(buf: &mut Bytes, count: usize) -> Result<Vec<u8>, TraceError> {
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let run = get_uvarint(buf)? as usize;
+        if run == 0 || run > count - out.len() {
+            return Err(TraceError::Corrupt(format!(
+                "RLE run of {run} in a column expecting {} more bytes",
+                count - out.len()
+            )));
+        }
+        if !buf.has_remaining() {
+            return Err(TraceError::Corrupt("RLE column truncated".into()));
+        }
+        let b = buf.get_u8();
+        out.extend(std::iter::repeat_n(b, run));
     }
     Ok(out)
 }
@@ -328,6 +432,7 @@ pub fn decode_thread_records(bytes: &[u8]) -> Result<DecodedThread, TraceError> 
     let flags = buf.get_u8();
     let tid = buf.get_u32_le();
     let domain = get_domain(&mut buf, flags)?;
+    check_compressed_is_chunked(flags)?;
     let (trace, chunks) = if flags & FLAG_CHUNKED != 0 {
         let mut trace = empty_thread_trace(flags);
         let mut chunks = 0u64;
@@ -396,7 +501,8 @@ enum StreamKind {
 type DecodedChunk = (Vec<u64>, Option<Vec<u64>>, Option<Vec<u8>>);
 
 /// Read one self-delimiting chunk. Bounds `nbytes` against the remaining
-/// buffer and `count` against `nbytes` before allocating anything, and
+/// buffer and `count` against `nbytes` before allocating anything
+/// (against `nbytes × `[`MAX_RLE_EXPANSION`] for compressed chunks), and
 /// verifies the chunk consumed exactly the bytes it declared.
 fn get_chunk(buf: &mut Bytes, flags: u8, kind: StreamKind) -> Result<DecodedChunk, TraceError> {
     if buf.remaining() < 4 {
@@ -416,16 +522,23 @@ fn get_chunk(buf: &mut Bytes, flags: u8, kind: StreamKind) -> Result<DecodedChun
             buf.remaining()
         )));
     }
+    let compressed = flags & FLAG_COMPRESSED != 0;
     let before = buf.remaining();
     let count = get_uvarint(buf)? as usize;
-    if count > nbytes {
+    let max_count = if compressed {
+        nbytes.saturating_mul(MAX_RLE_EXPANSION)
+    } else {
+        nbytes
+    };
+    if count > max_count {
         return Err(TraceError::Corrupt(format!(
             "chunk record count {count} exceeds chunk length {nbytes}"
         )));
     }
-    let values = match kind {
-        StreamKind::Deltas => get_delta_stream(buf, count)?,
-        StreamKind::Tids => {
+    let values = match (kind, compressed) {
+        (StreamKind::Deltas, false) => get_delta_stream(buf, count)?,
+        (StreamKind::Deltas | StreamKind::Tids, true) => get_rle_delta_stream(buf, count)?,
+        (StreamKind::Tids, false) => {
             let mut tids = Vec::with_capacity(count.min(buf.remaining()));
             for _ in 0..count {
                 tids.push(get_uvarint(buf)?);
@@ -433,7 +546,17 @@ fn get_chunk(buf: &mut Bytes, flags: u8, kind: StreamKind) -> Result<DecodedChun
             tids
         }
     };
-    let (sites, kinds) = get_columns(buf, count, flags)?;
+    let (sites, kinds) = if compressed {
+        let sites = (flags & FLAG_SITES != 0)
+            .then(|| get_rle_delta_stream(buf, count))
+            .transpose()?;
+        let kinds = (flags & FLAG_KINDS != 0)
+            .then(|| get_rle_bytes(buf, count))
+            .transpose()?;
+        (sites, kinds)
+    } else {
+        get_columns(buf, count, flags)?
+    };
     let consumed = before - buf.remaining();
     if consumed != nbytes {
         return Err(TraceError::Corrupt(format!(
@@ -447,7 +570,7 @@ fn get_chunk(buf: &mut Bytes, flags: u8, kind: StreamKind) -> Result<DecodedChun
 /// once when a streaming writer opens the file; chunks follow.
 #[must_use]
 pub fn encode_thread_stream_header(scheme: Scheme, tid: u32, sites: bool, kinds: bool) -> Bytes {
-    encode_thread_stream_header_opt(scheme, tid, None, sites, kinds)
+    encode_thread_stream_header_opt(scheme, tid, None, sites, kinds, false)
 }
 
 /// [`encode_thread_stream_header`] for a multi-domain recording (15-byte
@@ -460,23 +583,26 @@ pub fn encode_thread_stream_header_domain(
     sites: bool,
     kinds: bool,
 ) -> Bytes {
-    encode_thread_stream_header_opt(scheme, tid, Some(domain), sites, kinds)
+    encode_thread_stream_header_opt(scheme, tid, Some(domain), sites, kinds, false)
 }
 
-/// Stream-header variant of [`encode_thread_trace_opt`].
+/// Stream-header variant of [`encode_thread_trace_opt`]; `compress`
+/// stamps [`FLAG_COMPRESSED`], committing every chunk of the stream to the
+/// RLE payload layout.
 pub(crate) fn encode_thread_stream_header_opt(
     scheme: Scheme,
     tid: u32,
     domain: Option<u32>,
     sites: bool,
     kinds: bool,
+    compress: bool,
 ) -> Bytes {
     let mut buf = BytesMut::with_capacity(15);
     put_header(
         &mut buf,
         MAGIC_THREAD,
         scheme,
-        flags_of(sites, kinds) | FLAG_CHUNKED,
+        flags_of(sites, kinds) | FLAG_CHUNKED | if compress { FLAG_COMPRESSED } else { 0 },
         tid,
         domain,
     );
@@ -486,23 +612,28 @@ pub(crate) fn encode_thread_stream_header_opt(
 /// Serialize the 11-byte header of a chunked ST stream.
 #[must_use]
 pub fn encode_st_stream_header(sites: bool, kinds: bool) -> Bytes {
-    encode_st_stream_header_opt(None, sites, kinds)
+    encode_st_stream_header_opt(None, sites, kinds, false)
 }
 
 /// [`encode_st_stream_header`] for a multi-domain recording.
 #[must_use]
 pub fn encode_st_stream_header_domain(domain: u32, sites: bool, kinds: bool) -> Bytes {
-    encode_st_stream_header_opt(Some(domain), sites, kinds)
+    encode_st_stream_header_opt(Some(domain), sites, kinds, false)
 }
 
 /// Stream-header variant of [`encode_st_trace_opt`].
-pub(crate) fn encode_st_stream_header_opt(domain: Option<u32>, sites: bool, kinds: bool) -> Bytes {
+pub(crate) fn encode_st_stream_header_opt(
+    domain: Option<u32>,
+    sites: bool,
+    kinds: bool,
+    compress: bool,
+) -> Bytes {
     let mut buf = BytesMut::with_capacity(15);
     put_header(
         &mut buf,
         MAGIC_ST,
         Scheme::St,
-        flags_of(sites, kinds) | FLAG_CHUNKED,
+        flags_of(sites, kinds) | FLAG_CHUNKED | if compress { FLAG_COMPRESSED } else { 0 },
         0,
         domain,
     );
@@ -514,23 +645,70 @@ pub(crate) fn encode_st_stream_header_opt(domain: Option<u32>, sites: bool, kind
 /// predecessors.
 #[must_use]
 pub fn encode_thread_chunk(values: &[u64], sites: Option<&[u64]>, kinds: Option<&[u8]>) -> Bytes {
+    encode_thread_chunk_opt(values, sites, kinds, false)
+}
+
+/// [`encode_thread_chunk`] with an optional RLE compression stage: a
+/// compressed payload is `count | values as RLE zigzag deltas | sites as
+/// RLE zigzag deltas | kinds as RLE (run, byte) pairs`, and belongs in a
+/// stream whose header carries [`FLAG_COMPRESSED`].
+#[must_use]
+pub fn encode_thread_chunk_opt(
+    values: &[u64],
+    sites: Option<&[u64]>,
+    kinds: Option<&[u8]>,
+    compress: bool,
+) -> Bytes {
     let mut payload = BytesMut::with_capacity(8 + values.len() * 2);
     put_uvarint(&mut payload, values.len() as u64);
-    put_delta_stream(&mut payload, values);
-    put_column_slices(&mut payload, values.len(), sites, kinds);
+    if compress {
+        put_rle_delta_stream(&mut payload, values);
+        put_compressed_columns(&mut payload, sites, kinds);
+    } else {
+        put_delta_stream(&mut payload, values);
+        put_column_slices(&mut payload, values.len(), sites, kinds);
+    }
     frame_chunk(&payload)
 }
 
 /// Serialize one self-delimiting chunk of the shared ST stream.
 #[must_use]
 pub fn encode_st_chunk(tids: &[u32], sites: Option<&[u64]>, kinds: Option<&[u8]>) -> Bytes {
+    encode_st_chunk_opt(tids, sites, kinds, false)
+}
+
+/// [`encode_st_chunk`] with the optional RLE compression stage; the tid
+/// stream compresses as RLE zigzag deltas (runs of one thread's
+/// consecutive gate passages collapse to one pair).
+#[must_use]
+pub fn encode_st_chunk_opt(
+    tids: &[u32],
+    sites: Option<&[u64]>,
+    kinds: Option<&[u8]>,
+    compress: bool,
+) -> Bytes {
     let mut payload = BytesMut::with_capacity(8 + tids.len() * 2);
     put_uvarint(&mut payload, tids.len() as u64);
-    for &t in tids {
-        put_uvarint(&mut payload, u64::from(t));
+    if compress {
+        let wide: Vec<u64> = tids.iter().map(|&t| u64::from(t)).collect();
+        put_rle_delta_stream(&mut payload, &wide);
+        put_compressed_columns(&mut payload, sites, kinds);
+    } else {
+        for &t in tids {
+            put_uvarint(&mut payload, u64::from(t));
+        }
+        put_column_slices(&mut payload, tids.len(), sites, kinds);
     }
-    put_column_slices(&mut payload, tids.len(), sites, kinds);
     frame_chunk(&payload)
+}
+
+fn put_compressed_columns(buf: &mut BytesMut, sites: Option<&[u64]>, kinds: Option<&[u8]>) {
+    if let Some(sites) = sites {
+        put_rle_delta_stream(buf, sites);
+    }
+    if let Some(kinds) = kinds {
+        put_rle_bytes(buf, kinds);
+    }
 }
 
 fn put_column_slices(
@@ -611,6 +789,7 @@ pub fn decode_st_records(bytes: &[u8]) -> Result<DecodedSt, TraceError> {
     let flags = buf.get_u8();
     let _tid = buf.get_u32_le();
     let domain = get_domain(&mut buf, flags)?;
+    check_compressed_is_chunked(flags)?;
     let mut trace = StTrace {
         tids: Vec::new(),
         sites: (flags & FLAG_SITES != 0).then(Vec::new),
@@ -814,6 +993,84 @@ pub fn decode_edges(bytes: &[u8]) -> Result<Vec<CrossDomainEdge>, TraceError> {
         ));
     }
     Ok(edges)
+}
+
+fn check_compressed_is_chunked(flags: u8) -> Result<(), TraceError> {
+    if flags & FLAG_COMPRESSED != 0 && flags & FLAG_CHUNKED == 0 {
+        return Err(TraceError::Corrupt(
+            "compressed stream without FLAG_CHUNKED".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Serialize a flight-recorder [`Checkpoint`] as the trace's checkpoint
+/// section:
+///
+/// ```text
+/// magic "RTCP" | version u8 | flags u8 (= 0) | trigger u8 | window u32le |
+/// domains varint | domains × base varint |
+/// nfloors varint | nfloors × floor varint
+/// ```
+#[must_use]
+pub fn encode_checkpoint(cp: &Checkpoint) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + (cp.base.len() + cp.floors.len()) * 4);
+    buf.put_slice(MAGIC_CHECKPOINT);
+    buf.put_u8(VERSION);
+    buf.put_u8(0);
+    buf.put_u8(cp.trigger.code());
+    buf.put_u32_le(cp.window);
+    put_uvarint(&mut buf, cp.base.len() as u64);
+    for &b in &cp.base {
+        put_uvarint(&mut buf, b);
+    }
+    put_uvarint(&mut buf, cp.floors.len() as u64);
+    for &f in &cp.floors {
+        put_uvarint(&mut buf, f);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a checkpoint section; both counts are bounded against the
+/// remaining bytes before any allocation.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, TraceError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    check_header(&mut buf, MAGIC_CHECKPOINT)?;
+    if buf.remaining() < 6 {
+        return Err(TraceError::Corrupt("checkpoint header truncated".into()));
+    }
+    let _flags = buf.get_u8();
+    let trigger_code = buf.get_u8();
+    let trigger = DumpTrigger::from_code(trigger_code)
+        .ok_or_else(|| TraceError::Corrupt(format!("bad dump trigger code {trigger_code}")))?;
+    let window = buf.get_u32_le();
+    let get_counts = |buf: &mut Bytes, what: &str| -> Result<Vec<u64>, TraceError> {
+        let n = get_uvarint(buf)? as usize;
+        if n > buf.remaining() {
+            return Err(TraceError::Corrupt(format!(
+                "checkpoint {what} count {n} exceeds the {} remaining bytes",
+                buf.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(get_uvarint(buf)?);
+        }
+        Ok(out)
+    };
+    let base = get_counts(&mut buf, "base")?;
+    let floors = get_counts(&mut buf, "floor")?;
+    if buf.has_remaining() {
+        return Err(TraceError::Corrupt(
+            "checkpoint section has trailing bytes".into(),
+        ));
+    }
+    Ok(Checkpoint {
+        base,
+        floors,
+        window,
+        trigger,
+    })
 }
 
 fn check_header(buf: &mut Bytes, magic: &[u8; 4]) -> Result<(), TraceError> {
@@ -1377,5 +1634,182 @@ mod tests {
         put_uvarint(&mut buf, 1); // one record
         put_uvarint(&mut buf, u64::from(u32::MAX) + 10); // tid out of range
         assert!(decode_st_trace(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn rle_delta_stream_roundtrip_and_compression() {
+        // Constant stride collapses to one (run, delta) pair per stream.
+        let values: Vec<u64> = (0..1000u64).collect();
+        let mut buf = BytesMut::new();
+        put_rle_delta_stream(&mut buf, &values);
+        assert!(buf.len() <= 6, "1000 unit strides in {} bytes", buf.len());
+        let mut b = buf.freeze();
+        assert_eq!(get_rle_delta_stream(&mut b, values.len()).unwrap(), values);
+
+        // Irregular streams still roundtrip.
+        let values = vec![5u64, 5, 9, 2, 100, 0, u32::MAX as u64];
+        let mut buf = BytesMut::new();
+        put_rle_delta_stream(&mut buf, &values);
+        let mut b = buf.freeze();
+        assert_eq!(get_rle_delta_stream(&mut b, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn rle_decoder_rejects_bad_runs() {
+        // A zero run length can never make progress.
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 0);
+        put_uvarint(&mut buf, 2);
+        assert!(get_rle_delta_stream(&mut buf.freeze(), 3).is_err());
+        // A run overshooting the expected count is corrupt, not truncated.
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 9);
+        put_uvarint(&mut buf, 2);
+        assert!(get_rle_delta_stream(&mut buf.freeze(), 3).is_err());
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 9);
+        assert!(get_rle_bytes(&mut buf.freeze(), 3).is_err());
+    }
+
+    #[test]
+    fn compressed_chunk_stream_roundtrips() {
+        let values: Vec<u64> = (10..5010u64).collect();
+        let sites: Vec<u64> = values.iter().map(|v| 0x900 + v % 4).collect();
+        let kinds: Vec<u8> = values.iter().map(|v| (v % 2) as u8).collect();
+        let mut file = BytesMut::new();
+        file.put_slice(&encode_thread_stream_header_opt(
+            Scheme::Dc,
+            3,
+            Some(1),
+            true,
+            true,
+            true,
+        ));
+        for chunk in values.chunks(700) {
+            let at = (chunk[0] - values[0]) as usize;
+            file.put_slice(&encode_thread_chunk_opt(
+                chunk,
+                Some(&sites[at..at + chunk.len()]),
+                Some(&kinds[at..at + chunk.len()]),
+                true,
+            ));
+        }
+        let d = decode_thread_records(&file.freeze()).unwrap();
+        assert_eq!(d.trace.values, values);
+        assert_eq!(d.trace.sites.as_deref(), Some(&sites[..]));
+        assert_eq!(d.trace.kinds.as_deref(), Some(&kinds[..]));
+        assert_eq!((d.tid, d.domain, d.chunks), (3, Some(1), 8));
+    }
+
+    #[test]
+    fn compressed_st_stream_roundtrips() {
+        let tids: Vec<u32> = (0..600).map(|i| (i / 100) % 3).collect();
+        let mut file = BytesMut::new();
+        file.put_slice(&encode_st_stream_header_opt(None, false, false, true));
+        file.put_slice(&encode_st_chunk_opt(&tids, None, None, true));
+        let d = decode_st_records(&file.freeze()).unwrap();
+        assert_eq!(d.trace.tids, tids);
+    }
+
+    #[test]
+    fn compressed_chunks_beat_plain_on_regular_streams() {
+        // The payload a DE flush typically produces: a slowly-advancing
+        // epoch column plus heavily repeated sites/kinds.
+        let values: Vec<u64> = (0..4096u64).map(|i| i / 64).collect();
+        let sites: Vec<u64> = vec![0x900; 4096];
+        let kinds: Vec<u8> = vec![1; 4096];
+        let plain = encode_thread_chunk_opt(&values, Some(&sites), Some(&kinds), false);
+        let packed = encode_thread_chunk_opt(&values, Some(&sites), Some(&kinds), true);
+        assert!(
+            packed.len() * 10 < plain.len(),
+            "expected >10x on regular streams: {} vs {}",
+            packed.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn compression_flag_requires_chunked_stream() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTRC");
+        buf.put_u8(1);
+        buf.put_u8(Scheme::Dc.code());
+        buf.put_u8(FLAG_COMPRESSED); // compressed but not chunked
+        buf.put_u32_le(0);
+        put_uvarint(&mut buf, 0);
+        assert!(decode_thread_records(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn uncompressed_encoders_are_byte_identical_to_the_legacy_path() {
+        // REOMP_COMPRESS off must not perturb the on-disk format: the
+        // golden-bytes pins elsewhere depend on it, and this is the local
+        // witness.
+        let values = [7u64, 9, 12];
+        let sites = [1u64, 2, 3];
+        assert_eq!(
+            encode_thread_chunk_opt(&values, Some(&sites), None, false),
+            encode_thread_chunk(&values, Some(&sites), None),
+        );
+        assert_eq!(
+            encode_thread_stream_header_opt(Scheme::De, 2, None, true, false, false),
+            encode_thread_stream_header(Scheme::De, 2, true, false),
+        );
+    }
+
+    #[test]
+    fn checkpoint_section_roundtrips_and_pins_bytes() {
+        let cp = Checkpoint {
+            base: vec![128, 0, 7],
+            floors: vec![130, 1, 7],
+            window: 4,
+            trigger: DumpTrigger::Divergence,
+        };
+        let bytes = encode_checkpoint(&cp);
+        // Golden bytes: magic, version, flags, trigger, window u32le,
+        // 3 bases (128 needs two varint bytes), 3 floors.
+        assert_eq!(
+            &bytes[..],
+            [
+                b'R', b'T', b'C', b'P', 1, 0, 2, 4, 0, 0, 0, // header
+                3, 0x80, 0x01, 0, 7, // base
+                3, 0x82, 0x01, 1, 7, // floors
+            ]
+        );
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), cp);
+
+        let cp = Checkpoint::default();
+        assert_eq!(decode_checkpoint(&encode_checkpoint(&cp)).unwrap(), cp);
+    }
+
+    #[test]
+    fn checkpoint_decoder_rejects_corrupt_input() {
+        let cp = Checkpoint {
+            base: vec![1, 2],
+            floors: vec![],
+            window: 2,
+            trigger: DumpTrigger::Panic,
+        };
+        let good = encode_checkpoint(&cp);
+        for cut in 0..good.len() {
+            assert!(decode_checkpoint(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing bytes.
+        let mut long = good.to_vec();
+        long.push(0);
+        assert!(decode_checkpoint(&long).is_err());
+        // Bad trigger code.
+        let mut bad = good.to_vec();
+        bad[6] = 250;
+        assert!(decode_checkpoint(&bad).is_err());
+        // Oversized base count bounded before allocation.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTCP");
+        buf.put_u8(1);
+        buf.put_u8(0);
+        buf.put_u8(0);
+        buf.put_u32_le(1);
+        put_uvarint(&mut buf, u64::MAX / 2);
+        assert!(decode_checkpoint(&buf.freeze()).is_err());
     }
 }

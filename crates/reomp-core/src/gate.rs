@@ -1014,6 +1014,7 @@ mod tests {
         let bundle = TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::Dc,
             nthreads: 2,
             domains: 1,
@@ -1140,6 +1141,7 @@ mod tests {
         let st_bundle = TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::St,
             nthreads,
             domains: 1,

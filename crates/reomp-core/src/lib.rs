@@ -90,6 +90,7 @@
 //! | [`trace`] | per-thread and shared trace representations (Fig. 3) |
 //! | [`codec`] | varint/delta binary encoding of record files, incl. the streaming chunk frame |
 //! | [`store`] | record-file storage: in-memory and one-file-per-thread dir, one-shot and streaming |
+//! | [`flight`] | bounded in-situ recording: ring-retained streams, checkpointed windowed dumps |
 //! | [`gate`] | `gate_in`/`gate_out` engines for all scheme × mode pairs |
 //! | [`session`] | run orchestration, env-var mode switching (§V) |
 //! | [`stats`] | counters behind Table VI and the Fig. 20 epoch histogram |
@@ -103,6 +104,7 @@ pub mod clock;
 pub mod codec;
 pub mod epoch;
 pub mod error;
+pub mod flight;
 pub mod gate;
 pub mod history;
 pub mod plan;
@@ -115,11 +117,15 @@ pub mod trace;
 
 pub use epoch::EpochPolicy;
 pub use error::{Divergence, ReplayError, TraceError};
+pub use flight::{FlightRecorder, FlightSink};
 pub use plan::DomainPlan;
-pub use session::{Mode, Scheme, Session, SessionConfig, SessionReport, ThreadCtx};
+pub use session::{
+    install_panic_dump, Mode, Scheme, Session, SessionConfig, SessionReport, ThreadCtx,
+};
 pub use site::{AccessKind, SiteId};
 pub use stats::{EpochHistogram, StatsSnapshot};
 pub use store::{
-    DirStore, IoReport, MemStore, RecordSink, StreamingTraceStore, TraceStore, TraceWriter,
+    DirStore, IoReport, MemStore, RecordOptions, RecordSink, StreamingTraceStore, TraceStore,
+    TraceWriter,
 };
-pub use trace::{CrossDomainEdge, TraceBundle};
+pub use trace::{Checkpoint, CrossDomainEdge, DumpTrigger, TraceBundle};

@@ -68,14 +68,17 @@
 use crate::clock::Turnstile;
 use crate::epoch::{EpochPolicy, EpochTracker};
 use crate::error::{FinishError, ReplayError, TraceError};
+use crate::flight::{FlightRecorder, FlightSink, DEFAULT_WINDOW};
 use crate::gate;
 use crate::history::{AccessRecord, HistoryRing};
 use crate::plan::DomainPlan;
 use crate::site::{AccessKind, SiteId};
 use crate::stats::{EpochHistogram, Stats, StatsSnapshot};
-use crate::store::{DirStore, IoReport, RecordSink, StreamingTraceStore, TraceStore};
+use crate::store::{
+    DirStore, IoReport, RecordOptions, RecordSink, StreamingTraceStore, TraceStore,
+};
 use crate::sync::{BatonLock, RawLocked, SpinConfig};
-use crate::trace::{CrossDomainEdge, StTrace, ThreadTrace, TraceBundle};
+use crate::trace::{CrossDomainEdge, DumpTrigger, StTrace, ThreadTrace, TraceBundle};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -196,6 +199,15 @@ pub struct SessionConfig {
     /// is stamped into recorded traces; replay sessions always use the
     /// plan stamped in the trace (or the legacy modulo when none is).
     pub plan: Option<DomainPlan>,
+    /// Bounded in-situ recording: retain only the last `n` chunks of every
+    /// `(thread, domain)` record stream in memory (`REOMP_FLIGHT=<n>`)
+    /// instead of streaming everything to the store. Nothing is persisted
+    /// unless [`Session::dump`] (or a panic/divergence trigger) fires.
+    /// `None` — the default — records unbounded.
+    pub flight: Option<u32>,
+    /// Run the per-chunk RLE compression stage on streamed record files
+    /// (`REOMP_COMPRESS=1`).
+    pub compress: bool,
 }
 
 impl Default for SessionConfig {
@@ -209,6 +221,8 @@ impl Default for SessionConfig {
             flush_records: 4096,
             domains: 1,
             plan: None,
+            flight: None,
+            compress: false,
         }
     }
 }
@@ -381,6 +395,15 @@ pub(crate) struct ReplayState {
     pub edges: HashMap<(u32, u32, u64), Vec<(u32, u64)>>,
 }
 
+/// Flight-recorder control state of a bounded record run: the shared
+/// bounded recorder, the store a dump materializes into, and the dumps
+/// taken so far.
+struct FlightCtl {
+    recorder: Arc<FlightRecorder>,
+    target: Box<dyn StreamingTraceStore>,
+    dumps: Mutex<Vec<(DumpTrigger, IoReport)>>,
+}
+
 /// A record or replay run.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -392,6 +415,11 @@ pub struct Session {
     pub(crate) stats: Stats,
     pub(crate) rec: Option<RecordState>,
     pub(crate) rep: Option<ReplayState>,
+    /// Bounded-recording control (set only by [`Session::record_flight`]).
+    flight: Option<FlightCtl>,
+    /// Invoked (once) on the first replay failure — the divergence trigger
+    /// a linked flight recorder's dump hangs off.
+    failure_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
     active: AtomicU32,
     finished: AtomicBool,
     failure: Mutex<Option<String>>,
@@ -453,7 +481,10 @@ impl Session {
         store: &dyn StreamingTraceStore,
     ) -> Result<Arc<Session>, TraceError> {
         let domains = cfg.effective_domains();
-        let sink = store.begin_record(scheme, nthreads, domains, cfg.validate_sites)?;
+        let sink = store.begin_record(
+            RecordOptions::new(scheme, nthreads, domains, cfg.validate_sites)
+                .with_compression(cfg.compress),
+        )?;
         Ok(Arc::new(Session::build(
             Mode::Record,
             scheme,
@@ -462,6 +493,115 @@ impl Session {
             None,
             Some(sink),
         )))
+    }
+
+    /// Start a bounded (flight-recorder) record run: only the last
+    /// [`SessionConfig::flight`] chunks of every `(thread, domain)` record
+    /// stream are retained in memory, and nothing reaches `store` unless
+    /// [`Session::dump`] — or a panic/divergence trigger wired to it —
+    /// materializes the retained window as a replayable bundle.
+    ///
+    /// [`Session::finish`] commits nothing for these runs; its
+    /// [`IoReport`] carries the retention counters instead
+    /// (`retained_peak` is the witness that no stream ever held more than
+    /// the window).
+    pub fn record_flight<S>(
+        scheme: Scheme,
+        nthreads: u32,
+        cfg: SessionConfig,
+        store: S,
+    ) -> Result<Arc<Session>, TraceError>
+    where
+        S: StreamingTraceStore + 'static,
+    {
+        let domains = cfg.effective_domains();
+        let window = cfg.flight.unwrap_or(DEFAULT_WINDOW);
+        let opts = RecordOptions::new(scheme, nthreads, domains, cfg.validate_sites)
+            .with_compression(cfg.compress);
+        let recorder = Arc::new(FlightRecorder::new(opts, window));
+        let sink: Box<dyn RecordSink> = Box::new(FlightSink::new(Arc::clone(&recorder)));
+        let mut session = Session::build(Mode::Record, scheme, nthreads, cfg, None, Some(sink));
+        session.flight = Some(FlightCtl {
+            recorder,
+            target: Box::new(store),
+            dumps: Mutex::new(Vec::new()),
+        });
+        Ok(Arc::new(session))
+    }
+
+    /// The flight recorder behind a bounded record run, if any.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref().map(|ctl| &ctl.recorder)
+    }
+
+    /// Dumps taken so far on a bounded record run: `(trigger, io)` per
+    /// materialization, oldest first.
+    #[must_use]
+    pub fn dumps(&self) -> Vec<(DumpTrigger, IoReport)> {
+        self.flight
+            .as_ref()
+            .map(|ctl| ctl.dumps.lock().clone())
+            .unwrap_or_default()
+    }
+
+    /// Materialize the flight recorder's retained window into its target
+    /// store as a replayable, checkpoint-stamped bundle.
+    ///
+    /// Residual records (per-thread buffers, the shared ST builders, and
+    /// DE's pending deferred stores) are flushed into the window first, so
+    /// the dump ends at the program's current position. The dump is a
+    /// consistent snapshot when gates are quiescent; concurrent gated
+    /// accesses may straddle it. Fails on sessions without a flight
+    /// recorder.
+    pub fn dump(&self, trigger: DumpTrigger) -> Result<IoReport, TraceError> {
+        let ctl = self
+            .flight
+            .as_ref()
+            .ok_or_else(|| TraceError::Corrupt("session has no flight recorder".into()))?;
+        let rec = self
+            .rec
+            .as_ref()
+            .ok_or_else(|| TraceError::Corrupt("dump on a non-record session".into()))?;
+        let stream = rec.stream.as_ref().expect("flight runs stream");
+        if stream.failed.load(Ordering::SeqCst) {
+            return Err(TraceError::Corrupt(
+                "an earlier streaming flush failed; the window is incomplete".into(),
+            ));
+        }
+        let floors = self.flush_residues()?;
+        // Snapshot (not drain) the collected edges: the run continues and
+        // `finish` still owns them.
+        let mut edges = rec.edges.lock().clone();
+        edges.sort_by_key(|e| (e.domain, e.thread, e.seq));
+        let io = ctl.recorder.dump_into(
+            &*ctl.target,
+            trigger,
+            self.cfg.plan.as_ref(),
+            &edges,
+            floors,
+        )?;
+        ctl.dumps.lock().push((trigger, io));
+        Ok(io)
+    }
+
+    /// Install `hook` to run (once) at the first replay failure of this
+    /// session. Used to chain a divergence to a flight recorder's dump —
+    /// see [`Session::dump_flight_on_failure`].
+    pub fn on_failure(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self.failure_hook.lock() = Some(Box::new(hook));
+    }
+
+    /// Wire this (replay) session's first failure to a divergence-triggered
+    /// dump of `recorder`'s flight window. Holds only a weak reference, so
+    /// the recorder session's lifetime is unaffected.
+    pub fn dump_flight_on_failure(&self, recorder: &Arc<Session>) {
+        let weak = Arc::downgrade(recorder);
+        self.on_failure(move || {
+            if let Some(session) = weak.upgrade() {
+                let _ = session.dump(DumpTrigger::Divergence);
+            }
+        });
     }
 
     /// Start a replay run of `bundle` with default configuration.
@@ -532,7 +672,20 @@ impl Session {
         let stream = std::env::var("REOMP_STREAM")
             .map(|s| matches!(s.to_ascii_lowercase().as_str(), "1" | "true" | "on"))
             .unwrap_or(false);
+        cfg.compress = std::env::var("REOMP_COMPRESS")
+            .map(|s| matches!(s.to_ascii_lowercase().as_str(), "1" | "true" | "on"))
+            .unwrap_or(false);
+        cfg.flight = std::env::var("REOMP_FLIGHT")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .filter(|&n| n > 0);
         match mode.to_ascii_lowercase().as_str() {
+            // Bounded in-situ recording takes precedence over plain
+            // streaming: the flight window IS a streaming sink, just a
+            // bounded one that only persists on a trigger.
+            "record" if cfg.flight.is_some() => {
+                Session::record_flight(scheme, nthreads, cfg, Session::env_store())
+            }
             "record" if stream => {
                 Session::record_streaming_with(scheme, nthreads, cfg, &Session::env_store())
             }
@@ -607,9 +760,12 @@ impl Session {
         let ring_capacity = cfg.ring_capacity;
         let rep = bundle.map(|bundle| ReplayState {
             domains: (0..domains)
-                .map(|_| DomainReplay {
+                .map(|dom| DomainReplay {
                     cursors: (0..nthreads).map(|_| AtomicUsize::new(0)).collect(),
-                    turnstile: Turnstile::new(),
+                    // Windowed (flight-recorder) bundles start each
+                    // domain's completed-access count at the checkpointed
+                    // base; full traces start at 0 as always.
+                    turnstile: Turnstile::starting_at(bundle.clock_base(dom)),
                     baton: BatonLock::new(),
                     st_pos: AtomicUsize::new(0),
                     next_tid: AtomicU32::new(TID_NONE),
@@ -629,6 +785,8 @@ impl Session {
             nthreads,
             rec,
             rep,
+            flight: None,
+            failure_hook: Mutex::new(None),
             active: AtomicU32::new(0),
             finished: AtomicBool::new(false),
             failure: Mutex::new(None),
@@ -809,14 +967,22 @@ impl Session {
     /// Record the first failure and release all replay waiters in every
     /// domain.
     pub(crate) fn fail(&self, err: &ReplayError) {
-        let mut slot = self.failure.lock();
-        if slot.is_none() {
-            *slot = Some(err.to_string());
+        {
+            let mut slot = self.failure.lock();
+            if slot.is_none() {
+                *slot = Some(err.to_string());
+            }
         }
         if let Some(rep) = &self.rep {
             for d in &rep.domains {
                 d.turnstile.abort();
             }
+        }
+        // Fire the failure hook exactly once, outside our locks (it may
+        // dump another session's flight recorder).
+        let hook = self.failure_hook.lock().take();
+        if let Some(hook) = hook {
+            hook();
         }
     }
 
@@ -869,26 +1035,26 @@ impl Session {
             Mode::Passthrough => {}
             Mode::Record => {
                 let rec = self.rec.as_ref().expect("record state");
-                // Flush every domain tracker's pending stores (trailing
-                // stores get their own clock — always safe).
-                for drec in &rec.domains {
-                    drec.gate.with(|core| {
-                        if let Some(tracker) = &mut core.tracker {
-                            for f in tracker.flush() {
-                                drec.bufs[f.thread as usize].lock().push(RecEntry {
-                                    clock: f.clock,
-                                    value: f.epoch,
-                                    site: f.site.raw(),
-                                    kind: f.kind.code(),
-                                });
-                                self.stats.bump_record_written();
-                            }
-                        }
-                    });
-                }
                 if rec.stream.is_some() {
                     io = Some(self.commit_streaming().map_err(FinishError::Stream)?);
                 } else {
+                    // Flush every domain tracker's pending stores (trailing
+                    // stores get their own clock — always safe).
+                    for drec in &rec.domains {
+                        drec.gate.with(|core| {
+                            if let Some(tracker) = &mut core.tracker {
+                                for f in tracker.flush() {
+                                    drec.bufs[f.thread as usize].lock().push(RecEntry {
+                                        clock: f.clock,
+                                        value: f.epoch,
+                                        site: f.site.raw(),
+                                        kind: f.kind.code(),
+                                    });
+                                    self.stats.bump_record_written();
+                                }
+                            }
+                        });
+                    }
                     bundle = Some(self.assemble_bundle());
                 }
             }
@@ -923,18 +1089,34 @@ impl Session {
         })
     }
 
-    /// Flush all residual records of a streaming record run and commit the
-    /// sink (manifest written last by the store).
-    fn commit_streaming(&self) -> Result<IoReport, TraceError> {
+    /// Flush everything still buffered in the session into the attached
+    /// sink: the DE trackers' pending deferred stores (trailing stores get
+    /// their own clock — always safe), the shared ST builders, and the
+    /// per-thread buffers (sorted back to clock order). Returns DE's
+    /// per-domain clock floors (empty for ST/DC) — the epoch-floor
+    /// provenance a flight-recorder dump checkpoints.
+    fn flush_residues(&self) -> Result<Vec<u64>, TraceError> {
         let rec = self.rec.as_ref().expect("record state");
-        let stream = rec.stream.as_ref().expect("streaming state");
-        // Surface a mid-run flush failure instead of committing a trace
-        // with holes in it.
-        if let Some(e) = stream.error.lock().take() {
-            return Err(e);
-        }
+        let mut floors = Vec::new();
         for (dom, drec) in rec.domains.iter().enumerate() {
             let dom = dom as u32;
+            let clock = drec.gate.with(|core| {
+                if let Some(tracker) = &mut core.tracker {
+                    for f in tracker.flush() {
+                        drec.bufs[f.thread as usize].lock().push(RecEntry {
+                            clock: f.clock,
+                            value: f.epoch,
+                            site: f.site.raw(),
+                            kind: f.kind.code(),
+                        });
+                        self.stats.bump_record_written();
+                    }
+                }
+                core.clock
+            });
+            if self.scheme == Scheme::De {
+                floors.push(clock);
+            }
             // ST: steal whatever this domain's shared builder still holds.
             if self.scheme == Scheme::St {
                 let stolen = drec.gate.with(|core| {
@@ -952,9 +1134,8 @@ impl Session {
                     }
                 }
             }
-            // Per-thread residues. Recording is over, so everything is
-            // stable; sorting restores program (clock) order after DE
-            // deferrals.
+            // Per-thread residues, sorted to restore program (clock) order
+            // after DE deferrals.
             for tid in 0..self.nthreads {
                 let mut entries = std::mem::take(&mut *drec.bufs[tid as usize].lock());
                 if entries.is_empty() {
@@ -964,6 +1145,20 @@ impl Session {
                 self.append_thread_chunk(dom, tid, &entries)?;
             }
         }
+        Ok(floors)
+    }
+
+    /// Flush all residual records of a streaming record run and commit the
+    /// sink (manifest written last by the store).
+    fn commit_streaming(&self) -> Result<IoReport, TraceError> {
+        let rec = self.rec.as_ref().expect("record state");
+        let stream = rec.stream.as_ref().expect("streaming state");
+        // Surface a mid-run flush failure instead of committing a trace
+        // with holes in it.
+        if let Some(e) = stream.error.lock().take() {
+            return Err(e);
+        }
+        self.flush_residues()?;
         // Stamp the domain plan and the collected cross-domain edges
         // before the manifest is published.
         {
@@ -1135,6 +1330,7 @@ impl Session {
             st,
             plan: self.cfg.plan.clone(),
             edges: self.drain_edges(),
+            checkpoint: None,
         };
         debug_assert!(bundle.validate().is_ok(), "assembled bundle is consistent");
         bundle
@@ -1150,6 +1346,25 @@ impl std::fmt::Debug for Session {
             .field("domains", &self.cfg.domains)
             .finish_non_exhaustive()
     }
+}
+
+/// Chain the process panic hook so a panic dumps `session`'s flight
+/// recorder (trigger [`DumpTrigger::Panic`]) before the previous hook
+/// runs. Holds only a weak reference; once the session is gone the hook
+/// falls through to the previous one. The dump is best-effort: a panic
+/// *inside* a gate leaves that access mid-flight.
+///
+/// The standard panic hook is process-global — install this once per
+/// process, for the one session whose window matters.
+pub fn install_panic_dump(session: &Arc<Session>) {
+    let weak = Arc::downgrade(session);
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some(session) = weak.upgrade() {
+            let _ = session.dump(DumpTrigger::Panic);
+        }
+        prev(info);
+    }));
 }
 
 /// Per-thread gate handle (the instrumented thread's view of `libreomp`).

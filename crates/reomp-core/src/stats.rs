@@ -440,6 +440,7 @@ mod tests {
         TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::De,
             nthreads: per_thread.len() as u32,
             domains: 1,
@@ -515,6 +516,7 @@ mod tests {
         let b = TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::De,
             nthreads: 2,
             domains: 2,

@@ -57,7 +57,7 @@ use crate::codec;
 use crate::error::TraceError;
 use crate::plan::DomainPlan;
 use crate::session::Scheme;
-use crate::trace::{CrossDomainEdge, StTrace, ThreadTrace, TraceBundle};
+use crate::trace::{Checkpoint, CrossDomainEdge, StTrace, ThreadTrace, TraceBundle};
 use parking_lot::Mutex;
 use std::fs;
 use std::io::{Read, Write};
@@ -74,6 +74,63 @@ pub struct IoReport {
     pub files: u64,
     /// Number of stream chunks written or read (0 for one-shot layouts).
     pub chunks: u64,
+    /// Peak number of chunks any single (thread, domain) stream retained
+    /// at once. Only a bounded (flight-recorder) sink tracks this — it is
+    /// the witness that retention never exceeded the configured window —
+    /// and it stays 0 for unbounded stores.
+    pub retained_peak: u64,
+    /// Records evicted from the retained window over the recording's
+    /// lifetime (0 for unbounded stores).
+    pub evicted: u64,
+}
+
+/// Parameters of one streaming recording, threaded through
+/// [`StreamingTraceStore::begin_record`] to every sink stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordOptions {
+    /// Recording scheme (decides stream layout: per-thread vs shared ST).
+    pub scheme: Scheme,
+    /// Number of recording threads.
+    pub nthreads: u32,
+    /// Number of gate domains (1 = classic single-gate layout).
+    pub domains: u32,
+    /// Whether chunks will carry site/kind columns; every appended chunk
+    /// must match.
+    pub validated: bool,
+    /// Run the per-chunk RLE compression stage
+    /// ([`codec::FLAG_COMPRESSED`]) on every stream.
+    pub compress: bool,
+}
+
+impl RecordOptions {
+    /// Options for an uncompressed recording (the default pipeline).
+    #[must_use]
+    pub fn new(scheme: Scheme, nthreads: u32, domains: u32, validated: bool) -> Self {
+        RecordOptions {
+            scheme,
+            nthreads,
+            domains,
+            validated,
+            compress: false,
+        }
+    }
+
+    /// Toggle the per-chunk compression stage.
+    #[must_use]
+    pub fn with_compression(mut self, compress: bool) -> Self {
+        self.compress = compress;
+        self
+    }
+
+    fn check(&self) -> Result<(), TraceError> {
+        if self.nthreads == 0 {
+            return Err(TraceError::Corrupt("zero threads".into()));
+        }
+        if self.domains == 0 {
+            return Err(TraceError::Corrupt("zero domains".into()));
+        }
+        Ok(())
+    }
 }
 
 /// The on-disk/in-header domain tag: multi-domain recordings stamp every
@@ -99,16 +156,7 @@ pub trait StreamingTraceStore: TraceStore {
     /// ST stream per domain for [`Scheme::St`]). The recording becomes
     /// loadable only after [`RecordSink::commit`]; dropping the sink
     /// aborts it.
-    ///
-    /// `validated` declares whether chunks will carry site/kind columns;
-    /// every appended chunk must match it.
-    fn begin_record(
-        &self,
-        scheme: Scheme,
-        nthreads: u32,
-        domains: u32,
-        validated: bool,
-    ) -> Result<Box<dyn RecordSink>, TraceError>;
+    fn begin_record(&self, opts: RecordOptions) -> Result<Box<dyn RecordSink>, TraceError>;
 
     /// Stream an already-assembled bundle through the chunked writer path
     /// in slices of `records_per_chunk` records. Produces the same loaded
@@ -119,13 +167,26 @@ pub trait StreamingTraceStore: TraceStore {
         bundle: &TraceBundle,
         records_per_chunk: usize,
     ) -> Result<IoReport, TraceError> {
+        self.save_chunked_opt(bundle, records_per_chunk, false)
+    }
+
+    /// [`save_chunked`](StreamingTraceStore::save_chunked) with the
+    /// per-chunk compression stage toggled by `compress`.
+    fn save_chunked_opt(
+        &self,
+        bundle: &TraceBundle,
+        records_per_chunk: usize,
+        compress: bool,
+    ) -> Result<IoReport, TraceError> {
         bundle.validate()?;
-        let sink = self.begin_record(
+        let opts = RecordOptions::new(
             bundle.scheme,
             bundle.nthreads,
             bundle.domains,
             bundle.has_validation(),
-        )?;
+        )
+        .with_compression(compress);
+        let sink = self.begin_record(opts)?;
         for (i, trace) in bundle.threads.iter().enumerate() {
             let (dom, tid) = split_stream_index(i, bundle.nthreads);
             stream_thread_trace(&*sink, dom, tid, trace, records_per_chunk)?;
@@ -138,6 +199,9 @@ pub trait StreamingTraceStore: TraceStore {
         }
         if !bundle.edges.is_empty() {
             sink.append_edges(&bundle.edges)?;
+        }
+        if let Some(cp) = &bundle.checkpoint {
+            sink.put_checkpoint(cp)?;
         }
         sink.commit(bundle.total_records())
     }
@@ -231,6 +295,11 @@ pub trait RecordSink: Send + Sync {
     /// persisted at commit (`edges` manifest line + edge section).
     fn append_edges(&self, edges: &[CrossDomainEdge]) -> Result<(), TraceError>;
 
+    /// Attach the flight-recorder [`Checkpoint`] of a bounded (windowed)
+    /// recording; it is persisted at commit (`checkpoint` manifest line +
+    /// `RTCP` section). Calling it again replaces the previous checkpoint.
+    fn put_checkpoint(&self, checkpoint: &Checkpoint) -> Result<(), TraceError>;
+
     /// Finalize the recording: flush every stream and atomically publish
     /// it (the manifest is written last). Until commit returns, the store
     /// has no loadable trace.
@@ -306,7 +375,7 @@ impl std::fmt::Debug for TraceWriter<'_> {
     }
 }
 
-fn check_columns(
+pub(crate) fn check_columns(
     validated: bool,
     sites: Option<&[u64]>,
     kinds: Option<&[u8]>,
@@ -339,6 +408,8 @@ struct EncodedBundle {
     plan: Option<Vec<u8>>,
     /// Encoded cross-domain edge section, when edges were recorded.
     edges: Option<Vec<u8>>,
+    /// Encoded checkpoint section of a flight-recorder dump.
+    checkpoint: Option<Vec<u8>>,
 }
 
 impl MemStore {
@@ -397,6 +468,12 @@ impl TraceStore for MemStore {
             report.files += 1;
             b
         });
+        let checkpoint = bundle.checkpoint.as_ref().map(|cp| {
+            let b = codec::encode_checkpoint(cp).to_vec();
+            report.bytes += b.len() as u64;
+            report.files += 1;
+            b
+        });
         *self.files.lock() = Some(EncodedBundle {
             scheme: bundle.scheme,
             nthreads: bundle.nthreads,
@@ -405,6 +482,7 @@ impl TraceStore for MemStore {
             st,
             plan,
             edges,
+            checkpoint,
         });
         Ok(report)
     }
@@ -454,6 +532,14 @@ impl TraceStore for MemStore {
             }
             None => Vec::new(),
         };
+        let checkpoint = match &encoded.checkpoint {
+            Some(bytes) => {
+                report.bytes += bytes.len() as u64;
+                report.files += 1;
+                Some(codec::decode_checkpoint(bytes)?)
+            }
+            None => None,
+        };
         let bundle = TraceBundle {
             scheme: encoded.scheme,
             nthreads: encoded.nthreads,
@@ -462,6 +548,7 @@ impl TraceStore for MemStore {
             st,
             plan,
             edges,
+            checkpoint,
         };
         bundle.validate()?;
         Ok((bundle, report))
@@ -469,19 +556,15 @@ impl TraceStore for MemStore {
 }
 
 impl StreamingTraceStore for MemStore {
-    fn begin_record(
-        &self,
-        scheme: Scheme,
-        nthreads: u32,
-        domains: u32,
-        validated: bool,
-    ) -> Result<Box<dyn RecordSink>, TraceError> {
-        if nthreads == 0 {
-            return Err(TraceError::Corrupt("zero threads".into()));
-        }
-        if domains == 0 {
-            return Err(TraceError::Corrupt("zero domains".into()));
-        }
+    fn begin_record(&self, opts: RecordOptions) -> Result<Box<dyn RecordSink>, TraceError> {
+        opts.check()?;
+        let RecordOptions {
+            scheme,
+            nthreads,
+            domains,
+            validated,
+            compress,
+        } = opts;
         // Match DirStore semantics: beginning a recording replaces any
         // stored trace immediately, so an aborted recording reads as Empty
         // instead of resurrecting the previous bundle.
@@ -495,6 +578,7 @@ impl StreamingTraceStore for MemStore {
                     dom_tag(domains, dom),
                     validated,
                     validated,
+                    compress,
                 );
                 streams.push(Mutex::new(header.to_vec()));
             }
@@ -506,6 +590,7 @@ impl StreamingTraceStore for MemStore {
                         dom_tag(domains, dom),
                         validated,
                         validated,
+                        compress,
                     );
                     Mutex::new(header.to_vec())
                 })
@@ -515,14 +600,12 @@ impl StreamingTraceStore for MemStore {
         };
         Ok(Box::new(MemRecordSink {
             files: Arc::clone(&self.files),
-            scheme,
-            nthreads,
-            domains,
-            validated,
+            opts,
             streams,
             st,
             plan: Mutex::new(None),
             edges: Mutex::new(Vec::new()),
+            checkpoint: Mutex::new(None),
             chunks: AtomicU64::new(0),
         }))
     }
@@ -530,10 +613,7 @@ impl StreamingTraceStore for MemStore {
 
 struct MemRecordSink {
     files: Arc<Mutex<Option<EncodedBundle>>>,
-    scheme: Scheme,
-    nthreads: u32,
-    domains: u32,
-    validated: bool,
+    opts: RecordOptions,
     /// Flat, domain-major streams.
     streams: Vec<Mutex<Vec<u8>>>,
     st: Vec<Mutex<Vec<u8>>>,
@@ -541,6 +621,8 @@ struct MemRecordSink {
     plan: Mutex<Option<DomainPlan>>,
     /// Accumulated cross-domain edges, persisted at commit.
     edges: Mutex<Vec<CrossDomainEdge>>,
+    /// Attached flight-recorder checkpoint, persisted at commit.
+    checkpoint: Mutex<Option<Checkpoint>>,
     /// Chunks appended so far (mirrors StreamFile's counter; commit must
     /// not have to re-decode everything it just encoded).
     chunks: AtomicU64,
@@ -548,12 +630,12 @@ struct MemRecordSink {
 
 impl MemRecordSink {
     fn stream_index(&self, dom: u32, tid: u32) -> Result<usize, TraceError> {
-        if dom >= self.domains || tid >= self.nthreads {
+        if dom >= self.opts.domains || tid >= self.opts.nthreads {
             return Err(TraceError::Corrupt(format!(
                 "no stream for domain {dom} thread {tid}"
             )));
         }
-        Ok((dom * self.nthreads + tid) as usize)
+        Ok((dom * self.opts.nthreads + tid) as usize)
     }
 }
 
@@ -566,9 +648,9 @@ impl RecordSink for MemRecordSink {
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
     ) -> Result<u64, TraceError> {
-        check_columns(self.validated, sites, kinds)?;
+        check_columns(self.opts.validated, sites, kinds)?;
         let stream = &self.streams[self.stream_index(dom, tid)?];
-        let chunk = codec::encode_thread_chunk(values, sites, kinds);
+        let chunk = codec::encode_thread_chunk_opt(values, sites, kinds, self.opts.compress);
         stream.lock().extend_from_slice(&chunk);
         self.chunks.fetch_add(1, Ordering::Relaxed);
         Ok(chunk.len() as u64)
@@ -581,23 +663,23 @@ impl RecordSink for MemRecordSink {
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
     ) -> Result<u64, TraceError> {
-        check_columns(self.validated, sites, kinds)?;
+        check_columns(self.opts.validated, sites, kinds)?;
         let stream = self
             .st
             .get(dom as usize)
             .ok_or_else(|| TraceError::Corrupt(format!("no st stream for domain {dom}")))?;
-        let chunk = codec::encode_st_chunk(tids, sites, kinds);
+        let chunk = codec::encode_st_chunk_opt(tids, sites, kinds, self.opts.compress);
         stream.lock().extend_from_slice(&chunk);
         self.chunks.fetch_add(1, Ordering::Relaxed);
         Ok(chunk.len() as u64)
     }
 
     fn put_plan(&self, plan: &DomainPlan) -> Result<(), TraceError> {
-        if plan.domains() != self.domains {
+        if plan.domains() != self.opts.domains {
             return Err(TraceError::Corrupt(format!(
                 "plan partitions {} domains but the recording has {}",
                 plan.domains(),
-                self.domains
+                self.opts.domains
             )));
         }
         *self.plan.lock() = Some(plan.clone());
@@ -606,6 +688,12 @@ impl RecordSink for MemRecordSink {
 
     fn append_edges(&self, edges: &[CrossDomainEdge]) -> Result<(), TraceError> {
         self.edges.lock().extend_from_slice(edges);
+        Ok(())
+    }
+
+    fn put_checkpoint(&self, checkpoint: &Checkpoint) -> Result<(), TraceError> {
+        checkpoint.check(self.opts.domains)?;
+        *self.checkpoint.lock() = Some(checkpoint.clone());
         Ok(())
     }
 
@@ -647,14 +735,21 @@ impl RecordSink for MemRecordSink {
                 b
             })
         };
+        let checkpoint = self.checkpoint.into_inner().map(|cp| {
+            let b = codec::encode_checkpoint(&cp).to_vec();
+            report.bytes += b.len() as u64;
+            report.files += 1;
+            b
+        });
         *self.files.lock() = Some(EncodedBundle {
-            scheme: self.scheme,
-            nthreads: self.nthreads,
-            domains: self.domains,
+            scheme: self.opts.scheme,
+            nthreads: self.opts.nthreads,
+            domains: self.opts.domains,
             threads,
             st,
             plan,
             edges,
+            checkpoint,
         });
         Ok(report)
     }
@@ -694,6 +789,10 @@ fn plan_file(dir: &Path) -> PathBuf {
 
 fn edges_file(dir: &Path) -> PathBuf {
     dir.join("edges.rtrc")
+}
+
+fn checkpoint_file(dir: &Path) -> PathBuf {
+    dir.join("checkpoint.rtrc")
 }
 
 fn manifest_file(dir: &Path) -> PathBuf {
@@ -751,6 +850,8 @@ enum RecordFileName {
     Plan,
     /// `edges.rtrc` — the cross-domain happens-before edges.
     Edges,
+    /// `checkpoint.rtrc` — the flight-recorder checkpoint of a windowed dump.
+    Checkpoint,
 }
 
 fn parse_record_name(name: &str) -> Option<RecordFileName> {
@@ -760,6 +861,9 @@ fn parse_record_name(name: &str) -> Option<RecordFileName> {
     }
     if stem == "edges" {
         return Some(RecordFileName::Edges);
+    }
+    if stem == "checkpoint" {
+        return Some(RecordFileName::Checkpoint);
     }
     let (stem, dom) = match stem.rsplit_once(".d") {
         Some((pre, d)) => match d.parse::<u32>() {
@@ -804,9 +908,11 @@ fn scrub_before_save(
             match parse_record_name(name) {
                 Some(RecordFileName::St { dom }) => !(keep_st && keeps(dom)),
                 Some(RecordFileName::Thread { tid, dom }) => !(tid < keep_threads && keeps(dom)),
-                // Plan/edge sections are always rewritten by the save that
-                // owns them; a stale one from an earlier run must go.
-                Some(RecordFileName::Plan | RecordFileName::Edges) => true,
+                // Plan/edge/checkpoint sections are always rewritten by the
+                // save that owns them; a stale one from an earlier run must go.
+                Some(RecordFileName::Plan | RecordFileName::Edges | RecordFileName::Checkpoint) => {
+                    true
+                }
                 None => false,
             }
         };
@@ -845,6 +951,7 @@ impl DirStore {
         manifest_file(&self.dir)
     }
 
+    #[allow(clippy::fn_params_excessive_bools)]
     fn render_manifest(
         scheme: Scheme,
         nthreads: u32,
@@ -852,11 +959,12 @@ impl DirStore {
         records: u64,
         plan_sites: Option<u64>,
         edges: Option<u64>,
+        checkpoint: bool,
     ) -> String {
         // `domains` is only written for multi-domain recordings — and
-        // `plan`/`edges` only for recordings that carry them — so that
-        // manifests without the new features stay byte-identical to the
-        // earlier formats.
+        // `plan`/`edges`/`checkpoint` only for recordings that carry them —
+        // so that manifests without the new features stay byte-identical to
+        // the earlier formats.
         let mut text = format!(
             "reomp-trace v1\nscheme {}\nthreads {nthreads}\n",
             scheme.name()
@@ -870,10 +978,14 @@ impl DirStore {
         if let Some(n) = edges {
             text.push_str(&format!("edges {n}\n"));
         }
+        if checkpoint {
+            text.push_str("checkpoint 1\n");
+        }
         text.push_str(&format!("records {records}\n"));
         text
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn save_manifest(
         &self,
         scheme: Scheme,
@@ -882,8 +994,11 @@ impl DirStore {
         records: u64,
         plan_sites: Option<u64>,
         edges: Option<u64>,
+        checkpoint: bool,
     ) -> Result<u64, TraceError> {
-        let text = Self::render_manifest(scheme, nthreads, domains, records, plan_sites, edges);
+        let text = Self::render_manifest(
+            scheme, nthreads, domains, records, plan_sites, edges, checkpoint,
+        );
         write_file_atomic(&self.manifest_path(), text.as_bytes())
     }
 
@@ -902,6 +1017,7 @@ impl DirStore {
         let mut records = None;
         let mut plan_sites = None;
         let mut edges = None;
+        let mut checkpoint = false;
         for (i, line) in text.lines().enumerate() {
             if i == 0 {
                 if line != "reomp-trace v1" {
@@ -941,6 +1057,12 @@ impl DirStore {
                         return Err(TraceError::Corrupt(format!("bad edge count {n:?}")));
                     }
                 }
+                (Some("checkpoint"), Some(n)) => {
+                    if n != "1" {
+                        return Err(TraceError::Corrupt(format!("bad checkpoint flag {n:?}")));
+                    }
+                    checkpoint = true;
+                }
                 (Some("records"), Some(n)) => {
                     records = n.parse::<u64>().ok();
                     if records.is_none() {
@@ -961,6 +1083,7 @@ impl DirStore {
                 records,
                 plan_sites,
                 edges,
+                checkpoint,
             }),
             _ => Err(TraceError::Corrupt(
                 "manifest missing scheme/threads".into(),
@@ -980,6 +1103,8 @@ struct Manifest {
     plan_sites: Option<u64>,
     /// Cross-domain edge count (`None`: no edge section).
     edges: Option<u64>,
+    /// Whether the bundle carries a flight-recorder checkpoint section.
+    checkpoint: bool,
 }
 
 impl TraceStore for DirStore {
@@ -1053,6 +1178,11 @@ impl TraceStore for DirStore {
             report.bytes += write_file_atomic(&edges_file(&self.dir), &bytes)?;
             report.files += 1;
         }
+        if let Some(cp) = &bundle.checkpoint {
+            let bytes = codec::encode_checkpoint(cp);
+            report.bytes += write_file_atomic(&checkpoint_file(&self.dir), &bytes)?;
+            report.files += 1;
+        }
 
         report.bytes += self.save_manifest(
             bundle.scheme,
@@ -1061,6 +1191,7 @@ impl TraceStore for DirStore {
             bundle.total_records(),
             bundle.plan.as_ref().map(|p| p.assigned() as u64),
             (!bundle.edges.is_empty()).then_some(bundle.edges.len() as u64),
+            bundle.checkpoint.is_some(),
         )?;
         report.files += 1;
         sync_dir(&self.dir);
@@ -1075,11 +1206,11 @@ impl TraceStore for DirStore {
             records,
             plan_sites,
             edges: edge_count,
+            checkpoint: has_checkpoint,
         } = self.load_manifest()?;
         let mut report = IoReport {
-            bytes: 0,
             files: 1,
-            chunks: 0,
+            ..IoReport::default()
         };
 
         let load_one = |dom: u32, tid: u32| -> Result<(ThreadTrace, u64, u64), TraceError> {
@@ -1184,6 +1315,14 @@ impl TraceStore for DirStore {
             }
             None => Vec::new(),
         };
+        let checkpoint = if has_checkpoint {
+            let bytes = read_file(&checkpoint_file(&self.dir))?;
+            report.bytes += bytes.len() as u64;
+            report.files += 1;
+            Some(codec::decode_checkpoint(&bytes)?)
+        } else {
+            None
+        };
 
         let bundle = TraceBundle {
             scheme,
@@ -1193,6 +1332,7 @@ impl TraceStore for DirStore {
             st,
             plan,
             edges,
+            checkpoint,
         };
         bundle.validate()?;
         // Cross-check the manifest's record count: a chunked file truncated
@@ -1211,27 +1351,24 @@ impl TraceStore for DirStore {
 }
 
 impl StreamingTraceStore for DirStore {
-    fn begin_record(
-        &self,
-        scheme: Scheme,
-        nthreads: u32,
-        domains: u32,
-        validated: bool,
-    ) -> Result<Box<dyn RecordSink>, TraceError> {
-        if nthreads == 0 {
-            return Err(TraceError::Corrupt("zero threads".into()));
-        }
-        if domains == 0 {
-            return Err(TraceError::Corrupt("zero domains".into()));
-        }
+    fn begin_record(&self, opts: RecordOptions) -> Result<Box<dyn RecordSink>, TraceError> {
+        opts.check()?;
+        let RecordOptions {
+            scheme,
+            nthreads,
+            domains,
+            validated,
+            compress,
+        } = opts;
         fs::create_dir_all(&self.dir)?;
         scrub_before_save(&self.dir, nthreads, domains, scheme == Scheme::St)?;
         let mut threads = Vec::with_capacity(domains as usize * nthreads as usize);
         for dom in 0..domains {
             for tid in 0..nthreads {
                 let tag = dom_tag(domains, dom);
-                let header =
-                    codec::encode_thread_stream_header_opt(scheme, tid, tag, validated, validated);
+                let header = codec::encode_thread_stream_header_opt(
+                    scheme, tid, tag, validated, validated, compress,
+                );
                 threads.push(Mutex::new(StreamFile::create(
                     &thread_file(&self.dir, tid, tag),
                     &header,
@@ -1242,7 +1379,8 @@ impl StreamingTraceStore for DirStore {
             let mut st = Vec::with_capacity(domains as usize);
             for dom in 0..domains {
                 let tag = dom_tag(domains, dom);
-                let header = codec::encode_st_stream_header_opt(tag, validated, validated);
+                let header =
+                    codec::encode_st_stream_header_opt(tag, validated, validated, compress);
                 st.push(Mutex::new(StreamFile::create(
                     &st_file(&self.dir, tag),
                     &header,
@@ -1254,29 +1392,31 @@ impl StreamingTraceStore for DirStore {
         };
         Ok(Box::new(DirRecordSink {
             dir: self.dir.clone(),
-            scheme,
-            nthreads,
-            domains,
-            validated,
+            opts,
             threads,
             st,
             plan: Mutex::new(None),
             edges: Mutex::new(Vec::new()),
+            checkpoint: Mutex::new(None),
             committed: AtomicBool::new(false),
         }))
     }
 
-    fn save_chunked(
+    fn save_chunked_opt(
         &self,
         bundle: &TraceBundle,
         records_per_chunk: usize,
+        compress: bool,
     ) -> Result<IoReport, TraceError> {
         bundle.validate()?;
         let sink = self.begin_record(
-            bundle.scheme,
-            bundle.nthreads,
-            bundle.domains,
-            bundle.has_validation(),
+            RecordOptions::new(
+                bundle.scheme,
+                bundle.nthreads,
+                bundle.domains,
+                bundle.has_validation(),
+            )
+            .with_compression(compress),
         )?;
         if self.parallel_io {
             // Same per-thread I/O parallelism as the one-shot save: every
@@ -1314,6 +1454,9 @@ impl StreamingTraceStore for DirStore {
         }
         if !bundle.edges.is_empty() {
             sink.append_edges(&bundle.edges)?;
+        }
+        if let Some(cp) = &bundle.checkpoint {
+            sink.put_checkpoint(cp)?;
         }
         sink.commit(bundle.total_records())
     }
@@ -1369,10 +1512,7 @@ impl StreamFile {
 
 struct DirRecordSink {
     dir: PathBuf,
-    scheme: Scheme,
-    nthreads: u32,
-    domains: u32,
-    validated: bool,
+    opts: RecordOptions,
     /// Flat, domain-major streams.
     threads: Vec<Mutex<StreamFile>>,
     /// Per-domain ST streams (empty for non-ST).
@@ -1381,6 +1521,8 @@ struct DirRecordSink {
     plan: Mutex<Option<DomainPlan>>,
     /// Accumulated cross-domain edges, written at commit.
     edges: Mutex<Vec<CrossDomainEdge>>,
+    /// Attached flight-recorder checkpoint, written (atomically) at commit.
+    checkpoint: Mutex<Option<Checkpoint>>,
     committed: AtomicBool,
 }
 
@@ -1393,14 +1535,14 @@ impl RecordSink for DirRecordSink {
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
     ) -> Result<u64, TraceError> {
-        check_columns(self.validated, sites, kinds)?;
-        if dom >= self.domains || tid >= self.nthreads {
+        check_columns(self.opts.validated, sites, kinds)?;
+        if dom >= self.opts.domains || tid >= self.opts.nthreads {
             return Err(TraceError::Corrupt(format!(
                 "no stream for domain {dom} thread {tid}"
             )));
         }
-        let stream = &self.threads[(dom * self.nthreads + tid) as usize];
-        let chunk = codec::encode_thread_chunk(values, sites, kinds);
+        let stream = &self.threads[(dom * self.opts.nthreads + tid) as usize];
+        let chunk = codec::encode_thread_chunk_opt(values, sites, kinds, self.opts.compress);
         stream.lock().append(&chunk)
     }
 
@@ -1411,21 +1553,21 @@ impl RecordSink for DirRecordSink {
         sites: Option<&[u64]>,
         kinds: Option<&[u8]>,
     ) -> Result<u64, TraceError> {
-        check_columns(self.validated, sites, kinds)?;
+        check_columns(self.opts.validated, sites, kinds)?;
         let stream = self
             .st
             .get(dom as usize)
             .ok_or_else(|| TraceError::Corrupt(format!("no st stream for domain {dom}")))?;
-        let chunk = codec::encode_st_chunk(tids, sites, kinds);
+        let chunk = codec::encode_st_chunk_opt(tids, sites, kinds, self.opts.compress);
         stream.lock().append(&chunk)
     }
 
     fn put_plan(&self, plan: &DomainPlan) -> Result<(), TraceError> {
-        if plan.domains() != self.domains {
+        if plan.domains() != self.opts.domains {
             return Err(TraceError::Corrupt(format!(
                 "plan partitions {} domains but the recording has {}",
                 plan.domains(),
-                self.domains
+                self.opts.domains
             )));
         }
         *self.plan.lock() = Some(plan.clone());
@@ -1434,6 +1576,12 @@ impl RecordSink for DirRecordSink {
 
     fn append_edges(&self, edges: &[CrossDomainEdge]) -> Result<(), TraceError> {
         self.edges.lock().extend_from_slice(edges);
+        Ok(())
+    }
+
+    fn put_checkpoint(&self, checkpoint: &Checkpoint) -> Result<(), TraceError> {
+        checkpoint.check(self.opts.domains)?;
+        *self.checkpoint.lock() = Some(checkpoint.clone());
         Ok(())
     }
 
@@ -1465,14 +1613,25 @@ impl RecordSink for DirRecordSink {
             report.files += 1;
             Some(edges.len() as u64)
         };
+        let checkpoint = self.checkpoint.lock().take();
+        let has_checkpoint = match &checkpoint {
+            Some(cp) => {
+                let bytes = codec::encode_checkpoint(cp);
+                report.bytes += write_file_atomic(&checkpoint_file(&self.dir), &bytes)?;
+                report.files += 1;
+                true
+            }
+            None => false,
+        };
         // Manifest last: only now does the directory become loadable.
         let text = DirStore::render_manifest(
-            self.scheme,
-            self.nthreads,
-            self.domains,
+            self.opts.scheme,
+            self.opts.nthreads,
+            self.opts.domains,
             total_records,
             plan_sites,
             edge_count,
+            has_checkpoint,
         );
         report.bytes += write_file_atomic(&manifest_file(&self.dir), text.as_bytes())?;
         report.files += 1;
@@ -1539,6 +1698,7 @@ mod tests {
         TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme,
             nthreads: 2,
             domains: 1,
@@ -1563,6 +1723,7 @@ mod tests {
             TraceBundle {
                 plan: None,
                 edges: vec![],
+                checkpoint: None,
                 scheme,
                 nthreads: 2,
                 domains: 2,
@@ -1584,6 +1745,7 @@ mod tests {
             TraceBundle {
                 plan: None,
                 edges: vec![],
+                checkpoint: None,
                 scheme,
                 nthreads: 2,
                 domains: 2,
@@ -1959,6 +2121,7 @@ mod tests {
         let wide = TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::Dc,
             nthreads: 4,
             domains: 1,
@@ -2047,7 +2210,9 @@ mod tests {
         // A committed first recording, then an aborted second one.
         store.save_chunked(&sample_bundle(Scheme::Dc), 2).unwrap();
         {
-            let sink = store.begin_record(Scheme::Dc, 2, 1, true).unwrap();
+            let sink = store
+                .begin_record(RecordOptions::new(Scheme::Dc, 2, 1, true))
+                .unwrap();
             sink.append_thread_chunk(0, 0, &[7], Some(&[1]), Some(&[0]))
                 .unwrap();
             // Dropped without commit: simulated kill mid-recording.
@@ -2072,7 +2237,9 @@ mod tests {
         let store = MemStore::new();
         store.save(&sample_bundle(Scheme::Dc)).unwrap();
         {
-            let sink = store.begin_record(Scheme::Dc, 2, 1, true).unwrap();
+            let sink = store
+                .begin_record(RecordOptions::new(Scheme::Dc, 2, 1, true))
+                .unwrap();
             sink.append_thread_chunk(0, 0, &[7], Some(&[1]), Some(&[0]))
                 .unwrap();
             // Dropped without commit.
@@ -2116,7 +2283,9 @@ mod tests {
     fn sink_writer_handles_roundtrip() {
         let dir = tempdir("writers");
         let store = DirStore::new(&dir);
-        let sink = store.begin_record(Scheme::Dc, 2, 1, false).unwrap();
+        let sink = store
+            .begin_record(RecordOptions::new(Scheme::Dc, 2, 1, false))
+            .unwrap();
         let w0 = sink.thread_writer(0, 0);
         let w1 = sink.thread_writer(0, 1);
         w0.append(&[0, 2], None, None).unwrap();
@@ -2133,9 +2302,13 @@ mod tests {
     #[test]
     fn sink_rejects_mismatched_columns_and_bad_streams() {
         let store = MemStore::new();
-        let sink = store.begin_record(Scheme::Dc, 1, 1, true).unwrap();
+        let sink = store
+            .begin_record(RecordOptions::new(Scheme::Dc, 1, 1, true))
+            .unwrap();
         assert!(sink.append_thread_chunk(0, 0, &[1], None, None).is_err());
-        let sink = store.begin_record(Scheme::Dc, 1, 2, false).unwrap();
+        let sink = store
+            .begin_record(RecordOptions::new(Scheme::Dc, 1, 2, false))
+            .unwrap();
         assert!(sink
             .append_thread_chunk(0, 0, &[1], Some(&[1]), Some(&[0]))
             .is_err());

@@ -177,6 +177,121 @@ pub struct CrossDomainEdge {
     pub waits: Vec<(u32, u64)>,
 }
 
+/// Why a flight-recorder window was materialized into a store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DumpTrigger {
+    /// Explicit [`Session::dump`](crate::session::Session::dump) call.
+    #[default]
+    Manual,
+    /// The process panic hook fired while recording.
+    Panic,
+    /// A linked replay session reported a divergence.
+    Divergence,
+    /// The race detector reported a race.
+    Race,
+}
+
+impl DumpTrigger {
+    /// Every trigger, for sweeps in tests and docs.
+    pub const ALL: [DumpTrigger; 4] = [
+        DumpTrigger::Manual,
+        DumpTrigger::Panic,
+        DumpTrigger::Divergence,
+        DumpTrigger::Race,
+    ];
+
+    /// Stable on-disk code (checkpoint section byte).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            DumpTrigger::Manual => 0,
+            DumpTrigger::Panic => 1,
+            DumpTrigger::Divergence => 2,
+            DumpTrigger::Race => 3,
+        }
+    }
+
+    /// Inverse of [`DumpTrigger::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => DumpTrigger::Manual,
+            1 => DumpTrigger::Panic,
+            2 => DumpTrigger::Divergence,
+            3 => DumpTrigger::Race,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable trigger name (used by `reomp-inspect`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DumpTrigger::Manual => "manual",
+            DumpTrigger::Panic => "panic",
+            DumpTrigger::Divergence => "divergence",
+            DumpTrigger::Race => "race",
+        }
+    }
+}
+
+impl std::fmt::Display for DumpTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Checkpoint of a bounded (flight-recorder) recording: the state replay
+/// needs to start *mid-run*, at the front of the retained window, instead
+/// of at clock 0.
+///
+/// A flight recorder retains only the last N chunks per (thread, domain)
+/// stream; everything older is evicted. Eviction is domain-prefix-shaped
+/// (all records with clock `< base[d]` are gone, nothing newer is), so a
+/// single per-domain count captures the whole discarded history: replay
+/// seeds domain `d`'s turnstile at `base[d]` and the retained records —
+/// whose clocks all are `>= base[d]` — admit exactly as they did live.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Per-domain count of records evicted before the retained window —
+    /// the clock value the window starts at (`0`: nothing evicted there).
+    pub base: Vec<u64>,
+    /// DE only: per-domain clock floor at dump time (the epoch trackers
+    /// were flushed down to these). Empty for ST/DC. Provenance for
+    /// inspection; replay derives everything it needs from `base`.
+    pub floors: Vec<u64>,
+    /// Retained-window size the recorder ran with (chunks per stream).
+    pub window: u32,
+    /// What caused the window to be materialized.
+    pub trigger: DumpTrigger,
+}
+
+impl Checkpoint {
+    /// Clock base of domain `dom` (0 when out of range, matching the
+    /// unbounded default).
+    #[must_use]
+    pub fn base_of(&self, dom: u32) -> u64 {
+        self.base.get(dom as usize).copied().unwrap_or(0)
+    }
+
+    /// Structural consistency against the owning bundle's domain count.
+    pub fn check(&self, domains: u32) -> Result<(), TraceError> {
+        if self.base.len() != domains as usize {
+            return Err(TraceError::Corrupt(format!(
+                "checkpoint has {} clock bases for {domains} domains",
+                self.base.len()
+            )));
+        }
+        if !self.floors.is_empty() && self.floors.len() != domains as usize {
+            return Err(TraceError::Corrupt(format!(
+                "checkpoint has {} epoch floors for {domains} domains",
+                self.floors.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// A complete recording: everything needed to replay one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceBundle {
@@ -199,6 +314,10 @@ pub struct TraceBundle {
     /// Cross-domain happens-before edges (empty for single-domain
     /// bundles and for traces from before edges existed).
     pub edges: Vec<CrossDomainEdge>,
+    /// Flight-recorder checkpoint of a bounded (windowed) recording:
+    /// clocks start at [`Checkpoint::base`] instead of 0. `None` for
+    /// classic unbounded bundles.
+    pub checkpoint: Option<Checkpoint>,
 }
 
 impl TraceBundle {
@@ -222,6 +341,14 @@ impl TraceBundle {
     #[must_use]
     pub fn is_st(&self) -> bool {
         !self.st.is_empty()
+    }
+
+    /// The clock value domain `dom`'s record streams start at: the number
+    /// of records the flight recorder evicted before the retained window,
+    /// or 0 for unbounded bundles.
+    #[must_use]
+    pub fn clock_base(&self, dom: u32) -> u64 {
+        self.checkpoint.as_ref().map_or(0, |cp| cp.base_of(dom))
     }
 
     /// Structural consistency check; run after decoding and before replay.
@@ -260,23 +387,28 @@ impl TraceBundle {
             let (dom, tid) = (i / self.nthreads as usize, i % self.nthreads as usize);
             t.check(&format!("domain {dom} thread {tid}"))?;
         }
+        if let Some(cp) = &self.checkpoint {
+            cp.check(self.domains)?;
+        }
         if self.scheme == Scheme::Dc {
             // DC clocks are per-domain: within each domain, the clocks
-            // across all threads must be a permutation of 0..n_d (clock
-            // contiguity is a *domain* property — domains tick
-            // independently).
+            // across all threads must be a permutation of base..base+n_d
+            // (clock contiguity is a *domain* property — domains tick
+            // independently; base is 0 unless a flight-recorder checkpoint
+            // shifted the window's start).
             for (dom, chunk) in self.threads.chunks(self.nthreads as usize).enumerate() {
+                let base = self.clock_base(dom as u32);
                 let mut clocks: Vec<u64> = chunk
                     .iter()
                     .flat_map(|t| t.values.iter().copied())
                     .collect();
                 clocks.sort_unstable();
                 for (expect, got) in clocks.iter().enumerate() {
-                    if *got != expect as u64 {
+                    if *got != base + expect as u64 {
                         return Err(TraceError::Corrupt(format!(
-                            "domain {dom}: DC clocks are not a permutation of 0..{} \
+                            "domain {dom}: DC clocks are not a permutation of {base}..{} \
                              (found {got} at rank {expect})",
-                            clocks.len()
+                            base + clocks.len() as u64
                         )));
                     }
                 }
@@ -337,7 +469,9 @@ impl TraceBundle {
                         e.domain
                     )));
                 }
-                let available = self.domain_records(dom);
+                // A windowed bundle's domains completed `clock_base` more
+                // accesses than the window retains; waits are absolute.
+                let available = self.clock_base(dom) + self.domain_records(dom);
                 if count == 0 || count > available {
                     return Err(TraceError::Corrupt(format!(
                         "edge #{i} waits for {count} accesses in domain {dom} \
@@ -506,7 +640,10 @@ impl TraceBundle {
         let index = self.edge_index();
         let d = self.domains as usize;
         let mut ptr = vec![0usize; d];
-        let mut emitted = vec![0u64; d];
+        // Edge waits are absolute completed-access counts; a windowed
+        // bundle's domains already completed `clock_base` accesses before
+        // the retained window starts.
+        let mut emitted: Vec<u64> = (0..d).map(|dom| self.clock_base(dom as u32)).collect();
         let mut out = Vec::with_capacity(self.total_records() as usize);
         loop {
             let mut progressed = false;
@@ -551,6 +688,7 @@ mod tests {
         TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::Dc,
             nthreads: 2,
             domains: 1,
@@ -575,6 +713,7 @@ mod tests {
         TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::Dc,
             nthreads: 2,
             domains: 2,
@@ -652,6 +791,7 @@ mod tests {
         let b = TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::St,
             nthreads: 2,
             domains: 1,
@@ -663,6 +803,7 @@ mod tests {
         let b = TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::St,
             nthreads: 2,
             domains: 1,
@@ -681,6 +822,7 @@ mod tests {
         let b = TraceBundle {
             plan: None,
             edges: vec![],
+            checkpoint: None,
             scheme: Scheme::St,
             nthreads: 1,
             domains: 2,
@@ -828,5 +970,100 @@ mod tests {
         assert_eq!(b.thread(0, 1), &b.threads[1]);
         assert_eq!(b.st_stream(0), None);
         assert!(!b.is_st());
+    }
+
+    /// A flight-recorder window of `dc_bundle`: the first 10 records were
+    /// evicted, so the retained clocks are 10..14.
+    fn windowed_dc_bundle() -> TraceBundle {
+        let mut b = dc_bundle();
+        for t in &mut b.threads {
+            for v in &mut t.values {
+                *v += 10;
+            }
+        }
+        b.checkpoint = Some(Checkpoint {
+            base: vec![10],
+            floors: vec![],
+            window: 2,
+            trigger: DumpTrigger::Panic,
+        });
+        b
+    }
+
+    #[test]
+    fn checkpoint_shifts_the_dc_permutation_base() {
+        let b = windowed_dc_bundle();
+        b.validate().unwrap();
+        assert_eq!(b.clock_base(0), 10);
+        assert_eq!(b.clock_base(7), 0, "out-of-range domain defaults to 0");
+
+        // Without the checkpoint the shifted clocks are corrupt…
+        let mut bad = windowed_dc_bundle();
+        bad.checkpoint = None;
+        assert!(bad.validate().is_err());
+        // …and with the wrong base they are too.
+        let mut bad = windowed_dc_bundle();
+        bad.checkpoint.as_mut().unwrap().base = vec![9];
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn checkpoint_domain_arity_is_checked() {
+        let mut b = dc_bundle_two_domains();
+        b.checkpoint = Some(Checkpoint {
+            base: vec![0],
+            ..Checkpoint::default()
+        });
+        let err = b.validate().unwrap_err();
+        assert!(err.to_string().contains("clock bases"), "{err}");
+
+        let mut b = dc_bundle_two_domains();
+        b.checkpoint = Some(Checkpoint {
+            base: vec![0, 0],
+            floors: vec![1, 2, 3],
+            ..Checkpoint::default()
+        });
+        let err = b.validate().unwrap_err();
+        assert!(err.to_string().contains("epoch floors"), "{err}");
+
+        let mut b = dc_bundle_two_domains();
+        b.checkpoint = Some(Checkpoint {
+            base: vec![0, 0],
+            floors: vec![2, 1],
+            ..Checkpoint::default()
+        });
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_waits_measure_against_the_checkpoint_base() {
+        // Domain 1 retains 2 records on top of 5 evicted ones: an absolute
+        // wait of 7 is satisfiable, 8 is not.
+        let mut b = dc_bundle_two_domains();
+        for t in &mut b.threads[2..] {
+            for v in &mut t.values {
+                *v += 5;
+            }
+        }
+        b.checkpoint = Some(Checkpoint {
+            base: vec![0, 5],
+            ..Checkpoint::default()
+        });
+        b.edges = vec![edge(0, 0, 1, vec![(1, 7)])];
+        b.validate().unwrap();
+        // The merged view seeds domain 1's emitted count at its base, so
+        // the anchor is admitted once both retained records are out.
+        assert!(b.edges_consistent());
+        b.edges = vec![edge(0, 0, 1, vec![(1, 8)])];
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn dump_trigger_codes_roundtrip() {
+        for t in DumpTrigger::ALL {
+            assert_eq!(DumpTrigger::from_code(t.code()), Some(t));
+            assert!(!t.name().is_empty());
+        }
+        assert_eq!(DumpTrigger::from_code(9), None);
     }
 }

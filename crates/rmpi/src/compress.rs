@@ -14,7 +14,7 @@
 
 use crate::session::RecvEvent;
 use bytes::{Buf, Bytes, BytesMut};
-use reomp_core::codec::{get_uvarint, put_uvarint, unzigzag, zigzag};
+use reomp_core::codec::{get_uvarint, put_uvarint, rle_runs, unzigzag, zigzag};
 use reomp_core::TraceError;
 
 /// Encode one rank's wildcard-receive stream.
@@ -23,7 +23,8 @@ pub fn encode_events(events: &[RecvEvent]) -> Vec<u8> {
     let mut buf = BytesMut::new();
     put_uvarint(&mut buf, events.len() as u64);
 
-    // Delta each field against its predecessor, then RLE the delta pairs.
+    // Delta each field against its predecessor, then RLE the delta pairs
+    // with the codec pipeline's shared run scanner.
     let mut deltas: Vec<(u64, u64)> = Vec::with_capacity(events.len());
     let (mut prev_src, mut prev_tag) = (0i64, 0i64);
     for e in events {
@@ -34,17 +35,10 @@ pub fn encode_events(events: &[RecvEvent]) -> Vec<u8> {
         prev_tag = i64::from(e.tag);
     }
 
-    let mut i = 0;
-    while i < deltas.len() {
-        let run_val = deltas[i];
-        let mut run_len = 1u64;
-        while i + (run_len as usize) < deltas.len() && deltas[i + run_len as usize] == run_val {
-            run_len += 1;
-        }
+    for (run_len, &(ds, dt)) in rle_runs(&deltas) {
         put_uvarint(&mut buf, run_len);
-        put_uvarint(&mut buf, run_val.0);
-        put_uvarint(&mut buf, run_val.1);
-        i += run_len as usize;
+        put_uvarint(&mut buf, ds);
+        put_uvarint(&mut buf, dt);
     }
     buf.to_vec()
 }

@@ -67,7 +67,7 @@ pub mod world;
 pub use mailbox::Mailbox;
 pub use message::{Envelope, MpiError, ANY_SOURCE, ANY_TAG};
 pub use session::{
-    recv_site, waitany_site, MpiDivergence, MpiMode, MpiSession, MpiSessionConfig, MpiTrace,
-    RecvEvent,
+    recv_site, waitany_site, MpiCheckpoint, MpiDivergence, MpiMode, MpiSession, MpiSessionConfig,
+    MpiTrace, RecvEvent,
 };
 pub use world::{RankCtx, Request, World};

@@ -28,12 +28,13 @@
 
 use crate::compress::{decode_events, encode_events};
 use crate::message::MpiError;
+use bytes::{Buf, Bytes, BytesMut};
 use parking_lot::Mutex;
-use reomp_core::codec::{decode_plan, encode_plan};
-use reomp_core::{DomainPlan, SiteId, TraceError};
+use reomp_core::codec::{decode_plan, encode_plan, get_uvarint, put_uvarint};
+use reomp_core::{DomainPlan, DumpTrigger, SiteId, TraceError};
 use std::collections::VecDeque;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// What a recorded wildcard receive matched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +91,97 @@ pub fn waitany_site(rank: u32, keys: impl IntoIterator<Item = (u32, u32)>) -> Si
     SiteId::from_label_indexed("rmpi:waitany", h)
 }
 
+/// Checkpoint of a bounded (flight-recorder) rmpi recording — the rmpi
+/// analogue of [`reomp_core::Checkpoint`]. Eviction in a bounded
+/// `(rank × domain)` stream is prefix-shaped (the oldest events go
+/// first), so one per-stream count captures the discarded history:
+/// replay free-runs the first `recv_bases[s]` receives of stream `s`
+/// and only then starts enforcing the retained tail.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MpiCheckpoint {
+    /// Retained-window size the recorder ran with (events per stream).
+    pub window: u32,
+    /// What caused the window to be materialized.
+    pub trigger: DumpTrigger,
+    /// Per `(rank × domain)` stream (flat, rank-major): wildcard
+    /// receives evicted before the retained tail.
+    pub recv_bases: Vec<u64>,
+    /// Per `(rank × domain)` stream: `waitany` completions evicted
+    /// before the retained tail.
+    pub waitany_bases: Vec<u64>,
+}
+
+impl MpiCheckpoint {
+    /// Structural consistency against the owning trace's stream count.
+    pub fn check(&self, streams: usize) -> Result<(), TraceError> {
+        if self.window == 0 {
+            return Err(TraceError::Corrupt("rmpi checkpoint window is 0".into()));
+        }
+        if self.recv_bases.len() != streams || self.waitany_bases.len() != streams {
+            return Err(TraceError::Corrupt(format!(
+                "rmpi checkpoint has {}/{} bases for {streams} streams",
+                self.recv_bases.len(),
+                self.waitany_bases.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Encode as the `checkpoint.rmpi` section (varint framed, mirroring
+    /// the core codec's RTCP section).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"RMCP");
+        buf.extend_from_slice(&[1u8, self.trigger.code()]);
+        put_uvarint(&mut buf, u64::from(self.window));
+        put_uvarint(&mut buf, self.recv_bases.len() as u64);
+        for &b in self.recv_bases.iter().chain(&self.waitany_bases) {
+            put_uvarint(&mut buf, b);
+        }
+        buf.to_vec()
+    }
+
+    /// Inverse of [`MpiCheckpoint::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<MpiCheckpoint, TraceError> {
+        let mut buf = Bytes::copy_from_slice(bytes);
+        if buf.remaining() < 6 || &buf.chunk()[..4] != b"RMCP" {
+            return Err(TraceError::Corrupt("bad rmpi checkpoint magic".into()));
+        }
+        buf.advance(4);
+        let version = buf.get_u8();
+        if version != 1 {
+            return Err(TraceError::Corrupt(format!(
+                "rmpi checkpoint version {version} unsupported"
+            )));
+        }
+        let trigger = DumpTrigger::from_code(buf.get_u8())
+            .ok_or_else(|| TraceError::Corrupt("bad rmpi checkpoint trigger".into()))?;
+        let window = u32::try_from(get_uvarint(&mut buf)?)
+            .map_err(|_| TraceError::Corrupt("rmpi checkpoint window overflow".into()))?;
+        let streams = get_uvarint(&mut buf)? as usize;
+        if streams > bytes.len() {
+            return Err(TraceError::Corrupt("rmpi checkpoint stream count".into()));
+        }
+        let mut bases = Vec::with_capacity(streams * 2);
+        for _ in 0..streams * 2 {
+            bases.push(get_uvarint(&mut buf)?);
+        }
+        if buf.has_remaining() {
+            return Err(TraceError::Corrupt(
+                "trailing bytes after rmpi checkpoint".into(),
+            ));
+        }
+        let waitany_bases = bases.split_off(streams);
+        Ok(MpiCheckpoint {
+            window,
+            trigger,
+            recv_bases: bases,
+            waitany_bases,
+        })
+    }
+}
+
 /// A complete receive-order trace: one stream per `(rank × domain)`
 /// (ReMPI record files, sharded like the thread gate's domains).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +200,10 @@ pub struct MpiTrace {
     /// `waitany` calls (the `MPI_Waitany` completion order the paper's
     /// §VI-C gates). Same flat layout as [`MpiTrace::recv_streams`].
     pub waitany_streams: Vec<Vec<u32>>,
+    /// `Some` when the trace is a bounded flight-recorder window rather
+    /// than a full recording: per-stream evicted-event counts replay
+    /// free-runs past before enforcing the retained tail.
+    pub checkpoint: Option<MpiCheckpoint>,
 }
 
 impl Default for MpiTrace {
@@ -117,6 +213,7 @@ impl Default for MpiTrace {
             plan: None,
             recv_streams: Vec::new(),
             waitany_streams: Vec::new(),
+            checkpoint: None,
         }
     }
 }
@@ -133,6 +230,7 @@ impl MpiTrace {
             plan: None,
             recv_streams: per_rank,
             waitany_streams: waitany,
+            checkpoint: None,
         }
     }
 
@@ -225,6 +323,9 @@ impl MpiTrace {
                 )));
             }
         }
+        if let Some(cp) = &self.checkpoint {
+            cp.check(self.recv_streams.len())?;
+        }
         Ok(())
     }
 
@@ -281,7 +382,15 @@ impl MpiTrace {
             }
         }
 
-        let mut manifest = if self.domains == 1 {
+        // Layout version: v1 is the pinned pre-domain single-stream
+        // layout, v2 adds domain sharding, v3 adds the flight checkpoint.
+        // A full (unbounded) D = 1 trace must stay byte-identical to v1.
+        let mut manifest = if self.checkpoint.is_some() {
+            format!(
+                "rmpi-trace v3\nranks {}\ndomains {}\n",
+                nranks, self.domains
+            )
+        } else if self.domains == 1 {
             format!("rmpi-trace v1\nranks {}\n", nranks)
         } else {
             format!(
@@ -297,6 +406,12 @@ impl MpiTrace {
                 manifest.push_str("plan 1\n");
             }
         }
+        if let Some(cp) = &self.checkpoint {
+            let encoded = cp.encode();
+            bytes += encoded.len() as u64;
+            std::fs::write(dir.join("checkpoint.rmpi"), &encoded)?;
+            manifest.push_str("flight 1\n");
+        }
         std::fs::write(&manifest_path, &manifest)?;
         bytes += manifest.len() as u64;
         Ok(bytes)
@@ -310,6 +425,7 @@ impl MpiTrace {
         let version = match lines.next() {
             Some("rmpi-trace v1") => 1u32,
             Some("rmpi-trace v2") => 2,
+            Some("rmpi-trace v3") => 3,
             _ => return Err(TraceError::Corrupt("bad rmpi manifest header".into())),
         };
         let ranks: u32 = lines
@@ -317,8 +433,8 @@ impl MpiTrace {
             .and_then(|l| l.strip_prefix("ranks "))
             .and_then(|n| n.parse().ok())
             .ok_or_else(|| TraceError::Corrupt("bad rank count".into()))?;
-        let (domains, has_plan) = if version == 1 {
-            (1u32, false)
+        let (domains, has_plan, has_flight) = if version == 1 {
+            (1u32, false, false)
         } else {
             let domains = lines
                 .next()
@@ -326,12 +442,20 @@ impl MpiTrace {
                 .and_then(|n| n.parse::<u32>().ok())
                 .filter(|&d| d >= 1)
                 .ok_or_else(|| TraceError::Corrupt("bad domain count".into()))?;
-            let has_plan = lines.next() == Some("plan 1");
-            (domains, has_plan)
+            let rest: Vec<&str> = lines.collect();
+            let has_plan = rest.contains(&"plan 1");
+            let has_flight = version >= 3 && rest.contains(&"flight 1");
+            (domains, has_plan, has_flight)
         };
         let plan = if has_plan {
             let bytes = std::fs::read(dir.join("plan.rmpi"))?;
             Some(decode_plan(&bytes)?)
+        } else {
+            None
+        };
+        let checkpoint = if has_flight {
+            let bytes = std::fs::read(dir.join("checkpoint.rmpi"))?;
+            Some(MpiCheckpoint::decode(&bytes)?)
         } else {
             None
         };
@@ -370,6 +494,7 @@ impl MpiTrace {
             plan,
             recv_streams,
             waitany_streams,
+            checkpoint,
         };
         trace.validate()?;
         Ok(trace)
@@ -416,6 +541,12 @@ pub struct MpiSessionConfig {
     /// Replay: events retained per `(rank × domain)` stream for
     /// divergence diagnostics (`0` disables the history).
     pub history_capacity: usize,
+    /// Record: `Some(n)` bounds in-situ retention to the last `n` events
+    /// per `(rank × domain)` stream (the rmpi leg of the flight
+    /// recorder); [`MpiSession::finish`] then stamps an [`MpiCheckpoint`]
+    /// with the per-stream evicted counts. `None` (the default) retains
+    /// everything, as the classic recorder does.
+    pub flight: Option<u32>,
 }
 
 impl Default for MpiSessionConfig {
@@ -424,6 +555,7 @@ impl Default for MpiSessionConfig {
             domains: 1,
             plan: None,
             history_capacity: 16,
+            flight: None,
         }
     }
 }
@@ -439,7 +571,9 @@ impl MpiSessionConfig {
     }
 
     /// Read `REOMP_DOMAINS` (the same knob the thread gate uses) for the
-    /// domain count; everything else stays at the defaults.
+    /// domain count and `REOMP_FLIGHT` (shared with the thread gate's
+    /// flight recorder) for the bounded-retention window; everything else
+    /// stays at the defaults.
     #[must_use]
     pub fn from_env() -> MpiSessionConfig {
         let domains = std::env::var("REOMP_DOMAINS")
@@ -447,7 +581,14 @@ impl MpiSessionConfig {
             .and_then(|s| s.parse::<u32>().ok())
             .filter(|&d| d >= 1)
             .unwrap_or(1);
-        MpiSessionConfig::with_domains(domains)
+        let flight = std::env::var("REOMP_FLIGHT")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .filter(|&n| n >= 1);
+        MpiSessionConfig {
+            flight,
+            ..MpiSessionConfig::with_domains(domains)
+        }
     }
 
     /// The domain count the session will actually run with: the plan's
@@ -507,8 +648,12 @@ pub struct MpiSession {
     domains: u32,
     plan: Option<DomainPlan>,
     history_capacity: usize,
+    flight: Option<u32>,
     logs: Vec<Mutex<Vec<RecvEvent>>>,
     waitany_logs: Vec<Mutex<Vec<u32>>>,
+    // Record + flight: events evicted per stream (the checkpoint bases).
+    recv_bases: Vec<AtomicU64>,
+    waitany_bases: Vec<AtomicU64>,
     cursors: Vec<AtomicUsize>,
     waitany_cursors: Vec<AtomicUsize>,
     history: Vec<Mutex<VecDeque<RecvEvent>>>,
@@ -573,8 +718,11 @@ impl MpiSession {
             domains,
             plan: cfg.plan,
             history_capacity: cfg.history_capacity,
+            flight: cfg.flight.map(|n| n.max(1)),
             logs: (0..streams).map(|_| Mutex::new(Vec::new())).collect(),
             waitany_logs: (0..streams).map(|_| Mutex::new(Vec::new())).collect(),
+            recv_bases: (0..streams).map(|_| AtomicU64::new(0)).collect(),
+            waitany_bases: (0..streams).map(|_| AtomicU64::new(0)).collect(),
             cursors: (0..streams).map(|_| AtomicUsize::new(0)).collect(),
             waitany_cursors: (0..streams).map(|_| AtomicUsize::new(0)).collect(),
             history: (0..streams).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -650,12 +798,21 @@ impl MpiSession {
     }
 
     /// Record one matched wildcard receive into `(rank, dom)` (record mode
-    /// only).
+    /// only). With a flight window the stream retains only the last
+    /// `window` events; the evicted count accumulates into the
+    /// checkpoint base for this stream.
     pub fn log_recv(&self, rank: u32, dom: u32, src: u32, tag: u32) {
         if self.mode == MpiMode::Record {
-            self.logs[self.stream_index(rank, dom)]
-                .lock()
-                .push(RecvEvent { src, tag });
+            let stream = self.stream_index(rank, dom);
+            let mut log = self.logs[stream].lock();
+            log.push(RecvEvent { src, tag });
+            if let Some(window) = self.flight {
+                let excess = log.len().saturating_sub(window as usize);
+                if excess > 0 {
+                    log.drain(..excess);
+                    self.recv_bases[stream].fetch_add(excess as u64, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -668,6 +825,16 @@ impl MpiSession {
         let trace = self.trace.as_ref().expect("replay has trace");
         let stream = self.stream_index(rank, dom);
         let pos = self.cursors[stream].fetch_add(1, Ordering::Relaxed);
+        // Windowed replay: the first `base` receives of this stream were
+        // evicted before the dump — free-run them (no enforcement is
+        // possible) and start enforcing at the retained tail.
+        let base = trace
+            .checkpoint
+            .as_ref()
+            .map_or(0, |cp| cp.recv_bases[stream] as usize);
+        let Some(pos) = pos.checked_sub(base) else {
+            return Ok(None);
+        };
         match trace.recv_stream(rank, dom).get(pos).copied() {
             Some(ev) => {
                 self.push_history(stream, ev);
@@ -683,12 +850,20 @@ impl MpiSession {
     }
 
     /// Record one `waitany` completion choice into `(rank, dom)` (record
-    /// mode only).
+    /// mode only). Flight windows bound this stream exactly like
+    /// [`MpiSession::log_recv`].
     pub fn log_waitany(&self, rank: u32, dom: u32, index: u32) {
         if self.mode == MpiMode::Record {
-            self.waitany_logs[self.stream_index(rank, dom)]
-                .lock()
-                .push(index);
+            let stream = self.stream_index(rank, dom);
+            let mut log = self.waitany_logs[stream].lock();
+            log.push(index);
+            if let Some(window) = self.flight {
+                let excess = log.len().saturating_sub(window as usize);
+                if excess > 0 {
+                    log.drain(..excess);
+                    self.waitany_bases[stream].fetch_add(excess as u64, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -701,6 +876,13 @@ impl MpiSession {
         let trace = self.trace.as_ref().expect("replay has trace");
         let stream = self.stream_index(rank, dom);
         let pos = self.waitany_cursors[stream].fetch_add(1, Ordering::Relaxed);
+        let base = trace
+            .checkpoint
+            .as_ref()
+            .map_or(0, |cp| cp.waitany_bases[stream] as usize);
+        let Some(pos) = pos.checked_sub(base) else {
+            return Ok(None);
+        };
         match trace.waitany_stream(rank, dom).get(pos).copied() {
             Some(idx) => Ok(Some(idx)),
             None => Err(MpiError::WaitanyExhausted {
@@ -711,9 +893,34 @@ impl MpiSession {
         }
     }
 
-    /// Extract the recorded trace (record mode).
+    /// Extract the recorded trace (record mode). Flight sessions stamp a
+    /// [`DumpTrigger::Manual`] checkpoint; use
+    /// [`MpiSession::finish_with_trigger`] to record why the window was
+    /// materialized.
     #[must_use]
     pub fn finish(&self) -> MpiTrace {
+        self.finish_with_trigger(DumpTrigger::Manual)
+    }
+
+    /// [`MpiSession::finish`], naming the dump trigger stamped into the
+    /// checkpoint of a flight (bounded-retention) recording. The trigger
+    /// is ignored for unbounded sessions, which carry no checkpoint.
+    #[must_use]
+    pub fn finish_with_trigger(&self, trigger: DumpTrigger) -> MpiTrace {
+        let checkpoint = self.flight.map(|window| MpiCheckpoint {
+            window,
+            trigger,
+            recv_bases: self
+                .recv_bases
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            waitany_bases: self
+                .waitany_bases
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        });
         MpiTrace {
             domains: self.domains,
             plan: self.plan.clone(),
@@ -727,6 +934,7 @@ impl MpiSession {
                 .iter()
                 .map(|l| std::mem::take(&mut *l.lock()))
                 .collect(),
+            checkpoint,
         }
     }
 
@@ -753,13 +961,23 @@ impl MpiSession {
         for rank in 0..self.nranks {
             for dom in 0..self.domains {
                 let stream = self.stream_index(rank, dom);
+                // Windowed replays free-run the first `base` calls of a
+                // stream; only calls past the base consume the recording.
+                let (recv_base, wa_base) = trace.checkpoint.as_ref().map_or((0, 0), |cp| {
+                    (
+                        cp.recv_bases[stream] as usize,
+                        cp.waitany_bases[stream] as usize,
+                    )
+                });
                 let recv_recorded = trace.recv_stream(rank, dom).len();
                 let recv_consumed = self.cursors[stream]
                     .load(Ordering::Relaxed)
+                    .saturating_sub(recv_base)
                     .min(recv_recorded);
                 let waitany_recorded = trace.waitany_stream(rank, dom).len();
                 let waitany_consumed = self.waitany_cursors[stream]
                     .load(Ordering::Relaxed)
+                    .saturating_sub(wa_base)
                     .min(waitany_recorded);
                 if recv_consumed < recv_recorded || waitany_consumed < waitany_recorded {
                     out.push(MpiDivergence {
@@ -1011,6 +1229,7 @@ mod tests {
                 vec![RecvEvent { src: 0, tag: 9 }],
             ],
             waitany_streams: vec![vec![1, 0], vec![], vec![], vec![2]],
+            checkpoint: None,
         };
         let dir = std::env::temp_dir().join(format!("rmpi-trace-md-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -1127,6 +1346,7 @@ mod tests {
                 vec![],
             ],
             waitany_streams: vec![vec![0], vec![], vec![], vec![]],
+            checkpoint: None,
         };
         let dir = std::env::temp_dir().join(format!("rmpi-golden-v2-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -1150,5 +1370,122 @@ mod tests {
             "plan section reuses the core codec bytes"
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flight_session_bounds_retention_and_stamps_bases() {
+        let cfg = MpiSessionConfig {
+            flight: Some(3),
+            ..MpiSessionConfig::default()
+        };
+        let s = MpiSession::record_with(1, cfg);
+        for i in 0..10u32 {
+            s.log_recv(0, 0, i, 7);
+            s.log_waitany(0, 0, i);
+        }
+        let trace = s.finish_with_trigger(DumpTrigger::Panic);
+        trace.validate().unwrap();
+        // Only the last 3 events survive; the 7 evicted ones are counted.
+        assert_eq!(trace.recv_stream(0, 0).len(), 3);
+        assert_eq!(trace.recv_stream(0, 0)[0].src, 7);
+        assert_eq!(trace.waitany_stream(0, 0), &[7, 8, 9]);
+        let cp = trace.checkpoint.as_ref().unwrap();
+        assert_eq!(cp.window, 3);
+        assert_eq!(cp.trigger, DumpTrigger::Panic);
+        assert_eq!(cp.recv_bases, vec![7]);
+        assert_eq!(cp.waitany_bases, vec![7]);
+    }
+
+    #[test]
+    fn windowed_replay_free_runs_the_evicted_prefix() {
+        // Record 6 receives under a window of 2, then replay: the first 4
+        // calls free-run (Ok(None), passthrough matching), the last 2 are
+        // enforced against the retained tail.
+        let cfg = MpiSessionConfig {
+            flight: Some(2),
+            ..MpiSessionConfig::default()
+        };
+        let rec = MpiSession::record_with(1, cfg);
+        for i in 0..6u32 {
+            rec.log_recv(0, 0, i, 1);
+        }
+        let trace = rec.finish();
+        let s = MpiSession::replay(trace);
+        for _ in 0..4 {
+            assert_eq!(s.next_recv(0, 0).unwrap(), None, "evicted prefix free-runs");
+        }
+        assert_eq!(
+            s.next_recv(0, 0).unwrap(),
+            Some(RecvEvent { src: 4, tag: 1 })
+        );
+        assert_eq!(s.fully_consumed(), Some(false), "tail not fully consumed");
+        assert_eq!(
+            s.next_recv(0, 0).unwrap(),
+            Some(RecvEvent { src: 5, tag: 1 })
+        );
+        assert_eq!(s.fully_consumed(), Some(true));
+        assert!(s.next_recv(0, 0).is_err(), "past the tail is exhaustion");
+    }
+
+    #[test]
+    fn flight_trace_roundtrips_through_the_v3_dir_layout() {
+        let cfg = MpiSessionConfig {
+            domains: 2,
+            flight: Some(2),
+            ..MpiSessionConfig::default()
+        };
+        let s = MpiSession::record_with(2, cfg);
+        for i in 0..5u32 {
+            s.log_recv(0, 1, i, 3);
+        }
+        s.log_recv(1, 0, 0, 9);
+        s.log_waitany(0, 0, 2);
+        let trace = s.finish_with_trigger(DumpTrigger::Divergence);
+        let dir = std::env::temp_dir().join(format!("rmpi-flight-v3-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        trace.save_dir(&dir).unwrap();
+        let manifest = std::fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        assert_eq!(manifest, "rmpi-trace v3\nranks 2\ndomains 2\nflight 1\n");
+        assert!(dir.join("checkpoint.rmpi").exists());
+        let back = MpiTrace::load_dir(&dir).unwrap();
+        assert_eq!(back, trace);
+        let cp = back.checkpoint.unwrap();
+        assert_eq!(cp.trigger, DumpTrigger::Divergence);
+        assert_eq!(cp.recv_bases, vec![0, 3, 0, 0], "stream (0, d1) evicted 3");
+
+        // Re-saving an unbounded trace over the dump scrubs the
+        // checkpoint section and drops back to the v1 layout.
+        let single = MpiTrace::single(vec![vec![RecvEvent { src: 3, tag: 3 }]], vec![vec![]]);
+        single.save_dir(&dir).unwrap();
+        assert!(!dir.join("checkpoint.rmpi").exists(), "stale dump scrubbed");
+        assert_eq!(MpiTrace::load_dir(&dir).unwrap(), single);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_codec_rejects_corruption() {
+        let cp = MpiCheckpoint {
+            window: 4,
+            trigger: DumpTrigger::Race,
+            recv_bases: vec![1, 2],
+            waitany_bases: vec![0, 3],
+        };
+        assert_eq!(MpiCheckpoint::decode(&cp.encode()).unwrap(), cp);
+        assert!(MpiCheckpoint::decode(b"RMCP").is_err(), "truncated");
+        assert!(
+            MpiCheckpoint::decode(b"XXXX\x01\x00\x04\x00").is_err(),
+            "magic"
+        );
+        let mut bytes = cp.encode();
+        bytes[5] = 9; // unknown trigger code
+        assert!(MpiCheckpoint::decode(&bytes).is_err());
+        let mut bytes = cp.encode();
+        bytes.push(0);
+        assert!(MpiCheckpoint::decode(&bytes).is_err(), "trailing bytes");
+        // A checkpoint whose base arity disagrees with the trace fails
+        // trace validation even when the section itself decodes.
+        let mut t = MpiTrace::single(vec![vec![]], vec![vec![]]);
+        t.checkpoint = Some(cp);
+        assert!(t.validate().is_err());
     }
 }

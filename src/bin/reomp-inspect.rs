@@ -4,6 +4,7 @@
 //! reomp-inspect <trace-dir>                 summary + epoch histogram
 //! reomp-inspect <trace-dir> --timeline [N]  first N accesses as lanes
 //! reomp-inspect <trace-dir> --diff <dir2>   first divergence between runs
+//! reomp-inspect <trace-dir> --window        flight-recorder window summary
 //! reomp-inspect --mpi <trace-dir>           rmpi (rank × domain) counts
 //! ```
 //!
@@ -18,10 +19,52 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: reomp-inspect <trace-dir> [--timeline [N]] [--diff <trace-dir2>]\n\
+        "usage: reomp-inspect <trace-dir> [--timeline [N]] [--diff <trace-dir2>] [--window]\n\
          \x20      reomp-inspect --mpi <trace-dir>"
     );
     ExitCode::from(2)
+}
+
+/// Flight-recorder provenance: where the retained window starts and why
+/// it was materialized. One line in the default summary; `--window` adds
+/// the per-domain breakdown.
+fn print_flight_provenance(bundle: &reomp::TraceBundle) {
+    let Some(cp) = &bundle.checkpoint else {
+        return;
+    };
+    println!(
+        "flight dump: trigger {}, window {} chunk(s)/stream, clock base {:?}",
+        cp.trigger, cp.window, cp.base
+    );
+}
+
+fn inspect_window(bundle: &reomp::TraceBundle) -> ExitCode {
+    let Some(cp) = &bundle.checkpoint else {
+        println!("not a flight-recorder dump: no checkpoint (full recording)");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "flight window: {} chunk(s)/stream, materialized on {}",
+        cp.window, cp.trigger
+    );
+    for dom in 0..bundle.domains {
+        let retained = bundle.domain_records(dom);
+        let base = cp.base_of(dom);
+        println!(
+            "  domain {dom}: clocks [{base}, {}) — {retained} retained, {base} evicted",
+            base + retained
+        );
+        if let Some(floor) = cp.floors.get(dom as usize) {
+            println!("    epoch floor at dump: {floor}");
+        }
+    }
+    if !bundle.edges.is_empty() {
+        println!(
+            "  cross-domain edges surviving the window: {}",
+            bundle.edges.len()
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn inspect_mpi(dir: &str) -> ExitCode {
@@ -46,6 +89,13 @@ fn inspect_mpi(dir: &str) -> ExitCode {
         ),
         None if trace.domains > 1 => println!("partition: mixed-hash over receive sites"),
         None => println!("partition: single stream per rank"),
+    }
+    if let Some(cp) = &trace.checkpoint {
+        let evicted: u64 = cp.recv_bases.iter().sum();
+        println!(
+            "flight dump: trigger {}, window {} event(s)/stream, {evicted} receives evicted",
+            cp.trigger, cp.window
+        );
     }
     for rank in 0..trace.nranks() {
         println!("rank {rank}: {} receives", trace.rank_events(rank));
@@ -90,6 +140,7 @@ fn main() -> ExitCode {
             // summarize() already computes the edge count and runs the
             // (potentially expensive) consistency merge once; reuse it.
             println!("{}", analysis::summarize(&bundle));
+            print_flight_provenance(&bundle);
             if bundle.domains > 1 {
                 // Per-domain record counts: a lopsided split means the
                 // site→domain partition is not spreading the load.
@@ -119,6 +170,7 @@ fn main() -> ExitCode {
             println!("{hist}");
             ExitCode::SUCCESS
         }
+        Some("--window") => inspect_window(&bundle),
         Some("--timeline") => {
             let n = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(40usize);
             print!("{}", analysis::ascii_timeline(&bundle, n));

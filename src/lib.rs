@@ -24,10 +24,10 @@ pub use reomp_core as core;
 pub use rmpi;
 
 pub use reomp_core::{
-    AccessKind, CrossDomainEdge, DirStore, Divergence, DomainPlan, EpochHistogram, EpochPolicy,
-    IoReport, MemStore, Mode, RecordSink, ReplayError, Scheme, Session, SessionConfig,
-    SessionReport, SiteId, StreamingTraceStore, ThreadCtx, TraceBundle, TraceError, TraceStore,
-    TraceWriter,
+    install_panic_dump, AccessKind, Checkpoint, CrossDomainEdge, DirStore, Divergence, DomainPlan,
+    DumpTrigger, EpochHistogram, EpochPolicy, FlightRecorder, FlightSink, IoReport, MemStore, Mode,
+    RecordOptions, RecordSink, ReplayError, Scheme, Session, SessionConfig, SessionReport, SiteId,
+    StreamingTraceStore, ThreadCtx, TraceBundle, TraceError, TraceStore, TraceWriter,
 };
 
-pub use rmpi::{MpiDivergence, MpiMode, MpiSession, MpiSessionConfig, MpiTrace};
+pub use rmpi::{MpiCheckpoint, MpiDivergence, MpiMode, MpiSession, MpiSessionConfig, MpiTrace};

@@ -103,6 +103,7 @@ fn per_address_epochs_can_mis_replay_values() {
     let bundle = TraceBundle {
         plan: None,
         edges: vec![],
+        checkpoint: None,
         scheme: Scheme::De,
         nthreads: 4,
         domains: 1,
@@ -138,6 +139,7 @@ fn contiguous_epochs_replay_the_same_run_correctly() {
     let bundle = TraceBundle {
         plan: None,
         edges: vec![],
+        checkpoint: None,
         scheme: Scheme::De,
         nthreads: 4,
         domains: 1,

@@ -45,6 +45,48 @@ fn encode_chunked(trace: &ThreadTrace, scheme: Scheme, tid: u32, splits: &[usize
     out
 }
 
+/// Assemble a valid single-domain bundle from per-thread record triples —
+/// a DE bundle by default, or an ST bundle (shared stream, empty
+/// per-thread traces) when `st_run` is set.
+fn build_bundle(per_thread: &[Vec<(u64, u64, u8)>], with_cols: bool, st_run: bool) -> TraceBundle {
+    let nthreads = per_thread.len() as u32;
+    let scheme = if st_run { Scheme::St } else { Scheme::De };
+    let threads: Vec<ThreadTrace> = if st_run {
+        // ST bundles keep empty per-thread traces (columns mirror the
+        // bundle's validation mode, like session-assembled bundles).
+        (0..nthreads)
+            .map(|_| thread_trace(&[], with_cols))
+            .collect()
+    } else {
+        per_thread
+            .iter()
+            .map(|r| thread_trace(r, with_cols))
+            .collect()
+    };
+    let st = st_run.then(|| {
+        let flat: Vec<(u64, u64, u8)> = per_thread.concat();
+        StTrace {
+            tids: flat
+                .iter()
+                .enumerate()
+                .map(|(i, _)| i as u32 % nthreads)
+                .collect(),
+            sites: with_cols.then(|| flat.iter().map(|r| r.1).collect()),
+            kinds: with_cols.then(|| flat.iter().map(|r| r.2).collect()),
+        }
+    });
+    TraceBundle {
+        plan: None,
+        edges: vec![],
+        checkpoint: None,
+        scheme,
+        nthreads,
+        domains: 1,
+        threads,
+        st: st.into_iter().collect(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -106,34 +148,7 @@ proptest! {
         records_per_chunk in 1usize..17,
         st_run in (0u8..2).prop_map(|b| b == 1),
     ) {
-        let nthreads = per_thread.len() as u32;
-        let scheme = if st_run { Scheme::St } else { Scheme::De };
-        let threads: Vec<ThreadTrace> = if st_run {
-            // ST bundles keep empty per-thread traces (columns mirror the
-            // bundle's validation mode, like session-assembled bundles).
-            (0..nthreads)
-                .map(|_| thread_trace(&[], with_cols))
-                .collect()
-        } else {
-            per_thread.iter().map(|r| thread_trace(r, with_cols)).collect()
-        };
-        let st = st_run.then(|| {
-            let flat: Vec<(u64, u64, u8)> = per_thread.concat();
-            StTrace {
-                tids: flat.iter().enumerate().map(|(i, _)| i as u32 % nthreads).collect(),
-                sites: with_cols.then(|| flat.iter().map(|r| r.1).collect()),
-                kinds: with_cols.then(|| flat.iter().map(|r| r.2).collect()),
-            }
-        });
-        let bundle = TraceBundle {
-                         plan: None,
-                         edges: vec![],
-            scheme,
-            nthreads,
-            domains: 1,
-            threads,
-            st: st.into_iter().collect(),
-        };
+        let bundle = build_bundle(&per_thread, with_cols, st_run);
         prop_assert!(bundle.validate().is_ok());
 
         let one_shot = MemStore::new();
@@ -143,6 +158,34 @@ proptest! {
         let streaming = MemStore::new();
         let report = streaming.save_chunked(&bundle, records_per_chunk).unwrap();
         let (loaded, io) = streaming.load().unwrap();
+        prop_assert_eq!(&loaded, &reference);
+        prop_assert_eq!(&loaded, &bundle);
+        prop_assert_eq!(io.chunks, report.chunks);
+    }
+
+    #[test]
+    fn compressed_streaming_save_roundtrips(
+        per_thread in vec(vec((0u64..10_000, 0u64..1 << 48, 0u8..7), 0..40), 1..5),
+        with_cols in (0u8..2).prop_map(|b| b == 1),
+        records_per_chunk in 1usize..17,
+        st_run in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        // The per-chunk RLE compression stage (REOMP_COMPRESS) must be
+        // invisible to the loader: the compressed streaming save decodes
+        // to exactly the bundle the plain save produces, for arbitrary
+        // record contents and chunk sizes.
+        let bundle = build_bundle(&per_thread, with_cols, st_run);
+        prop_assert!(bundle.validate().is_ok());
+
+        let plain = MemStore::new();
+        plain.save_chunked(&bundle, records_per_chunk).unwrap();
+        let (reference, _) = plain.load().unwrap();
+
+        let compressed = MemStore::new();
+        let report = compressed
+            .save_chunked_opt(&bundle, records_per_chunk, true)
+            .unwrap();
+        let (loaded, io) = compressed.load().unwrap();
         prop_assert_eq!(&loaded, &reference);
         prop_assert_eq!(&loaded, &bundle);
         prop_assert_eq!(io.chunks, report.chunks);

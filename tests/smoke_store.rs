@@ -279,6 +279,153 @@ fn killed_recording_never_yields_a_loadable_corrupt_bundle() {
     }
 }
 
+/// A streaming store whose sinks die after a budget of appends — the
+/// moral equivalent of `kill -9` mid-materialization of a flight dump.
+struct DyingStore {
+    inner: DirStore,
+    budget: Arc<AtomicU32>,
+}
+
+struct DyingSink {
+    inner: Box<dyn reomp::RecordSink>,
+    budget: Arc<AtomicU32>,
+}
+
+impl DyingSink {
+    fn spend(&self) -> Result<(), reomp::core::TraceError> {
+        if self.budget.fetch_sub(1, Ordering::SeqCst) == 0 {
+            self.budget.store(0, Ordering::SeqCst);
+            return Err(reomp::core::TraceError::Corrupt(
+                "simulated crash mid-materialization".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl reomp::RecordSink for DyingSink {
+    fn append_thread_chunk(
+        &self,
+        dom: u32,
+        tid: u32,
+        values: &[u64],
+        sites: Option<&[u64]>,
+        kinds: Option<&[u8]>,
+    ) -> Result<u64, reomp::core::TraceError> {
+        self.spend()?;
+        self.inner
+            .append_thread_chunk(dom, tid, values, sites, kinds)
+    }
+
+    fn append_st_chunk(
+        &self,
+        dom: u32,
+        tids: &[u32],
+        sites: Option<&[u64]>,
+        kinds: Option<&[u8]>,
+    ) -> Result<u64, reomp::core::TraceError> {
+        self.spend()?;
+        self.inner.append_st_chunk(dom, tids, sites, kinds)
+    }
+
+    fn put_plan(&self, plan: &reomp::DomainPlan) -> Result<(), reomp::core::TraceError> {
+        self.inner.put_plan(plan)
+    }
+
+    fn append_edges(
+        &self,
+        edges: &[reomp::CrossDomainEdge],
+    ) -> Result<(), reomp::core::TraceError> {
+        self.inner.append_edges(edges)
+    }
+
+    fn put_checkpoint(&self, cp: &reomp::Checkpoint) -> Result<(), reomp::core::TraceError> {
+        self.spend()?;
+        self.inner.put_checkpoint(cp)
+    }
+
+    fn commit(
+        self: Box<Self>,
+        total_records: u64,
+    ) -> Result<reomp::IoReport, reomp::core::TraceError> {
+        self.spend()?;
+        self.inner.commit(total_records)
+    }
+}
+
+impl reomp::TraceStore for DyingStore {
+    fn save(
+        &self,
+        bundle: &reomp::TraceBundle,
+    ) -> Result<reomp::IoReport, reomp::core::TraceError> {
+        self.inner.save(bundle)
+    }
+    fn load(&self) -> Result<(reomp::TraceBundle, reomp::IoReport), reomp::core::TraceError> {
+        self.inner.load()
+    }
+}
+
+impl reomp::StreamingTraceStore for DyingStore {
+    fn begin_record(
+        &self,
+        opts: reomp::RecordOptions,
+    ) -> Result<Box<dyn reomp::RecordSink>, reomp::core::TraceError> {
+        Ok(Box::new(DyingSink {
+            inner: self.inner.begin_record(opts)?,
+            budget: Arc::clone(&self.budget),
+        }))
+    }
+}
+
+#[test]
+fn killed_dump_never_yields_a_loadable_corrupt_bundle() {
+    use reomp::{DumpTrigger, TraceStore};
+
+    let tmp = TempDir::new("killed-dump");
+    let dir = tmp.0.join("trace");
+
+    // A committed recording exists in the target directory...
+    DirStore::new(&dir)
+        .save(&record_small_run(Scheme::Dc))
+        .unwrap();
+
+    // ...then a flight session dumps into it and the dump crashes
+    // mid-materialization (after two appends).
+    let budget = Arc::new(AtomicU32::new(2));
+    let store = DyingStore {
+        inner: DirStore::new(&dir),
+        budget: Arc::clone(&budget),
+    };
+    let cfg = SessionConfig {
+        flight: Some(2),
+        flush_records: 1,
+        ..SessionConfig::default()
+    };
+    let session = Session::record_flight(Scheme::Dc, 2, cfg, store).unwrap();
+    deterministic_run(&session);
+    assert!(
+        session.dump(DumpTrigger::Manual).is_err(),
+        "the dump must surface the crash"
+    );
+
+    // The interrupted dump may leave the directory Empty (manifest
+    // scrubbed before the crash) but NEVER a loadable corrupt bundle.
+    match DirStore::new(&dir).load() {
+        Err(reomp::core::TraceError::Empty) => {}
+        Ok((bundle, _)) => bundle.validate().expect("a loadable bundle must be valid"),
+        Err(e) => panic!("interrupted dump must read Empty or valid, got {e}"),
+    }
+
+    // The recorder's window survived the failed materialization: a retry
+    // with a healthy store succeeds and loads as a checkpointed bundle.
+    budget.store(u32::MAX, Ordering::SeqCst);
+    session.dump(DumpTrigger::Manual).unwrap();
+    let (bundle, _) = DirStore::new(&dir).load().unwrap();
+    bundle.validate().unwrap();
+    assert!(bundle.checkpoint.is_some(), "retried dump is checkpointed");
+    assert!(bundle.total_records() > 0);
+}
+
 #[test]
 fn truncated_record_files_fail_cleanly() {
     // Regression: truncated headers/columns used to panic (or could drive
