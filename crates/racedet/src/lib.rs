@@ -42,12 +42,17 @@
 
 pub mod detector;
 pub mod fasttrack;
+pub mod offline;
 pub mod oracle;
 pub mod plan;
 pub mod report;
 pub mod vc;
 
 pub use detector::Detector;
+pub use offline::{
+    check_plan_soundness, offline_report, plan_soundness_diagnostics, OfflineError, PlanSoundness,
+    PlanViolation,
+};
 pub use plan::{domain_plan, DomainPlanner};
 pub use report::{RaceInfo, RaceReport};
 pub use vc::VectorClock;

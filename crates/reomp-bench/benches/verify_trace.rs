@@ -1,0 +1,139 @@
+//! Static verifier wall time vs. trace size: how long does it take to
+//! prove a bundle replayable, across schemes and domain counts?
+//!
+//! The verifier is an offline CI-side tool, so the figure of merit is
+//! throughput on *large* traces: all three tiers (structural / ordering /
+//! plan) run over synthetic bundles shaped exactly like real recordings
+//! (contiguous per-domain clocks, monotone per-thread streams, validation
+//! columns, stamped plan for D > 1). The offline race sweep
+//! (`racedet::offline`), which layers FastTrack on top, is timed
+//! separately on the largest DC configuration.
+//!
+//! Environment knobs: `REOMP_BENCH_SCALE` (record-count multiplier),
+//! `REOMP_BENCH_REPS`.
+
+use reomp_bench::{bench_scale, time_min};
+use reomp_core::trace::{StTrace, ThreadTrace, TraceBundle};
+use reomp_core::{AccessKind, DomainPlan, Scheme, SiteId, Verifier};
+use std::time::Duration;
+
+const NTHREADS: u32 = 8;
+const NSITES: u64 = 64;
+
+/// Build a valid bundle with `records` accesses: sites cycle over
+/// `NSITES`, each access routes to `site % domains` and takes the next
+/// clock of its domain; threads round-robin. D > 1 stamps the matching
+/// plan so the plan tier has real work to do.
+fn synth(scheme: Scheme, domains: u32, records: usize) -> TraceBundle {
+    let route = |site: u64| (site % u64::from(domains)) as u32;
+    let mut threads = vec![
+        ThreadTrace {
+            values: vec![],
+            sites: Some(vec![]),
+            kinds: Some(vec![]),
+        };
+        (domains * NTHREADS) as usize
+    ];
+    let mut st = vec![
+        StTrace {
+            tids: vec![],
+            sites: Some(vec![]),
+            kinds: Some(vec![]),
+        };
+        domains as usize
+    ];
+    let mut clocks = vec![0u64; domains as usize];
+    for i in 0..records {
+        let site = 1 + (i as u64 % NSITES);
+        let tid = i as u32 % NTHREADS;
+        let kind = if i % 2 == 0 {
+            AccessKind::Load
+        } else {
+            AccessKind::Store
+        };
+        let dom = route(site);
+        if scheme == Scheme::St {
+            let s = &mut st[dom as usize];
+            s.tids.push(tid);
+            s.sites.as_mut().unwrap().push(site);
+            s.kinds.as_mut().unwrap().push(kind.code());
+        } else {
+            let t = &mut threads[(dom * NTHREADS + tid) as usize];
+            t.values.push(clocks[dom as usize]);
+            t.sites.as_mut().unwrap().push(site);
+            t.kinds.as_mut().unwrap().push(kind.code());
+        }
+        clocks[dom as usize] += 1;
+    }
+    let plan = (domains > 1).then(|| {
+        let mut p = DomainPlan::new(domains);
+        for site in 1..=NSITES {
+            p.set(SiteId(site), route(site));
+        }
+        p
+    });
+    TraceBundle {
+        scheme,
+        nthreads: NTHREADS,
+        domains,
+        threads,
+        st: if scheme == Scheme::St { st } else { vec![] },
+        plan,
+        edges: vec![],
+        checkpoint: None,
+    }
+}
+
+fn per_m(d: Duration, records: usize) -> String {
+    let per = d.as_secs_f64() * 1e9 / records as f64;
+    format!("{per:8.1} ms/Mrec")
+}
+
+fn main() {
+    let scale = bench_scale();
+    let sizes: Vec<usize> = [50_000usize, 500_000].iter().map(|s| s * scale).collect();
+    let verifier = Verifier::new();
+
+    println!("\n=== verify_trace: static verifier wall time (all three tiers) ===");
+    println!(
+        "{:>8} {:>4} {:>10}  {:>12}  rate",
+        "scheme", "D", "records", "wall"
+    );
+    for &records in &sizes {
+        for scheme in [Scheme::St, Scheme::Dc, Scheme::De] {
+            for domains in [1u32, 4] {
+                let bundle = synth(scheme, domains, records);
+                let d = time_min(|| {
+                    let report = verifier.verify(&bundle);
+                    assert!(report.is_clean(), "{report}");
+                });
+                println!(
+                    "{:>8} {:>4} {:>10}  {:>10.2?}  {}",
+                    scheme.to_string(),
+                    domains,
+                    records,
+                    d,
+                    per_m(d, records)
+                );
+            }
+        }
+    }
+
+    println!("\n--- offline race sweep + plan soundness (DC, D = 4) ---");
+    for &records in &sizes {
+        let bundle = synth(Scheme::Dc, 4, records);
+        let d = time_min(|| {
+            let report = racedet::offline_report(&bundle).unwrap();
+            let sound = racedet::check_plan_soundness(&bundle, &report).unwrap();
+            assert!(sound.is_sound());
+        });
+        println!(
+            "{:>8} {:>4} {:>10}  {:>10.2?}  {}",
+            "dc",
+            4,
+            records,
+            d,
+            per_m(d, records)
+        );
+    }
+}

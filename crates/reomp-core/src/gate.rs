@@ -151,8 +151,8 @@ pub(crate) fn record_out(
         }
         Scheme::Dc => {
             // Fig. 5 lines 22-24 with X = 0.
-            // SAFETY: lock acquired in `record_in` on this thread.
             let clock = {
+                // SAFETY: lock acquired in `record_in` on this thread.
                 let core = unsafe { drec.gate.get() };
                 let c = core.clock;
                 core.clock += 1;

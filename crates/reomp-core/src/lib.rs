@@ -95,6 +95,7 @@
 //! | [`session`] | run orchestration, env-var mode switching (§V) |
 //! | [`stats`] | counters behind Table VI and the Fig. 20 epoch histogram |
 //! | [`analysis`] | trace summaries, timelines, and diffing (debug tooling) |
+//! | [`verify`] | static trace verification: tiered soundness diagnostics + replayability certificates |
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -114,6 +115,7 @@ pub mod stats;
 pub mod store;
 pub mod sync;
 pub mod trace;
+pub mod verify;
 
 pub use epoch::EpochPolicy;
 pub use error::{Divergence, ReplayError, TraceError};
@@ -129,3 +131,4 @@ pub use store::{
     TraceWriter,
 };
 pub use trace::{Checkpoint, CrossDomainEdge, DumpTrigger, TraceBundle};
+pub use verify::{Certificate, Diagnostic, Severity, Tier, Verifier, VerifyReport};

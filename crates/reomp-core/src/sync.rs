@@ -182,8 +182,11 @@ pub(crate) struct RawLocked<T> {
     cell: UnsafeCell<T>,
 }
 
-// SAFETY: access to `cell` is serialized through `raw`.
+// SAFETY: access to `cell` is serialized through `raw`, so shared
+// references never touch the interior concurrently.
 unsafe impl<T: Send> Sync for RawLocked<T> {}
+// SAFETY: moving the container moves the `T` with it; `T: Send` is all
+// that transfer needs (the raw mutex holds no thread affinity).
 unsafe impl<T: Send> Send for RawLocked<T> {}
 
 impl<T> RawLocked<T> {
@@ -365,6 +368,7 @@ mod tests {
         l.lock();
         // SAFETY: locked above.
         unsafe { l.get().push('b') };
+        // SAFETY: pairs with the `lock` above; `get` is not used after.
         unsafe { l.unlock() };
         assert_eq!(l.with(|s| s.clone()), "ab");
     }

@@ -82,7 +82,7 @@ impl ThreadTrace {
             .and_then(|&code| AccessKind::from_code(code))
     }
 
-    fn check(&self, who: &str) -> Result<(), TraceError> {
+    pub(crate) fn check(&self, who: &str) -> Result<(), TraceError> {
         if let Some(sites) = &self.sites {
             if sites.len() != self.values.len() {
                 return Err(TraceError::Corrupt(format!(
@@ -132,7 +132,7 @@ impl StTrace {
         self.tids.is_empty()
     }
 
-    fn check(&self, nthreads: u32) -> Result<(), TraceError> {
+    pub(crate) fn check(&self, nthreads: u32) -> Result<(), TraceError> {
         if let Some(bad) = self.tids.iter().find(|&&t| t >= nthreads) {
             return Err(TraceError::Corrupt(format!(
                 "st trace references thread {bad} but only {nthreads} threads recorded"
@@ -352,135 +352,14 @@ impl TraceBundle {
     }
 
     /// Structural consistency check; run after decoding and before replay.
+    ///
+    /// This is a thin wrapper over the [`verify`](crate::verify) module's
+    /// Structural tier — the single implementation both this method and
+    /// [`Verifier::verify`](crate::verify::Verifier::verify) run, so the
+    /// two checkers cannot drift. The error surface is unchanged: the
+    /// first violated invariant comes back as [`TraceError::Corrupt`].
     pub fn validate(&self) -> Result<(), TraceError> {
-        if self.nthreads == 0 {
-            return Err(TraceError::Corrupt("zero threads".into()));
-        }
-        if self.domains == 0 {
-            return Err(TraceError::Corrupt("zero domains".into()));
-        }
-        let expect = self.domains as usize * self.nthreads as usize;
-        if self.threads.len() != expect {
-            return Err(TraceError::Corrupt(format!(
-                "{} thread traces for {} threads × {} domains",
-                self.threads.len(),
-                self.nthreads,
-                self.domains
-            )));
-        }
-        match (self.scheme, self.st.len()) {
-            (Scheme::St, n) if n != self.domains as usize => {
-                return Err(TraceError::Corrupt(format!(
-                    "ST bundle with {n} st streams for {} domains",
-                    self.domains
-                )))
-            }
-            (Scheme::St, _) => {
-                for st in &self.st {
-                    st.check(self.nthreads)?;
-                }
-            }
-            (_, 0) => {}
-            (_, _) => return Err(TraceError::Corrupt("non-ST bundle with st stream".into())),
-        }
-        for (i, t) in self.threads.iter().enumerate() {
-            let (dom, tid) = (i / self.nthreads as usize, i % self.nthreads as usize);
-            t.check(&format!("domain {dom} thread {tid}"))?;
-        }
-        if let Some(cp) = &self.checkpoint {
-            cp.check(self.domains)?;
-        }
-        if self.scheme == Scheme::Dc {
-            // DC clocks are per-domain: within each domain, the clocks
-            // across all threads must be a permutation of base..base+n_d
-            // (clock contiguity is a *domain* property — domains tick
-            // independently; base is 0 unless a flight-recorder checkpoint
-            // shifted the window's start).
-            for (dom, chunk) in self.threads.chunks(self.nthreads as usize).enumerate() {
-                let base = self.clock_base(dom as u32);
-                let mut clocks: Vec<u64> = chunk
-                    .iter()
-                    .flat_map(|t| t.values.iter().copied())
-                    .collect();
-                clocks.sort_unstable();
-                for (expect, got) in clocks.iter().enumerate() {
-                    if *got != base + expect as u64 {
-                        return Err(TraceError::Corrupt(format!(
-                            "domain {dom}: DC clocks are not a permutation of {base}..{} \
-                             (found {got} at rank {expect})",
-                            base + clocks.len() as u64
-                        )));
-                    }
-                }
-            }
-        }
-        if let Some(plan) = &self.plan {
-            if plan.domains() != self.domains {
-                return Err(TraceError::Corrupt(format!(
-                    "plan partitions {} domains but the bundle has {}",
-                    plan.domains(),
-                    self.domains
-                )));
-            }
-        }
-        self.check_edges()
-    }
-
-    /// Structural consistency of the cross-domain edges: anchors must name
-    /// recorded accesses, waits must name *other* existing domains, and no
-    /// wait may demand more accesses than its domain recorded.
-    fn check_edges(&self) -> Result<(), TraceError> {
-        if self.edges.is_empty() {
-            return Ok(());
-        }
-        if self.domains <= 1 {
-            return Err(TraceError::Corrupt(
-                "cross-domain edges in a single-domain bundle".into(),
-            ));
-        }
-        for (i, e) in self.edges.iter().enumerate() {
-            if e.domain >= self.domains {
-                return Err(TraceError::Corrupt(format!(
-                    "edge #{i} anchors in domain {} of {}",
-                    e.domain, self.domains
-                )));
-            }
-            let anchor_len = if self.is_st() {
-                self.st[e.domain as usize].len() as u64
-            } else {
-                if e.thread >= self.nthreads {
-                    return Err(TraceError::Corrupt(format!(
-                        "edge #{i} anchors on thread {} of {}",
-                        e.thread, self.nthreads
-                    )));
-                }
-                self.thread(e.domain, e.thread).len() as u64
-            };
-            if e.seq >= anchor_len {
-                return Err(TraceError::Corrupt(format!(
-                    "edge #{i} anchors at access {} but its stream holds {anchor_len}",
-                    e.seq
-                )));
-            }
-            for &(dom, count) in &e.waits {
-                if dom >= self.domains || dom == e.domain {
-                    return Err(TraceError::Corrupt(format!(
-                        "edge #{i} waits on domain {dom} (anchor domain {})",
-                        e.domain
-                    )));
-                }
-                // A windowed bundle's domains completed `clock_base` more
-                // accesses than the window retains; waits are absolute.
-                let available = self.clock_base(dom) + self.domain_records(dom);
-                if count == 0 || count > available {
-                    return Err(TraceError::Corrupt(format!(
-                        "edge #{i} waits for {count} accesses in domain {dom} \
-                         which recorded {available}"
-                    )));
-                }
-            }
-        }
-        Ok(())
+        crate::verify::structural(self)
     }
 
     /// Number of recorded accesses in one domain.

@@ -1,0 +1,1033 @@
+//! Static trace verification: prove — from the trace artifacts alone, no
+//! user code executed — that a [`TraceBundle`] is replayable.
+//!
+//! The [`Verifier`] reconstructs the happens-before structure a replay
+//! would enforce (per-domain clocks, [`CrossDomainEdge`] waits,
+//! [`Checkpoint`](crate::trace::Checkpoint) bases) and emits a
+//! [`VerifyReport`] of tiered [`Diagnostic`]s:
+//!
+//! * **Structural** — the shape of the bundle: stream arity, column
+//!   lengths, kind codes, DC clock contiguity, checkpoint arity, edge
+//!   target existence. This tier is *exactly* what
+//!   [`TraceBundle::validate`] checks — `validate()` is a thin wrapper
+//!   over it, so the two checkers cannot drift.
+//! * **Ordering** — whether replay can actually drive the recorded order
+//!   to completion: per-thread DC clock monotonicity, DE epoch
+//!   reachability, ST baton-stream purity, edge-graph acyclicity,
+//!   flight-window well-formedness, and DE epoch-floor consistency.
+//! * **Plan** — whether the stamped site → domain partition agrees with
+//!   where accesses were actually recorded. (The deeper plan-soundness
+//!   check — every *racing* site pair co-located or edge-connected — needs
+//!   a race report and lives in `racedet::offline`; its diagnostics fold
+//!   into the same report via [`VerifyReport::absorb`].)
+//!
+//! A bundle with no error diagnostics earns a [`Certificate`]: a
+//! deterministic digest over every verified invariant (and the full trace
+//! content), printable by `reomp-inspect --verify` and diffable by CI —
+//! two identical recordings always produce the identical certificate.
+//!
+//! All checks are panic-free and allocate at most O(trace) — adversarial
+//! input yields diagnostics, never a crash. Diagnostics within one check
+//! family are capped at [`MAX_DIAGS_PER_CHECK`] (with a summary line) so a
+//! hostile bundle cannot balloon the report.
+
+use crate::error::TraceError;
+use crate::plan::DomainPlan;
+use crate::session::Scheme;
+use crate::site::SiteId;
+use crate::trace::TraceBundle;
+
+/// Upper bound on diagnostics emitted by one check family; the overflow is
+/// summarized in a final diagnostic instead of enumerated.
+pub const MAX_DIAGS_PER_CHECK: usize = 8;
+
+/// Which analysis tier produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Bundle shape: arity, column lengths, codes, contiguity.
+    Structural,
+    /// Replay-order soundness: monotonicity, reachability, acyclicity.
+    Ordering,
+    /// Site → domain partition agreement.
+    Plan,
+}
+
+impl Tier {
+    /// Lower-case tier name, as printed in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Structural => "structural",
+            Tier::Ordering => "ordering",
+            Tier::Plan => "plan",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but replayable.
+    Warning,
+    /// The bundle will not replay soundly (or is corrupt).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case severity name, as printed in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One verification finding: tier + severity + where + what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Analysis tier that found it.
+    pub tier: Tier,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Where in the bundle ("bundle", "domain 2 thread 1", "edge #3", …).
+    pub location: String,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn error(tier: Tier, location: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            tier,
+            severity: Severity::Error,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}/{}] {}: {}",
+            self.tier.name(),
+            self.severity.name(),
+            self.location,
+            self.message
+        )
+    }
+}
+
+/// Replayability certificate: a deterministic digest over the verified
+/// invariants and the full trace content. Two identical recordings verify
+/// to the identical certificate; any content or metadata change moves the
+/// digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// FNV-1a digest over the canonical bundle serialization.
+    pub digest: u64,
+    /// Human-readable summary of what was certified
+    /// (`scheme=… threads=… domains=… records=… edges=…`).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Certificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reomp-cert-v1 {:016x} {}", self.digest, self.detail)
+    }
+}
+
+/// The structured outcome of a verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Every finding, in check order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Present iff no error-severity diagnostic was found.
+    pub certificate: Option<Certificate>,
+    /// Number of invariant families evaluated.
+    pub checks: u32,
+}
+
+impl VerifyReport {
+    /// Whether the bundle verified with no errors (warnings permitted).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Error-severity diagnostics only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The most severe tier an *error* was found in (`None` when clean).
+    /// Structural outranks Ordering outranks Plan for exit-code purposes:
+    /// a corrupt bundle is reported as corrupt even if later tiers also
+    /// ran.
+    #[must_use]
+    pub fn worst_tier(&self) -> Option<Tier> {
+        self.errors().map(|d| d.tier).min()
+    }
+
+    /// Fold externally produced diagnostics (e.g. `racedet::offline`'s
+    /// plan-soundness findings) into this report. Any absorbed error
+    /// revokes the certificate.
+    pub fn absorb(&mut self, diags: impl IntoIterator<Item = Diagnostic>) {
+        for d in diags {
+            if d.severity == Severity::Error {
+                self.certificate = None;
+            }
+            self.diagnostics.push(d);
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let errors = self.errors().count();
+        let warnings = self.diagnostics.len() - errors;
+        if self.is_clean() {
+            writeln!(
+                f,
+                "verify: clean — {} checks, {warnings} warning(s)",
+                self.checks
+            )?;
+        } else {
+            writeln!(
+                f,
+                "verify: {errors} error(s), {warnings} warning(s) — worst tier: {}",
+                self.worst_tier().map_or("none", Tier::name)
+            )?;
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        if let Some(cert) = &self.certificate {
+            writeln!(f, "certificate: {cert}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental FNV-1a hasher for certificate digests (the same function
+/// [`SiteId::from_label`] uses for site hashes; deterministic and
+/// dependency-free). Public so sibling verifiers (e.g. `rmpi`'s) mint
+/// certificates from the identical digest function.
+#[derive(Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Mix one byte.
+    pub fn u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    /// Mix a u64, little-endian byte order.
+    pub fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.u8(b);
+        }
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
+    }
+}
+
+/// The static trace verifier. Stateless; one instance can verify any
+/// number of bundles.
+#[derive(Debug, Default)]
+pub struct Verifier;
+
+impl Verifier {
+    /// A verifier with default settings.
+    #[must_use]
+    pub fn new() -> Verifier {
+        Verifier
+    }
+
+    /// Run every tier over `bundle` and produce the report. Never panics;
+    /// structural corruption short-circuits the deeper tiers (their
+    /// invariants are meaningless on a malformed shape).
+    #[must_use]
+    pub fn verify(&self, bundle: &TraceBundle) -> VerifyReport {
+        let mut report = VerifyReport {
+            diagnostics: Vec::new(),
+            certificate: None,
+            checks: 0,
+        };
+
+        // Tier 1: structural — identical to `TraceBundle::validate()`.
+        report.checks += 1;
+        if let Err(e) = structural(bundle) {
+            let message = match e {
+                TraceError::Corrupt(msg) => msg,
+                other => other.to_string(),
+            };
+            report
+                .diagnostics
+                .push(Diagnostic::error(Tier::Structural, "bundle", message));
+            return report;
+        }
+
+        // Tier 2: ordering.
+        ordering(bundle, &mut report);
+
+        // Tier 3: plan agreement.
+        plan_agreement(bundle, &mut report);
+
+        if report.is_clean() {
+            report.certificate = Some(certificate(bundle));
+        }
+        report
+    }
+}
+
+/// The Structural tier as a single `Result`, preserving the exact error
+/// text [`TraceBundle::validate`] has always returned — `validate()` calls
+/// this directly.
+pub(crate) fn structural(bundle: &TraceBundle) -> Result<(), TraceError> {
+    if bundle.nthreads == 0 {
+        return Err(TraceError::Corrupt("zero threads".into()));
+    }
+    if bundle.domains == 0 {
+        return Err(TraceError::Corrupt("zero domains".into()));
+    }
+    let expect = bundle.domains as usize * bundle.nthreads as usize;
+    if bundle.threads.len() != expect {
+        return Err(TraceError::Corrupt(format!(
+            "{} thread traces for {} threads × {} domains",
+            bundle.threads.len(),
+            bundle.nthreads,
+            bundle.domains
+        )));
+    }
+    match (bundle.scheme, bundle.st.len()) {
+        (Scheme::St, n) if n != bundle.domains as usize => {
+            return Err(TraceError::Corrupt(format!(
+                "ST bundle with {n} st streams for {} domains",
+                bundle.domains
+            )))
+        }
+        (Scheme::St, _) => {
+            for st in &bundle.st {
+                st.check(bundle.nthreads)?;
+            }
+        }
+        (_, 0) => {}
+        (_, _) => return Err(TraceError::Corrupt("non-ST bundle with st stream".into())),
+    }
+    for (i, t) in bundle.threads.iter().enumerate() {
+        let (dom, tid) = (i / bundle.nthreads as usize, i % bundle.nthreads as usize);
+        t.check(&format!("domain {dom} thread {tid}"))?;
+    }
+    if let Some(cp) = &bundle.checkpoint {
+        cp.check(bundle.domains)?;
+    }
+    if bundle.scheme == Scheme::Dc {
+        // DC clocks are per-domain: within each domain, the clocks across
+        // all threads must be a permutation of base..base+n_d (clock
+        // contiguity is a *domain* property — domains tick independently;
+        // base is 0 unless a flight-recorder checkpoint shifted the
+        // window's start).
+        for (dom, chunk) in bundle.threads.chunks(bundle.nthreads as usize).enumerate() {
+            let base = bundle.clock_base(dom as u32);
+            let mut clocks: Vec<u64> = chunk
+                .iter()
+                .flat_map(|t| t.values.iter().copied())
+                .collect();
+            clocks.sort_unstable();
+            for (expect, got) in clocks.iter().enumerate() {
+                if *got != base + expect as u64 {
+                    return Err(TraceError::Corrupt(format!(
+                        "domain {dom}: DC clocks are not a permutation of {base}..{} \
+                         (found {got} at rank {expect})",
+                        base + clocks.len() as u64
+                    )));
+                }
+            }
+        }
+    }
+    if let Some(plan) = &bundle.plan {
+        if plan.domains() != bundle.domains {
+            return Err(TraceError::Corrupt(format!(
+                "plan partitions {} domains but the bundle has {}",
+                plan.domains(),
+                bundle.domains
+            )));
+        }
+    }
+    check_edges(bundle)
+}
+
+/// Structural consistency of the cross-domain edges: anchors must name
+/// recorded accesses, waits must name *other* existing domains, and no
+/// wait may demand more accesses than its domain recorded.
+fn check_edges(bundle: &TraceBundle) -> Result<(), TraceError> {
+    if bundle.edges.is_empty() {
+        return Ok(());
+    }
+    if bundle.domains <= 1 {
+        return Err(TraceError::Corrupt(
+            "cross-domain edges in a single-domain bundle".into(),
+        ));
+    }
+    for (i, e) in bundle.edges.iter().enumerate() {
+        if e.domain >= bundle.domains {
+            return Err(TraceError::Corrupt(format!(
+                "edge #{i} anchors in domain {} of {}",
+                e.domain, bundle.domains
+            )));
+        }
+        let anchor_len = if bundle.is_st() {
+            bundle.st[e.domain as usize].len() as u64
+        } else {
+            if e.thread >= bundle.nthreads {
+                return Err(TraceError::Corrupt(format!(
+                    "edge #{i} anchors on thread {} of {}",
+                    e.thread, bundle.nthreads
+                )));
+            }
+            bundle.thread(e.domain, e.thread).len() as u64
+        };
+        if e.seq >= anchor_len {
+            return Err(TraceError::Corrupt(format!(
+                "edge #{i} anchors at access {} but its stream holds {anchor_len}",
+                e.seq
+            )));
+        }
+        for &(dom, count) in &e.waits {
+            if dom >= bundle.domains || dom == e.domain {
+                return Err(TraceError::Corrupt(format!(
+                    "edge #{i} waits on domain {dom} (anchor domain {})",
+                    e.domain
+                )));
+            }
+            // A windowed bundle's domains completed `clock_base` more
+            // accesses than the window retains; waits are absolute.
+            let available = bundle.clock_base(dom) + bundle.domain_records(dom);
+            if count == 0 || count > available {
+                return Err(TraceError::Corrupt(format!(
+                    "edge #{i} waits for {count} accesses in domain {dom} \
+                     which recorded {available}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Push `diag` unless the family already hit its cap; returns whether the
+/// cap was just reached (the caller then emits one summary line).
+fn push_capped(out: &mut VerifyReport, count: &mut usize, diag: Diagnostic) {
+    *count += 1;
+    match (*count).cmp(&(MAX_DIAGS_PER_CHECK + 1)) {
+        std::cmp::Ordering::Less => out.diagnostics.push(diag),
+        std::cmp::Ordering::Equal => out.diagnostics.push(Diagnostic {
+            message: "further findings of this kind suppressed".into(),
+            ..diag
+        }),
+        std::cmp::Ordering::Greater => {}
+    }
+}
+
+/// The Ordering tier: would replay actually drive this order to
+/// completion? Runs only on structurally sound bundles.
+fn ordering(bundle: &TraceBundle, out: &mut VerifyReport) {
+    // ST baton-stream purity: an ST bundle's order lives in the shared
+    // streams; per-thread clock values mean the bundle was stitched from
+    // mismatched recordings. The shared streams' kind bytes must also
+    // decode (the legacy structural surface never checked them — adding
+    // it there would change `validate()`'s behaviour).
+    out.checks += 1;
+    if bundle.scheme == Scheme::St {
+        let mut n = 0usize;
+        for (i, t) in bundle.threads.iter().enumerate() {
+            if !t.values.is_empty() {
+                let (dom, tid) = (i / bundle.nthreads as usize, i % bundle.nthreads as usize);
+                push_capped(
+                    out,
+                    &mut n,
+                    Diagnostic::error(
+                        Tier::Ordering,
+                        format!("domain {dom} thread {tid}"),
+                        format!(
+                            "ST bundle carries {} per-thread clock records \
+                             (the baton stream is the only order source)",
+                            t.values.len()
+                        ),
+                    ),
+                );
+            }
+        }
+        for (dom, st) in bundle.st.iter().enumerate() {
+            let Some(kinds) = &st.kinds else { continue };
+            if let Some(pos) = kinds
+                .iter()
+                .position(|&k| crate::site::AccessKind::from_code(k).is_none())
+            {
+                push_capped(
+                    out,
+                    &mut n,
+                    Diagnostic::error(
+                        Tier::Ordering,
+                        format!("domain {dom}"),
+                        format!(
+                            "st stream kind byte {} at access {pos} decodes to no \
+                             access kind",
+                            kinds[pos]
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+
+    // DC per-thread clock monotonicity: the permutation check cannot see a
+    // permuted *stream* (same multiset); replay would deadlock on the
+    // first out-of-order value (the thread waits for a clock it itself
+    // owes later).
+    out.checks += 1;
+    if bundle.scheme == Scheme::Dc {
+        let mut n = 0usize;
+        for (i, t) in bundle.threads.iter().enumerate() {
+            if let Some(w) = t.values.windows(2).position(|w| w[0] >= w[1]) {
+                let (dom, tid) = (i / bundle.nthreads as usize, i % bundle.nthreads as usize);
+                push_capped(
+                    out,
+                    &mut n,
+                    Diagnostic::error(
+                        Tier::Ordering,
+                        format!("domain {dom} thread {tid}"),
+                        format!(
+                            "DC clocks must be strictly increasing in program order \
+                             ({} then {} at access {w}) — replay would deadlock",
+                            t.values[w],
+                            t.values[w + 1]
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+
+    // DE epoch reachability: replay admits an access once the domain
+    // turnstile has completed `value` accesses; a value beyond
+    // base + records − 1 can never be reached.
+    out.checks += 1;
+    if bundle.scheme == Scheme::De {
+        let mut n = 0usize;
+        for dom in 0..bundle.domains {
+            let records = bundle.domain_records(dom);
+            if records == 0 {
+                continue;
+            }
+            let ceiling = bundle.clock_base(dom) + records - 1;
+            for tid in 0..bundle.nthreads {
+                let t = bundle.thread(dom, tid);
+                if let Some(pos) = t.values.iter().position(|&v| v > ceiling) {
+                    push_capped(
+                        out,
+                        &mut n,
+                        Diagnostic::error(
+                            Tier::Ordering,
+                            format!("domain {dom} thread {tid}"),
+                            format!(
+                                "epoch {} at access {pos} is unreachable: the domain \
+                                 completes at most {ceiling} accesses before it",
+                                t.values[pos]
+                            ),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Edge-graph acyclicity: a genuine recording snapshots other domains'
+    // clocks strictly before publishing its own, so the edge constraints
+    // always admit the recorded interleaving. A wait cycle means the
+    // edges were tampered with — replay would deadlock.
+    out.checks += 1;
+    if !bundle.edges.is_empty() && !bundle.edges_consistent() {
+        out.diagnostics.push(Diagnostic::error(
+            Tier::Ordering,
+            "edges",
+            "cross-domain edge waits form a cycle: no interleaving satisfies them \
+             (replay would deadlock)",
+        ));
+    }
+
+    // Flight-window well-formedness + DE epoch-floor consistency.
+    out.checks += 1;
+    if let Some(cp) = &bundle.checkpoint {
+        if cp.window == 0 {
+            out.diagnostics.push(Diagnostic::error(
+                Tier::Ordering,
+                "checkpoint",
+                "flight window is 0 chunks/stream — a dump always retains at least one",
+            ));
+        }
+        if !cp.floors.is_empty() && bundle.scheme != Scheme::De {
+            out.diagnostics.push(Diagnostic::error(
+                Tier::Ordering,
+                "checkpoint",
+                format!(
+                    "epoch floors are DE provenance but the scheme is {}",
+                    bundle.scheme
+                ),
+            ));
+        }
+        if bundle.scheme == Scheme::De && !cp.floors.is_empty() {
+            let mut n = 0usize;
+            for dom in 0..bundle.domains {
+                let floor = cp.floors[dom as usize];
+                let base = cp.base_of(dom);
+                if floor < base + bundle.domain_records(dom) {
+                    push_capped(
+                        out,
+                        &mut n,
+                        Diagnostic::error(
+                            Tier::Ordering,
+                            format!("domain {dom}"),
+                            format!(
+                                "epoch floor {floor} below the window's last clock \
+                                 ({base} evicted + {} retained): the trackers cannot \
+                                 have flushed past records they had not seen",
+                                bundle.domain_records(dom)
+                            ),
+                        ),
+                    );
+                }
+                for tid in 0..bundle.nthreads {
+                    let t = bundle.thread(dom, tid);
+                    if let Some(pos) = t.values.iter().position(|&v| v >= floor) {
+                        push_capped(
+                            out,
+                            &mut n,
+                            Diagnostic::error(
+                                Tier::Ordering,
+                                format!("domain {dom} thread {tid}"),
+                                format!(
+                                    "epoch {} at access {pos} is not below the \
+                                     domain's dump-time clock floor {floor}",
+                                    t.values[pos]
+                                ),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Plan tier: every access must have been recorded in the domain the
+/// bundle's partition routes its site to (the stamped [`DomainPlan`], or
+/// the legacy `site % D` modulo for plan-less bundles). A mismatched plan
+/// stamp silently reroutes replay's gates — the access would wait on the
+/// wrong turnstile.
+fn plan_agreement(bundle: &TraceBundle, out: &mut VerifyReport) {
+    out.checks += 1;
+    if bundle.domains <= 1 || !bundle.has_validation() {
+        return;
+    }
+    let route = |site: SiteId| -> u32 {
+        match &bundle.plan {
+            Some(plan) => plan.domain_of(site),
+            None => DomainPlan::legacy_modulo(bundle.domains, site),
+        }
+    };
+    let label = if bundle.plan.is_some() {
+        "stamped plan"
+    } else {
+        "legacy-modulo partition"
+    };
+    let mut n = 0usize;
+    let mut check_stream = |dom: u32, who: String, sites: &[u64], out: &mut VerifyReport| {
+        for (i, &raw) in sites.iter().enumerate() {
+            let want = route(SiteId(raw));
+            if want != dom {
+                push_capped(
+                    out,
+                    &mut n,
+                    Diagnostic::error(
+                        Tier::Plan,
+                        format!("{who} access {i}"),
+                        format!(
+                            "site {raw:#x} recorded in domain {dom} but the {label} \
+                             routes it to domain {want}"
+                        ),
+                    ),
+                );
+            }
+        }
+    };
+    if bundle.is_st() {
+        for (dom, st) in bundle.st.iter().enumerate() {
+            if let Some(sites) = &st.sites {
+                check_stream(dom as u32, format!("domain {dom}"), sites, out);
+            }
+        }
+    } else {
+        for dom in 0..bundle.domains {
+            for tid in 0..bundle.nthreads {
+                if let Some(sites) = &bundle.thread(dom, tid).sites {
+                    check_stream(dom, format!("domain {dom} thread {tid}"), sites, out);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic digest over the bundle: header, every stream (values,
+/// sites, kinds), the plan's sorted assignments, every edge, and the
+/// checkpoint. Canonical and allocation-free beyond the hasher itself.
+fn certificate(bundle: &TraceBundle) -> Certificate {
+    let mut h = Fnv::new();
+    h.u8(bundle.scheme.code());
+    h.u64(u64::from(bundle.nthreads));
+    h.u64(u64::from(bundle.domains));
+    for t in &bundle.threads {
+        h.u64(t.values.len() as u64);
+        for &v in &t.values {
+            h.u64(v);
+        }
+        hash_columns(&mut h, &t.sites, &t.kinds);
+    }
+    for st in &bundle.st {
+        h.u64(st.tids.len() as u64);
+        for &tid in &st.tids {
+            h.u64(u64::from(tid));
+        }
+        hash_columns(&mut h, &st.sites, &st.kinds);
+    }
+    match &bundle.plan {
+        Some(plan) => {
+            h.u8(1);
+            h.u64(u64::from(plan.domains()));
+            for (site, dom) in plan.sorted_assignments() {
+                h.u64(site);
+                h.u64(u64::from(dom));
+            }
+        }
+        None => h.u8(0),
+    }
+    h.u64(bundle.edges.len() as u64);
+    for e in &bundle.edges {
+        h.u64(u64::from(e.domain));
+        h.u64(u64::from(e.thread));
+        h.u64(e.seq);
+        h.u64(e.waits.len() as u64);
+        for &(dom, count) in &e.waits {
+            h.u64(u64::from(dom));
+            h.u64(count);
+        }
+    }
+    match &bundle.checkpoint {
+        Some(cp) => {
+            h.u8(1);
+            h.u8(cp.trigger.code());
+            h.u64(u64::from(cp.window));
+            for &b in cp.base.iter().chain(&cp.floors) {
+                h.u64(b);
+            }
+        }
+        None => h.u8(0),
+    }
+    Certificate {
+        digest: h.finish(),
+        detail: format!(
+            "scheme={} threads={} domains={} records={} edges={}{}",
+            bundle.scheme,
+            bundle.nthreads,
+            bundle.domains,
+            bundle.total_records(),
+            bundle.edges.len(),
+            if bundle.checkpoint.is_some() {
+                " windowed"
+            } else {
+                ""
+            }
+        ),
+    }
+}
+
+fn hash_columns(h: &mut Fnv, sites: &Option<Vec<u64>>, kinds: &Option<Vec<u8>>) {
+    match sites {
+        Some(s) => {
+            h.u8(1);
+            for &v in s {
+                h.u64(v);
+            }
+        }
+        None => h.u8(0),
+    }
+    match kinds {
+        Some(k) => {
+            h.u8(1);
+            for &v in k {
+                h.u8(v);
+            }
+        }
+        None => h.u8(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::AccessKind;
+    use crate::trace::{Checkpoint, CrossDomainEdge, DumpTrigger, ThreadTrace};
+
+    fn dc_bundle() -> TraceBundle {
+        TraceBundle {
+            plan: None,
+            edges: vec![],
+            checkpoint: None,
+            scheme: Scheme::Dc,
+            nthreads: 2,
+            domains: 1,
+            threads: vec![
+                ThreadTrace {
+                    values: vec![0, 3],
+                    sites: Some(vec![1, 1]),
+                    kinds: Some(vec![0, 1]),
+                },
+                ThreadTrace {
+                    values: vec![1, 2],
+                    sites: Some(vec![1, 1]),
+                    kinds: Some(vec![0, 0]),
+                },
+            ],
+            st: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_bundle_gets_a_stable_certificate() {
+        let v = Verifier::new();
+        let a = v.verify(&dc_bundle());
+        let b = v.verify(&dc_bundle());
+        assert!(a.is_clean(), "{a}");
+        assert_eq!(a.certificate, b.certificate);
+        assert!(a.certificate.is_some());
+        // Any content change moves the digest.
+        let mut tweaked = dc_bundle();
+        tweaked.threads[0].sites = Some(vec![1, 2]);
+        let c = v.verify(&tweaked);
+        assert!(c.is_clean());
+        assert_ne!(a.certificate, c.certificate);
+    }
+
+    #[test]
+    fn structural_matches_validate() {
+        let mut b = dc_bundle();
+        b.threads.pop();
+        let verr = b.validate().unwrap_err().to_string();
+        let report = Verifier::new().verify(&b);
+        assert_eq!(report.worst_tier(), Some(Tier::Structural));
+        assert!(
+            verr.contains(&report.diagnostics[0].message),
+            "{verr} vs {}",
+            report.diagnostics[0].message
+        );
+        assert!(report.certificate.is_none());
+    }
+
+    #[test]
+    fn permuted_dc_stream_is_an_ordering_error() {
+        // Swap one thread's values: same multiset per domain (structural
+        // passes) but the stream is no longer monotone.
+        let mut b = dc_bundle();
+        b.threads[1].values = vec![2, 1];
+        b.validate().unwrap();
+        let report = Verifier::new().verify(&b);
+        assert_eq!(report.worst_tier(), Some(Tier::Ordering), "{report}");
+        assert!(report.certificate.is_none());
+    }
+
+    #[test]
+    fn st_bundle_with_thread_values_is_an_ordering_error() {
+        let mut b = dc_bundle();
+        b.scheme = Scheme::St;
+        b.st = vec![crate::trace::StTrace {
+            tids: vec![0, 1, 0, 1],
+            sites: Some(vec![1; 4]),
+            kinds: Some(vec![0; 4]),
+        }];
+        // Leave the (now bogus) per-thread clock values in place.
+        let report = Verifier::new().verify(&b);
+        assert_eq!(report.worst_tier(), Some(Tier::Ordering), "{report}");
+    }
+
+    #[test]
+    fn unreachable_de_epoch_is_an_ordering_error() {
+        let mut b = dc_bundle();
+        b.scheme = Scheme::De;
+        // 4 records; epoch 9 can never be admitted.
+        b.threads[0].values = vec![0, 9];
+        let report = Verifier::new().verify(&b);
+        assert_eq!(report.worst_tier(), Some(Tier::Ordering), "{report}");
+    }
+
+    #[test]
+    fn cyclic_edges_are_an_ordering_error() {
+        let mut b = TraceBundle {
+            domains: 2,
+            threads: vec![
+                ThreadTrace {
+                    values: vec![0, 1],
+                    sites: None,
+                    kinds: None,
+                },
+                ThreadTrace::default(),
+                ThreadTrace {
+                    values: vec![0, 1],
+                    sites: None,
+                    kinds: None,
+                },
+                ThreadTrace::default(),
+            ],
+            ..dc_bundle()
+        };
+        b.edges = vec![
+            CrossDomainEdge {
+                domain: 0,
+                thread: 0,
+                seq: 0,
+                waits: vec![(1, 2)],
+            },
+            CrossDomainEdge {
+                domain: 1,
+                thread: 0,
+                seq: 0,
+                waits: vec![(0, 2)],
+            },
+        ];
+        b.validate().unwrap();
+        let report = Verifier::new().verify(&b);
+        assert_eq!(report.worst_tier(), Some(Tier::Ordering), "{report}");
+    }
+
+    #[test]
+    fn zero_window_checkpoint_is_an_ordering_error() {
+        let mut b = dc_bundle();
+        b.checkpoint = Some(Checkpoint {
+            base: vec![0],
+            floors: vec![],
+            window: 0,
+            trigger: DumpTrigger::Manual,
+        });
+        let report = Verifier::new().verify(&b);
+        assert_eq!(report.worst_tier(), Some(Tier::Ordering), "{report}");
+    }
+
+    #[test]
+    fn mismatched_plan_stamp_is_a_plan_error() {
+        // Two domains, validation columns present, every access's site
+        // routed by the stamped plan to domain 0 — but one access was
+        // recorded in domain 1.
+        let mut plan = DomainPlan::new(2);
+        plan.set(SiteId(1), 0);
+        plan.set(SiteId(2), 1);
+        let b = TraceBundle {
+            plan: Some(plan),
+            edges: vec![],
+            checkpoint: None,
+            scheme: Scheme::Dc,
+            nthreads: 1,
+            domains: 2,
+            threads: vec![
+                ThreadTrace {
+                    values: vec![0],
+                    sites: Some(vec![1]),
+                    kinds: Some(vec![AccessKind::Store.code()]),
+                },
+                ThreadTrace {
+                    values: vec![0],
+                    sites: Some(vec![1]), // site 1 belongs in domain 0!
+                    kinds: Some(vec![AccessKind::Store.code()]),
+                },
+            ],
+            st: vec![],
+        };
+        b.validate().unwrap();
+        let report = Verifier::new().verify(&b);
+        assert_eq!(report.worst_tier(), Some(Tier::Plan), "{report}");
+        let diag = report.errors().next().unwrap();
+        assert_eq!(diag.tier, Tier::Plan);
+        assert!(diag.message.contains("domain 0"), "{diag}");
+    }
+
+    #[test]
+    fn diagnostics_are_capped_per_check() {
+        // 100 mismatched accesses must not yield 100 diagnostics.
+        let sites: Vec<u64> = vec![2; 100]; // site 2 → domain 0 under %2
+        let values: Vec<u64> = (0..100).collect();
+        let kinds = vec![AccessKind::Store.code(); 100];
+        let b = TraceBundle {
+            plan: None,
+            edges: vec![],
+            checkpoint: None,
+            scheme: Scheme::Dc,
+            nthreads: 1,
+            domains: 2,
+            threads: vec![
+                ThreadTrace {
+                    values: vec![],
+                    sites: Some(vec![]),
+                    kinds: Some(vec![]),
+                },
+                ThreadTrace {
+                    values,
+                    sites: Some(sites),
+                    kinds: Some(kinds),
+                },
+            ],
+            st: vec![],
+        };
+        b.validate().unwrap();
+        let report = Verifier::new().verify(&b);
+        assert_eq!(report.worst_tier(), Some(Tier::Plan));
+        assert!(
+            report.diagnostics.len() <= MAX_DIAGS_PER_CHECK + 1,
+            "{} diagnostics",
+            report.diagnostics.len()
+        );
+    }
+
+    #[test]
+    fn tier_ordering_for_exit_codes() {
+        assert!(Tier::Structural < Tier::Ordering);
+        assert!(Tier::Ordering < Tier::Plan);
+    }
+}

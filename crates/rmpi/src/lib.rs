@@ -62,6 +62,7 @@ pub mod compress;
 pub mod mailbox;
 pub mod message;
 pub mod session;
+pub mod verify;
 pub mod world;
 
 pub use mailbox::Mailbox;
@@ -70,4 +71,5 @@ pub use session::{
     recv_site, waitany_site, MpiCheckpoint, MpiDivergence, MpiMode, MpiSession, MpiSessionConfig,
     MpiTrace, RecvEvent,
 };
+pub use verify::{verify_hybrid, MpiVerifier};
 pub use world::{RankCtx, Request, World};

@@ -291,6 +291,18 @@ impl MpiTrace {
         domain_of(self.domains, self.plan.as_ref(), site)
     }
 
+    /// The thread-session [`DomainPlan`] this trace's partition requires
+    /// of a hybrid run — the trace-side counterpart of
+    /// [`MpiSession::matching_thread_plan`]: the stamped plan when one
+    /// exists, else a bare plan whose hashed fallback matches the
+    /// trace's own fallback partition.
+    #[must_use]
+    pub fn matching_thread_plan(&self) -> DomainPlan {
+        self.plan
+            .clone()
+            .unwrap_or_else(|| DomainPlan::new(self.domains))
+    }
+
     /// Structural consistency check; run after decoding and before replay.
     pub fn validate(&self) -> Result<(), TraceError> {
         if self.domains == 0 {

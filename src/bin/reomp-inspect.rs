@@ -1,28 +1,100 @@
-//! `reomp-inspect` — command-line trace inspector.
+//! `reomp-inspect` — command-line trace inspector and verifier.
 //!
 //! ```text
 //! reomp-inspect <trace-dir>                 summary + epoch histogram
 //! reomp-inspect <trace-dir> --timeline [N]  first N accesses as lanes
 //! reomp-inspect <trace-dir> --diff <dir2>   first divergence between runs
 //! reomp-inspect <trace-dir> --window        flight-recorder window summary
+//! reomp-inspect <trace-dir> --verify        static replayability verification
 //! reomp-inspect --mpi <trace-dir>           rmpi (rank × domain) counts
+//! reomp-inspect --mpi <trace-dir> --verify  rmpi static verification
 //! ```
 //!
 //! `<trace-dir>` is a directory written by `DirStore` (one record file per
 //! thread plus `manifest.txt`), e.g. the `REOMP_DIR` of a record run —
 //! or, with `--mpi`, one written by `MpiTrace::save_dir` (one record file
-//! per rank × receive-order domain).
+//! per rank × receive-order domain). `--window` only applies to thread
+//! trace dirs; combine rmpi window inspection into the plain `--mpi`
+//! summary, which prints flight provenance when present.
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success (`--verify`: clean — certificate printed) |
+//! | 1 | cannot load the trace / `--diff` found a divergence / no window |
+//! | 2 | usage error |
+//! | 3 | `--verify`: structural corruption (bundle shape is wrong) |
+//! | 4 | `--verify`: ordering unsoundness (replay would deadlock/diverge) |
+//! | 5 | `--verify`: plan unsoundness (site partition loses ordering) |
 
 use reomp::core::analysis;
-use reomp::{DirStore, EpochHistogram, MpiTrace, TraceStore};
+use reomp::core::verify::Tier;
+use reomp::{DirStore, EpochHistogram, MpiTrace, TraceStore, Verifier, VerifyReport};
+use rmpi::MpiVerifier;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: reomp-inspect <trace-dir> [--timeline [N]] [--diff <trace-dir2>] \
+[--window] [--verify]
+       reomp-inspect --mpi <trace-dir> [--verify]
+
+subcommands
+  (none)       summary: records, domains, partition, flight provenance, epoch histogram
+  --timeline   render the first N accesses (default 40) as per-thread lanes
+  --diff       compare against a second trace dir; exit 1 on the first divergence
+  --window     flight-recorder breakdown (per-domain retained/evicted); thread dirs only,
+               not combinable with --mpi (the --mpi summary prints window provenance)
+  --verify     static replayability verification (structural/ordering/plan tiers);
+               prints the certificate on a clean trace
+  --mpi        treat <trace-dir> as an rmpi (rank × domain) receive-order trace
+
+exit codes
+  0  success; with --verify: all tiers clean, certificate printed
+  1  trace cannot be loaded (corrupt/missing), --diff divergence, or no flight window
+  2  usage error
+  3  --verify: structural corruption
+  4  --verify: ordering unsoundness
+  5  --verify: plan unsoundness";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: reomp-inspect <trace-dir> [--timeline [N]] [--diff <trace-dir2>] [--window]\n\
-         \x20      reomp-inspect --mpi <trace-dir>"
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
+}
+
+/// Map a verify report to the documented per-tier exit code and print it.
+fn report_exit(report: &VerifyReport) -> ExitCode {
+    print!("{report}");
+    match report.worst_tier() {
+        None => ExitCode::SUCCESS,
+        Some(Tier::Structural) => ExitCode::from(3),
+        Some(Tier::Ordering) => ExitCode::from(4),
+        Some(Tier::Plan) => ExitCode::from(5),
+    }
+}
+
+/// `--verify` on a thread trace: the core tiers, then — when the bundle
+/// carries validation columns and is otherwise clean — the offline race
+/// sweep plus the static plan-soundness analysis folded into the same
+/// report.
+fn verify_bundle(bundle: &reomp::TraceBundle) -> ExitCode {
+    let mut report = Verifier::new().verify(bundle);
+    if report.is_clean() && bundle.has_validation() {
+        match racedet::offline_report(bundle) {
+            Ok(races) => {
+                if !races.races.is_empty() {
+                    println!(
+                        "offline race sweep: {} race(s) on {} site(s) across {} events",
+                        races.races.len(),
+                        races.racy_sites().len(),
+                        races.events_analysed
+                    );
+                }
+                report.absorb(racedet::plan_soundness_diagnostics(bundle, &races));
+            }
+            Err(e) => eprintln!("reomp-inspect: offline race sweep skipped: {e}"),
+        }
+    }
+    report_exit(&report)
 }
 
 /// Flight-recorder provenance: where the retained window starts and why
@@ -67,7 +139,7 @@ fn inspect_window(bundle: &reomp::TraceBundle) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn inspect_mpi(dir: &str) -> ExitCode {
+fn inspect_mpi(dir: &str, verify: bool) -> ExitCode {
     let trace = match MpiTrace::load_dir(std::path::Path::new(dir)) {
         Ok(t) => t,
         Err(e) => {
@@ -75,6 +147,9 @@ fn inspect_mpi(dir: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if verify {
+        return report_exit(&MpiVerifier::new().verify(&trace));
+    }
     println!(
         "rmpi trace: {} ranks × {} domain(s), {} receives, {} waitany",
         trace.nranks(),
@@ -120,7 +195,11 @@ fn main() -> ExitCode {
         let Some(dir) = args.get(1) else {
             return usage();
         };
-        return inspect_mpi(dir);
+        return match args.get(2).map(String::as_str) {
+            None => inspect_mpi(dir, false),
+            Some("--verify") => inspect_mpi(dir, true),
+            Some(_) => usage(),
+        };
     }
     let Some(dir) = args.first() else {
         return usage();
@@ -170,6 +249,7 @@ fn main() -> ExitCode {
             println!("{hist}");
             ExitCode::SUCCESS
         }
+        Some("--verify") => verify_bundle(&bundle),
         Some("--window") => inspect_window(&bundle),
         Some("--timeline") => {
             let n = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(40usize);

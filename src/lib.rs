@@ -24,10 +24,13 @@ pub use reomp_core as core;
 pub use rmpi;
 
 pub use reomp_core::{
-    install_panic_dump, AccessKind, Checkpoint, CrossDomainEdge, DirStore, Divergence, DomainPlan,
-    DumpTrigger, EpochHistogram, EpochPolicy, FlightRecorder, FlightSink, IoReport, MemStore, Mode,
-    RecordOptions, RecordSink, ReplayError, Scheme, Session, SessionConfig, SessionReport, SiteId,
-    StreamingTraceStore, ThreadCtx, TraceBundle, TraceError, TraceStore, TraceWriter,
+    install_panic_dump, AccessKind, Certificate, Checkpoint, CrossDomainEdge, Diagnostic, DirStore,
+    Divergence, DomainPlan, DumpTrigger, EpochHistogram, EpochPolicy, FlightRecorder, FlightSink,
+    IoReport, MemStore, Mode, RecordOptions, RecordSink, ReplayError, Scheme, Session,
+    SessionConfig, SessionReport, Severity, SiteId, StreamingTraceStore, ThreadCtx, Tier,
+    TraceBundle, TraceError, TraceStore, TraceWriter, Verifier, VerifyReport,
 };
 
-pub use rmpi::{MpiCheckpoint, MpiDivergence, MpiMode, MpiSession, MpiSessionConfig, MpiTrace};
+pub use rmpi::{
+    MpiCheckpoint, MpiDivergence, MpiMode, MpiSession, MpiSessionConfig, MpiTrace, MpiVerifier,
+};
