@@ -51,6 +51,10 @@ impl AtomicF64 {
     /// Atomic read-modify-write with an arbitrary pure function; returns
     /// the previous value.
     pub fn fetch_update(&self, order: Ordering, f: impl Fn(f64) -> f64) -> f64 {
+        // ORDERING: standard CAS-loop idiom — the Relaxed initial load and
+        // Relaxed CAS-failure load are mere hints for the next attempt (a
+        // stale value just retries); all synchronization is carried by the
+        // caller-chosen `order` on the successful exchange.
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = f(f64::from_bits(cur)).to_bits();

@@ -11,6 +11,11 @@
 //! instrument each instruction with `AccessKind::Load`/`Store`, the only
 //! kinds eligible for DE epoch sharing (Condition 1).
 
+// ORDERING(file): deliberately-relaxed cells — this module *is* the
+// benign-racy test subject. The record/replay gate around each access is
+// what constrains the interleaving; the atomics only exist to make the C
+// idiom expressible without UB, and any added ordering would mask the
+// very reorderings the recorder must capture.
 use reomp_core::SiteId;
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -8,6 +8,10 @@
 //! scientists in §II-A suffered from — so the combine is gated with
 //! [`reomp_core::AccessKind::Reduction`] and replays in recorded order.
 
+// ORDERING(file): the relaxed atomics here are thread-private partials
+// and diagnostic counters. Partials are only combined inside a gated
+// region (the reomp gate's lock provides the ordering); counters are read
+// after the parallel region's join barrier.
 use crate::atomic::AtomicF64;
 use reomp_core::SiteId;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};

@@ -49,12 +49,17 @@ impl SharedVec {
     #[inline]
     #[must_use]
     pub fn get(&self, i: usize) -> f64 {
+        // ORDERING: phase-disjoint ownership — within a phase each element
+        // has one owner, and cross-phase visibility comes from the
+        // region's barrier/join, not from the element atomics. Relaxed
+        // keeps the benign-race semantics the recorder is meant to gate.
         f64::from_bits(self.bits[i].load(Ordering::Relaxed))
     }
 
     /// Write element `i` (caller guarantees phase-disjoint ownership).
     #[inline]
     pub fn set(&self, i: usize, v: f64) {
+        // ORDERING: as in `get` — ownership and barriers order accesses.
         self.bits[i].store(v.to_bits(), Ordering::Relaxed);
     }
 

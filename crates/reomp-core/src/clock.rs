@@ -2,10 +2,10 @@
 //! (replay side) of DC/DE recording (paper Fig. 5).
 
 use crate::error::ReplayError;
+use crate::shim::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::site::SiteId;
 use crate::stats::Stats;
 use crate::sync::{SpinConfig, SpinWait};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// The record-side `global_clock` of Fig. 5 line 22.
 ///

@@ -1,5 +1,10 @@
 //! Epoch assignment for DE recording (paper §IV-D, Table V).
 //!
+//! Concurrency note: the tracker is pure data mutated only under the
+//! domain's gate lock (`RawLocked` in `session.rs`), so it needs no
+//! `crate::shim` seam — the model checker exercises it through the gate
+//! engines, where the lock itself is the scheduling point.
+//!
 //! # The rule
 //!
 //! Every gated access receives a global clock `c`. DE recording writes

@@ -42,11 +42,11 @@
 
 use crate::error::TraceError;
 use crate::plan::DomainPlan;
+use crate::shim::atomic::{AtomicU64, Ordering};
+use crate::shim::Mutex;
 use crate::store::{check_columns, IoReport, RecordOptions, RecordSink, StreamingTraceStore};
 use crate::trace::{Checkpoint, CrossDomainEdge, DumpTrigger};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default retained window (chunks per stream) when `REOMP_FLIGHT` is set

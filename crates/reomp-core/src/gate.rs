@@ -39,10 +39,10 @@
 use crate::error::{Divergence, ReplayError};
 use crate::history::AccessRecord;
 use crate::session::{RecEntry, Session, TID_EXHAUSTED, TID_NONE};
+use crate::shim::atomic::Ordering;
 use crate::site::{AccessKind, SiteId};
 use crate::sync::SpinWait;
 use crate::Scheme;
-use std::sync::atomic::Ordering;
 
 /// Record-mode `gate_in`: acquire domain `dom`'s gate lock `L`
 /// (`set_lock(L)`, Fig. 4 line 1 / Fig. 5 line 20).
@@ -101,6 +101,10 @@ pub(crate) fn record_out(
     // pending edge as `(anchor seq, wait snapshot)`.
     let stamp_clocked = |clock: u64| -> Option<(u64, Vec<u64>)> {
         let counts = wants_edge.then(|| edge_counts(session)).flatten();
+        // ORDERING: `seqs[tid]` is only ever advanced by its owning thread
+        // (it is that thread's record count); cross-thread readers observe
+        // it through the `published` Release store below, so the RMW
+        // itself needs no ordering.
         let seq = drec.seqs[tid as usize].fetch_add(1, Ordering::Relaxed);
         drec.published.store(clock + 1, Ordering::Release);
         counts.map(|c| (seq, c))
@@ -212,7 +216,7 @@ pub(crate) fn record_out(
                     }
                     let floor = tracker.min_pending_clock().unwrap_or(clock + 1);
                     rec.stream.as_ref().expect("streaming state").floors[dom as usize]
-                        .store(floor, std::sync::atomic::Ordering::Release);
+                        .store(floor, Ordering::Release);
                 }
                 // SAFETY: paired with the `record_in` lock.
                 unsafe { drec.gate.unlock() };
@@ -332,6 +336,10 @@ fn replay_in_st(
             });
         }
         if next == tid {
+            // ORDERING: the reader stored `st_pos` (and site/kind below)
+            // before publishing `next_tid` with Release; the Acquire load
+            // of `next_tid` above already ordered those writes before us,
+            // so these follow-up loads can be Relaxed.
             let seq = drep.st_pos.load(Ordering::Relaxed).saturating_sub(1) as u64;
             // Enforce any cross-domain edge anchored at this stream
             // position before entering the region.
@@ -340,6 +348,8 @@ fn replay_in_st(
             // published record before entering the region.
             if session.cfg.validate_sites && st.sites.is_some() {
                 session.stats.bump_validate();
+                // ORDERING: covered by the `next_tid` Acquire above
+                // (see the `st_pos` justification).
                 let recorded_site = SiteId(drep.next_site.load(Ordering::Relaxed));
                 let recorded_kind =
                     AccessKind::from_code(drep.next_kind.load(Ordering::Relaxed) as u8);
@@ -372,6 +382,10 @@ fn replay_in_st(
         // baton; it stays locked until the *replayed* thread's gate_out.
         if drep.baton.try_acquire() {
             session.stats.bump_lock();
+            // ORDERING: `st_pos` is only written while holding the baton;
+            // winning `try_acquire` (Acquire CAS) synchronized with the
+            // previous holder's Release, so this Relaxed load sees the
+            // latest position.
             let pos = drep.st_pos.load(Ordering::Relaxed);
             if pos >= st.len() {
                 // More accesses are being attempted than were recorded.
@@ -383,6 +397,9 @@ fn replay_in_st(
                 });
             }
             let next_tid = st.tids[pos];
+            // ORDERING: these stores are published to other threads by the
+            // `next_tid` Release store below ("publish last"); until then
+            // only the baton holder touches them, so they can be Relaxed.
             if let Some(sites) = &st.sites {
                 drep.next_site.store(sites[pos], Ordering::Relaxed);
             }
@@ -422,6 +439,9 @@ fn replay_in_distributed(
 
     // Fig. 5 line 31: read the next clock/epoch from the thread's own file
     // for this domain.
+    // ORDERING: `cursors[tid]` is the thread's private position in its own
+    // per-thread trace; no other thread reads or writes it, so the RMW is
+    // just a counter bump.
     let pos = drep.cursors[tid as usize].fetch_add(1, Ordering::Relaxed);
     if pos >= trace.len() {
         return Err(ReplayError::TraceExhausted {

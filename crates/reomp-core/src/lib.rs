@@ -110,6 +110,7 @@ pub mod gate;
 pub mod history;
 pub mod plan;
 pub mod session;
+pub(crate) mod shim;
 pub mod site;
 pub mod stats;
 pub mod store;

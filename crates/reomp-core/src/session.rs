@@ -72,6 +72,8 @@ use crate::flight::{FlightRecorder, FlightSink, DEFAULT_WINDOW};
 use crate::gate;
 use crate::history::{AccessRecord, HistoryRing};
 use crate::plan::DomainPlan;
+use crate::shim::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::shim::Mutex;
 use crate::site::{AccessKind, SiteId};
 use crate::stats::{EpochHistogram, Stats, StatsSnapshot};
 use crate::store::{
@@ -79,9 +81,8 @@ use crate::store::{
 };
 use crate::sync::{BatonLock, RawLocked, SpinConfig};
 use crate::trace::{CrossDomainEdge, DumpTrigger, StTrace, ThreadTrace, TraceBundle};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -1242,6 +1243,10 @@ impl Session {
         let Some(stream) = rec.stream.as_ref() else {
             return;
         };
+        // ORDERING: `failed` is a sticky go/no-go hint; a stale `false`
+        // only means one more flush attempt whose error is latched again
+        // under `error`'s mutex, and a stale `true` skips work that would
+        // be discarded anyway. Nothing is published through this flag.
         if stream.failed.load(Ordering::Relaxed) {
             return;
         }

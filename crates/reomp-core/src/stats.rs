@@ -7,6 +7,10 @@
 //! [`EpochHistogram`] reproduces the Fig. 20 analysis (number of occurrences
 //! of each epoch size and the fraction of epochs with size > 1).
 
+// ORDERING(file): every atomic in this module is a monotonic diagnostic
+// counter. Counters are bumped with relaxed RMWs (atomicity is all they
+// need — nothing is published through them) and read by `snapshot` after
+// the run's threads have been joined, which is the synchronization edge.
 use crate::site::AccessKind;
 use crate::trace::TraceBundle;
 use std::collections::BTreeMap;

@@ -652,6 +652,9 @@ impl RecordSink for MemRecordSink {
         let stream = &self.streams[self.stream_index(dom, tid)?];
         let chunk = codec::encode_thread_chunk_opt(values, sites, kinds, self.opts.compress);
         stream.lock().extend_from_slice(&chunk);
+        // ORDERING: diagnostic chunk counter; readers only consume it in
+        // the commit report after all appenders are done (joined threads),
+        // so no ordering is carried through it.
         self.chunks.fetch_add(1, Ordering::Relaxed);
         Ok(chunk.len() as u64)
     }
@@ -670,6 +673,7 @@ impl RecordSink for MemRecordSink {
             .ok_or_else(|| TraceError::Corrupt(format!("no st stream for domain {dom}")))?;
         let chunk = codec::encode_st_chunk_opt(tids, sites, kinds, self.opts.compress);
         stream.lock().extend_from_slice(&chunk);
+        // ORDERING: diagnostic chunk counter (see `append_thread_chunk`).
         self.chunks.fetch_add(1, Ordering::Relaxed);
         Ok(chunk.len() as u64)
     }
@@ -719,6 +723,8 @@ impl RecordSink for MemRecordSink {
                 b
             })
             .collect();
+        // ORDERING: read after every appending thread has been joined
+        // (commit consumes `self`); the join is the synchronization.
         report.chunks = self.chunks.load(Ordering::Relaxed);
         let plan = self.plan.into_inner().map(|p| {
             let b = codec::encode_plan(&p).to_vec();

@@ -17,12 +17,13 @@
 //!   plus an `UnsafeCell` for the guarded state.
 
 use crate::error::ReplayError;
+use crate::shim::atomic::{AtomicBool, Ordering};
+use crate::shim::Instant;
 use crate::site::SiteId;
 use parking_lot::lock_api::RawMutex as _;
 use parking_lot::RawMutex;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A test-and-test-and-set lock that may be released by a thread other than
 /// the one that acquired it.
@@ -50,6 +51,13 @@ impl BatonLock {
     #[inline]
     pub fn try_acquire(&self) -> bool {
         // Test-and-test-and-set: avoid hammering the cache line with RMWs.
+        // ORDERING: the Relaxed pre-check is a pure contention filter — a
+        // stale `false` only means we attempt the CAS and lose it; a stale
+        // `true` only delays this acquirer by one retry. All
+        // synchronization (pairing with the releasing thread's Release
+        // swap) rides on the CAS's Acquire success ordering. The CAS
+        // failure load is Relaxed for the same reason: a failed acquire
+        // publishes nothing and reads nothing protected.
         !self.locked.load(Ordering::Relaxed)
             && self
                 .locked
@@ -76,9 +84,15 @@ impl BatonLock {
     }
 
     /// Whether the baton is currently held.
+    ///
+    /// Diagnostic only: the answer may be stale by the time the caller
+    /// looks at it, so no protocol decision may be based on it.
     #[inline]
     #[must_use]
     pub fn is_locked(&self) -> bool {
+        // ORDERING: Relaxed is sufficient for a point-in-time diagnostic
+        // read; it orders nothing and the gate engines never branch their
+        // hand-off protocol on it (they use `try_acquire`'s CAS).
         self.locked.load(Ordering::Relaxed)
     }
 }
@@ -136,6 +150,13 @@ impl<'a> SpinWait<'a> {
 
     /// One wait step. Returns an error once the watchdog expires;
     /// `thread`, `site`, `waiting_for` and `observed` feed the diagnostic.
+    ///
+    /// The yield/watchdog cadence is `spin_hints` clamped to `1..=4096`:
+    /// an over-large hint count must degrade throughput, never disable the
+    /// watchdog (a `spin_hints: u32::MAX` config used to spin ~4 billion
+    /// iterations before the *first* timeout check — and because the
+    /// timeout clock also started at the first yield, the watchdog was
+    /// effectively unreachable).
     #[inline]
     pub fn step(
         &mut self,
@@ -144,14 +165,16 @@ impl<'a> SpinWait<'a> {
         waiting_for: u64,
         observed: impl Fn() -> u64,
     ) -> Result<(), ReplayError> {
+        // Start the clock at the first step, not the first yield, so the
+        // watchdog measures the whole wait.
+        let started = *self.started.get_or_insert_with(Instant::now);
         self.iters += 1;
         if self
             .iters
-            .is_multiple_of(u64::from(self.cfg.spin_hints.max(1)))
+            .is_multiple_of(u64::from(self.cfg.spin_hints.clamp(1, 4096)))
         {
-            std::thread::yield_now();
+            crate::shim::yield_now();
             if let Some(limit) = self.cfg.timeout {
-                let started = *self.started.get_or_insert_with(Instant::now);
                 if started.elapsed() > limit {
                     return Err(ReplayError::Timeout {
                         thread,
@@ -162,7 +185,7 @@ impl<'a> SpinWait<'a> {
                 }
             }
         } else {
-            std::hint::spin_loop();
+            crate::shim::spin_loop();
         }
         Ok(())
     }
@@ -179,6 +202,13 @@ impl<'a> SpinWait<'a> {
 /// the state and unlocks.
 pub(crate) struct RawLocked<T> {
     raw: RawMutex,
+    /// Model-checker seam: when the lock is created inside a
+    /// `shuttle::check` execution, acquire/release route through the model
+    /// scheduler (so the gate bracket is explored as a scheduling point)
+    /// and `raw` is never touched. Outside a model, `acquire`/`release`
+    /// return `false` and the `RawMutex` does its usual job.
+    #[cfg(any(reomp_model, feature = "model"))]
+    model: shuttle::sync::RawLock,
     cell: UnsafeCell<T>,
 }
 
@@ -193,12 +223,18 @@ impl<T> RawLocked<T> {
     pub(crate) fn new(value: T) -> Self {
         RawLocked {
             raw: RawMutex::INIT,
+            #[cfg(any(reomp_model, feature = "model"))]
+            model: shuttle::sync::RawLock::new(),
             cell: UnsafeCell::new(value),
         }
     }
 
     /// Acquire the lock (blocking). This is `set_lock(L)` of Figs. 4/5.
     pub(crate) fn lock(&self) {
+        #[cfg(any(reomp_model, feature = "model"))]
+        if self.model.acquire() {
+            return;
+        }
         self.raw.lock();
     }
 
@@ -207,6 +243,10 @@ impl<T> RawLocked<T> {
     /// # Safety
     /// The calling thread must currently hold the lock via [`Self::lock`].
     pub(crate) unsafe fn unlock(&self) {
+        #[cfg(any(reomp_model, feature = "model"))]
+        if self.model.release() {
+            return;
+        }
         // SAFETY: forwarded contract — caller holds the lock.
         unsafe { self.raw.unlock() }
     }
@@ -330,6 +370,32 @@ mod tests {
             other => panic!("expected timeout, got {other}"),
         }
         assert!(w.iterations() > 0);
+    }
+
+    #[test]
+    fn spin_wait_watchdog_survives_huge_spin_hints() {
+        // Regression: the yield/watchdog cadence used to be the raw
+        // `spin_hints`, so `u32::MAX` postponed the first timeout check by
+        // ~4 billion iterations — and the timeout clock, started lazily at
+        // the first yield, never started at all. The wait below must time
+        // out promptly instead of hanging.
+        let cfg = SpinConfig {
+            spin_hints: u32::MAX,
+            timeout: Some(Duration::from_millis(20)),
+        };
+        let mut w = SpinWait::new(&cfg);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let err = loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "watchdog never fired with huge spin_hints"
+            );
+            match w.step(1, SiteId(2), 7, || 0) {
+                Ok(()) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, ReplayError::Timeout { .. }));
     }
 
     #[test]

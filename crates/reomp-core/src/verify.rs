@@ -2,7 +2,7 @@
 //! user code executed — that a [`TraceBundle`] is replayable.
 //!
 //! The [`Verifier`] reconstructs the happens-before structure a replay
-//! would enforce (per-domain clocks, [`CrossDomainEdge`] waits,
+//! would enforce (per-domain clocks, [`CrossDomainEdge`](crate::CrossDomainEdge) waits,
 //! [`Checkpoint`](crate::trace::Checkpoint) bases) and emits a
 //! [`VerifyReport`] of tiered [`Diagnostic`]s:
 //!

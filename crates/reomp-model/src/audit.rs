@@ -1,0 +1,239 @@
+//! Memory-ordering audit lint.
+//!
+//! A source-level scan over `reomp-core` and `ompr`: every
+//! `Ordering::Relaxed` site in non-test code must carry an adjacent
+//! `// ORDERING:` comment justifying why relaxed is sufficient, and every
+//! `unsafe` site must carry an adjacent safety comment. The lint keeps the
+//! justifications from rotting — a new relaxed atomic can't land without
+//! an argument, and the argument sits next to the code it defends.
+//!
+//! Rules, in order:
+//!
+//! * A file containing `ORDERING(file):` anywhere is exempt from the
+//!   `Relaxed` rule (used for files of diagnostic-only counters where a
+//!   single file-level argument covers every site).
+//! * Lines inside the trailing `#[cfg(test)]` region of a file are
+//!   skipped — tests may use relaxed counters freely.
+//! * Comment lines themselves are never flagged (mentioning
+//!   `Ordering::Relaxed` in prose is fine).
+//! * Otherwise a line containing `Ordering::Relaxed` must have a comment
+//!   containing `ORDERING:` on the same line or within the
+//!   [`JUSTIFICATION_WINDOW`] preceding lines.
+//! * A line containing the `unsafe` keyword must likewise have a comment
+//!   containing `safety` (case-insensitive) nearby, mirroring clippy's
+//!   `undocumented_unsafe_blocks` but applied to our window so the audit
+//!   and the ordering rule read the same way.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How many preceding lines may hold the justification comment.
+pub const JUSTIFICATION_WINDOW: usize = 10;
+
+/// One unjustified site.
+#[derive(Debug, Clone)]
+pub struct AuditFinding {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub text: String,
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.text.trim()
+        )
+    }
+}
+
+/// The source roots the lint covers: `reomp-core/src` and `ompr/src`,
+/// resolved relative to this crate's manifest so the lint works from any
+/// working directory.
+#[must_use]
+pub fn default_roots() -> Vec<PathBuf> {
+    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let crates = here.parent().expect("crates dir").to_path_buf();
+    vec![crates.join("reomp-core/src"), crates.join("ompr/src")]
+}
+
+/// Scan the default roots; return every unjustified site.
+#[must_use]
+pub fn audit_workspace() -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+    for root in default_roots() {
+        audit_tree(&root, &mut findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+fn audit_tree(root: &Path, findings: &mut Vec<AuditFinding>) {
+    let entries = std::fs::read_dir(root)
+        .unwrap_or_else(|e| panic!("audit: cannot read {}: {e}", root.display()));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            audit_tree(&path, findings);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("audit: cannot read {}: {e}", path.display()));
+            audit_source(&path, &text, findings);
+        }
+    }
+}
+
+/// Lint one file's source text.
+pub fn audit_source(path: &Path, text: &str, findings: &mut Vec<AuditFinding>) {
+    let file_exempt = text.contains("ORDERING(file):");
+    let lines: Vec<&str> = text.lines().collect();
+    let test_region_start = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+
+    for (idx, line) in lines.iter().enumerate().take(test_region_start) {
+        if is_comment_line(line) {
+            continue;
+        }
+        if !file_exempt
+            && line.contains("Ordering::Relaxed")
+            && !justified(&lines, idx, |c| c.contains("ORDERING:"))
+        {
+            findings.push(AuditFinding {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                rule: "Ordering::Relaxed without an adjacent `// ORDERING:` justification",
+                text: (*line).to_string(),
+            });
+        }
+        if mentions_unsafe(line) && !justified(&lines, idx, |c| c.to_lowercase().contains("safety"))
+        {
+            findings.push(AuditFinding {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                rule: "`unsafe` without an adjacent safety comment",
+                text: (*line).to_string(),
+            });
+        }
+    }
+}
+
+/// A justification counts if it appears in comment text on the flagged
+/// line or any of the [`JUSTIFICATION_WINDOW`] preceding lines.
+fn justified(lines: &[&str], idx: usize, pred: impl Fn(&str) -> bool) -> bool {
+    let start = idx.saturating_sub(JUSTIFICATION_WINDOW);
+    lines[start..=idx]
+        .iter()
+        .any(|l| comment_text(l).is_some_and(&pred))
+}
+
+fn is_comment_line(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("/*") || t.starts_with('*')
+}
+
+/// The comment portion of a line, if any (line comments and doc comments;
+/// block comments are treated as whole-line via `is_comment_line`).
+fn comment_text(line: &str) -> Option<&str> {
+    let t = line.trim_start();
+    if t.starts_with("//") || t.starts_with("/*") || t.starts_with('*') {
+        return Some(t);
+    }
+    line.find("//").map(|pos| &line[pos..])
+}
+
+/// `unsafe` as a keyword, not as a substring of an identifier or string.
+fn mentions_unsafe(line: &str) -> bool {
+    let code = match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    };
+    code.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .any(|tok| tok == "unsafe")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> Vec<AuditFinding> {
+        let mut findings = Vec::new();
+        audit_source(Path::new("mem.rs"), text, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_bare_relaxed() {
+        let f = run("fn f(x: &AtomicU64) -> u64 {\n    x.load(Ordering::Relaxed)\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn accepts_adjacent_justification() {
+        let f = run(
+            "fn f(x: &AtomicU64) -> u64 {\n    // ORDERING: diagnostic counter only.\n    x.load(Ordering::Relaxed)\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn justification_window_is_bounded() {
+        let pad = "    let _ = 0;\n".repeat(JUSTIFICATION_WINDOW + 1);
+        let text = format!("// ORDERING: too far away.\n{pad}    x.load(Ordering::Relaxed);\n");
+        assert_eq!(run(&text).len(), 1);
+    }
+
+    #[test]
+    fn file_escape_covers_every_site() {
+        let f = run("// ORDERING(file): counters only.\nx.load(Ordering::Relaxed);\ny.store(1, Ordering::Relaxed);\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_region_is_skipped() {
+        let f = run("fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(x: &AtomicU64) { x.load(Ordering::Relaxed); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn comment_mentions_are_not_flagged() {
+        let f =
+            run("// A note about Ordering::Relaxed semantics.\n/// Doc: unsafe is spelled out.\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let f = run("fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n");
+        assert_eq!(f.len(), 1);
+        let ok = run("fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn unsafe_substring_in_identifier_is_ignored() {
+        let f = run("fn not_unsafe_name() { let unsafety = 1; let _ = unsafety; }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn real_tree_is_clean() {
+        let findings = audit_workspace();
+        assert!(
+            findings.is_empty(),
+            "memory-ordering audit failed:\n{}",
+            findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

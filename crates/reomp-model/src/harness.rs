@@ -1,0 +1,473 @@
+//! Model-checking harnesses over the real gate primitives.
+//!
+//! Every harness is a pure function `Config -> Report`: it runs
+//! [`shuttle::check`] over a small closed scenario and returns the
+//! exploration report. A correct primitive yields `report.violation ==
+//! None`; a violation carries a replayable witness and the granted-op
+//! trace of the failing schedule.
+//!
+//! The scenarios are deliberately tiny (2–3 threads, a handful of
+//! operations each): the point is not load, it is *coverage* — DFS visits
+//! every interleaving the dependence relation distinguishes, including
+//! stale `Relaxed` reads from shuttle's per-location store buffers.
+
+use reomp_core::clock::Turnstile;
+use reomp_core::stats::Stats;
+use reomp_core::sync::{BatonLock, SpinConfig};
+use reomp_core::{
+    AccessKind, DumpTrigger, FlightRecorder, FlightSink, MemStore, RecordOptions, RecordSink,
+    Scheme, Session, SessionConfig, SiteId, TraceStore,
+};
+use shuttle::sync::atomic::{AtomicU64, Ordering};
+use shuttle::sync::Mutex;
+use shuttle::{Config, Report};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Baton-like hand-off surface, so the same harness checks the real
+/// [`BatonLock`] and the seeded mutants in [`crate::mutants`].
+pub trait BatonApi: Send + Sync + 'static {
+    /// Non-blocking acquire; `true` on success.
+    fn try_acquire(&self) -> bool;
+    /// Release (any thread may call it; must panic on double release).
+    fn release(&self);
+}
+
+impl BatonApi for BatonLock {
+    fn try_acquire(&self) -> bool {
+        BatonLock::try_acquire(self)
+    }
+    fn release(&self) {
+        BatonLock::release(self);
+    }
+}
+
+/// Turnstile-like admission surface for the real [`Turnstile`] and its
+/// mutants. Waits are infallible here: harness configs keep the watchdog
+/// generous enough that a timeout would itself be a bug.
+pub trait TurnstileApi: Send + Sync + 'static {
+    /// Block until exactly `clock` accesses completed (DC admission).
+    fn wait_exact(&self, clock: u64);
+    /// Block until at least `epoch` accesses completed (DE admission).
+    fn wait_at_least(&self, epoch: u64);
+    /// Complete one access.
+    fn advance(&self);
+}
+
+/// The real turnstile plus the spin policy and stats its waits need.
+pub struct RealTurnstile {
+    turnstile: Turnstile,
+    spin: SpinConfig,
+    stats: Stats,
+}
+
+impl RealTurnstile {
+    /// A turnstile with a model-friendly spin policy: tight yield cadence
+    /// (every parked step advances virtual time) and a watchdog far above
+    /// any legal wait in these scenarios.
+    #[must_use]
+    pub fn new() -> Self {
+        RealTurnstile {
+            turnstile: Turnstile::new(),
+            spin: SpinConfig {
+                spin_hints: 1,
+                timeout: Some(Duration::from_millis(200)),
+            },
+            stats: Stats::new(),
+        }
+    }
+}
+
+impl Default for RealTurnstile {
+    fn default() -> Self {
+        RealTurnstile::new()
+    }
+}
+
+impl TurnstileApi for RealTurnstile {
+    fn wait_exact(&self, clock: u64) {
+        self.turnstile
+            .wait_exact(clock, 0, SiteId(1), &self.spin, &self.stats)
+            .expect("turnstile wait failed");
+    }
+    fn wait_at_least(&self, epoch: u64) {
+        self.turnstile
+            .wait_at_least(epoch, 0, SiteId(1), &self.spin, &self.stats)
+            .expect("turnstile wait failed");
+    }
+    fn advance(&self) {
+        self.turnstile.advance(&self.stats);
+    }
+}
+
+/// ST hand-off purity: two threads funnel increments of a deliberately
+/// non-atomic (load-then-store, `Relaxed`) counter through the baton. The
+/// baton's Acquire CAS / Release swap must make every critical section
+/// see its predecessor's writes — any weakening loses an update.
+pub fn baton_handoff<B: BatonApi>(
+    make: impl Fn() -> B + Send + Sync + 'static,
+    cfg: &Config,
+) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let baton = Arc::new(make());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let baton = Arc::clone(&baton);
+                let counter = Arc::clone(&counter);
+                shuttle::thread::spawn(move || {
+                    while !baton.try_acquire() {
+                        shuttle::hint::spin_loop();
+                    }
+                    // The paper's gated region: a benign-racy increment
+                    // that is only correct because the baton orders it.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    baton.release();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            2,
+            "lost update through the baton hand-off"
+        );
+    })
+}
+
+/// Double-release detection: releasing a free baton must panic in every
+/// schedule (the protocol-violation guard ST replay depends on), and the
+/// panic must not corrupt the baton.
+pub fn baton_double_release<B: BatonApi>(
+    make: impl Fn() -> B + Send + Sync + 'static,
+    cfg: &Config,
+) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let baton = Arc::new(make());
+        assert!(baton.try_acquire());
+        baton.release();
+        let b = Arc::clone(&baton);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || b.release()));
+        assert!(
+            caught.is_err(),
+            "double release must panic, not silently clear the baton"
+        );
+        assert!(baton.try_acquire(), "baton unusable after double release");
+        baton.release();
+    })
+}
+
+/// Racing releases: with the baton held once, two concurrent `release`
+/// calls must resolve to exactly one success and one panic in **every**
+/// interleaving — the reason the check is a `swap`, not load-then-store.
+pub fn baton_racing_releases<B: BatonApi>(
+    make: impl Fn() -> B + Send + Sync + 'static,
+    cfg: &Config,
+) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let baton = Arc::new(make());
+        assert!(baton.try_acquire());
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&baton);
+                shuttle::thread::spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.release())).is_ok()
+                })
+            })
+            .collect();
+        let successes = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&ok| ok)
+            .count();
+        assert_eq!(
+            successes, 1,
+            "exactly one of two racing releases may succeed"
+        );
+    })
+}
+
+/// DC admission order ≡ recorded clocks: three waiters with clocks 2, 1, 0
+/// must complete in clock order no matter how they are scheduled.
+pub fn turnstile_admit_order<T: TurnstileApi>(
+    make: impl Fn() -> T + Send + Sync + 'static,
+    cfg: &Config,
+) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let t = Arc::new(make());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = [2u64, 1, 0]
+            .into_iter()
+            .map(|clock| {
+                let t = Arc::clone(&t);
+                let order = Arc::clone(&order);
+                shuttle::thread::spawn(move || {
+                    t.wait_exact(clock);
+                    order.lock().push(clock);
+                    t.advance();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            *order.lock(),
+            vec![0, 1, 2],
+            "DC turnstile admitted out of clock order"
+        );
+    })
+}
+
+/// DE epoch-group admission: two epoch-0 accesses are admitted in either
+/// order, but the epoch-2 access only after both completed.
+pub fn turnstile_epoch_group<T: TurnstileApi>(
+    make: impl Fn() -> T + Send + Sync + 'static,
+    cfg: &Config,
+) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let t = Arc::new(make());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = [(0u64, 'a'), (0, 'b'), (2, 'c')]
+            .into_iter()
+            .map(|(epoch, tag)| {
+                let t = Arc::clone(&t);
+                let order = Arc::clone(&order);
+                shuttle::thread::spawn(move || {
+                    t.wait_at_least(epoch);
+                    order.lock().push(tag);
+                    t.advance();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order: Vec<char> = order.lock().clone();
+        assert_eq!(order.len(), 3);
+        assert_eq!(
+            order[2], 'c',
+            "epoch-2 access admitted before its group completed: {order:?}"
+        );
+    })
+}
+
+/// Turnstile hand-off visibility: data written (Relaxed) before `advance`
+/// must be visible to the waiter it admits. The AcqRel `fetch_add` in
+/// `advance` paired with the Acquire load in the wait loop is what carries
+/// the edge — a relaxed mutant lets the waiter read stale data.
+pub fn turnstile_handoff_visibility<T: TurnstileApi>(
+    make: impl Fn() -> T + Send + Sync + 'static,
+    cfg: &Config,
+) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let t = Arc::new(make());
+        let data = Arc::new(AtomicU64::new(0));
+        let writer = {
+            let t = Arc::clone(&t);
+            let data = Arc::clone(&data);
+            shuttle::thread::spawn(move || {
+                data.store(42, Ordering::Relaxed);
+                t.advance();
+            })
+        };
+        let reader = {
+            let t = Arc::clone(&t);
+            let data = Arc::clone(&data);
+            shuttle::thread::spawn(move || {
+                t.wait_at_least(1);
+                assert_eq!(
+                    data.load(Ordering::Relaxed),
+                    42,
+                    "turnstile admission did not publish the writer's data"
+                );
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    })
+}
+
+/// Model-friendly session spin policy (see [`RealTurnstile::new`]).
+fn model_spin() -> SpinConfig {
+    SpinConfig {
+        spin_hints: 1,
+        timeout: Some(Duration::from_millis(200)),
+    }
+}
+
+/// DE epoch-floor publication: a streaming DE record run with a one-record
+/// flush threshold, so every gate-out races a flush against the other
+/// thread's gate-in. The floor protocol (records routed, then the floor
+/// refreshed with `Release`, both under the gate lock; the flusher reads
+/// the floor with `Acquire` before locking the buffer) must make the
+/// final store contain every record exactly once.
+pub fn epoch_floor_publication(cfg: &Config) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let store = Arc::new(MemStore::default());
+        let session = Session::record_streaming_with(
+            Scheme::De,
+            2,
+            SessionConfig {
+                flush_records: 1,
+                spin: model_spin(),
+                ..SessionConfig::default()
+            },
+            store.as_ref(),
+        )
+        .unwrap();
+        let site = SiteId(7);
+        let handles: Vec<_> = (0..2u32)
+            .map(|tid| {
+                let session = Arc::clone(&session);
+                shuttle::thread::spawn(move || {
+                    let ctx = session.register_thread(tid);
+                    ctx.gate(site, AccessKind::Load, || ());
+                    ctx.gate(site, AccessKind::Store, || ());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        session.finish().expect("streaming DE finish");
+        let (bundle, _) = store.load().expect("committed store loads");
+        bundle.validate().expect("windowless DE bundle validates");
+        assert_eq!(
+            bundle.total_records(),
+            4,
+            "floor protocol lost or duplicated records"
+        );
+    })
+}
+
+/// Cross-domain edge soundness on the real engines: a two-domain DC
+/// record run followed by its replay, all inside the model. The
+/// snapshot-strictly-before-publish rule in `stamp_clocked` keeps the
+/// recorded edge set acyclic, so replay must terminate in every schedule;
+/// a cyclic edge set would park both replay threads forever and surface
+/// as a timeout panic or livelock.
+pub fn cross_domain_record_replay(cfg: &Config) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        // SiteId(2) % 2 = domain 0, SiteId(3) % 2 = domain 1.
+        let sites = [SiteId(2), SiteId(3)];
+        let session = Session::record_with(
+            Scheme::Dc,
+            2,
+            SessionConfig {
+                domains: 2,
+                spin: model_spin(),
+                ..SessionConfig::default()
+            },
+        );
+        let handles: Vec<_> = (0..2u32)
+            .map(|tid| {
+                let session = Arc::clone(&session);
+                shuttle::thread::spawn(move || {
+                    let ctx = session.register_thread(tid);
+                    // Opposite domain orders per thread: the schedule where
+                    // both threads sit in different domains concurrently is
+                    // exactly where a cyclic snapshot would be recorded.
+                    ctx.gate(sites[tid as usize], AccessKind::Store, || ());
+                    ctx.gate(sites[1 - tid as usize], AccessKind::Store, || ());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = session.finish().expect("record finish");
+        let bundle = report.bundle.expect("in-memory record bundle");
+        bundle.validate().expect("recorded bundle validates");
+
+        let replay = Session::replay_with(
+            bundle,
+            SessionConfig {
+                spin: model_spin(),
+                ..SessionConfig::default()
+            },
+        )
+        .expect("replay session");
+        let handles: Vec<_> = (0..2u32)
+            .map(|tid| {
+                let replay = Arc::clone(&replay);
+                shuttle::thread::spawn(move || {
+                    let ctx = replay.register_thread(tid);
+                    ctx.gate(sites[tid as usize], AccessKind::Store, || ());
+                    ctx.gate(sites[1 - tid as usize], AccessKind::Store, || ());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        replay.finish().expect("replay finish");
+    })
+}
+
+/// Flight-ring evict-vs-dump atomicity: one thread floods a
+/// `window = 2` recorder with single-record chunks (clocks 0..6, evicting
+/// continuously); another dumps mid-stream. The dump holds the state lock
+/// across materialization, so the resulting bundle must always be a
+/// *consistent* window: the retained clocks are exactly
+/// `base .. base + len` for the checkpointed base.
+pub fn flight_evict_vs_dump(cfg: &Config) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let rec = Arc::new(FlightRecorder::new(
+            RecordOptions::new(Scheme::Dc, 1, 1, false),
+            2,
+        ));
+        let store = Arc::new(MemStore::default());
+        let appender = {
+            let sink = FlightSink::new(Arc::clone(&rec));
+            shuttle::thread::spawn(move || {
+                for c in 0..6u64 {
+                    sink.append_thread_chunk(0, 0, &[c], None, None)
+                        .expect("append");
+                }
+            })
+        };
+        let dumper = {
+            let rec = Arc::clone(&rec);
+            let store = Arc::clone(&store);
+            shuttle::thread::spawn(move || {
+                rec.dump_into(store.as_ref(), DumpTrigger::Manual, None, &[], Vec::new())
+                    .expect("dump");
+            })
+        };
+        appender.join().unwrap();
+        dumper.join().unwrap();
+        let (bundle, _) = store.load().expect("dumped store loads");
+        let base = bundle.checkpoint.as_ref().expect("checkpoint").base[0];
+        let values = &bundle.thread(0, 0).values;
+        let expect: Vec<u64> = (base..base + values.len() as u64).collect();
+        assert_eq!(
+            *values, expect,
+            "dump interleaved with eviction: window not contiguous at base {base}"
+        );
+    })
+}
+
+/// SpinWait watchdog liveness: a wait that can never be satisfied must
+/// resolve into a structured `ReplayError::Timeout` — never a livelock —
+/// under the model's virtual clock. Passing `None` for the timeout is the
+/// watchdog-disabled mutant: the checker then reports a livelock.
+pub fn spinwait_watchdog(timeout: Option<Duration>, cfg: &Config) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let t = Turnstile::new();
+        let spin = SpinConfig {
+            spin_hints: 1,
+            timeout,
+        };
+        let stats = Stats::new();
+        // Nothing ever advances the turnstile: the wait is unsatisfiable.
+        let res = t.wait_exact(1, 0, SiteId(3), &spin, &stats);
+        assert!(
+            matches!(res, Err(reomp_core::ReplayError::Timeout { .. })),
+            "unsatisfiable wait must trip the watchdog, got {res:?}"
+        );
+    })
+}

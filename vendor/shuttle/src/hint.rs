@@ -1,0 +1,14 @@
+//! Instrumented `std::hint` subset.
+
+use crate::runtime;
+
+/// Spin-loop hint. In the model this is treated exactly like a yield: the
+/// thread parks until some other thread writes or virtual time advances.
+/// A spinner that nothing can wake is therefore detected as a livelock
+/// instead of being explored forever.
+pub fn spin_loop() {
+    match runtime::current() {
+        None => std::hint::spin_loop(),
+        Some((exec, _)) => exec.op_yield("spin"),
+    }
+}

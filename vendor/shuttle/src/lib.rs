@@ -1,0 +1,279 @@
+//! Offline stand-in for a [shuttle]-style deterministic concurrency model
+//! checker, implementing exactly the capability subset this workspace uses.
+//!
+//! [shuttle]: https://github.com/awslabs/shuttle
+//!
+//! The real shuttle library replaces `std::sync` with instrumented types and
+//! explores thread interleavings under a controlled scheduler. This stand-in
+//! does the same with three deliberate simplifications and one extension:
+//!
+//! * **Scheduling** is a depth-first enumeration of every schedule of the
+//!   harness (2–3 threads, short bodies), optionally reduced with *sleep
+//!   sets* (DPOR-lite): once a transition has been explored from a state,
+//!   sibling branches that begin with an independent transition of that same
+//!   op are pruned, because they commute into an already-explored schedule.
+//! * **Execution** runs real OS threads, exactly one runnable at a time,
+//!   with a declare-op-then-park handoff: every instrumented operation
+//!   parks the thread until the scheduler grants it the turn, so the
+//!   explored interleavings are precisely the granted sequences.
+//! * **Memory** is modelled per-location as a timestamped message list with
+//!   per-thread frontier views (a small operational release/acquire model):
+//!   `Relaxed` loads may read a bounded window of stale messages, while
+//!   `Acquire` loads joining a `Release` store's attached view recover
+//!   happens-before. Weak-memory bugs (missing release/acquire pairs)
+//!   therefore surface as real value reorderings, not just as races.
+//!   `SeqCst` is approximated as `AcqRel`: harnesses relying on a total
+//!   store order beyond coherence must encode it with an explicit fence
+//!   thread or accept the (strictly more permissive) approximation.
+//! * **Liveness**: `yield_now`/`spin_loop` park the thread until another
+//!   thread writes (fair demonic scheduling — a spinner is only rescheduled
+//!   when something it could observe has changed), and when *every* thread
+//!   is parked, virtual time advances by a quantum so `Instant`-based
+//!   watchdogs fire. A bounded number of fruitless advances, or exceeding
+//!   the per-schedule step budget, is reported as a livelock; a state with
+//!   no runnable and no parked thread is a deadlock.
+//!
+//! Failures come with a replayable witness: the exact sequence of scheduler
+//! and read choices, which [`replay`] re-executes (same `Config`!) to
+//! reproduce the violation deterministically.
+//!
+//! Code under test must not share instrumented atomics between executions
+//! through `static`s: location identity is re-established per execution via
+//! a generation stamp, but *values* in a `static` would leak between
+//! schedules and make the harness nondeterministic (which the checker
+//! detects and panics on).
+
+mod memory;
+mod runtime;
+mod sched;
+
+pub mod hint;
+pub mod sync;
+pub mod thread;
+pub mod time;
+
+pub use runtime::{check, replay, Config, Report, Violation, ViolationKind, Witness};
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use super::*;
+    use std::sync::Arc;
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn single_thread_runs_once() {
+        let r = check(cfg(), || {
+            let a = AtomicU64::new(0);
+            a.store(1, Ordering::Relaxed);
+            assert_eq!(a.load(Ordering::Relaxed), 1);
+        });
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.complete);
+        assert_eq!(r.schedules, 1);
+    }
+
+    #[test]
+    fn finds_non_atomic_increment_race() {
+        // Two read-modify-write sequences done as load + store lose updates
+        // under some interleaving; the checker must find it.
+        let r = check(cfg(), || {
+            let a = Arc::new(AtomicU64::new(0));
+            let h: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        let v = a.load(Ordering::Acquire);
+                        a.store(v + 1, Ordering::Release);
+                    })
+                })
+                .collect();
+            for h in h {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::Acquire), 2, "lost update");
+        });
+        let v = r.violation.expect("lost update must be found");
+        assert!(matches!(v.kind, ViolationKind::Panic { .. }));
+    }
+
+    #[test]
+    fn fetch_add_has_no_lost_update() {
+        let r = check(cfg(), || {
+            let a = Arc::new(AtomicU64::new(0));
+            let h: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        a.fetch_add(1, Ordering::AcqRel);
+                    })
+                })
+                .collect();
+            for h in h {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::Acquire), 2);
+        });
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn relaxed_message_passing_is_broken_acquire_release_is_not() {
+        // flag/data message passing: with Relaxed the reader may see the
+        // flag but stale data (store-buffer behaviour); with Release/Acquire
+        // it must see the data.
+        let run = |store_ord: Ordering, load_ord: Ordering| {
+            check(cfg(), move || {
+                let data = Arc::new(AtomicU64::new(0));
+                let flag = Arc::new(AtomicBool::new(false));
+                let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+                let w = thread::spawn(move || {
+                    d2.store(42, Ordering::Relaxed);
+                    f2.store(true, store_ord);
+                });
+                if flag.load(load_ord) {
+                    assert_eq!(data.load(Ordering::Relaxed), 42, "stale data");
+                }
+                w.join().unwrap();
+            })
+        };
+        let weak = run(Ordering::Relaxed, Ordering::Relaxed);
+        assert!(
+            weak.violation.is_some(),
+            "relaxed message passing must exhibit the stale read"
+        );
+        let strong = run(Ordering::Release, Ordering::Acquire);
+        assert!(strong.violation.is_none(), "{:?}", strong.violation);
+        assert!(strong.complete);
+    }
+
+    #[test]
+    fn deadlock_detected_on_cross_lock() {
+        use super::sync::Mutex;
+        let r = check(cfg(), || {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }
+            t.join().unwrap();
+        });
+        let v = r.violation.expect("AB/BA deadlock must be found");
+        assert!(matches!(v.kind, ViolationKind::Deadlock { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn livelock_detected_on_unwoken_spin() {
+        let r = check(
+            Config {
+                max_auto_advance: 16,
+                ..cfg()
+            },
+            || {
+                let flag = AtomicBool::new(false);
+                // Nobody ever sets the flag: this spin must be reported as a
+                // livelock, not explored forever.
+                while !flag.load(Ordering::Acquire) {
+                    hint::spin_loop();
+                }
+            },
+        );
+        let v = r.violation.expect("spin on never-set flag");
+        assert!(matches!(v.kind, ViolationKind::Livelock { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn sleep_sets_reduce_but_preserve_verdicts() {
+        let body = || {
+            let a = Arc::new(AtomicU64::new(0));
+            let b = Arc::new(AtomicU64::new(0));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                a2.store(1, Ordering::Release);
+                b2.store(1, Ordering::Release);
+            });
+            let _ = b.load(Ordering::Acquire);
+            let _ = a.load(Ordering::Acquire);
+            t.join().unwrap();
+        };
+        let naive = check(
+            Config {
+                sleep_sets: false,
+                ..cfg()
+            },
+            body,
+        );
+        let dpor = check(cfg(), body);
+        assert!(naive.violation.is_none() && dpor.violation.is_none());
+        assert!(naive.complete && dpor.complete);
+        assert!(
+            dpor.schedules < naive.schedules,
+            "sleep sets must prune: {} !< {}",
+            dpor.schedules,
+            naive.schedules
+        );
+    }
+
+    #[test]
+    fn witness_replays_to_the_same_violation() {
+        let body = || {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || a2.store(1, Ordering::Release));
+            assert_eq!(a.load(Ordering::Acquire), 1, "saw initial value");
+            t.join().unwrap();
+        };
+        let r = check(cfg(), body);
+        let v = r.violation.expect("racy assert must fail in some schedule");
+        let again = replay(cfg(), &v.witness, body);
+        let v2 = again.violation.expect("witness must reproduce");
+        assert!(matches!(v2.kind, ViolationKind::Panic { .. }));
+    }
+
+    #[test]
+    fn shims_fall_back_to_std_outside_a_model() {
+        // No check() active: the same types behave like plain std.
+        let a = AtomicU64::new(7);
+        assert_eq!(a.fetch_add(1, Ordering::SeqCst), 7);
+        assert_eq!(a.load(Ordering::SeqCst), 8);
+        let m = sync::Mutex::new(3u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 4);
+        let t = time::Instant::now();
+        let _ = t.elapsed();
+        thread::yield_now();
+        hint::spin_loop();
+        let h = thread::spawn(|| 5u8);
+        assert_eq!(h.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn step_limit_reported_not_hung() {
+        let r = check(
+            Config {
+                max_steps: 200,
+                ..cfg()
+            },
+            || {
+                let a = AtomicU64::new(0);
+                // Writes keep resetting the auto-advance counter, so only
+                // the step budget can bound this loop.
+                loop {
+                    a.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+        let v = r.violation.expect("unbounded loop");
+        assert!(matches!(v.kind, ViolationKind::Livelock { .. }), "{v:?}");
+    }
+}

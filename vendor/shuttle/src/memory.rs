@@ -1,0 +1,272 @@
+//! Operational release/acquire memory model.
+//!
+//! Each atomic location is a list of timestamped messages (its modification
+//! order). Each thread holds a *view*: per location, the minimum timestamp
+//! it may still read (coherence frontier). A `Release`-or-stronger store
+//! attaches a snapshot of the storing thread's view to the message; an
+//! `Acquire`-or-stronger load that reads the message joins that snapshot
+//! into the reader's view — recovering happens-before. `Relaxed` stores
+//! attach nothing and `Relaxed` loads join nothing, so a relaxed reader may
+//! observe a bounded window of stale messages on *other* locations even
+//! after seeing a newer flag: exactly the store-buffer reorderings missing
+//! synchronization permits.
+//!
+//! Read-modify-writes always read the latest message (RMW atomicity) and
+//! continue the release sequence: their message carries the previous
+//! message's view joined with the writer's view when the RMW is itself
+//! releasing. `SeqCst` is mapped to `AcqRel` (a strictly more permissive
+//! approximation — behaviours found are still real C++ behaviours).
+
+use std::sync::atomic::Ordering;
+
+pub(crate) fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+pub(crate) fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+#[derive(Debug, Clone)]
+struct Msg {
+    ts: u32,
+    val: u64,
+    /// View to join on acquire-reading this message (empty = no release).
+    view: Vec<u32>,
+}
+
+#[derive(Debug, Default)]
+struct Location {
+    msgs: Vec<Msg>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Memory {
+    locs: Vec<Location>,
+    /// Per thread: per location, minimum readable timestamp.
+    views: Vec<Vec<u32>>,
+}
+
+fn join_into(dst: &mut Vec<u32>, src: &[u32]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+impl Memory {
+    /// Register a new location seeded with `initial` (visible to all).
+    pub(crate) fn register(&mut self, initial: u64) -> u32 {
+        let lid = self.locs.len() as u32;
+        self.locs.push(Location {
+            msgs: vec![Msg {
+                ts: 0,
+                val: initial,
+                view: Vec::new(),
+            }],
+        });
+        lid
+    }
+
+    /// Child inherits the parent's view (thread creation happens-before
+    /// the child's first action).
+    pub(crate) fn fork_view(&mut self, parent: usize, child: usize) {
+        let needed = parent.max(child) + 1;
+        if self.views.len() < needed {
+            self.views.resize_with(needed, Vec::new);
+        }
+        self.views[child] = self.views[parent].clone();
+    }
+
+    /// Joiner acquires everything the joined thread did (thread completion
+    /// happens-before the join's return).
+    pub(crate) fn merge_views(&mut self, from: usize, into: usize) {
+        let needed = from.max(into) + 1;
+        if self.views.len() < needed {
+            self.views.resize_with(needed, Vec::new);
+        }
+        let src = self.views[from].clone();
+        join_into(&mut self.views[into], &src);
+    }
+
+    fn frontier(&mut self, tid: usize, lid: u32) -> u32 {
+        if self.views.len() <= tid {
+            self.views.resize_with(tid + 1, Vec::new);
+        }
+        self.views[tid].get(lid as usize).copied().unwrap_or(0)
+    }
+
+    fn set_frontier(&mut self, tid: usize, lid: u32, ts: u32) {
+        if self.views.len() <= tid {
+            self.views.resize_with(tid + 1, Vec::new);
+        }
+        let v = &mut self.views[tid];
+        if v.len() <= lid as usize {
+            v.resize(lid as usize + 1, 0);
+        }
+        v[lid as usize] = v[lid as usize].max(ts);
+    }
+
+    /// Number of messages the thread may legally read, oldest-first capped
+    /// by the staleness window (`1` means "latest only").
+    pub(crate) fn visible_count(&mut self, tid: usize, lid: u32, stale_window: usize) -> usize {
+        let f = self.frontier(tid, lid);
+        let suffix = self.locs[lid as usize]
+            .msgs
+            .iter()
+            .filter(|m| m.ts >= f)
+            .count();
+        suffix.clamp(1, stale_window.max(1))
+    }
+
+    /// Read the `back`-th newest visible message (`0` = latest), joining
+    /// its attached view when `ord` acquires. Returns the value.
+    pub(crate) fn read(&mut self, tid: usize, lid: u32, back: usize, ord: Ordering) -> u64 {
+        let f = self.frontier(tid, lid);
+        let loc = &self.locs[lid as usize];
+        let visible: Vec<usize> = loc
+            .msgs
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.ts >= f)
+            .map(|(i, _)| i)
+            .collect();
+        let idx = visible[visible.len() - 1 - back.min(visible.len() - 1)];
+        let (ts, val, view) = {
+            let m = &self.locs[lid as usize].msgs[idx];
+            (m.ts, m.val, m.view.clone())
+        };
+        self.set_frontier(tid, lid, ts);
+        if is_acquire(ord) && !view.is_empty() {
+            join_into(&mut self.views[tid], &view);
+        }
+        val
+    }
+
+    /// Append a new message (a plain store).
+    pub(crate) fn write(&mut self, tid: usize, lid: u32, val: u64, ord: Ordering) {
+        let ts = self.next_ts(lid);
+        self.set_frontier(tid, lid, ts);
+        let view = if is_release(ord) {
+            self.views[tid].clone()
+        } else {
+            Vec::new()
+        };
+        self.locs[lid as usize].msgs.push(Msg { ts, val, view });
+    }
+
+    /// Read-modify-write: reads the latest message (joining on acquire),
+    /// writes `f(old)`, and continues the release sequence. Returns the
+    /// old value.
+    pub(crate) fn rmw(
+        &mut self,
+        tid: usize,
+        lid: u32,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let (old, prev_view) = {
+            let m = self.locs[lid as usize].msgs.last().expect("seeded");
+            (m.val, m.view.clone())
+        };
+        let latest_ts = self.locs[lid as usize].msgs.last().expect("seeded").ts;
+        self.set_frontier(tid, lid, latest_ts);
+        if is_acquire(ord) && !prev_view.is_empty() {
+            join_into(&mut self.views[tid], &prev_view);
+        }
+        let ts = self.next_ts(lid);
+        self.set_frontier(tid, lid, ts);
+        // Release sequence: the RMW's message keeps propagating the head
+        // release's view even when the RMW itself is not releasing.
+        let mut view = prev_view;
+        if is_release(ord) {
+            join_into(&mut view, &self.views[tid]);
+        }
+        self.locs[lid as usize].msgs.push(Msg {
+            ts,
+            val: f(old),
+            view,
+        });
+        old
+    }
+
+    /// Compare-exchange: reads the latest message; on match writes `new`
+    /// with `success` semantics, otherwise behaves as a load with `failure`
+    /// semantics. Returns `Ok(old)`/`Err(old)`.
+    pub(crate) fn cas(
+        &mut self,
+        tid: usize,
+        lid: u32,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let old = self.locs[lid as usize].msgs.last().expect("seeded").val;
+        if old == current {
+            Ok(self.rmw(tid, lid, success, |_| new))
+        } else {
+            // Conservative: a failed CAS observes the latest message. (C++
+            // lets it read any visible one; restricting to the latest can
+            // only hide behaviours, never invent them.)
+            let _ = self.read(tid, lid, 0, failure);
+            Err(old)
+        }
+    }
+
+    /// Latest value in modification order (for teardown-mode accesses).
+    pub(crate) fn latest(&self, lid: u32) -> u64 {
+        self.locs[lid as usize].msgs.last().expect("seeded").val
+    }
+
+    fn next_ts(&self, lid: u32) -> u32 {
+        self.locs[lid as usize].msgs.last().expect("seeded").ts + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_buffer_staleness_bounded_by_window() {
+        let mut m = Memory::default();
+        let l = m.register(0);
+        m.write(0, l, 1, Ordering::Relaxed);
+        m.write(0, l, 2, Ordering::Relaxed);
+        // Thread 1 has not read anything: window of 2 → may read {2, 1}.
+        assert_eq!(m.visible_count(1, l, 2), 2);
+        assert_eq!(m.read(1, l, 1, Ordering::Relaxed), 1);
+        // Coherence: having read ts=2's predecessor, it may never go older.
+        assert_eq!(m.visible_count(1, l, 8), 2);
+    }
+
+    #[test]
+    fn acquire_joins_release_view() {
+        let mut m = Memory::default();
+        let data = m.register(0);
+        let flag = m.register(0);
+        m.write(0, data, 9, Ordering::Relaxed);
+        m.write(0, flag, 1, Ordering::Release);
+        assert_eq!(m.read(1, flag, 0, Ordering::Acquire), 1);
+        // The release view pins thread 1's data frontier to the new value.
+        assert_eq!(m.visible_count(1, data, 8), 1);
+        assert_eq!(m.read(1, data, 0, Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn rmw_reads_latest_and_continues_release_sequence() {
+        let mut m = Memory::default();
+        let data = m.register(0);
+        let flag = m.register(0);
+        m.write(0, data, 7, Ordering::Relaxed);
+        m.write(0, flag, 1, Ordering::Release);
+        // A relaxed RMW on the flag keeps the release view alive...
+        assert_eq!(m.rmw(1, flag, Ordering::Relaxed, |v| v + 1), 1);
+        // ...so an acquire reader of the RMW's message still syncs with t0.
+        assert_eq!(m.read(2, flag, 0, Ordering::Acquire), 2);
+        assert_eq!(m.read(2, data, 0, Ordering::Relaxed), 7);
+    }
+}

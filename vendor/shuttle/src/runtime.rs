@@ -1,0 +1,821 @@
+//! The controlled execution engine: real OS threads, one runnable at a
+//! time, scheduled by a DFS driver over a persistent choice stack.
+//!
+//! Every instrumented operation follows the declare-op-then-park protocol:
+//! the thread publishes *what* it is about to do (an [`OpKey`] plus an
+//! enabledness condition), parks on the execution condvar, and proceeds
+//! only when the scheduler grants it the turn. The scheduler acts only at
+//! quiescence (no thread running, none starting), so the interleaving is
+//! exactly the granted sequence — there is no hidden concurrency.
+
+use crate::memory::Memory;
+use crate::sched::{self, ChoiceStack, Node, OpKey};
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering as StdOrd};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Exploration limits and model parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stop after this many executions (completed + pruned). `None` =
+    /// unbounded (explore the full tree).
+    pub max_schedules: Option<u64>,
+    /// Per-execution step budget; exceeding it reports a livelock.
+    pub max_steps: u64,
+    /// Wall-clock budget for the whole exploration.
+    pub max_time: Option<Duration>,
+    /// Enable sleep-set (DPOR-lite) pruning.
+    pub sleep_sets: bool,
+    /// How many messages back from the latest a relaxed load may read.
+    /// `1` disables staleness (sequentially consistent values).
+    pub stale_window: usize,
+    /// Virtual-time advances with no intervening write before the state is
+    /// declared a livelock.
+    pub max_auto_advance: u32,
+    /// Milliseconds of virtual time per auto-advance (feeds `Instant`).
+    pub virtual_quantum_ms: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: None,
+            max_steps: 50_000,
+            max_time: None,
+            sleep_sets: true,
+            stale_window: 2,
+            max_auto_advance: 256,
+            virtual_quantum_ms: 1,
+        }
+    }
+}
+
+/// The choice sequence reaching a violation; feed to [`replay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness(pub Vec<u32>);
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What went wrong.
+#[derive(Debug, Clone)]
+pub enum ViolationKind {
+    /// A controlled thread panicked (assertion failure, double release…).
+    Panic { thread: usize, message: String },
+    /// No thread is runnable or parked: circular lock/join waits.
+    Deadlock { blocked: Vec<usize> },
+    /// Parked threads were never woken within the auto-advance budget, or
+    /// the step budget was exhausted: unbounded spinning.
+    Livelock { parked: Vec<usize>, steps: u64 },
+}
+
+/// A failed schedule: the kind, a replayable witness, and the granted-op
+/// trace of the failing execution.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    pub witness: Witness,
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ViolationKind::Panic { thread, message } => {
+                writeln!(f, "panic on thread t{thread}: {message}")?;
+            }
+            ViolationKind::Deadlock { blocked } => {
+                writeln!(
+                    f,
+                    "deadlock: threads {blocked:?} blocked with nothing runnable"
+                )?;
+            }
+            ViolationKind::Livelock { parked, steps } => {
+                writeln!(
+                    f,
+                    "livelock after {steps} steps (parked threads: {parked:?})"
+                )?;
+            }
+        }
+        writeln!(f, "witness: {}", self.witness)?;
+        writeln!(f, "schedule ({} ops, most recent last):", self.trace.len())?;
+        let skip = self.trace.len().saturating_sub(64);
+        if skip > 0 {
+            writeln!(f, "  … {skip} earlier ops elided …")?;
+        }
+        for line in &self.trace[skip..] {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Exploration result.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions run to completion or violation.
+    pub schedules: u64,
+    /// Executions cut short by sleep-set pruning.
+    pub pruned: u64,
+    /// Deepest choice stack seen.
+    pub max_depth: usize,
+    /// Whether the schedule tree was exhausted (no cap hit, no violation).
+    pub complete: bool,
+    pub violation: Option<Violation>,
+    pub wall: Duration,
+}
+
+/// Sentinel location id for an atomic whose model location has not been
+/// registered yet at declare time. Registration happens at *grant* time
+/// (under the execution lock) so location numbering is a deterministic
+/// function of the granted schedule, never of OS-level declare races.
+/// `a != b` dependence stays conservative: two unregistered pendings
+/// compare equal (dependent), and an unregistered object is genuinely
+/// distinct from every registered location.
+pub(crate) const UNREGISTERED: u32 = u32::MAX;
+
+/// How an instrumented atomic maps itself to a model location.
+pub(crate) trait LocSource {
+    /// The cached location id for this generation, if already registered.
+    /// Must be called with the execution lock held (cache visibility is
+    /// ordered by that mutex).
+    fn peek(&self, gen: u32) -> Option<u32>;
+    /// The location id, registering the location (seeded from the live
+    /// value) on first use. Must be called with the execution lock held.
+    fn resolve(&self, mem: &mut Memory, gen: u32) -> u32;
+}
+
+/// Panic payload used to unwind controlled threads during teardown; never
+/// reported as a violation.
+pub(crate) struct ModelAbort;
+
+fn abort_unwind() -> ! {
+    // resume_unwind skips the panic hook: teardown is silent.
+    std::panic::resume_unwind(Box::new(ModelAbort))
+}
+
+fn payload_msg(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Enabledness condition of a declared op.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Wait {
+    /// Runnable immediately.
+    None,
+    /// Runnable when the lock is free.
+    Lock(u32),
+    /// Runnable when the target thread has finished.
+    Join(usize),
+    /// Parked: runnable once another thread writes or virtual time moves.
+    Park,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    key: OpKey,
+    wait: Wait,
+    declared_writes: u64,
+    declared_vtime: u64,
+}
+
+#[derive(Debug)]
+enum TState {
+    /// OS thread spawned but has not yet declared its first op.
+    Starting,
+    Ready(Pending),
+    Running,
+    Finished,
+}
+
+struct ThreadCell {
+    state: TState,
+}
+
+pub(crate) struct Exec {
+    threads: Vec<ThreadCell>,
+    turn: Option<usize>,
+    /// The thread currently executing user code between grants, if any.
+    /// Identity matters: a freshly spawned thread's `begin` declare must
+    /// not clear the *spawner's* running slice.
+    running: Option<usize>,
+    locks: Vec<Option<usize>>,
+    mem: Memory,
+    choices: ChoiceStack,
+    sleep: Vec<(usize, OpKey)>,
+    writes: u64,
+    vtime: u64,
+    auto_advances: u32,
+    finality: bool,
+    steps: u64,
+    abort: bool,
+    pruned: bool,
+    failure: Option<ViolationKind>,
+    trace: Vec<(usize, OpKey, &'static str)>,
+    stale_window: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Exec {
+    fn new(cfg: &Config, nodes: Vec<Node>, forced: Option<Vec<u32>>) -> Self {
+        Exec {
+            threads: Vec::new(),
+            turn: None,
+            running: None,
+            locks: Vec::new(),
+            mem: Memory::default(),
+            choices: ChoiceStack {
+                nodes,
+                cursor: 0,
+                forced,
+            },
+            sleep: Vec::new(),
+            writes: 0,
+            vtime: 0,
+            auto_advances: 0,
+            finality: false,
+            steps: 0,
+            abort: false,
+            pruned: false,
+            failure: None,
+            trace: Vec::with_capacity(256),
+            stale_window: cfg.stale_window.max(1),
+            os_handles: Vec::new(),
+        }
+    }
+
+    fn enabled(&self, p: &Pending) -> bool {
+        match p.wait {
+            Wait::None => true,
+            Wait::Lock(l) => self.locks[l as usize].is_none(),
+            Wait::Join(t) => matches!(self.threads[t].state, TState::Finished),
+            Wait::Park => self.writes > p.declared_writes || self.vtime > p.declared_vtime,
+        }
+    }
+}
+
+/// One model-checking execution context; `Arc`-shared between the driver
+/// and every controlled thread.
+pub(crate) struct Execution {
+    m: Mutex<Exec>,
+    cv: Condvar,
+    cfg: Config,
+    gen: u32,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn current_tid() -> usize {
+    CURRENT.with(|c| c.borrow().as_ref().expect("not a controlled thread").1)
+}
+
+static NEXT_GEN: AtomicU32 = AtomicU32::new(0);
+
+impl Execution {
+    pub(crate) fn vtime_ms(&self) -> u64 {
+        self.m.lock().unwrap_or_else(|e| e.into_inner()).vtime
+    }
+
+    pub(crate) fn register_lock(&self) -> u32 {
+        let mut g = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        g.locks.push(None);
+        (g.locks.len() - 1) as u32
+    }
+
+    /// Declare the op produced by `key_of` (evaluated under the execution
+    /// lock, so cached location ids are read deterministically), park until
+    /// granted, then run `action` under the lock. Unwinds with
+    /// [`ModelAbort`] when the execution is being torn down.
+    pub(crate) fn run_op<R>(
+        self: &Arc<Self>,
+        key_of: impl FnOnce(&Exec) -> OpKey,
+        wait: Wait,
+        desc: &'static str,
+        action: impl FnOnce(&mut Exec, usize) -> R,
+    ) -> R {
+        let tid = current_tid();
+        let mut g = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        if g.abort {
+            drop(g);
+            abort_unwind();
+        }
+        let key = key_of(&g);
+        g.threads[tid].state = TState::Ready(Pending {
+            key,
+            wait,
+            declared_writes: g.writes,
+            declared_vtime: g.vtime,
+        });
+        if g.running == Some(tid) {
+            g.running = None;
+        }
+        self.cv.notify_all();
+        loop {
+            if g.abort {
+                drop(g);
+                abort_unwind();
+            }
+            if g.turn == Some(tid) {
+                break;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        g.turn = None;
+        g.running = Some(tid);
+        g.threads[tid].state = TState::Running;
+        g.steps += 1;
+        g.trace.push((tid, key, desc));
+        if g.steps > self.cfg.max_steps {
+            if g.failure.is_none() {
+                g.failure = Some(ViolationKind::Livelock {
+                    parked: vec![tid],
+                    steps: g.steps,
+                });
+            }
+            g.abort = true;
+            self.cv.notify_all();
+            drop(g);
+            abort_unwind();
+        }
+        let out = action(&mut g, tid);
+        if matches!(key, OpKey::Write(_) | OpKey::Lock(_) | OpKey::Other) {
+            g.writes += 1;
+            g.finality = false;
+            g.auto_advances = 0;
+        }
+        drop(g);
+        out
+    }
+
+    // ---- instrumented operations (called from the shim types) ----
+    //
+    // Each has a "silent" path for threads that are already unwinding
+    // (guard drops during a panic): the effect is applied directly, with
+    // no scheduling point and latest-value reads, because the execution is
+    // either doomed (real panic → violation) or tearing down.
+
+    fn key_of<'s>(&self, src: &'s dyn LocSource, write: bool) -> impl FnOnce(&Exec) -> OpKey + 's {
+        let gen = self.gen;
+        move |_| {
+            let lid = src.peek(gen).unwrap_or(UNREGISTERED);
+            if write {
+                OpKey::Write(lid)
+            } else {
+                OpKey::Read(lid)
+            }
+        }
+    }
+
+    pub(crate) fn atomic_load(self: &Arc<Self>, src: &dyn LocSource, ord: Ordering) -> u64 {
+        let gen = self.gen;
+        if std::thread::panicking() {
+            let mut g = self.m.lock().unwrap_or_else(|e| e.into_inner());
+            let lid = src.resolve(&mut g.mem, gen);
+            return g.mem.latest(lid);
+        }
+        self.run_op(
+            self.key_of(src, false),
+            Wait::None,
+            "load",
+            move |g, tid| {
+                let lid = src.resolve(&mut g.mem, gen);
+                let window = if g.finality { 1 } else { g.stale_window };
+                let k = g.mem.visible_count(tid, lid, window);
+                let back = if k > 1 { g.choices.pick(k) } else { 0 };
+                g.mem.read(tid, lid, back, ord)
+            },
+        )
+    }
+
+    pub(crate) fn atomic_store(self: &Arc<Self>, src: &dyn LocSource, val: u64, ord: Ordering) {
+        let gen = self.gen;
+        if std::thread::panicking() {
+            let mut g = self.m.lock().unwrap_or_else(|e| e.into_inner());
+            let tid = current_tid();
+            let lid = src.resolve(&mut g.mem, gen);
+            g.mem.write(tid, lid, val, ord);
+            return;
+        }
+        self.run_op(
+            self.key_of(src, true),
+            Wait::None,
+            "store",
+            move |g, tid| {
+                let lid = src.resolve(&mut g.mem, gen);
+                g.mem.write(tid, lid, val, ord);
+            },
+        );
+    }
+
+    pub(crate) fn atomic_rmw(
+        self: &Arc<Self>,
+        src: &dyn LocSource,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let gen = self.gen;
+        if std::thread::panicking() {
+            let mut g = self.m.lock().unwrap_or_else(|e| e.into_inner());
+            let tid = current_tid();
+            let lid = src.resolve(&mut g.mem, gen);
+            return g.mem.rmw(tid, lid, ord, f);
+        }
+        self.run_op(self.key_of(src, true), Wait::None, "rmw", move |g, tid| {
+            let lid = src.resolve(&mut g.mem, gen);
+            g.mem.rmw(tid, lid, ord, f)
+        })
+    }
+
+    pub(crate) fn atomic_cas(
+        self: &Arc<Self>,
+        src: &dyn LocSource,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let gen = self.gen;
+        if std::thread::panicking() {
+            let mut g = self.m.lock().unwrap_or_else(|e| e.into_inner());
+            let tid = current_tid();
+            let lid = src.resolve(&mut g.mem, gen);
+            return g.mem.cas(tid, lid, current, new, success, failure);
+        }
+        self.run_op(self.key_of(src, true), Wait::None, "cas", move |g, tid| {
+            let lid = src.resolve(&mut g.mem, gen);
+            g.mem.cas(tid, lid, current, new, success, failure)
+        })
+    }
+
+    pub(crate) fn lock_acquire(self: &Arc<Self>, lock: u32) {
+        if std::thread::panicking() {
+            let mut g = self.m.lock().unwrap_or_else(|e| e.into_inner());
+            g.locks[lock as usize] = Some(current_tid());
+            return;
+        }
+        self.run_op(
+            move |_| OpKey::Lock(lock),
+            Wait::Lock(lock),
+            "lock",
+            move |g, tid| {
+                debug_assert!(g.locks[lock as usize].is_none());
+                g.locks[lock as usize] = Some(tid);
+            },
+        );
+    }
+
+    pub(crate) fn lock_release(self: &Arc<Self>, lock: u32) {
+        if std::thread::panicking() {
+            let mut g = self.m.lock().unwrap_or_else(|e| e.into_inner());
+            g.locks[lock as usize] = None;
+            return;
+        }
+        self.run_op(
+            move |_| OpKey::Lock(lock),
+            Wait::None,
+            "unlock",
+            move |g, _| {
+                g.locks[lock as usize] = None;
+            },
+        );
+    }
+
+    pub(crate) fn op_yield(self: &Arc<Self>, desc: &'static str) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.run_op(|_| OpKey::Yield, Wait::Park, desc, |_, _| {});
+    }
+
+    pub(crate) fn op_join(self: &Arc<Self>, target: usize) {
+        self.run_op(
+            |_| OpKey::Other,
+            Wait::Join(target),
+            "join",
+            move |g, tid| {
+                g.mem.merge_views(target, tid);
+            },
+        );
+    }
+}
+
+/// Spawn a controlled thread. Returns its id and the result slot.
+pub(crate) fn spawn_model<T: Send + 'static>(
+    exec: &Arc<Execution>,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> (usize, Arc<Mutex<Option<T>>>) {
+    let tid = {
+        let mut g = exec.m.lock().unwrap_or_else(|e| e.into_inner());
+        g.threads.push(ThreadCell {
+            state: TState::Starting,
+        });
+        let tid = g.threads.len() - 1;
+        // Thread creation happens-before the child's first action: the
+        // child starts with the spawner's memory view.
+        if let Some((_, parent)) = current() {
+            g.mem.fork_view(parent, tid);
+        }
+        tid
+    };
+    let slot = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let exec2 = Arc::clone(exec);
+    let h = std::thread::Builder::new()
+        .name(format!("shuttle-t{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), tid)));
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                exec2.run_op(|_| OpKey::Other, Wait::None, "begin", |_, _| {});
+                f()
+            }));
+            let r = match r {
+                Ok(v) => {
+                    *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            };
+            finish_thread(&exec2, tid, r);
+            CURRENT.with(|c| *c.borrow_mut() = None);
+        })
+        .expect("shuttle: OS thread spawn failed");
+    exec.m
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .os_handles
+        .push(h);
+    (tid, slot)
+}
+
+fn finish_thread(exec: &Arc<Execution>, tid: usize, r: Result<(), Box<dyn Any + Send>>) {
+    let mut g = exec.m.lock().unwrap_or_else(|e| e.into_inner());
+    g.threads[tid].state = TState::Finished;
+    if g.running == Some(tid) {
+        g.running = None;
+    }
+    if let Err(p) = r {
+        if !p.is::<ModelAbort>() {
+            if g.failure.is_none() {
+                g.failure = Some(ViolationKind::Panic {
+                    thread: tid,
+                    message: payload_msg(p.as_ref()),
+                });
+            }
+            g.abort = true;
+        }
+    }
+    exec.cv.notify_all();
+}
+
+enum OutKind {
+    Completed,
+    Pruned,
+    Violation(Violation),
+}
+
+fn make_violation(g: &Exec, kind: ViolationKind) -> OutKind {
+    let trace = g
+        .trace
+        .iter()
+        .map(|(t, key, desc)| match key {
+            OpKey::Read(l) | OpKey::Write(l) | OpKey::Lock(l) if *l != UNREGISTERED => {
+                format!("t{t}: {desc} #{l}")
+            }
+            _ => format!("t{t}: {desc}"),
+        })
+        .collect();
+    OutKind::Violation(Violation {
+        kind,
+        witness: Witness(g.choices.witness()),
+        trace,
+    })
+}
+
+/// Run one execution: replay the node prefix, extend it, return the
+/// outcome plus the (possibly grown) node list.
+fn run_one(
+    cfg: &Config,
+    gen: u32,
+    body: Arc<dyn Fn() + Send + Sync>,
+    nodes: Vec<Node>,
+    forced: Option<Vec<u32>>,
+) -> (OutKind, Vec<Node>) {
+    let exec = Arc::new(Execution {
+        m: Mutex::new(Exec::new(cfg, nodes, forced)),
+        cv: Condvar::new(),
+        cfg: cfg.clone(),
+        gen,
+    });
+    spawn_model(&exec, move || body());
+
+    let outcome = 'sched: loop {
+        let mut g = exec.m.lock().unwrap_or_else(|e| e.into_inner());
+        while g.running.is_some()
+            || g.turn.is_some()
+            || g.threads
+                .iter()
+                .any(|t| matches!(t.state, TState::Starting))
+        {
+            g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(kind) = g.failure.take() {
+            break 'sched make_violation(&g, kind);
+        }
+        if g.pruned {
+            break 'sched OutKind::Pruned;
+        }
+        if g.threads
+            .iter()
+            .all(|t| matches!(t.state, TState::Finished))
+        {
+            break 'sched OutKind::Completed;
+        }
+        let mut enabled: Vec<(usize, OpKey)> = Vec::new();
+        let mut parked: Vec<usize> = Vec::new();
+        let mut blocked: Vec<usize> = Vec::new();
+        for (i, t) in g.threads.iter().enumerate() {
+            if let TState::Ready(p) = &t.state {
+                if g.enabled(p) {
+                    enabled.push((i, p.key));
+                } else if matches!(p.wait, Wait::Park) {
+                    parked.push(i);
+                } else {
+                    blocked.push(i);
+                }
+            }
+        }
+        if enabled.is_empty() {
+            if !parked.is_empty() {
+                g.vtime += cfg.virtual_quantum_ms.max(1);
+                g.auto_advances += 1;
+                g.finality = true;
+                if g.auto_advances > cfg.max_auto_advance {
+                    let steps = g.steps;
+                    break 'sched make_violation(&g, ViolationKind::Livelock { parked, steps });
+                }
+                continue 'sched;
+            }
+            break 'sched make_violation(&g, ViolationKind::Deadlock { blocked });
+        }
+        let candidates: Vec<(usize, OpKey)> = enabled
+            .iter()
+            .filter(|(t, _)| !g.sleep.iter().any(|(st, _)| st == t))
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            // Every enabled move is slept: this whole subtree commutes into
+            // schedules already explored.
+            break 'sched OutKind::Pruned;
+        }
+        let dec = g.choices.schedule(&candidates);
+        let (tid, key) = candidates[dec.chosen];
+        if cfg.sleep_sets {
+            let mut pool = std::mem::take(&mut g.sleep);
+            for &i in &dec.slept {
+                pool.push(candidates[i]);
+            }
+            pool.retain(|&(t, k)| t != tid && k.independent(key));
+            g.sleep = pool;
+        }
+        g.turn = Some(tid);
+        exec.cv.notify_all();
+        drop(g);
+    };
+
+    // Teardown: unwind every parked thread and join the OS threads.
+    let handles = {
+        let mut g = exec.m.lock().unwrap_or_else(|e| e.into_inner());
+        g.abort = true;
+        exec.cv.notify_all();
+        std::mem::take(&mut g.os_handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    let nodes = {
+        let mut g = exec.m.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut g.choices.nodes)
+    };
+    (outcome, nodes)
+}
+
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Panics on controlled threads are captured as violations;
+            // printing them would flood expected-failure sweeps.
+            if in_model() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn check_inner(cfg: Config, body: Arc<dyn Fn() + Send + Sync>, forced: Option<Vec<u32>>) -> Report {
+    install_quiet_hook();
+    let start = std::time::Instant::now();
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut report = Report {
+        schedules: 0,
+        pruned: 0,
+        max_depth: 0,
+        complete: false,
+        violation: None,
+        wall: Duration::ZERO,
+    };
+    let replay_mode = forced.is_some();
+    loop {
+        let gen = NEXT_GEN.fetch_add(1, StdOrd::Relaxed).wrapping_add(1);
+        let (outcome, returned) = run_one(
+            &cfg,
+            gen,
+            Arc::clone(&body),
+            std::mem::take(&mut nodes),
+            forced.clone(),
+        );
+        nodes = returned;
+        report.max_depth = report.max_depth.max(nodes.len());
+        match outcome {
+            OutKind::Completed => report.schedules += 1,
+            OutKind::Pruned => report.pruned += 1,
+            OutKind::Violation(v) => {
+                report.schedules += 1;
+                report.violation = Some(v);
+                break;
+            }
+        }
+        if replay_mode {
+            report.complete = true;
+            break;
+        }
+        if cfg
+            .max_schedules
+            .is_some_and(|m| report.schedules + report.pruned >= m)
+        {
+            break;
+        }
+        if cfg.max_time.is_some_and(|t| start.elapsed() >= t) {
+            break;
+        }
+        if !sched::backtrack(&mut nodes) {
+            report.complete = true;
+            break;
+        }
+    }
+    report.wall = start.elapsed();
+    report
+}
+
+/// Explore every schedule of `body` under `cfg`. The closure runs once per
+/// schedule as controlled thread `t0`; threads it spawns via
+/// [`crate::thread::spawn`] are controlled too.
+pub fn check<F>(cfg: Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    check_inner(cfg, Arc::new(body), None)
+}
+
+/// Re-execute the single schedule described by `witness` (obtained from a
+/// [`Violation`] produced with the *same* `Config` — candidate numbering
+/// depends on it).
+pub fn replay<F>(cfg: Config, witness: &Witness, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    check_inner(cfg, Arc::new(body), Some(witness.0.clone()))
+}

@@ -1,0 +1,200 @@
+//! DFS choice stack with sleep-set (DPOR-lite) bookkeeping.
+//!
+//! A *choice stack* persists across executions of one [`crate::check`]
+//! call: each execution replays the recorded prefix of choices and extends
+//! it; between executions the driver backtracks the deepest revisitable
+//! node. Two node kinds exist: scheduler choices (which thread runs next)
+//! and read choices (which visible message a load observes).
+
+/// Identity of an instrumented operation for dependence analysis.
+///
+/// Two operations are *independent* when they commute (executing them in
+/// either order reaches the same state) and neither affects the other's
+/// enabledness. Sleep sets only prune schedules that start with a slept,
+/// independent operation, so conservatively classifying an op as `Other`
+/// (dependent with everything) is always sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKey {
+    /// Atomic load of the location.
+    Read(u32),
+    /// Atomic store or read-modify-write of the location.
+    Write(u32),
+    /// Lock acquire or release of the lock.
+    Lock(u32),
+    /// `yield_now`/`spin_loop`: a pure no-op scheduling point.
+    Yield,
+    /// Spawn begin, join, and anything else: dependent with everything.
+    Other,
+}
+
+impl OpKey {
+    pub(crate) fn independent(self, other: OpKey) -> bool {
+        use OpKey::{Lock, Other, Read, Write, Yield};
+        match (self, other) {
+            // A yield mutates nothing and (being enabled when slept) stays
+            // enabled: writes only ever wake it.
+            (Yield, _) | (_, Yield) => true,
+            (Read(_), Read(_)) => true,
+            (Read(a), Write(b)) | (Write(a), Read(b)) | (Write(a), Write(b)) => a != b,
+            (Lock(a), Lock(b)) => a != b,
+            // Lock words and data locations live in disjoint state.
+            (Lock(_), Read(_) | Write(_)) | (Read(_) | Write(_), Lock(_)) => true,
+            (Other, _) | (_, Other) => false,
+        }
+    }
+}
+
+/// One recorded decision point.
+#[derive(Debug)]
+pub(crate) enum Node {
+    /// Scheduler choice: `options` are the enabled, non-sleeping
+    /// `(thread, op)` candidates at this state; `chosen` indexes into them;
+    /// `slept` are option indices already fully explored from here.
+    Sched {
+        options: Vec<(usize, OpKey)>,
+        chosen: usize,
+        slept: Vec<usize>,
+    },
+    /// Read choice among `n` visible messages (`0` = latest).
+    Pick { n: usize, chosen: usize },
+}
+
+impl Node {
+    pub(crate) fn chosen(&self) -> u32 {
+        match self {
+            Node::Sched { chosen, .. } | Node::Pick { chosen, .. } => *chosen as u32,
+        }
+    }
+}
+
+/// The per-execution view of the persistent node list.
+#[derive(Debug, Default)]
+pub(crate) struct ChoiceStack {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) cursor: usize,
+    /// Forced choice sequence (witness replay); `None` for exploration.
+    pub(crate) forced: Option<Vec<u32>>,
+}
+
+/// Outcome of consulting the stack at a scheduler decision point.
+pub(crate) struct SchedDecision {
+    /// Index into the candidate list.
+    pub(crate) chosen: usize,
+    /// Candidate indices whose subtrees are already explored (to be added
+    /// to the descendant sleep set).
+    pub(crate) slept: Vec<usize>,
+}
+
+impl ChoiceStack {
+    /// Record/replay a scheduler decision over `candidates` (enabled
+    /// threads minus the current sleep set, in thread order).
+    pub(crate) fn schedule(&mut self, candidates: &[(usize, OpKey)]) -> SchedDecision {
+        debug_assert!(!candidates.is_empty());
+        if self.cursor < self.nodes.len() {
+            let node = &self.nodes[self.cursor];
+            self.cursor += 1;
+            match node {
+                Node::Sched {
+                    options,
+                    chosen,
+                    slept,
+                } => {
+                    assert!(
+                        options.len() == candidates.len()
+                            && options.iter().zip(candidates).all(|(a, b)| a == b),
+                        "nondeterministic harness: enabled set changed on replay \
+                         (recorded {options:?}, recomputed {candidates:?})",
+                    );
+                    SchedDecision {
+                        chosen: *chosen,
+                        slept: slept.clone(),
+                    }
+                }
+                Node::Pick { .. } => {
+                    panic!("nondeterministic harness: schedule point replayed as read choice")
+                }
+            }
+        } else {
+            let chosen = match &self.forced {
+                Some(f) => {
+                    let c = f.get(self.cursor).copied().unwrap_or(0) as usize;
+                    c.min(candidates.len() - 1)
+                }
+                None => 0,
+            };
+            self.nodes.push(Node::Sched {
+                options: candidates.to_vec(),
+                chosen,
+                slept: Vec::new(),
+            });
+            self.cursor += 1;
+            SchedDecision {
+                chosen,
+                slept: Vec::new(),
+            }
+        }
+    }
+
+    /// Record/replay a read choice among `n` alternatives.
+    pub(crate) fn pick(&mut self, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        if self.cursor < self.nodes.len() {
+            let node = &self.nodes[self.cursor];
+            self.cursor += 1;
+            match node {
+                Node::Pick { n: rec, chosen } => {
+                    assert_eq!(
+                        *rec, n,
+                        "nondeterministic harness: visible-message count changed on replay"
+                    );
+                    *chosen
+                }
+                Node::Sched { .. } => {
+                    panic!("nondeterministic harness: read choice replayed as schedule point")
+                }
+            }
+        } else {
+            let chosen = match &self.forced {
+                Some(f) => (f.get(self.cursor).copied().unwrap_or(0) as usize).min(n - 1),
+                None => 0,
+            };
+            self.nodes.push(Node::Pick { n, chosen });
+            self.cursor += 1;
+            chosen
+        }
+    }
+
+    /// The choice sequence so far (a violation witness).
+    pub(crate) fn witness(&self) -> Vec<u32> {
+        self.nodes.iter().map(Node::chosen).collect()
+    }
+}
+
+/// Advance the node list to the next unexplored branch. Returns `false`
+/// when the whole tree is exhausted.
+pub(crate) fn backtrack(nodes: &mut Vec<Node>) -> bool {
+    while let Some(node) = nodes.last_mut() {
+        match node {
+            Node::Pick { n, chosen } => {
+                if *chosen + 1 < *n {
+                    *chosen += 1;
+                    return true;
+                }
+            }
+            Node::Sched {
+                options,
+                chosen,
+                slept,
+            } => {
+                slept.push(*chosen);
+                let next = (*chosen + 1..options.len()).find(|i| !slept.contains(i));
+                if let Some(next) = next {
+                    *chosen = next;
+                    return true;
+                }
+            }
+        }
+        nodes.pop();
+    }
+    false
+}

@@ -1,0 +1,449 @@
+//! Instrumented drop-in replacements for `std::sync` types.
+//!
+//! Outside a [`crate::check`] execution every type behaves exactly like its
+//! `std` counterpart (atomics forward to `std::sync::atomic`, the mutex is
+//! a poison-swallowing `std::sync::Mutex`), so enabling the shim
+//! workspace-wide costs one branch per operation and changes no behaviour.
+//! Inside an execution, operations become scheduling points against the
+//! model's message-store memory (see `crate::memory`).
+//!
+//! Caveats, both detected or documented rather than silently wrong:
+//! * `compare_exchange_weak` never fails spuriously (strictly fewer
+//!   behaviours than the architecture allows).
+//! * A [`Mutex`] must be created *inside* the execution that locks it; a
+//!   pre-existing OS-backed mutex contended by two controlled threads
+//!   would block a granted thread for real and wedge the scheduler.
+
+use crate::runtime::{self, Execution};
+use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicU64 as CoreAtomicU64;
+use std::sync::atomic::Ordering as StdOrd;
+use std::sync::Arc;
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::{runtime, CoreAtomicU64, StdOrd};
+
+    /// Widening/narrowing between an atomic's value type and the model's
+    /// uniform `u64` cell.
+    pub(crate) trait AtomicRepr: Copy {
+        fn to_u64(self) -> u64;
+        fn from_u64(v: u64) -> Self;
+    }
+
+    impl AtomicRepr for bool {
+        fn to_u64(self) -> u64 {
+            u64::from(self)
+        }
+        fn from_u64(v: u64) -> Self {
+            v != 0
+        }
+    }
+
+    impl AtomicRepr for u32 {
+        fn to_u64(self) -> u64 {
+            u64::from(self)
+        }
+        fn from_u64(v: u64) -> Self {
+            v as u32
+        }
+    }
+
+    impl AtomicRepr for u64 {
+        fn to_u64(self) -> u64 {
+            self
+        }
+        fn from_u64(v: u64) -> Self {
+            v
+        }
+    }
+
+    impl AtomicRepr for usize {
+        fn to_u64(self) -> u64 {
+            self as u64
+        }
+        fn from_u64(v: u64) -> Self {
+            v as usize
+        }
+    }
+
+    macro_rules! atomic_shim {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $raw:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+                /// Cached model location id, stamped with the execution
+                /// generation (`gen << 32 | id + 1`; `0` = unassigned).
+                lid: CoreAtomicU64,
+            }
+
+            impl $name {
+                #[must_use]
+                pub const fn new(v: $raw) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                        lid: CoreAtomicU64::new(0),
+                    }
+                }
+
+                pub fn load(&self, ord: Ordering) -> $raw {
+                    match runtime::current() {
+                        None => self.inner.load(ord),
+                        Some((exec, _)) => {
+                            AtomicRepr::from_u64(exec.atomic_load(self, ord))
+                        }
+                    }
+                }
+
+                pub fn store(&self, v: $raw, ord: Ordering) {
+                    match runtime::current() {
+                        None => self.inner.store(v, ord),
+                        Some((exec, _)) => {
+                            exec.atomic_store(self, AtomicRepr::to_u64(v), ord);
+                        }
+                    }
+                }
+
+                pub fn swap(&self, v: $raw, ord: Ordering) -> $raw {
+                    match runtime::current() {
+                        None => self.inner.swap(v, ord),
+                        Some((exec, _)) => {
+                            AtomicRepr::from_u64(exec.atomic_rmw(self, ord, |_| {
+                                AtomicRepr::to_u64(v)
+                            }))
+                        }
+                    }
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $raw,
+                    new: $raw,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$raw, $raw> {
+                    match runtime::current() {
+                        None => self.inner.compare_exchange(current, new, success, failure),
+                        Some((exec, _)) => {
+                            exec.atomic_cas(
+                                self,
+                                AtomicRepr::to_u64(current),
+                                AtomicRepr::to_u64(new),
+                                success,
+                                failure,
+                            )
+                            .map(AtomicRepr::from_u64)
+                            .map_err(AtomicRepr::from_u64)
+                        }
+                    }
+                }
+
+                /// In the model this never fails spuriously (a strict
+                /// under-approximation of weak-CAS behaviour).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $raw,
+                    new: $raw,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$raw, $raw> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            impl crate::runtime::LocSource for $name {
+                fn peek(&self, gen: u32) -> Option<u32> {
+                    let cached = self.lid.load(StdOrd::Relaxed);
+                    if cached != 0 && (cached >> 32) as u32 == gen {
+                        Some((cached as u32) - 1)
+                    } else {
+                        None
+                    }
+                }
+
+                fn resolve(&self, mem: &mut crate::memory::Memory, gen: u32) -> u32 {
+                    if let Some(id) = self.peek(gen) {
+                        return id;
+                    }
+                    let id =
+                        mem.register(AtomicRepr::to_u64(self.inner.load(StdOrd::Relaxed)));
+                    self.lid
+                        .store((u64::from(gen) << 32) | (u64::from(id) + 1), StdOrd::Relaxed);
+                    id
+                }
+            }
+        };
+    }
+
+    macro_rules! atomic_fetch_ops {
+        ($name:ident, $raw:ty) => {
+            impl $name {
+                pub fn fetch_add(&self, v: $raw, ord: Ordering) -> $raw {
+                    match runtime::current() {
+                        None => self.inner.fetch_add(v, ord),
+                        Some((exec, _)) => {
+                            AtomicRepr::from_u64(exec.atomic_rmw(self, ord, |old| {
+                                AtomicRepr::to_u64(
+                                    <$raw as AtomicRepr>::from_u64(old).wrapping_add(v),
+                                )
+                            }))
+                        }
+                    }
+                }
+
+                pub fn fetch_sub(&self, v: $raw, ord: Ordering) -> $raw {
+                    match runtime::current() {
+                        None => self.inner.fetch_sub(v, ord),
+                        Some((exec, _)) => {
+                            AtomicRepr::from_u64(exec.atomic_rmw(self, ord, |old| {
+                                AtomicRepr::to_u64(
+                                    <$raw as AtomicRepr>::from_u64(old).wrapping_sub(v),
+                                )
+                            }))
+                        }
+                    }
+                }
+
+                pub fn fetch_max(&self, v: $raw, ord: Ordering) -> $raw {
+                    match runtime::current() {
+                        None => self.inner.fetch_max(v, ord),
+                        Some((exec, _)) => {
+                            AtomicRepr::from_u64(exec.atomic_rmw(self, ord, |old| {
+                                AtomicRepr::to_u64(<$raw as AtomicRepr>::from_u64(old).max(v))
+                            }))
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    atomic_shim!(
+        /// Instrumented `std::sync::atomic::AtomicBool`.
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool
+    );
+    atomic_shim!(
+        /// Instrumented `std::sync::atomic::AtomicU32`.
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+    atomic_shim!(
+        /// Instrumented `std::sync::atomic::AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    atomic_shim!(
+        /// Instrumented `std::sync::atomic::AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+
+    atomic_fetch_ops!(AtomicU32, u32);
+    atomic_fetch_ops!(AtomicU64, u64);
+    atomic_fetch_ops!(AtomicUsize, usize);
+}
+
+enum MutexRepr<T> {
+    Os(std::sync::Mutex<T>),
+    Model {
+        exec: Arc<Execution>,
+        lock: u32,
+        cell: UnsafeCell<T>,
+    },
+}
+
+/// A mutex whose backend is chosen at construction: an OS mutex outside a
+/// model execution, a scheduler-controlled lock inside one. The API is the
+/// `parking_lot` subset this workspace uses (`lock` returns the guard
+/// directly; poisoning is swallowed).
+pub struct Mutex<T> {
+    repr: MutexRepr<T>,
+}
+
+// SAFETY: the Os variant is std's Mutex (Sync for T: Send); the Model
+// variant's cell is only dereferenced between a scheduler-granted lock
+// acquire and the guard's release, which serializes all access.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+// SAFETY: moving the container moves the T; T: Send is all that needs.
+unsafe impl<T: Send> Send for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        match runtime::current() {
+            None => Mutex {
+                repr: MutexRepr::Os(std::sync::Mutex::new(value)),
+            },
+            Some((exec, _)) => {
+                let lock = exec.register_lock();
+                Mutex {
+                    repr: MutexRepr::Model {
+                        exec,
+                        lock,
+                        cell: UnsafeCell::new(value),
+                    },
+                }
+            }
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match &self.repr {
+            MutexRepr::Os(m) => MutexGuard {
+                os: Some(m.lock().unwrap_or_else(|e| e.into_inner())),
+                model: None,
+            },
+            MutexRepr::Model { exec, lock, cell } => {
+                exec.lock_acquire(*lock);
+                MutexGuard {
+                    os: None,
+                    model: Some((Arc::clone(exec), *lock, cell)),
+                }
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.repr {
+            MutexRepr::Os(m) => m.into_inner().unwrap_or_else(|e| e.into_inner()),
+            MutexRepr::Model { cell, .. } => cell.into_inner(),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match &mut self.repr {
+            MutexRepr::Os(m) => m.get_mut().unwrap_or_else(|e| e.into_inner()),
+            MutexRepr::Model { cell, .. } => cell.get_mut(),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// A scheduler-controlled lock with *split* acquire/release: the two calls
+/// may come from different functions (critical sections spanning
+/// `gate_in` → `gate_out` style brackets), something RAII guards cannot
+/// express.
+///
+/// The lock binds to the execution active at construction time. When the
+/// calling thread belongs to that execution, `acquire`/`release` go through
+/// the scheduler and return `true`; otherwise they return `false` and the
+/// caller must fall back to its own OS lock. That contract lets a host
+/// primitive embed both backends and stay correct outside the model.
+#[derive(Default)]
+pub struct RawLock {
+    model: Option<(Arc<Execution>, u32)>,
+}
+
+impl RawLock {
+    /// A lock registered with the current execution, if one is active.
+    #[must_use]
+    pub fn new() -> Self {
+        RawLock {
+            model: runtime::current().map(|(exec, _)| {
+                let lock = exec.register_lock();
+                (exec, lock)
+            }),
+        }
+    }
+
+    /// Whether the calling thread is controlled by the execution this lock
+    /// was created in. Deterministic within an execution: it depends only
+    /// on where the lock was constructed, never on timing.
+    fn bound(&self) -> Option<(&Arc<Execution>, u32)> {
+        let (exec, lock) = self.model.as_ref()?;
+        let (current, _) = runtime::current()?;
+        Arc::ptr_eq(exec, &current).then_some((exec, *lock))
+    }
+
+    /// Acquire through the model scheduler (a blocking scheduling point).
+    /// Returns `false` when this thread/lock pair is outside the model —
+    /// the caller must use its own OS lock instead.
+    pub fn acquire(&self) -> bool {
+        match self.bound() {
+            Some((exec, lock)) => {
+                exec.lock_acquire(lock);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release the model lock; `false` means the matching `acquire`
+    /// returned `false` and the caller owns the release.
+    pub fn release(&self) -> bool {
+        match self.bound() {
+            Some((exec, lock)) => {
+                exec.lock_release(lock);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for RawLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RawLock")
+            .field("model", &self.model.is_some())
+            .finish()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing is a scheduling point in the model.
+pub struct MutexGuard<'a, T> {
+    os: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<Execution>, u32, &'a UnsafeCell<T>)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        if let Some(g) = &self.os {
+            g
+        } else {
+            let (_, _, cell) = self.model.as_ref().expect("guard has a backend");
+            // SAFETY: the model lock is held for the guard's lifetime and
+            // the scheduler runs one thread at a time, so access is
+            // exclusive.
+            unsafe { &*cell.get() }
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        if let Some(g) = &mut self.os {
+            g
+        } else {
+            let (_, _, cell) = self.model.as_ref().expect("guard has a backend");
+            // SAFETY: as in `deref` — the held model lock gives exclusive
+            // access.
+            unsafe { &mut *cell.get() }
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((exec, lock, _)) = self.model.take() {
+            exec.lock_release(lock);
+        }
+    }
+}

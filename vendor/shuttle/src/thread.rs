@@ -1,0 +1,65 @@
+//! Instrumented `std::thread` subset: `spawn`, `JoinHandle`, `yield_now`.
+
+use crate::runtime::{self, Execution};
+use std::sync::{Arc, Mutex};
+
+enum HandleRepr<T> {
+    Os(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Execution>,
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned thread; joining is a scheduling point in the model
+/// (enabled only once the target has finished).
+pub struct JoinHandle<T>(HandleRepr<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread and return its result.
+    ///
+    /// In the model a panicking child aborts the whole execution with a
+    /// violation before the join is granted, so the `Err` arm only
+    /// surfaces through the OS backend.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            HandleRepr::Os(h) => h.join(),
+            HandleRepr::Model { exec, tid, slot } => {
+                exec.op_join(tid);
+                let v = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined thread finished without a value");
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// Spawn a thread: controlled when called inside a model execution, a
+/// plain OS thread otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match runtime::current() {
+        None => JoinHandle(HandleRepr::Os(std::thread::spawn(f))),
+        Some((exec, _)) => {
+            let (tid, slot) = runtime::spawn_model(&exec, f);
+            JoinHandle(HandleRepr::Model { exec, tid, slot })
+        }
+    }
+}
+
+/// Yield: in the model, parks the thread until another thread writes (or
+/// virtual time advances) — fair demonic scheduling that keeps spin loops
+/// finite.
+pub fn yield_now() {
+    match runtime::current() {
+        None => std::thread::yield_now(),
+        Some((exec, _)) => exec.op_yield("yield"),
+    }
+}

@@ -1,0 +1,42 @@
+//! Instrumented `std::time::Instant` over the model's virtual clock.
+//!
+//! Inside an execution, time only moves when every thread is parked (one
+//! quantum per auto-advance, see `Config::virtual_quantum_ms`), so
+//! `Instant`-based watchdogs fire deterministically: a watchdog that can
+//! expire under *some* schedule will expire under the explored one.
+
+use crate::runtime;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Repr {
+    Os(std::time::Instant),
+    /// Virtual milliseconds at creation.
+    Virtual(u64),
+}
+
+/// Monotonic clock reading; virtual inside a model execution.
+/// `Instant::now()` is *not* a scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instant(Repr);
+
+impl Instant {
+    #[must_use]
+    pub fn now() -> Instant {
+        match runtime::current() {
+            None => Instant(Repr::Os(std::time::Instant::now())),
+            Some((exec, _)) => Instant(Repr::Virtual(exec.vtime_ms())),
+        }
+    }
+
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        match self.0 {
+            Repr::Os(i) => i.elapsed(),
+            Repr::Virtual(ms) => {
+                let now = runtime::current().map_or(ms, |(exec, _)| exec.vtime_ms());
+                Duration::from_millis(now.saturating_sub(ms))
+            }
+        }
+    }
+}
