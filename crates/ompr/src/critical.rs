@@ -5,7 +5,10 @@
 //! `gate_in` *before* the former and `gate_out` *after* the latter (§V).
 //! [`crate::Worker::critical`] does exactly that: the ReOMP gate wraps the
 //! mutex acquisition plus the user region, so the recorded order is the
-//! order threads entered the critical section.
+//! order threads entered the critical section. In a multi-domain session
+//! a critical gate anchors cross-domain edges, so it always records
+//! through the gate's *locked* slow path — only plain racy loads/stores
+//! ride the lock-free ticket fast path (see [`crate::racy`]).
 
 use reomp_core::SiteId;
 

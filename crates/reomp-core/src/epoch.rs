@@ -1,9 +1,16 @@
 //! Epoch assignment for DE recording (paper §IV-D, Table V).
 //!
 //! Concurrency note: the tracker is pure data mutated only under the
-//! domain's gate lock (`RawLocked` in `session.rs`), so it needs no
-//! `crate::shim` seam — the model checker exercises it through the gate
-//! engines, where the lock itself is the scheduling point.
+//! domain's gate exclusion — the `RawLocked` mutex in `session.rs`, or a
+//! served [`TicketGate`](crate::clock::TicketGate) ticket on the
+//! lock-free record fast path — so it needs no `crate::shim` seam: the
+//! model checker exercises it through the gate engines, where the lock
+//! (or ticket word) itself is the scheduling point. DE's *publication*
+//! batching ([`crate::SessionConfig::publish_batch`]) mirrors how this
+//! module
+//! batches runs: the tracker coalesces same-site accesses into one
+//! epoch, the gate coalesces their completion-count stores into one
+//! `published` release per batch.
 //!
 //! # The rule
 //!

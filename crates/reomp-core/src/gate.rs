@@ -10,18 +10,27 @@
 //! baton — is that domain's instance. With the default single domain this
 //! is exactly the paper's global gate.
 //!
-//! Record-mode summary (all schemes serialize the region under the
-//! domain's lock `L`):
+//! Record-mode summary (all schemes serialize the region — the paper does
+//! it under the domain's lock `L`; DC/DE plain loads and stores instead
+//! enter through the lock-free [`TicketGate`](crate::clock::TicketGate)
+//! unless [`SessionConfig::ticket_gate`](crate::session::SessionConfig)
+//! turns the fast path off):
 //!
 //! ```text
 //! ST  (Fig. 4 l.1-8):  lock; <region>; append tid to shared log; unlock
-//! DC  (Fig. 5 l.20-24, X=0):   lock; <region>; clock=global_clock++;
-//!                              unlock; write clock to own file
-//! DE  (Fig. 5 l.20-24, X=X_C): lock; <region>; clock=global_clock++;
+//! DC  (Fig. 5 l.20-24, X=0):   enter; <region>; clock=global_clock++;
+//!                              exit; write clock to own file
+//! DE  (Fig. 5 l.20-24, X=X_C): enter; <region>; clock=global_clock++;
 //!                              epoch=clock-X_C (store epochs deferred one
-//!                              access); unlock; route finalized records to
+//!                              access); exit; route finalized records to
 //!                              their owners' buffers
 //! ```
+//!
+//! The two admission protocols compose seqlock-style: slow-path accesses
+//! (ST, critical sections, cross-domain edge anchors, streaming DE) and
+//! out-of-band pausers take the raw lock **and** a ghost ticket, so they
+//! exclude lock-free entrants too; a `RecordToken` carries which protocol
+//! a gate entered through from `record_in` to its `record_out`.
 //!
 //! Replay-mode summary:
 //!
@@ -44,17 +53,56 @@ use crate::site::{AccessKind, SiteId};
 use crate::sync::SpinWait;
 use crate::Scheme;
 
-/// Record-mode `gate_in`: acquire domain `dom`'s gate lock `L`
-/// (`set_lock(L)`, Fig. 4 line 1 / Fig. 5 line 20).
-pub(crate) fn record_in(session: &Session, dom: u32) {
+/// How a record gate was admitted; returned by [`record_in`], consumed by
+/// the matching [`record_out`] to release the same way.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RecordToken {
+    /// Classic mutex bracket — the session has no ticket gate (ST,
+    /// streaming DE, or `ticket_gate: false`).
+    Locked,
+    /// Slow path of a ticket-gate session: the raw lock **plus** a ghost
+    /// ticket, so lock-free entrants are excluded too.
+    LockedTicket(u32),
+    /// Lock-free fast path: the served ticket is the whole exclusion.
+    Ticket(u32),
+}
+
+/// Record-mode `gate_in` (`set_lock(L)`, Fig. 4 line 1 / Fig. 5 line 20).
+///
+/// Plain DC/DE loads and stores of a ticket-gate session enter through the
+/// domain's [`TicketGate`](crate::clock::TicketGate) — one `fetch_add`
+/// when the gate is idle — instead of the mutex. Accesses that need the
+/// heavier shared bookkeeping route to the locked path: every ST access
+/// (the shared log), critical-section gates and pending-sync edge anchors
+/// (cross-domain edge stamping), and streaming-DE sessions (the flush
+/// floor) — the latter two never construct a ticket gate at all. The
+/// routing predicate is stable between `record_in` and `record_out`
+/// because only the gating thread itself mutates its pending-sync slot.
+pub(crate) fn record_in(session: &Session, dom: u32, tid: u32, kind: AccessKind) -> RecordToken {
     let rec = session.rec.as_ref().expect("record mode");
-    rec.domains[dom as usize].gate.lock();
-    session.stats.bump_lock();
-    session.stats.bump_domain_lock(dom);
+    let drec = &rec.domains[dom as usize];
+    let Some(ticket) = &drec.ticket else {
+        drec.gate.lock();
+        session.stats.bump_lock();
+        session.stats.bump_domain_lock(dom);
+        return RecordToken::Locked;
+    };
+    let multi = session.domains() > 1;
+    if multi && (kind == AccessKind::Critical || session.has_pending_sync(tid)) {
+        // Edge-stamping access: lock first, then queue the ghost ticket
+        // (the one lock→ticket order every two-protocol entrant uses, so
+        // the two admission paths cannot deadlock against each other).
+        drec.gate.lock();
+        session.stats.bump_lock();
+        session.stats.bump_domain_lock(dom);
+        return RecordToken::LockedTicket(ticket.enter());
+    }
+    RecordToken::Ticket(ticket.enter())
 }
 
 /// Record-mode `gate_out`. `addr` is the memory location used for DE run
-/// grouping (Condition 1 is per-address).
+/// grouping (Condition 1 is per-address). `token` must be the value the
+/// matching [`record_in`] returned.
 pub(crate) fn record_out(
     session: &Session,
     dom: u32,
@@ -62,11 +110,31 @@ pub(crate) fn record_out(
     site: SiteId,
     addr: u64,
     kind: AccessKind,
+    token: RecordToken,
 ) {
     let rec = session.rec.as_ref().expect("record mode");
     let drec = &rec.domains[dom as usize];
     let streaming = rec.stream.is_some();
     let multi = session.domains() > 1;
+    // Release the admission `record_in` granted, in reverse acquisition
+    // order. After this call the gate core must not be touched.
+    let release = || match token {
+        // SAFETY: `record_in` locked on this thread for this token.
+        RecordToken::Locked => unsafe { drec.gate.unlock() },
+        RecordToken::LockedTicket(t) => {
+            drec.ticket
+                .as_ref()
+                .expect("token implies ticket gate")
+                .exit(t);
+            // SAFETY: `record_in` locked on this thread for this token.
+            unsafe { drec.gate.unlock() }
+        }
+        RecordToken::Ticket(t) => drec
+            .ticket
+            .as_ref()
+            .expect("token implies ticket gate")
+            .exit(t),
+    };
     // Cross-domain edge sources: a pending barrier snapshot taken at this
     // thread's last sync point, or — for critical-section gates — a fresh
     // snapshot taken below. The snapshot MUST be read before this access
@@ -93,9 +161,9 @@ pub(crate) fn record_out(
         }
     };
     // DC/DE shared completion bookkeeping, run under the domain's gate
-    // lock right after the clock assignment. The snapshot is read strictly
-    // BEFORE `published` advances past this access: two accesses in
-    // different domains can then never both observe each other's
+    // exclusion right after the clock assignment. The snapshot is read
+    // strictly BEFORE `published` advances past this access: two accesses
+    // in different domains can then never both observe each other's
     // completion, which keeps the recorded edge set acyclic — the
     // invariant that makes replaying the edges deadlock-free. Returns the
     // pending edge as `(anchor seq, wait snapshot)`.
@@ -106,7 +174,20 @@ pub(crate) fn record_out(
         // it through the `published` Release store below, so the RMW
         // itself needs no ordering.
         let seq = drec.seqs[tid as usize].fetch_add(1, Ordering::Relaxed);
-        drec.published.store(clock + 1, Ordering::Release);
+        // DE publish batching (`SessionConfig::publish_batch`): plain
+        // accesses release the completion count once per full batch,
+        // mirroring how the epoch tracker batches runs. Edge-anchored and
+        // critical accesses (`wants_edge`) always publish, so sync-point
+        // traffic is counted exactly; skipped publishes only let foreign
+        // snapshots run behind, which weakens — never breaks — the
+        // recorded edges (still a lower bound, still snapshot-before-
+        // publish, hence still acyclic).
+        let publish = session.scheme() != Scheme::De
+            || wants_edge
+            || (clock + 1).is_multiple_of(u64::from(session.cfg.publish_batch));
+        if publish {
+            drec.published.store(clock + 1, Ordering::Release);
+        }
         counts.map(|c| (seq, c))
     };
     match session.scheme() {
@@ -114,7 +195,9 @@ pub(crate) fn record_out(
             // Fig. 4 lines 6-8: record the thread ID to the domain's shared
             // log *before* releasing the lock, so the logged order is the
             // execution order.
-            // SAFETY: lock acquired in `record_in` on this thread.
+            // SAFETY: ST sessions have no ticket gate, so the token is
+            // always `Locked`; the lock was acquired in `record_in` on
+            // this thread.
             let core = unsafe { drec.gate.get() };
             let builder = core.st.as_mut().expect("st builder");
             builder.push(tid, site, kind);
@@ -130,7 +213,8 @@ pub(crate) fn record_out(
             }
             // Streaming: steal a full shared log under the lock (the order
             // is already captured); encode and write it after unlock.
-            let stolen = if streaming && builder.tids.len() >= session.cfg.flush_records.max(1) {
+            // `flush_records` is clamped to >= 1 once in `Session::build`.
+            let stolen = if streaming && builder.tids.len() >= session.cfg.flush_records {
                 Some((
                     std::mem::take(&mut builder.tids),
                     std::mem::take(&mut builder.sites),
@@ -146,8 +230,7 @@ pub(crate) fn record_out(
             let order_guard = stolen.is_some().then(|| {
                 rec.stream.as_ref().expect("streaming state").st_order[dom as usize].lock()
             });
-            // SAFETY: paired with the `record_in` lock.
-            unsafe { drec.gate.unlock() };
+            release();
             if let Some((tids, sites, kinds)) = stolen {
                 session.flush_st_records(dom, &tids, &sites, &kinds);
             }
@@ -156,7 +239,8 @@ pub(crate) fn record_out(
         Scheme::Dc => {
             // Fig. 5 lines 22-24 with X = 0.
             let clock = {
-                // SAFETY: lock acquired in `record_in` on this thread.
+                // SAFETY: `token` grants exclusive core access — the gate
+                // lock and/or the currently-served ticket (see RecordToken).
                 let core = unsafe { drec.gate.get() };
                 let c = core.clock;
                 core.clock += 1;
@@ -165,8 +249,7 @@ pub(crate) fn record_out(
                 }
                 c
             };
-            // SAFETY: paired with the `record_in` lock.
-            unsafe { drec.gate.unlock() };
+            release();
             // Line 24 happens *after* unlock: the write to the thread's own
             // record file overlaps other threads' region execution (§IV-C3).
             drec.bufs[tid as usize].lock().push(RecEntry {
@@ -196,7 +279,8 @@ pub(crate) fn record_out(
                 // already sits in its owner's buffer.
                 let mut touched: Vec<u32> = Vec::with_capacity(2);
                 {
-                    // SAFETY: lock acquired in `record_in` on this thread.
+                    // SAFETY: streaming DE always takes the locked path;
+                    // the lock was acquired in `record_in` on this thread.
                     let core = unsafe { drec.gate.get() };
                     let clock = core.clock;
                     core.clock += 1;
@@ -218,14 +302,15 @@ pub(crate) fn record_out(
                     rec.stream.as_ref().expect("streaming state").floors[dom as usize]
                         .store(floor, Ordering::Release);
                 }
-                // SAFETY: paired with the `record_in` lock.
-                unsafe { drec.gate.unlock() };
+                release();
                 for t in touched {
                     session.maybe_flush_thread(dom, t);
                 }
             } else {
                 let observed = {
-                    // SAFETY: lock acquired in `record_in` on this thread.
+                    // SAFETY: `token` grants exclusive core access — the
+                    // gate lock and/or the currently-served ticket (see
+                    // RecordToken).
                     let core = unsafe { drec.gate.get() };
                     let clock = core.clock;
                     core.clock += 1;
@@ -237,8 +322,7 @@ pub(crate) fn record_out(
                         .expect("de tracker")
                         .observe(tid, site, addr, kind, clock)
                 };
-                // SAFETY: paired with the `record_in` lock.
-                unsafe { drec.gate.unlock() };
+                release();
                 for f in observed.iter() {
                     push_de_record(session, drec, &f);
                 }
@@ -438,11 +522,13 @@ fn replay_in_distributed(
     let trace = rep.bundle.thread(dom, tid);
 
     // Fig. 5 line 31: read the next clock/epoch from the thread's own file
-    // for this domain.
+    // for this domain. The cursor is only advanced on *successful*
+    // admission (at the bottom), so a failed attempt — exhaustion,
+    // divergence, edge-wait or turnstile timeout — leaves the record in
+    // place for a retry instead of silently consuming it.
     // ORDERING: `cursors[tid]` is the thread's private position in its own
-    // per-thread trace; no other thread reads or writes it, so the RMW is
-    // just a counter bump.
-    let pos = drep.cursors[tid as usize].fetch_add(1, Ordering::Relaxed);
+    // per-thread trace; no other thread reads or writes it.
+    let pos = drep.cursors[tid as usize].load(Ordering::Relaxed);
     if pos >= trace.len() {
         return Err(ReplayError::TraceExhausted {
             thread: tid,
@@ -489,6 +575,11 @@ fn replay_in_distributed(
         }
         Scheme::St => unreachable!("st handled separately"),
     }
+    // Admission succeeded: consume the record now. A timed-out `try_gate`
+    // above returned without touching the cursor, so a retry re-reads the
+    // same position (pinned by the retry regression test).
+    // ORDERING: thread-private cursor, see the load above.
+    drep.cursors[tid as usize].store(pos + 1, Ordering::Relaxed);
     session.push_replay_history(
         dom,
         AccessRecord {
@@ -1079,6 +1170,112 @@ mod tests {
         }
         let report = replay.finish().unwrap();
         assert_eq!(report.fully_consumed, Some(false));
+        assert!(report.failure.unwrap().contains("watchdog"));
+    }
+
+    #[test]
+    fn ticket_gate_traces_identical_to_locked_gate() {
+        // The lock-free fast path must be trace-invisible: a deterministic
+        // (sequentially driven) workload recorded with the ticket gate and
+        // with the legacy mutex must produce *equal* bundles, for every
+        // scheme — `TraceBundle: Eq` makes this the D=1 byte-identity pin.
+        for scheme in [Scheme::St, Scheme::Dc, Scheme::De] {
+            let bundles = [true, false].map(|ticket_gate| {
+                let session = Session::record_with(
+                    scheme,
+                    2,
+                    SessionConfig {
+                        ticket_gate,
+                        ..Default::default()
+                    },
+                );
+                let ctx0 = session.register_thread(0);
+                let ctx1 = session.register_thread(1);
+                // A fixed interleaving, driven from this one test thread.
+                ctx0.gate(SITE, AccessKind::Load, || ());
+                ctx1.gate(SITE, AccessKind::Store, || ());
+                ctx1.gate(SiteId(9), AccessKind::Store, || ());
+                ctx0.gate(SiteId(9), AccessKind::Load, || ());
+                drop(ctx0);
+                drop(ctx1);
+                session.finish().unwrap().bundle.unwrap()
+            });
+            assert_eq!(bundles[0], bundles[1], "trace diverged for {scheme:?}");
+        }
+        // Publish batching is record-side communication elision only — at
+        // D=1 it must leave the DE trace untouched as well.
+        let bundles = [1u32, 4].map(|publish_batch| {
+            let session = Session::record_with(
+                Scheme::De,
+                1,
+                SessionConfig {
+                    publish_batch,
+                    ..Default::default()
+                },
+            );
+            let ctx = session.register_thread(0);
+            for _ in 0..3 {
+                ctx.gate(SITE, AccessKind::Store, || ());
+            }
+            drop(ctx);
+            session.finish().unwrap().bundle.unwrap()
+        });
+        assert_eq!(bundles[0], bundles[1], "publish batching changed the trace");
+    }
+
+    #[test]
+    fn timed_out_gate_retries_without_consuming_records() {
+        // Regression: the replay cursor used to advance with `fetch_add`
+        // *before* the turnstile wait could fail, so a timed-out try_gate
+        // permanently consumed the record and a retry silently skipped it.
+        // Same trace shape as the watchdog test — thread 0 owns clocks
+        // {0, 2}, thread 1 owns {1, 3} — but driven to completion from one
+        // test thread: the timed-out access is retried after the
+        // predecessor arrives and must replay the *same* record.
+        let mk_thread = |values: Vec<u64>| crate::trace::ThreadTrace {
+            sites: Some(vec![SITE.raw(); values.len()]),
+            kinds: Some(vec![AccessKind::Load.code(), AccessKind::Store.code()]),
+            values,
+        };
+        let bundle = TraceBundle {
+            plan: None,
+            edges: vec![],
+            checkpoint: None,
+            scheme: Scheme::Dc,
+            nthreads: 2,
+            domains: 1,
+            threads: vec![mk_thread(vec![0, 2]), mk_thread(vec![1, 3])],
+            st: vec![],
+        };
+        let cfg = SessionConfig {
+            spin: SpinConfig {
+                spin_hints: 8,
+                timeout: Some(Duration::from_millis(50)),
+            },
+            ..Default::default()
+        };
+        let replay = Session::replay_with(bundle, cfg).unwrap();
+        let ctx0 = replay.register_thread(0);
+        let ctx1 = replay.register_thread(1);
+        // Clock 0: thread 0's load is first in the recorded order.
+        ctx0.try_gate(SITE, AccessKind::Load, || ()).unwrap();
+        // Thread 0's store needs clock 2, but clock 1 (thread 1's load)
+        // has not replayed yet — the watchdog must fire...
+        match ctx0.try_gate(SITE, AccessKind::Store, || ()) {
+            Err(ReplayError::Timeout { .. }) => {}
+            other => panic!("expected watchdog timeout, got {other:?}"),
+        }
+        // ...without consuming the record or aborting the other waiters.
+        ctx1.try_gate(SITE, AccessKind::Load, || ()).unwrap();
+        // Retry replays the same record (clock 2) exactly once.
+        ctx0.try_gate(SITE, AccessKind::Store, || ()).unwrap();
+        ctx1.try_gate(SITE, AccessKind::Store, || ()).unwrap();
+        drop(ctx0);
+        drop(ctx1);
+        let report = replay.finish().unwrap();
+        // Every record consumed exactly once despite the failed attempt.
+        assert_eq!(report.fully_consumed, Some(true));
+        // The transient timeout is still surfaced as the first failure.
         assert!(report.failure.unwrap().contains("watchdog"));
     }
 

@@ -11,8 +11,12 @@
 //! for the record-file directory, `REOMP_STREAM` (`1` streams the trace
 //! to `REOMP_DIR` chunk-by-chunk as the run records),
 //! `REOMP_FLUSH_RECORDS` (streaming flush threshold), `REOMP_DOMAINS`
-//! (gate-domain count, see below), and `REOMP_SPIN_TIMEOUT` (replay
-//! watchdog in seconds, `0` disables it).
+//! (gate-domain count, see below), `REOMP_SPIN_TIMEOUT` (replay
+//! watchdog in seconds, `0` disables it), `REOMP_TICKET_GATE`
+//! (`0`/`false`/`off` routes every record gate through the legacy mutex
+//! instead of the lock-free ticket fast path), and `REOMP_PUBLISH_BATCH`
+//! (DE completion-count publication batch, see
+//! [`SessionConfig::publish_batch`]).
 //!
 //! # Gate domains
 //!
@@ -65,7 +69,7 @@
 //! `finish` flushes the residue and atomically commits the store (manifest
 //! last).
 
-use crate::clock::Turnstile;
+use crate::clock::{TicketGate, Turnstile};
 use crate::epoch::{EpochPolicy, EpochTracker};
 use crate::error::{FinishError, ReplayError, TraceError};
 use crate::flight::{FlightRecorder, FlightSink, DEFAULT_WINDOW};
@@ -209,6 +213,30 @@ pub struct SessionConfig {
     /// Run the per-chunk RLE compression stage on streamed record files
     /// (`REOMP_COMPRESS=1`).
     pub compress: bool,
+    /// Record DC/DE plain loads and stores through the lock-free
+    /// [`TicketGate`] instead of the gate mutex
+    /// (`REOMP_TICKET_GATE`, default on). The region is still serialized —
+    /// in ticket order — so the recorded trace is identical; only the
+    /// synchronization changes (one `fetch_add` in, one out, no lock).
+    /// ST, critical-section/edge-anchored accesses, and streaming DE keep
+    /// the locked path (entered alongside a ghost ticket so the two paths
+    /// compose). `false` forces the classic mutex bracket everywhere.
+    pub ticket_gate: bool,
+    /// Multi-domain DE record runs: publish a domain's completion count to
+    /// *other* domains once per `publish_batch` accesses instead of on
+    /// every access, batching the `Release` stores the way
+    /// [`EpochTracker`] already batches run epochs (clamped to ≥ 1;
+    /// `REOMP_PUBLISH_BATCH`). Critical and edge-anchored accesses always
+    /// publish their completion immediately, so sync-point traffic — the
+    /// accesses cross-domain edges exist to order — is counted exactly; a
+    /// foreign snapshot may observe a domain's *plain* load/store count up
+    /// to `publish_batch − 1` low, weakening (never breaking) the edge: the
+    /// recorded waits stay a sound lower bound and stay acyclic, because
+    /// batching only delays a publish, and a snapshot is still taken
+    /// strictly before its own access publishes. `1` — the default —
+    /// publishes every access (the pre-batching behavior, byte-identical
+    /// traces).
+    pub publish_batch: u32,
 }
 
 impl Default for SessionConfig {
@@ -224,6 +252,8 @@ impl Default for SessionConfig {
             plan: None,
             flight: None,
             compress: false,
+            ticket_gate: true,
+            publish_batch: 1,
         }
     }
 }
@@ -284,18 +314,55 @@ impl StBuilder {
 pub(crate) struct DomainRecord {
     /// Gate lock + state; locked at `gate_in`, unlocked at `gate_out`.
     pub gate: RawLocked<RecCore>,
+    /// Lock-free fast-path admission (`Some` only when this session can
+    /// take the fast path at all: [`SessionConfig::ticket_gate`] on, a
+    /// clocked scheme, and not streaming DE). When present, **every**
+    /// accessor of [`DomainRecord::gate`]'s core holds a currently-served
+    /// ticket: plain DC/DE loads and stores hold *only* the ticket (no
+    /// lock), while the slow paths and out-of-band pausers take the raw
+    /// lock first and then a ghost ticket — so either kind of entrant
+    /// excludes both. The RecCore hand-off then rides the ticket word's
+    /// acquire/release pair, not the mutex.
+    pub ticket: Option<TicketGate>,
     /// Per-thread record buffers (Fig. 3-(b): one record file per thread —
     /// here one per thread *per domain*).
     pub bufs: Vec<Mutex<Vec<RecEntry>>>,
     /// Number of accesses this domain has completed (mirrors the clock):
-    /// written under the domain's gate lock, read lock-free by *other*
-    /// domains' gates when they stamp a cross-domain edge. Only maintained
-    /// for multi-domain sessions.
+    /// written under the domain's gate exclusion (lock and/or served
+    /// ticket), read lock-free by *other* domains' gates when they stamp
+    /// a cross-domain edge. For DE it may trail the clock by up to
+    /// `publish_batch - 1` plain accesses (see
+    /// [`SessionConfig::publish_batch`]); pause points re-sync it. Only
+    /// maintained for multi-domain sessions.
     pub published: AtomicU64,
     /// Per-thread access counters in this domain — the `seq` a
-    /// cross-domain edge anchors at. Bumped under the gate lock; only
-    /// maintained for multi-domain sessions.
+    /// cross-domain edge anchors at. Bumped under the gate exclusion;
+    /// only maintained for multi-domain sessions.
     pub seqs: Vec<AtomicU64>,
+}
+
+impl DomainRecord {
+    /// Out-of-band exclusive access to the gate core (`finish`, residue
+    /// flushes, flight dumps, trace assembly): takes the raw lock and —
+    /// when the lock-free fast path is active — also claims a **ghost
+    /// ticket**, so both mutex holders and ticket holders are excluded.
+    /// The ghost ticket assigns no clock; it only occupies the served slot
+    /// while `f` runs, which is why pausing leaves no hole in the recorded
+    /// clock sequence.
+    pub(crate) fn pause<R>(&self, f: impl FnOnce(&mut RecCore) -> R) -> R {
+        self.gate.lock();
+        let ghost = self.ticket.as_ref().map(|t| t.enter());
+        // SAFETY: the raw lock is held, and when a ticket gate is present
+        // the ghost ticket above is the currently-served one — either way
+        // this thread is the unique accessor (see the `ticket` field docs).
+        let out = f(unsafe { self.gate.get() });
+        if let (Some(gate), Some(t)) = (self.ticket.as_ref(), ghost) {
+            gate.exit(t);
+        }
+        // SAFETY: locked above on this thread.
+        unsafe { self.gate.unlock() };
+        out
+    }
 }
 
 pub(crate) struct RecordState {
@@ -647,19 +714,31 @@ impl Session {
                 cfg.epoch_policy = policy;
             }
         }
-        if let Some(n) = std::env::var("REOMP_FLUSH_RECORDS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-        {
-            cfg.flush_records = n;
+        if let Some(n) = Self::positive_env_knob("REOMP_FLUSH_RECORDS") {
+            cfg.flush_records = usize::try_from(n).unwrap_or(usize::MAX);
         }
-        if let Some(d) = std::env::var("REOMP_DOMAINS")
-            .ok()
-            .and_then(|s| s.parse::<u32>().ok())
-            .filter(|&d| d > 0)
-        {
-            cfg.domains = d;
+        if let Some(d) = Self::positive_env_knob("REOMP_DOMAINS") {
+            match u32::try_from(d) {
+                Ok(d) => cfg.domains = d,
+                // Don't "clamp" to u32::MAX here — that would allocate four
+                // billion gate instances. An absurd count keeps the default.
+                Err(_) => eprintln!(
+                    "reomp: REOMP_DOMAINS={d} out of range; keeping {}",
+                    cfg.domains
+                ),
+            }
+        }
+        if let Some(b) = Self::positive_env_knob("REOMP_PUBLISH_BATCH") {
+            match u32::try_from(b) {
+                Ok(b) => cfg.publish_batch = b,
+                Err(_) => eprintln!(
+                    "reomp: REOMP_PUBLISH_BATCH={b} out of range; keeping {}",
+                    cfg.publish_batch
+                ),
+            }
+        }
+        if let Ok(s) = std::env::var("REOMP_TICKET_GATE") {
+            cfg.ticket_gate = !matches!(s.to_ascii_lowercase().as_str(), "0" | "false" | "off");
         }
         // Replay watchdog override: seconds, `0` disables the watchdog
         // entirely (oversubscribed CI boxes legitimately exceed the 30 s
@@ -706,6 +785,24 @@ impl Session {
         }
     }
 
+    /// Parse a strictly-positive integer knob from the environment.
+    /// Malformed values fall back to the built-in default (`None`, as
+    /// before); an explicit `0` — always a configuration mistake for
+    /// these knobs (a modulo-by-zero domain count, a never-flushing
+    /// stream, a never-publishing batch) — is clamped to 1 with a warning
+    /// instead of being silently absorbed.
+    fn positive_env_knob(name: &str) -> Option<u64> {
+        let raw = std::env::var(name).ok()?;
+        match raw.trim().parse::<u64>() {
+            Ok(0) => {
+                eprintln!("reomp: {name}=0 is degenerate; clamping to 1");
+                Some(1)
+            }
+            Ok(n) => Some(n),
+            Err(_) => None,
+        }
+    }
+
     /// The directory store selected by `REOMP_DIR` (default:
     /// `<tmp>/reomp-trace`, which lives on tmpfs on Linux like the paper's
     /// record-file placement).
@@ -727,6 +824,11 @@ impl Session {
     ) -> Session {
         assert!(nthreads > 0, "a session needs at least one thread");
         cfg.domains = cfg.effective_domains();
+        // The ≥ 1 clamps live here, once, so every consumer — the ST
+        // streaming steal, `maybe_flush_thread`, the publish cadence —
+        // sees the same value and the record/flush paths cannot disagree.
+        cfg.flush_records = cfg.flush_records.max(1);
+        cfg.publish_batch = cfg.publish_batch.max(1);
         if let Some(bundle) = &bundle {
             // A trace replays against exactly the partition it was
             // recorded with: the stamped plan when one exists, the legacy
@@ -735,9 +837,18 @@ impl Session {
             cfg.plan = bundle.plan.clone();
         }
         let domains = cfg.domains;
+        // The fast path exists only where it is sound AND profitable:
+        // ST serializes through the shared log builder (always locked),
+        // and streaming DE must refresh the flush floor inside the served
+        // section anyway — both would take the ghost-ticket slow path on
+        // every access, paying two RMWs for nothing.
+        let streaming = sink.is_some();
+        let fast_path =
+            cfg.ticket_gate && scheme != Scheme::St && !(streaming && scheme == Scheme::De);
         let rec = (mode == Mode::Record).then(|| RecordState {
             domains: (0..domains)
                 .map(|_| DomainRecord {
+                    ticket: fast_path.then(TicketGate::new),
                     gate: RawLocked::new(RecCore {
                         clock: 0,
                         tracker: (scheme == Scheme::De)
@@ -903,6 +1014,15 @@ impl Session {
         }
     }
 
+    /// Whether `tid` has an unconsumed barrier snapshot. A routing peek
+    /// for the record fast path: only `tid` itself sets or takes its slot,
+    /// so the answer cannot change between `record_in` and `record_out`.
+    pub(crate) fn has_pending_sync(&self, tid: u32) -> bool {
+        self.rec
+            .as_ref()
+            .is_some_and(|rec| rec.pending_sync[tid as usize].lock().is_some())
+    }
+
     /// Take `tid`'s pending barrier snapshot, if any.
     pub(crate) fn take_pending_sync(&self, tid: u32) -> Option<Vec<u64>> {
         self.rec
@@ -967,6 +1087,13 @@ impl Session {
 
     /// Record the first failure and release all replay waiters in every
     /// domain.
+    ///
+    /// Watchdog timeouts are the exception to the broadcast: a timed-out
+    /// wait proves only that *this* thread's predecessor has not arrived
+    /// yet — the recorded order is not contradicted, and the caller may
+    /// legitimately retry the access once the predecessor shows up. Other
+    /// stuck threads carry their own watchdogs. Aborting every turnstile
+    /// here would poison those retries with [`ReplayError::Aborted`].
     pub(crate) fn fail(&self, err: &ReplayError) {
         {
             let mut slot = self.failure.lock();
@@ -975,8 +1102,10 @@ impl Session {
             }
         }
         if let Some(rep) = &self.rep {
-            for d in &rep.domains {
-                d.turnstile.abort();
+            if !matches!(err, ReplayError::Timeout { .. }) {
+                for d in &rep.domains {
+                    d.turnstile.abort();
+                }
             }
         }
         // Fire the failure hook exactly once, outside our locks (it may
@@ -1042,7 +1171,7 @@ impl Session {
                     // Flush every domain tracker's pending stores (trailing
                     // stores get their own clock — always safe).
                     for drec in &rec.domains {
-                        drec.gate.with(|core| {
+                        drec.pause(|core| {
                             if let Some(tracker) = &mut core.tracker {
                                 for f in tracker.flush() {
                                     drec.bufs[f.thread as usize].lock().push(RecEntry {
@@ -1101,7 +1230,7 @@ impl Session {
         let mut floors = Vec::new();
         for (dom, drec) in rec.domains.iter().enumerate() {
             let dom = dom as u32;
-            let clock = drec.gate.with(|core| {
+            let clock = drec.pause(|core| {
                 if let Some(tracker) = &mut core.tracker {
                     for f in tracker.flush() {
                         drec.bufs[f.thread as usize].lock().push(RecEntry {
@@ -1117,10 +1246,16 @@ impl Session {
             });
             if self.scheme == Scheme::De {
                 floors.push(clock);
+                if self.cfg.domains > 1 {
+                    // Publish batching may have left `published` lagging
+                    // the clock; a pause is a quiescent point, so sync it
+                    // for any snapshot taken after this flush.
+                    drec.published.store(clock, Ordering::Release);
+                }
             }
             // ST: steal whatever this domain's shared builder still holds.
             if self.scheme == Scheme::St {
-                let stolen = drec.gate.with(|core| {
+                let stolen = drec.pause(|core| {
                     core.st.as_mut().map(|b| {
                         (
                             std::mem::take(&mut b.tids),
@@ -1250,7 +1385,8 @@ impl Session {
         if stream.failed.load(Ordering::Relaxed) {
             return;
         }
-        let threshold = self.cfg.flush_records.max(1);
+        // Already clamped ≥ 1 in `Session::build`.
+        let threshold = self.cfg.flush_records;
         let floor = stream.floors[dom as usize].load(Ordering::Acquire);
         let mut buf = rec.domains[dom as usize].bufs[tid as usize].lock();
         if buf.len() < threshold {
@@ -1304,7 +1440,7 @@ impl Session {
         let mut threads = Vec::with_capacity(rec.domains.len() * self.nthreads as usize);
         for drec in &rec.domains {
             if self.scheme == Scheme::St {
-                let stream = drec.gate.with(|core| {
+                let stream = drec.pause(|core| {
                     core.st.take().map(|b| StTrace {
                         tids: b.tids,
                         sites: validate.then_some(b.sites),
@@ -1466,9 +1602,9 @@ impl ThreadCtx {
             Mode::Record => {
                 let dom = session.domain_of(site);
                 session.stats.bump_domain_gate(dom);
-                gate::record_in(session, dom);
+                let token = gate::record_in(session, dom, self.tid, kind);
                 let out = f();
-                gate::record_out(session, dom, self.tid, site, addr, kind);
+                gate::record_out(session, dom, self.tid, site, addr, kind, token);
                 Ok(out)
             }
             Mode::Replay => {
@@ -1627,8 +1763,45 @@ mod tests {
         assert_eq!(s.cfg.domains, 1);
         assert_eq!(s.cfg.spin.timeout, SpinConfig::default().timeout);
 
+        // Degenerate-but-parseable values clamp (with a warning) instead
+        // of falling through to divide-by-zero / never-flush behavior.
+        std::env::set_var("REOMP_DOMAINS", "0");
+        std::env::set_var("REOMP_FLUSH_RECORDS", "0");
+        std::env::set_var("REOMP_PUBLISH_BATCH", "0");
+        let s = Session::from_env(2).unwrap();
+        assert_eq!(s.cfg.domains, 1, "REOMP_DOMAINS=0 clamps to 1");
+        assert_eq!(s.cfg.flush_records, 1, "REOMP_FLUSH_RECORDS=0 clamps to 1");
+        assert_eq!(s.cfg.publish_batch, 1, "REOMP_PUBLISH_BATCH=0 clamps to 1");
+
+        // Values that parse but overflow the u32 knobs keep the default
+        // (clamping REOMP_DOMAINS to u32::MAX would try to allocate four
+        // billion domain records).
+        std::env::set_var("REOMP_DOMAINS", "4294967296");
+        std::env::set_var("REOMP_PUBLISH_BATCH", "4294967296");
+        let s = Session::from_env(2).unwrap();
+        assert_eq!(s.cfg.domains, 1);
+        assert_eq!(s.cfg.publish_batch, 1);
+
+        // Sanity: in-range values land, and the ticket gate is on by
+        // default but can be disabled.
+        std::env::set_var("REOMP_FLUSH_RECORDS", "64");
+        std::env::set_var("REOMP_PUBLISH_BATCH", "8");
+        let s = Session::from_env(2).unwrap();
+        assert_eq!(s.cfg.flush_records, 64);
+        assert_eq!(s.cfg.publish_batch, 8);
+        assert!(s.cfg.ticket_gate, "ticket gate defaults to on");
+        std::env::set_var("REOMP_TICKET_GATE", "off");
+        let s = Session::from_env(2).unwrap();
+        assert!(!s.cfg.ticket_gate);
+        std::env::set_var("REOMP_TICKET_GATE", "1");
+        let s = Session::from_env(2).unwrap();
+        assert!(s.cfg.ticket_gate);
+
         std::env::remove_var("REOMP_DOMAINS");
         std::env::remove_var("REOMP_SPIN_TIMEOUT");
+        std::env::remove_var("REOMP_FLUSH_RECORDS");
+        std::env::remove_var("REOMP_PUBLISH_BATCH");
+        std::env::remove_var("REOMP_TICKET_GATE");
     }
 
     #[test]

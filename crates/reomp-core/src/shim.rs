@@ -2,7 +2,11 @@
 //!
 //! Every sync type the gate primitives are built from — atomics, the
 //! guard-style mutex, `Instant`, `yield_now`, `spin_loop` — is imported
-//! through this module instead of `std::sync`/`parking_lot` directly. A
+//! through this module instead of `std::sync`/`parking_lot` directly;
+//! that includes the lock-free record fast path
+//! ([`TicketGate`](crate::clock::TicketGate) and its `Backoff` spin,
+//! whose `spin_loop`/`yield_now` hints become scheduling points
+//! in-model). A
 //! normal build re-exports the real types, so there is zero overhead and
 //! no behaviour change. Building with the `model` cargo feature (or
 //! loom-style with `RUSTFLAGS="--cfg reomp_model"`) swaps in the vendored

@@ -191,6 +191,43 @@ impl<'a> SpinWait<'a> {
     }
 }
 
+/// Record-side spin policy for the lock-free ticket gate: spin briefly,
+/// then yield.
+///
+/// Unlike replay's [`SpinWait`] this carries **no watchdog** — a record-mode
+/// wait ends as soon as the predecessor's region finishes (there is no
+/// recorded order to diverge from, hence nothing to time out on), exactly
+/// like blocking on the gate mutex has no timeout today. The exponential
+/// spin phase keeps the short waits (a neighbor's few-instruction region)
+/// off the scheduler; the yield phase keeps oversubscribed hosts live.
+#[derive(Debug, Default)]
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Yield to the scheduler once the spin phase exceeds 2^6 hints.
+    const YIELD_THRESHOLD: u32 = 6;
+
+    pub(crate) const fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// One wait step: `2^step` spin hints while short, a scheduler yield
+    /// once the wait is long enough that burning the core stops paying.
+    #[inline]
+    pub(crate) fn snooze(&mut self) {
+        if self.step <= Self::YIELD_THRESHOLD {
+            for _ in 0..(1u32 << self.step) {
+                crate::shim::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            crate::shim::yield_now();
+        }
+    }
+}
+
 /// State guarded by a raw mutex whose lock/unlock calls are split across
 /// `gate_in`/`gate_out`.
 ///
@@ -198,8 +235,14 @@ impl<'a> SpinWait<'a> {
 ///
 /// [`RawLocked::lock`] must be paired with exactly one [`RawLocked::unlock`]
 /// on the same thread, and [`RawLocked::get`] may only be called between
-/// them. The gate engines uphold this: `gate_in` locks, `gate_out` accesses
-/// the state and unlocks.
+/// them — **or**, equivalently, the calling thread is the unique holder of
+/// an external exclusion protocol layered over this state. The gate engines
+/// uphold this two ways: the locked paths lock at `gate_in` and access +
+/// unlock at `gate_out`; the lock-free fast path of
+/// [`TicketGate`](crate::clock::TicketGate) sessions instead holds the
+/// domain's currently-served ticket (every accessor — fast, slow, or
+/// out-of-band pauser — holds a served ticket there, so at most one thread
+/// touches the state at a time; see `DomainRecord` in `session.rs`).
 pub(crate) struct RawLocked<T> {
     raw: RawMutex,
     /// Model-checker seam: when the lock is created inside a
@@ -262,6 +305,11 @@ impl<T> RawLocked<T> {
     }
 
     /// Run `f` under the lock (convenience for non-split critical sections).
+    ///
+    /// Session-level pausers go through `DomainRecord::pause` instead,
+    /// which also queues a ghost ticket when a ticket gate is present;
+    /// this raw bracket remains for states with no layered protocol.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
         self.lock();
         // SAFETY: lock is held for the duration of `f`.

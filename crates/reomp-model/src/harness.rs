@@ -11,7 +11,7 @@
 //! every interleaving the dependence relation distinguishes, including
 //! stale `Relaxed` reads from shuttle's per-location store buffers.
 
-use reomp_core::clock::Turnstile;
+use reomp_core::clock::{TicketGate, Turnstile};
 use reomp_core::stats::Stats;
 use reomp_core::sync::{BatonLock, SpinConfig};
 use reomp_core::{
@@ -98,6 +98,63 @@ impl TurnstileApi for RealTurnstile {
     fn advance(&self) {
         self.turnstile.advance(&self.stats);
     }
+}
+
+/// Ticket-gate admission surface for the real [`TicketGate`] and its
+/// mutants.
+pub trait TicketApi: Send + Sync + 'static {
+    /// Take the next ticket and block until it is served.
+    fn enter(&self) -> u32;
+    /// Release the gate to the next ticket holder.
+    fn exit(&self, ticket: u32);
+}
+
+impl TicketApi for TicketGate {
+    fn enter(&self) -> u32 {
+        TicketGate::enter(self)
+    }
+    fn exit(&self, ticket: u32) {
+        TicketGate::exit(self, ticket);
+    }
+}
+
+/// Ticket-gate hand-off purity — the lock-free analogue of
+/// [`baton_handoff`]: two threads funnel a benign-racy (`Relaxed`
+/// load-then-store) increment through the gate. Exclusion comes from FIFO
+/// ticket service; *visibility* comes from the Acquire `enter` (RMW and
+/// spin load) pairing with the predecessor's Release `exit` — exactly the
+/// pairing the RecCore hand-off rides on the record fast path. A relaxed
+/// mutant on either side loses an update in some schedule.
+pub fn ticket_handoff<T: TicketApi>(
+    make: impl Fn() -> T + Send + Sync + 'static,
+    cfg: &Config,
+) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let gate = Arc::new(make());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let counter = Arc::clone(&counter);
+                shuttle::thread::spawn(move || {
+                    let t = gate.enter();
+                    // The gated region: correct only if entry published the
+                    // predecessor's writes.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    gate.exit(t);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            2,
+            "lost update through the ticket-gate hand-off"
+        );
+    })
 }
 
 /// ST hand-off purity: two threads funnel increments of a deliberately
@@ -448,6 +505,130 @@ pub fn flight_evict_vs_dump(cfg: &Config) -> Report {
             *values, expect,
             "dump interleaved with eviction: window not contiguous at base {base}"
         );
+    })
+}
+
+/// Tentpole equivalence harness: the lock-free ticket fast path must be
+/// observationally equivalent to the locked gate. A two-thread
+/// benign-racy workload records through the ticket gate (D = 1, DC —
+/// every access takes the fast path, no mutex bracket); in every schedule
+/// the bundle must validate and its replay must reproduce both the
+/// per-access values and the final state of the racy cell — the same
+/// contract the locked gate's scheme tests pin outside the model.
+/// (Byte-identity of deterministic traces across the two gates is pinned
+/// separately by `ticket_gate_traces_identical_to_locked_gate` in
+/// `reomp-core`; replay is gate-agnostic, so reproducing a ticket-recorded
+/// trace through the same turnstiles *is* the equivalence statement.)
+pub fn ticket_gate_equivalence(cfg: &Config) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        let site = SiteId(5);
+        // One benign-racy increment per thread: gated load, gated store.
+        let run = |session: &Arc<Session>| -> (u64, Vec<u64>) {
+            let shared = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2u32)
+                .map(|tid| {
+                    let session = Arc::clone(session);
+                    let shared = Arc::clone(&shared);
+                    shuttle::thread::spawn(move || {
+                        let ctx = session.register_thread(tid);
+                        let v = ctx.gate(site, AccessKind::Load, || shared.load(Ordering::Relaxed));
+                        ctx.gate(site, AccessKind::Store, || {
+                            shared.store(v + 1, Ordering::Relaxed);
+                        });
+                        v
+                    })
+                })
+                .collect();
+            let observed = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            (shared.load(Ordering::Relaxed), observed)
+        };
+        let record = Session::record_with(
+            Scheme::Dc,
+            2,
+            SessionConfig {
+                spin: model_spin(),
+                ..SessionConfig::default()
+            },
+        );
+        let (final_rec, observed_rec) = run(&record);
+        let bundle = record
+            .finish()
+            .expect("record finish")
+            .bundle
+            .expect("in-memory bundle");
+        bundle.validate().expect("ticket-gate bundle validates");
+        let replay = Session::replay_with(
+            bundle,
+            SessionConfig {
+                spin: model_spin(),
+                ..SessionConfig::default()
+            },
+        )
+        .expect("replay session");
+        let (final_rep, observed_rep) = run(&replay);
+        replay.finish().expect("replay finish");
+        assert_eq!(
+            observed_rep, observed_rec,
+            "replay diverged from the ticket-gate recording"
+        );
+        assert_eq!(
+            final_rep, final_rec,
+            "replay reached a different final state than the recording"
+        );
+    })
+}
+
+/// Batched DE publication composed with the two admission protocols, on
+/// the real engines: a two-domain DE record run with `publish_batch = 4`
+/// (plain accesses skip most `published` stores) where each thread makes
+/// one plain fast-path access and one critical slow-path access (lock +
+/// ghost ticket) that anchors a cross-domain edge. Lagged publication may
+/// only *weaken* the edge snapshots — acyclicity and replayability must
+/// survive, so replay terminates in every schedule.
+pub fn batched_cross_domain_record_replay(cfg: &Config) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        // SiteId(2) % 2 = domain 0, SiteId(3) % 2 = domain 1.
+        let sites = [SiteId(2), SiteId(3)];
+        let workload = |session: &Arc<Session>| {
+            let handles: Vec<_> = (0..2u32)
+                .map(|tid| {
+                    let session = Arc::clone(session);
+                    shuttle::thread::spawn(move || {
+                        let ctx = session.register_thread(tid);
+                        ctx.gate(sites[tid as usize], AccessKind::Store, || ());
+                        ctx.gate(sites[1 - tid as usize], AccessKind::Critical, || ());
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        };
+        let session = Session::record_with(
+            Scheme::De,
+            2,
+            SessionConfig {
+                domains: 2,
+                publish_batch: 4,
+                spin: model_spin(),
+                ..SessionConfig::default()
+            },
+        );
+        workload(&session);
+        let report = session.finish().expect("record finish");
+        let bundle = report.bundle.expect("in-memory bundle");
+        bundle.validate().expect("batched bundle validates");
+
+        let replay = Session::replay_with(
+            bundle,
+            SessionConfig {
+                spin: model_spin(),
+                ..SessionConfig::default()
+            },
+        )
+        .expect("replay session");
+        workload(&replay);
+        replay.finish().expect("replay finish");
     })
 }
 

@@ -12,7 +12,7 @@
 //! The mutated copies live here, not behind `cfg` flags in `reomp-core`:
 //! the production crate carries no intentionally-wrong code paths.
 
-use crate::harness::{BatonApi, TurnstileApi};
+use crate::harness::{BatonApi, TicketApi, TurnstileApi};
 use shuttle::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use shuttle::sync::Mutex;
 use shuttle::{Config, Report};
@@ -142,6 +142,124 @@ impl TurnstileApi for MutTurnstile {
     fn advance(&self) {
         self.next.fetch_add(1, self.advance_order);
     }
+}
+
+/// A `TicketGate` copy with the orderings on its packed ticket word
+/// parameterized — the mutation target is the Acquire `enter` (both the
+/// ticket-grab RMW and the spin load) / Release `exit` pairing that
+/// publishes the predecessor's gate state to the next holder.
+pub struct MutTicket {
+    /// `ticket` (high 32 bits) | `serving` (low 32 bits), as in the real
+    /// gate.
+    word: AtomicU64,
+    enter_order: Ordering,
+    exit_order: Ordering,
+}
+
+const TICKET_ONE: u64 = 1 << 32;
+
+impl MutTicket {
+    /// The real orderings: Acquire entry, Release exit.
+    #[must_use]
+    pub fn faithful() -> Self {
+        MutTicket {
+            word: AtomicU64::new(0),
+            enter_order: Ordering::Acquire,
+            exit_order: Ordering::Release,
+        }
+    }
+
+    /// Flipped `Ordering`: a `Relaxed` ticket `fetch_add` (and spin
+    /// load). FIFO admission survives — RMWs always read the latest word
+    /// — but the immediate-entry path no longer synchronizes with the
+    /// predecessor's exit, so the new holder can enter on a stale view of
+    /// the gated state.
+    #[must_use]
+    pub fn relaxed_enter() -> Self {
+        MutTicket {
+            enter_order: Ordering::Relaxed,
+            ..MutTicket::faithful()
+        }
+    }
+
+    /// Flipped `Ordering`: a `Relaxed` exit publishes nothing to the
+    /// successor's Acquire entry.
+    #[must_use]
+    pub fn relaxed_exit() -> Self {
+        MutTicket {
+            exit_order: Ordering::Relaxed,
+            ..MutTicket::faithful()
+        }
+    }
+}
+
+impl TicketApi for MutTicket {
+    fn enter(&self) -> u32 {
+        let w = self.word.fetch_add(TICKET_ONE, self.enter_order);
+        let ticket = (w >> 32) as u32;
+        if w as u32 == ticket {
+            return ticket;
+        }
+        loop {
+            shuttle::thread::yield_now();
+            if self.word.load(self.enter_order) as u32 == ticket {
+                return ticket;
+            }
+        }
+    }
+    fn exit(&self, _ticket: u32) {
+        self.word.fetch_add(1, self.exit_order);
+    }
+}
+
+/// Mini-model of DE publish batching's soundness invariant: the batched
+/// `published` count must stay a **lower bound** on completed work —
+/// batching may only *defer* the store to a batch boundary already
+/// reached (round down). With `overshoot` the publisher rounds the clock
+/// *up* to the next boundary — the plausible off-by-a-batch refactor —
+/// and claims completions that have not happened: a foreign edge snapshot
+/// taken at that moment records a wait replay can never satisfy if the
+/// run ends first. The observer reads `published` before the ground
+/// truth (which only grows), so any observed excess is real.
+pub fn batch_publish_mini(overshoot: bool, cfg: &Config) -> Report {
+    shuttle::check(cfg.clone(), move || {
+        const BATCH: u64 = 2;
+        let completed = Arc::new(AtomicU64::new(0));
+        let published = Arc::new(AtomicU64::new(0));
+        let publisher = {
+            let completed = Arc::clone(&completed);
+            let published = Arc::clone(&published);
+            shuttle::thread::spawn(move || {
+                for clock in 0..3u64 {
+                    // The access completes (under gate exclusion in the
+                    // real engine)...
+                    completed.store(clock + 1, Ordering::Release);
+                    // ...then its completion count is published per batch.
+                    if overshoot {
+                        published.store((clock + BATCH) / BATCH * BATCH, Ordering::Release);
+                    } else if (clock + 1) % BATCH == 0 {
+                        published.store(clock + 1, Ordering::Release);
+                    }
+                }
+            })
+        };
+        let observer = {
+            let completed = Arc::clone(&completed);
+            let published = Arc::clone(&published);
+            shuttle::thread::spawn(move || {
+                let p = published.load(Ordering::Acquire);
+                let c = completed.load(Ordering::Acquire);
+                assert!(
+                    p <= c,
+                    "published count {p} overshoots completed work {c}: a \
+                     foreign snapshot would record a wait on accesses that \
+                     never happened"
+                );
+            })
+        };
+        publisher.join().unwrap();
+        observer.join().unwrap();
+    })
 }
 
 /// Mini-model of `stamp_clocked`'s cross-domain edge protocol: two

@@ -5,8 +5,9 @@
 //! * **Clean-tree checks** — every harness in `reomp_model::harness` runs
 //!   over the real primitives and must finish with no violation.
 //! * **Mutation sweep** — every seeded defect in `reomp_model::mutants`
-//!   (flipped `Ordering`s, store-instead-of-swap release, edge snapshot
-//!   after publish, floor published before routing, chunked dump,
+//!   (flipped `Ordering`s — including the relaxed ticket `fetch_add` —
+//!   store-instead-of-swap release, edge snapshot after publish, floor
+//!   published before routing, batch-publish overshoot, chunked dump,
 //!   disabled watchdog) must be *caught*: the checker must report a
 //!   violation against the corresponding harness. The sweep is the
 //!   harnesses' sensitivity proof — a harness that cannot see the seeded
@@ -19,12 +20,16 @@
 //! `report.complete` — a full enumeration of every interleaving the
 //! dependence relation distinguishes. The three spin-wait-heavy harnesses
 //! (`turnstile_admit_order`, `turnstile_epoch_group`,
-//! `cross_domain_record_replay`) are budgeted instead: every failed
+//! `cross_domain_record_replay` — and the session-level ticket-gate
+//! harnesses `ticket_gate_equivalence` and
+//! `batched_cross_domain_record_replay`, whose record fast path and
+//! replay turnstiles both spin) are budgeted instead: every failed
 //! spin re-check is its own scheduling point, so their (finite) spaces
 //! grow combinatorially with the number of re-checks and full
 //! enumeration is out of reach; exhaustive mode raises their budget to
 //! [`HEAVY_SCHEDULES`] schedules rather than asserting completeness.
 
+use reomp_core::clock::TicketGate;
 use reomp_core::sync::BatonLock;
 use reomp_model::harness as h;
 use reomp_model::harness::RealTurnstile;
@@ -173,6 +178,30 @@ fn clean_flight_evict_vs_dump() {
 }
 
 #[test]
+fn clean_ticket_handoff() {
+    assert_clean(
+        "ticket_handoff",
+        &h::ticket_handoff(TicketGate::new, &cfg()),
+    );
+}
+
+#[test]
+fn clean_ticket_gate_equivalence() {
+    assert_clean_budgeted(
+        "ticket_gate_equivalence",
+        &h::ticket_gate_equivalence(&heavy_cfg()),
+    );
+}
+
+#[test]
+fn clean_batched_cross_domain_record_replay() {
+    assert_clean_budgeted(
+        "batched_cross_domain_record_replay",
+        &h::batched_cross_domain_record_replay(&heavy_cfg()),
+    );
+}
+
+#[test]
 fn clean_spinwait_watchdog() {
     assert_clean(
         "spinwait_watchdog",
@@ -211,10 +240,22 @@ fn control_faithful_turnstile() {
 }
 
 #[test]
+fn control_faithful_ticket() {
+    assert_clean(
+        "faithful ticket / handoff",
+        &h::ticket_handoff(m::MutTicket::faithful, &cfg()),
+    );
+}
+
+#[test]
 fn control_faithful_minis() {
     assert_clean("edge_stamp_mini clean", &m::edge_stamp_mini(false, &cfg()));
     assert_clean("floor_mini clean", &m::floor_mini(false, &cfg()));
     assert_clean("flight_mini clean", &m::flight_mini(false, &cfg()));
+    assert_clean(
+        "batch_publish_mini clean",
+        &m::batch_publish_mini(false, &cfg()),
+    );
 }
 
 // ---------------------------------------------------------- mutation sweep
@@ -254,6 +295,30 @@ fn mutant_turnstile_relaxed_is_caught() {
     assert_caught(
         "relaxed turnstile",
         &h::turnstile_handoff_visibility(m::MutTurnstile::relaxed, &cfg()),
+    );
+}
+
+#[test]
+fn mutant_ticket_relaxed_enter_is_caught() {
+    assert_caught(
+        "relaxed-enter ticket gate",
+        &h::ticket_handoff(m::MutTicket::relaxed_enter, &cfg()),
+    );
+}
+
+#[test]
+fn mutant_ticket_relaxed_exit_is_caught() {
+    assert_caught(
+        "relaxed-exit ticket gate",
+        &h::ticket_handoff(m::MutTicket::relaxed_exit, &cfg()),
+    );
+}
+
+#[test]
+fn mutant_batch_publish_overshoot_is_caught() {
+    assert_caught(
+        "batch publish overshoot",
+        &m::batch_publish_mini(true, &cfg()),
     );
 }
 
